@@ -1,0 +1,132 @@
+//! Criterion microbenches for the algorithm kernels: loser-tree merging,
+//! pivot selection, sorted partitioning and heterogeneous sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use extsort::{LoserTree, SliceStream};
+use hetsort::partition::partition_ranges;
+use hetsort::pivots::select_pivots;
+use hetsort::sampling::{regular_positions, regular_sample_count};
+use hetsort::PerfVector;
+use sim::rng::{Pcg64, Rng};
+
+fn sorted_runs(k: usize, per_run: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = Pcg64::new(seed);
+    (0..k)
+        .map(|_| {
+            let mut v: Vec<u32> = (0..per_run).map(|_| rng.next_u32()).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_loser_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loser_tree_merge");
+    for k in [4usize, 16, 64] {
+        let per_run = 65_536 / k;
+        group.throughput(Throughput::Elements(65_536));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let runs = sorted_runs(k, per_run, 42);
+            b.iter(|| {
+                let sources: Vec<_> = runs.iter().cloned().map(SliceStream::new).collect();
+                let mut tree = LoserTree::new(sources).unwrap();
+                let mut count = 0u64;
+                while let Some(x) = tree.next_record().unwrap() {
+                    black_box(x);
+                    count += 1;
+                }
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The design-choice comparison: the loser tree's log k comparisons per
+/// record vs the textbook BinaryHeap merge (heap ops cost ~2 log k).
+fn bench_heap_merge_baseline(c: &mut Criterion) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut group = c.benchmark_group("heap_merge_baseline");
+    for k in [4usize, 16, 64] {
+        let per_run = 65_536 / k;
+        group.throughput(Throughput::Elements(65_536));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let runs = sorted_runs(k, per_run, 42);
+            b.iter(|| {
+                let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = runs
+                    .iter()
+                    .enumerate()
+                    .map(|(s, r)| Reverse((r[0], s, 0)))
+                    .collect();
+                let mut count = 0u64;
+                while let Some(Reverse((x, s, i))) = heap.pop() {
+                    black_box(x);
+                    count += 1;
+                    if i + 1 < runs[s].len() {
+                        heap.push(Reverse((runs[s][i + 1], s, i + 1)));
+                    }
+                }
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivot_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivot_selection");
+    for (name, perf) in [
+        ("hom4", PerfVector::homogeneous(4)),
+        ("het1144", PerfVector::paper_1144()),
+        ("hom16", PerfVector::homogeneous(16)),
+    ] {
+        let total = perf.total();
+        let mut rng = Pcg64::new(7);
+        let mut sample: Vec<u32> = (0..total * total).map(|_| rng.next_u32()).collect();
+        sample.sort_unstable();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(select_pivots(black_box(&sample), &perf)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_positions(c: &mut Criterion) {
+    let perf = PerfVector::paper_1144();
+    c.bench_function("regular_positions_het", |b| {
+        b.iter(|| {
+            for rank in 0..4 {
+                let count = regular_sample_count(&perf, rank);
+                black_box(regular_positions(black_box(1 << 20), count));
+            }
+        });
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_sorted");
+    for n in [1usize << 14, 1 << 18] {
+        let mut rng = Pcg64::new(9);
+        let mut data: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        data.sort_unstable();
+        let pivots: Vec<u32> = (1..16u32).map(|i| i.wrapping_mul(0x1000_0000)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(partition_ranges(black_box(&data), black_box(&pivots))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_loser_tree,
+    bench_heap_merge_baseline,
+    bench_pivot_selection,
+    bench_sampling_positions,
+    bench_partition
+);
+criterion_main!(kernels);

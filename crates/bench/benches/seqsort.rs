@@ -1,0 +1,82 @@
+//! Criterion benches for the sequential external sorts (wall time of the
+//! real work on in-memory disks — the virtual-time tables live in the
+//! `table2`/`ablation_seqsort` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use extsort::{ExtSortConfig, RunFormation};
+use pdm::Disk;
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+fn bench_polyphase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyphase_sort");
+    group.sample_size(10);
+    for n in [1u64 << 14, 1 << 16] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let disk = Disk::in_memory(4096);
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
+                    .unwrap();
+                let cfg = ExtSortConfig::new((n / 8) as usize).with_tapes(8);
+                black_box(
+                    extsort::polyphase_sort::<u32>(&disk, "in", "out", "b", &cfg).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balanced_kway_sort");
+    group.sample_size(10);
+    for n in [1u64 << 14, 1 << 16] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let disk = Disk::in_memory(4096);
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
+                    .unwrap();
+                let cfg = ExtSortConfig::new((n / 8) as usize).with_tapes(8);
+                black_box(
+                    extsort::balanced_kway_sort::<u32>(&disk, "in", "out", "b", &cfg)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_run_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_formation");
+    group.sample_size(10);
+    let n = 1u64 << 16;
+    for (name, rf) in [
+        ("chunk", RunFormation::ChunkSort),
+        ("replacement_selection", RunFormation::ReplacementSelection),
+    ] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let disk = Disk::in_memory(4096);
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
+                    .unwrap();
+                let cfg = ExtSortConfig::new((n / 8) as usize)
+                    .with_tapes(8)
+                    .with_run_formation(rf);
+                black_box(
+                    extsort::run_formation::form_runs::<u32>(&disk, "in", "rf", 7, &cfg)
+                        .unwrap()
+                        .total_runs,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(seqsort, bench_polyphase, bench_balanced, bench_run_formation);
+criterion_main!(seqsort);

@@ -1,0 +1,68 @@
+//! Ablation A2: load balance under duplicate keys.
+//!
+//! §3.1 of the paper: with `d` duplicates of one key, the PSRS upper bound
+//! `U = 2·n/p` becomes `U + d` — duplicates only hurt when `d` rivals the
+//! per-node share. This binary runs the external sort on the
+//! duplicate-heavy inputs (zero, zipf, g-group) plus uniform as a control,
+//! reporting `d`, the sublist expansion and whether the `U + d` bound held.
+
+use hetsort::metrics::LoadBalance;
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort_bench::{default_mem, fmt_ratio, print_table, Args};
+use workloads::{generate_whole, max_duplicate_count, Benchmark};
+
+fn main() {
+    let args = Args::parse();
+    let n_req: u64 = if args.quick { 20_000 } else { 200_000 };
+    let benches = [
+        Benchmark::Uniform,
+        Benchmark::GGroup,
+        Benchmark::ZipfDuplicates,
+        Benchmark::Zero,
+    ];
+
+    let perf = PerfVector::homogeneous(4);
+    let n = perf.padded_size(n_req);
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for bench in benches {
+        let mut cfg = TrialConfig::new(vec![1, 1, 1, 1], perf.clone(), n);
+        cfg.bench = bench;
+        cfg.mem_records = default_mem(n);
+        cfg.tapes = 8;
+        cfg.msg_records = 4096;
+        cfg.seed = args.seed;
+        cfg.jitter = 0.0;
+        cfg.algo = SortAlgo::ExternalPsrs;
+        let result = run_trial(&cfg).expect("trial");
+        let input = generate_whole(bench, args.seed, &perf.shares(result.n));
+        let d = max_duplicate_count(&input);
+        let lb: &LoadBalance = &result.balance;
+        let within = lb.within_psrs_bound(d);
+        all_ok &= within;
+        rows.push(vec![
+            bench.to_string(),
+            result.n.to_string(),
+            d.to_string(),
+            format!("{:.1}%", 100.0 * d as f64 / result.n as f64),
+            lb.max_size().to_string(),
+            fmt_ratio(lb.expansion()),
+            if within { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    print_table(
+        "Ablation A2 — duplicates and the U + d bound (external PSRS, hom. 4 nodes)",
+        &["benchmark", "n", "d (max dup)", "d/n", "max partition", "S(max)", "within 2·share + d"],
+        &rows,
+    );
+    println!(
+        "note: the zero benchmark has d = n, so the bound is vacuous there — the\n\
+         interesting observation (as in the paper's §3.1) is that expansion only\n\
+         leaves the few-percent regime when d rivals the per-node share."
+    );
+
+    if args.selftest {
+        assert!(all_ok, "U + d bound violated somewhere");
+        println!("selftest ok: U + d bound held on every duplicate-heavy input");
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation A4: fused partition+redistribution (the paper's disk-to-disk
+//! remark).
+//!
+//! Algorithm 1 materializes `p` partition files in step 3 and reads them
+//! back in step 4 — `2·Q/B` extra block I/Os per node. The paper notes
+//! that "hardware which is able to transfer data from disk to disk … will
+//! be more efficient"; the fused path realizes that by streaming the
+//! sorted file once and pushing partition chunks straight into the
+//! network. This binary quantifies the saving in block I/Os and virtual
+//! time across the size ladder.
+
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort_bench::{default_mem, fmt_secs, print_table, repeat, Args};
+use workloads::Benchmark;
+
+fn run(args: &Args, n: u64, fused: bool) -> (f64, u64) {
+    let mut io = 0u64;
+    let time = repeat(args.trials.min(3), args.seed, |seed| {
+        let mut cfg = TrialConfig::new(vec![1, 1, 4, 4], PerfVector::paper_1144(), n);
+        cfg.bench = Benchmark::Uniform;
+        cfg.mem_records = default_mem(n / 4);
+        cfg.tapes = 16;
+        cfg.msg_records = 8 * 1024;
+        cfg.seed = seed;
+        cfg.jitter = 0.02;
+        cfg.algo = SortAlgo::ExternalPsrs;
+        cfg.fused = fused;
+        let r = run_trial(&cfg).expect("trial");
+        io = r.total_io_blocks;
+        r.time_secs
+    })
+    .mean();
+    (time, io)
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<u64> = if args.quick {
+        vec![1 << 15, 1 << 16]
+    } else if args.paper {
+        vec![1 << 21, 1 << 22, 1 << 23, 1 << 24]
+    } else {
+        vec![1 << 18, 1 << 19, 1 << 20, 1 << 21]
+    };
+
+    let mut rows = Vec::new();
+    let mut last_saving = (0.0f64, 0.0f64);
+    for &n in &sizes {
+        let (t_plain, io_plain) = run(&args, n, false);
+        let (t_fused, io_fused) = run(&args, n, true);
+        let io_save = 100.0 * (1.0 - io_fused as f64 / io_plain as f64);
+        let t_save = 100.0 * (1.0 - t_fused / t_plain);
+        last_saving = (io_save, t_save);
+        rows.push(vec![
+            n.to_string(),
+            io_plain.to_string(),
+            io_fused.to_string(),
+            format!("{io_save:.1}%"),
+            fmt_secs(t_plain),
+            fmt_secs(t_fused),
+            format!("{t_save:.1}%"),
+        ]);
+    }
+    print_table(
+        "Ablation A4 — Algorithm 1 vs fused partition+redistribution ({1,1,4,4} cluster)",
+        &["N", "I/Os (paper)", "I/Os (fused)", "I/O saved", "time (paper)", "time (fused)", "time saved"],
+        &rows,
+    );
+    println!(
+        "the paper's step 3 costs 2·Q/B block transfers per node; fusing removes them\n\
+         (\"if we have an hardware which is able to transfer data from disk to disk,\n\
+         it will be more efficient\" — §4, step 4)"
+    );
+
+    if args.selftest {
+        let (io_save, t_save) = last_saving;
+        assert!(
+            io_save > 10.0,
+            "fusing should save a visible share of block I/O, got {io_save:.1}%"
+        );
+        assert!(t_save > 0.0, "fusing should not be slower, got {t_save:.1}%");
+        println!("selftest ok: fused path saves {io_save:.1}% I/O, {t_save:.1}% time");
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation A1: regular sampling (PSRS) vs random overpartitioning.
+//!
+//! §3.3 of the paper argues for PSRS because Li & Sevcik's overpartitioning
+//! "is still around 1.3 [sublist expansion] even when s is as high as 128",
+//! while PSRS stays "below two percents". This binary measures the sublist
+//! expansion of both pivot strategies across all benchmark inputs and a
+//! sweep of the overpartitioning factor `s`, on both the homogeneous and
+//! the `{1,1,4,4}` clusters.
+
+use cluster::{run_cluster, ClusterSpec};
+use hetsort::{
+    overpartition_incore, psrs_incore_with, OverpartitionConfig, PerfVector, PivotStrategy,
+};
+use hetsort::metrics::LoadBalance;
+use hetsort_bench::{fmt_ratio, print_table, repeat, Args};
+use workloads::{generate_block, Benchmark, Layout};
+
+/// Sublist expansion of one in-core PSRS run with the given strategy.
+fn psrs_expansion_with(
+    perf: &PerfVector,
+    bench: Benchmark,
+    n: u64,
+    seed: u64,
+    strategy: PivotStrategy,
+) -> f64 {
+    let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
+    let shares = perf.shares(n);
+    let layouts = Layout::cluster(&shares);
+    let pv = perf.clone();
+    let report = run_cluster(&spec, move |ctx| {
+        let local = generate_block(bench, seed, layouts[ctx.rank]);
+        psrs_incore_with(ctx, &pv, local, strategy).sorted.len() as u64
+    });
+    let sizes: Vec<u64> = report.nodes.iter().map(|n| n.value).collect();
+    LoadBalance::new(sizes, perf).expansion()
+}
+
+/// Regular-sampling PSRS expansion.
+fn psrs_expansion(perf: &PerfVector, bench: Benchmark, n: u64, seed: u64) -> f64 {
+    psrs_expansion_with(perf, bench, n, seed, PivotStrategy::RegularSampling)
+}
+
+/// Sublist expansion of one in-core overpartitioning run.
+fn ovp_expansion(perf: &PerfVector, bench: Benchmark, n: u64, s: u64, seed: u64) -> f64 {
+    let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
+    let shares = perf.shares(n);
+    let layouts = Layout::cluster(&shares);
+    let cfg = OverpartitionConfig::new(perf.clone()).with_oversampling(s);
+    let report = run_cluster(&spec, move |ctx| {
+        let local = generate_block(bench, seed, layouts[ctx.rank]);
+        overpartition_incore(ctx, &cfg, local).unwrap().received
+    });
+    let sizes: Vec<u64> = report.nodes.iter().map(|n| n.value).collect();
+    LoadBalance::new(sizes, perf).expansion()
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_req: u64 = if args.quick { 20_000 } else { 200_000 };
+    let vectors = [
+        ("hom {1,1,1,1}", PerfVector::homogeneous(4)),
+        ("het {1,1,4,4}", PerfVector::paper_1144()),
+    ];
+    let s_values = [1u64, 2, 4, 16, 64];
+
+    for (vec_name, perf) in &vectors {
+        let n = perf.padded_size(n_req);
+        let mut rows = Vec::new();
+        for bench in Benchmark::PAPER_EIGHT {
+            let psrs = repeat(args.trials.min(3), args.seed, |seed| {
+                psrs_expansion(perf, bench, n, seed)
+            });
+            let quant = repeat(args.trials.min(3), args.seed, |seed| {
+                psrs_expansion_with(perf, bench, n, seed, PivotStrategy::Quantiles)
+            });
+            let mut row = vec![
+                bench.to_string(),
+                fmt_ratio(psrs.mean()),
+                fmt_ratio(quant.mean()),
+            ];
+            for &s in &s_values {
+                let ovp = repeat(args.trials.min(3), args.seed, |seed| {
+                    ovp_expansion(perf, bench, n, s, seed)
+                });
+                row.push(fmt_ratio(ovp.mean()));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Ablation A1 — sublist expansion, {vec_name}, n = {n}"),
+            &["benchmark", "PSRS", "quantile", "ovp s=1", "ovp s=2", "ovp s=4", "ovp s=16", "ovp s=64"],
+            &rows,
+        );
+    }
+
+    if args.selftest {
+        let perf = PerfVector::homogeneous(4);
+        let n = perf.padded_size(n_req);
+        let psrs = repeat(3, args.seed, |seed| {
+            psrs_expansion(&perf, Benchmark::Uniform, n, seed)
+        })
+        .mean();
+        let ovp4 = repeat(3, args.seed, |seed| {
+            ovp_expansion(&perf, Benchmark::Uniform, n, 4, seed)
+        })
+        .mean();
+        assert!(
+            psrs < ovp4,
+            "PSRS expansion ({psrs:.3}) must beat overpartitioning s=4 ({ovp4:.3})"
+        );
+        assert!(psrs < 1.1, "PSRS should be within a few percent, got {psrs:.3}");
+        // Li & Sevcik's own observation: more sublists help, but the gap
+        // to PSRS persists.
+        let ovp64 = repeat(3, args.seed, |seed| {
+            ovp_expansion(&perf, Benchmark::Uniform, n, 64, seed)
+        })
+        .mean();
+        assert!(ovp64 <= ovp4 * 1.05, "higher s should not hurt");
+        // The quantile variant (§3.2) stays within the 2x theorem too.
+        let quant = repeat(3, args.seed, |seed| {
+            psrs_expansion_with(&perf, Benchmark::Uniform, n, seed, PivotStrategy::Quantiles)
+        })
+        .mean();
+        assert!(quant < 2.0, "quantile expansion {quant:.3} broke the bound");
+        println!(
+            "selftest ok: PSRS {psrs:.3} / quantile {quant:.3} < ovp(4) {ovp4:.3}; ovp(64) {ovp64:.3}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Ablation A3: polyphase vs balanced k-way merge sort.
+//!
+//! The paper chooses polyphase "to get a (2m−1)-way merge without a
+//! separate redistribution of runs" — the classic argument against the
+//! balanced k-way sort, which gets only a T/2-way merge from the same T
+//! files. This binary compares the two on the same file budget: block
+//! I/Os, merge passes, comparisons and virtual time, across the size
+//! ladder and a tape-count sweep. Replacement selection (longer initial
+//! runs) is included as the classic run-formation refinement, and the
+//! §2 distribution sort as the other I/O-optimal paradigm.
+
+use std::time::Instant;
+
+use cluster::charge::Work;
+use cluster::{Charger, CpuModel, TimePolicy};
+use extsort::{ExtSortConfig, RunFormation, SortReport};
+use hetsort_bench::{fmt_secs, print_table, Args};
+use pdm::{Disk, DiskModel};
+use sim::Jitter;
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+enum Algo {
+    Polyphase,
+    Balanced,
+    Distribution,
+}
+
+fn run_once(n: u64, tapes: usize, algo: Algo, rf: RunFormation, seed: u64) -> (f64, SortReport) {
+    // 4 KiB blocks keep even the --quick sizes genuinely out-of-core.
+    let block_bytes = 4 * 1024;
+    let mem = ((n / 16) as usize).max(tapes * block_bytes / 4);
+    let disk = Disk::in_memory(block_bytes).with_model(DiskModel::scsi_2000());
+    let mut charger = Charger::new(
+        CpuModel::alpha_533(),
+        1.0,
+        Jitter::none(),
+        disk.clone(),
+        TimePolicy::Modeled,
+    );
+    generate_to_disk(&disk, "input", Benchmark::Uniform, seed, Layout::single(n)).unwrap();
+    charger.reset();
+    let cfg = ExtSortConfig::new(mem)
+        .with_tapes(tapes)
+        .with_run_formation(rf);
+    let t0 = Instant::now();
+    let report = match algo {
+        Algo::Polyphase => {
+            extsort::polyphase_sort::<u32>(&disk, "input", "out", "a", &cfg).unwrap()
+        }
+        Algo::Balanced => {
+            extsort::balanced_kway_sort::<u32>(&disk, "input", "out", "a", &cfg).unwrap()
+        }
+        Algo::Distribution => {
+            extsort::distribution_sort::<u32>(&disk, "input", "out", "a", &cfg).unwrap()
+        }
+    };
+    charger.charge_section(
+        Work {
+            comparisons: report.comparisons,
+            moves: report.records * (report.merge_phases as u64 + 1),
+        },
+        t0.elapsed(),
+    );
+    charger.sync_io();
+    (charger.now().as_secs(), report)
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // Size ladder at the paper's 16 tapes.
+    let mut rows = Vec::new();
+    for &n in &args.size_ladder() {
+        for (name, algo, rf) in [
+            ("polyphase/chunk", Algo::Polyphase, RunFormation::ChunkSort),
+            ("balanced/chunk", Algo::Balanced, RunFormation::ChunkSort),
+            (
+                "polyphase/replsel",
+                Algo::Polyphase,
+                RunFormation::ReplacementSelection,
+            ),
+            ("distribution", Algo::Distribution, RunFormation::ChunkSort),
+        ] {
+            let (t, r) = run_once(n, 16, algo, rf, args.seed);
+            rows.push(vec![
+                n.to_string(),
+                name.to_string(),
+                r.initial_runs.to_string(),
+                r.merge_phases.to_string(),
+                r.io.total_blocks().to_string(),
+                fmt_secs(t),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation A3 — sequential external sorts on the same 16-file budget",
+        &["N", "algorithm", "initial runs", "merge phases", "block I/Os", "time (s)"],
+        &rows,
+    );
+
+    // Tape sweep at a fixed size: polyphase's fan-in advantage grows.
+    let n = args.size_ladder()[args.size_ladder().len() / 2];
+    let mut rows = Vec::new();
+    for tapes in [4usize, 6, 8, 12, 16] {
+        let (tp, rp) = run_once(n, tapes, Algo::Polyphase, RunFormation::ChunkSort, args.seed);
+        let (tb, rb) = run_once(n, tapes, Algo::Balanced, RunFormation::ChunkSort, args.seed);
+        rows.push(vec![
+            tapes.to_string(),
+            format!("{} / {}", tapes - 1, (tapes / 2).max(2)),
+            rp.io.total_blocks().to_string(),
+            rb.io.total_blocks().to_string(),
+            fmt_secs(tp),
+            fmt_secs(tb),
+        ]);
+    }
+    print_table(
+        &format!("Tape sweep at N = {n} (fan-in: polyphase T−1 vs balanced T/2)"),
+        &["tapes", "fan-in p/b", "poly I/Os", "bal I/Os", "poly time", "bal time"],
+        &rows,
+    );
+
+    if args.selftest {
+        let n = *args.size_ladder().last().unwrap();
+        let (tp, rp) = run_once(n, 8, Algo::Polyphase, RunFormation::ChunkSort, args.seed);
+        let (tb, rb) = run_once(n, 8, Algo::Balanced, RunFormation::ChunkSort, args.seed);
+        assert!(
+            rp.io.total_blocks() <= rb.io.total_blocks(),
+            "polyphase must not do more I/O than balanced on the same budget"
+        );
+        assert!(tp <= tb * 1.05, "polyphase time {tp:.2} vs balanced {tb:.2}");
+        let (_, rrs) = run_once(n, 8, Algo::Polyphase, RunFormation::ReplacementSelection, args.seed);
+        assert!(
+            rrs.initial_runs < rp.initial_runs,
+            "replacement selection must form fewer runs"
+        );
+        let (_, rd) = run_once(n, 8, Algo::Distribution, RunFormation::ChunkSort, args.seed);
+        assert!(
+            rd.io.total_blocks() < 3 * rp.io.total_blocks(),
+            "distribution sort must stay within a small constant of polyphase: {} vs {}",
+            rd.io.total_blocks(),
+            rp.io.total_blocks()
+        );
+        println!("selftest ok: polyphase ≤ balanced on I/O; replacement selection halves runs; distribution sort I/O-comparable");
+    }
+}

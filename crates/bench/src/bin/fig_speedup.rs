@@ -1,0 +1,77 @@
+//! Extension figure: speedup vs cluster width.
+//!
+//! The paper reports a single point ("the gain with four processors is 3"
+//! for the homogeneous configuration). This sweep extends that observation:
+//! external PSRS on 1…16 homogeneous nodes, speedup against the one-node
+//! run of the same total input, showing where the commodity network and
+//! the fixed per-run overheads bend the curve.
+
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort_bench::{default_mem, fmt_secs, print_table, repeat, Args};
+use workloads::Benchmark;
+
+fn time_for_p(args: &Args, p: usize, n: u64) -> f64 {
+    repeat(args.trials.min(3), args.seed, |seed| {
+        let mut cfg = TrialConfig::new(vec![1; p], PerfVector::homogeneous(p), n);
+        cfg.bench = Benchmark::Uniform;
+        cfg.mem_records = default_mem(n / p as u64);
+        cfg.tapes = 16;
+        cfg.msg_records = 8 * 1024;
+        cfg.seed = seed;
+        cfg.jitter = 0.02;
+        cfg.algo = SortAlgo::ExternalPsrs;
+        run_trial(&cfg).expect("trial").time_secs
+    })
+    .mean()
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.paper {
+        1 << 24
+    } else if args.quick {
+        1 << 17
+    } else {
+        1 << 21
+    };
+    let widths = [1usize, 2, 4, 8, 16];
+
+    let t1 = time_for_p(&args, 1, n);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &p in &widths {
+        let t = if p == 1 { t1 } else { time_for_p(&args, p, n) };
+        let s = t1 / t;
+        speedups.push(s);
+        rows.push(vec![
+            p.to_string(),
+            fmt_secs(t),
+            format!("{s:.2}"),
+            format!("{:.1}%", 100.0 * s / p as f64),
+        ]);
+    }
+    print_table(
+        &format!("Speedup sweep — homogeneous external PSRS of {n} records"),
+        &["p", "time (s)", "speedup vs p=1", "efficiency"],
+        &rows,
+    );
+    println!("paper reference: gain ≈ 3 on 4 processors (Fast-Ethernet, hom. declared)");
+
+    if args.selftest {
+        assert!(
+            speedups[2] > 1.8,
+            "4 nodes should show a clear speedup, got {:.2}",
+            speedups[2]
+        );
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] * 0.9),
+            "speedup should not collapse as p grows: {speedups:?}"
+        );
+        let eff16 = speedups[4] / 16.0;
+        assert!(
+            eff16 < 0.95,
+            "efficiency should visibly decay by p=16 (network/overheads), got {eff16:.2}"
+        );
+        println!("selftest ok: speedup grows and efficiency decays, as expected");
+    }
+}

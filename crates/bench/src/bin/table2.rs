@@ -1,0 +1,89 @@
+//! Table 2 reproduction: sequential external sorting per node, and the
+//! paper's `perf`-calibration protocol.
+//!
+//! The paper runs its sequential polyphase merge sort on every node for
+//! input sizes 2²¹…2²⁵ integers (benchmark 0, uniform), reports mean time
+//! and deviation, observes that the unloaded nodes are ~4× faster than the
+//! loaded ones, and fills the performance vector with `{1,1,4,4}`.
+//!
+//! This binary does the same on the simulated nodes: each size is sorted
+//! `--trials` times per node class; the ratio of the class means yields the
+//! recommended perf vector.
+
+use hetsort_bench::{
+    default_mem, fmt_secs, print_table, repeat, sequential_polyphase_trial, Args,
+};
+use workloads::Benchmark;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.size_ladder();
+    let jitter = 0.03;
+    // (paper node name, slowdown factor)
+    let nodes = [
+        ("helmvige (unloaded)", 1.0f64),
+        ("grimgerde (unloaded)", 1.0),
+        ("siegrune (loaded)", 4.0),
+        ("rossweisse (loaded)", 4.0),
+    ];
+
+    let mut rows = Vec::new();
+    // Class means at the largest size drive the calibration.
+    let mut fast_mean_at_max = 0.0f64;
+    let mut slow_mean_at_max = 0.0f64;
+    for (name, slowdown) in nodes {
+        for &n in &sizes {
+            let mem = default_mem(n);
+            let summary = repeat(args.trials, args.seed, |seed| {
+                sequential_polyphase_trial(
+                    n,
+                    mem,
+                    16,
+                    slowdown,
+                    seed,
+                    jitter,
+                    args.files,
+                    Benchmark::Uniform,
+                )
+                .0
+            });
+            if n == *sizes.last().unwrap() {
+                if slowdown == 1.0 {
+                    fast_mean_at_max += summary.mean() / 2.0;
+                } else {
+                    slow_mean_at_max += summary.mean() / 2.0;
+                }
+            }
+            rows.push(vec![
+                name.to_string(),
+                n.to_string(),
+                fmt_secs(summary.mean()),
+                fmt_secs(summary.stddev()),
+            ]);
+        }
+    }
+    print_table(
+        "Table 2 — sequential polyphase merge sort per node (benchmark 0)",
+        &["Node", "Input size", "Exe. Time (s)", "Deviation"],
+        &rows,
+    );
+
+    // The calibration protocol: ratios to the slowest node, rounded.
+    let ratio = slow_mean_at_max / fast_mean_at_max;
+    let perf_fast = ratio.round() as u64;
+    println!(
+        "calibration: loaded/unloaded time ratio at n = {} is {ratio:.3}",
+        sizes.last().unwrap()
+    );
+    println!("recommended perf vector: {{{perf_fast},{perf_fast},1,1}} (fast nodes first)");
+    println!("(the paper concludes {{4,4,1,1}} — written {{1,1,4,4}} in its node order)");
+
+    if args.selftest {
+        assert!(
+            (3.3..4.7).contains(&ratio),
+            "calibration ratio {ratio:.3} should recover the 4x load factor"
+        );
+        assert_eq!(perf_fast, 4, "perf vector should come out as 4:1");
+        println!("selftest ok: calibration recovers the paper's {{1,1,4,4}}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Table 3 reproduction: parallel external PSRS on the loaded cluster.
+//!
+//! The paper sorts 2²⁴ integers on its 4-node cluster (two nodes loaded to
+//! be 4× slower) three ways:
+//!
+//! 1. perf declared `{1,1,1,1}` (equal split despite the load), Fast-Ethernet;
+//! 2. perf declared `{1,1,4,4}` (correct split), Fast-Ethernet;
+//! 3. perf declared `{1,1,4,4}`, Myrinet;
+//!
+//! and reports execution time, deviation, mean/max final partition size and
+//! the sublist expansion `S(max)`; for the heterogeneous rows the mean/max
+//! are over the two *fastest* nodes, as in the paper. It then compares with
+//! the sequential times (gain ≈ 3 homogeneous; 1.37 vs the fastest node and
+//! 6.13 vs the slowest for the heterogeneous run).
+
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort_bench::{
+    default_mem, fmt_ratio, fmt_secs, print_table, repeat, sequential_polyphase_trial, Args,
+};
+use cluster::NetworkModel;
+use sim::Summary;
+use workloads::Benchmark;
+
+struct Row {
+    label: &'static str,
+    n: u64,
+    time: Summary,
+    mean_size: f64,
+    max_size: u64,
+    s_max: f64,
+    phase_ends: Vec<(String, f64)>,
+}
+
+fn run_config(
+    args: &Args,
+    declared: PerfVector,
+    net: NetworkModel,
+    label: &'static str,
+) -> Row {
+    let hardware = vec![1u64, 1, 4, 4]; // the loaded cluster, always
+    let n_req = args.table3_n();
+    let mut mean_size = 0.0;
+    let mut max_size = 0u64;
+    let mut s_max = 0.0;
+    let mut n_actual = 0u64;
+    let mut phase_ends = Vec::new();
+    let time = repeat(args.trials, args.seed, |seed| {
+        let mut cfg = TrialConfig::new(hardware.clone(), declared.clone(), n_req);
+        cfg.bench = Benchmark::Uniform;
+        cfg.mem_records = default_mem(n_req);
+        cfg.tapes = 16;
+        cfg.msg_records = 8 * 1024; // 32 Kb messages, as in the paper
+        cfg.net = net.clone();
+        cfg.seed = seed;
+        cfg.jitter = 0.03;
+        cfg.algo = SortAlgo::ExternalPsrs;
+        cfg.storage = if args.files {
+            cluster::StorageKind::Files
+        } else {
+            cluster::StorageKind::Memory
+        };
+        let result = run_trial(&cfg).expect("trial");
+        n_actual = result.n;
+        // The paper's het rows report mean/max/S over the two fastest
+        // nodes (the ones holding the large partitions).
+        let fast: Vec<usize> = if declared.is_homogeneous() {
+            (0..4).collect()
+        } else {
+            vec![2, 3]
+        };
+        mean_size = result.balance.mean_size_of(&fast);
+        max_size = result.balance.max_size_of(&fast);
+        s_max = result.balance.expansion_of(&fast);
+        phase_ends = result.phase_ends.clone();
+        result.time_secs
+    });
+    Row {
+        label,
+        n: n_actual,
+        time,
+        mean_size,
+        max_size,
+        s_max,
+        phase_ends,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows = [
+        run_config(
+            &args,
+            PerfVector::homogeneous(4),
+            NetworkModel::fast_ethernet(),
+            "perf {1,1,1,1}; Fast-Ethernet",
+        ),
+        run_config(
+            &args,
+            PerfVector::paper_1144(),
+            NetworkModel::fast_ethernet(),
+            "perf {1,1,4,4}; Fast-Ethernet",
+        ),
+        run_config(
+            &args,
+            PerfVector::paper_1144(),
+            NetworkModel::myrinet(),
+            "perf {1,1,4,4}; Myrinet",
+        ),
+    ];
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.n.to_string(),
+                fmt_secs(r.time.mean()),
+                fmt_secs(r.time.stddev()),
+                format!("{:.1}", r.mean_size),
+                r.max_size.to_string(),
+                fmt_ratio(r.s_max),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3 — external PSRS on the loaded cluster (32 Kb messages, 15 intermediate files)",
+        &["Configuration", "Input size", "Exe Time (s)", "Deviation", "Mean", "Max", "S(max)"],
+        &table,
+    );
+
+    // Phase breakdown (cumulative per-phase completion, max across nodes).
+    let phase_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.label.to_string()];
+            for (name, end) in &r.phase_ends {
+                row.push(format!("{name} {end:.2}s"));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Phase completion times (cumulative, slowest node)",
+        &["Configuration", "1", "2", "3", "4", "5"],
+        &phase_rows,
+    );
+
+    // Gains vs the sequential sorts (the paper's closing analysis).
+    let n = args.table3_n();
+    let mem = default_mem(n);
+    let (seq_fast, _) = sequential_polyphase_trial(
+        n / 4,
+        mem,
+        16,
+        1.0,
+        args.seed,
+        0.0,
+        args.files,
+        Benchmark::Uniform,
+    );
+    // A sequential run of the whole input on the fastest / slowest node.
+    let (seq_fast_full, _) =
+        sequential_polyphase_trial(n, mem, 16, 1.0, args.seed, 0.0, args.files, Benchmark::Uniform);
+    let (seq_slow_full, _) =
+        sequential_polyphase_trial(n, mem, 16, 4.0, args.seed, 0.0, args.files, Benchmark::Uniform);
+    let hom = rows[0].time.mean();
+    let het = rows[1].time.mean();
+    println!("sequential n/4 on a fast node:   {:.2}s", seq_fast);
+    println!("sequential n on the fast node:   {:.2}s", seq_fast_full);
+    println!("sequential n on a loaded node:   {:.2}s", seq_slow_full);
+    println!(
+        "gain of het vs best sequential:  {:.2}  (paper: 1.37)",
+        seq_fast_full / het
+    );
+    println!(
+        "gain of het vs worst sequential: {:.2}  (paper: 6.13)",
+        seq_slow_full / het
+    );
+    println!(
+        "het vs hom-declared speedup:     {:.2}  (paper: 303.94/155.41 = 1.96)",
+        hom / het
+    );
+
+    if args.selftest {
+        assert!(
+            het < hom,
+            "declared {{1,1,4,4}} ({het:.2}s) must beat {{1,1,1,1}} ({hom:.2}s)"
+        );
+        let hom_vs_het = hom / het;
+        assert!(
+            (1.2..3.0).contains(&hom_vs_het),
+            "expected ~2x improvement, got {hom_vs_het:.2}"
+        );
+        let myr = rows[2].time.mean();
+        let net_ratio = het / myr;
+        assert!(
+            (0.85..1.5).contains(&net_ratio),
+            "Myrinet should not change the picture (paper: 155.41 vs 155.43); got {net_ratio:.2}"
+        );
+        for r in &rows {
+            assert!(
+                r.s_max < 1.5,
+                "{}: S(max) {} should be near 1",
+                r.label,
+                r.s_max
+            );
+        }
+        assert!(seq_slow_full / het > seq_fast_full / het);
+        println!("selftest ok: Table 3 shape reproduced");
+    }
+}

@@ -1,0 +1,346 @@
+//! Implementation of the `hetsort` command-line tool.
+//!
+//! Four subcommands, operating on *real files* in a directory (the
+//! simulated-disk layer in file-backed mode) or on a simulated cluster:
+//!
+//! ```text
+//! hetsort gen     --dir D --name input --n 1000000 [--bench uniform] [--seed 7]
+//! hetsort sort    --dir D --input input --output sorted
+//!                 [--mem 1048576] [--tapes 16] [--block 32768]
+//!                 [--algo polyphase|balanced|distribution]
+//! hetsort verify  --dir D --sorted sorted [--input input]
+//! hetsort cluster --n 16777216 --perf 1,1,4,4 [--hardware 1,1,4,4]
+//!                 [--net fe|myrinet] [--bench uniform] [--msg 8192]
+//!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
+//! ```
+
+use std::collections::HashMap;
+
+use extsort::{fingerprint_file, is_sorted_file, ExtSortConfig};
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use pdm::Disk;
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+/// Parsed `--key value` options (plus the subcommand).
+#[derive(Debug)]
+pub struct Options {
+    /// The subcommand word.
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    /// Returns a message when the command is missing or a flag is malformed.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut it = args.iter();
+        let command = it.next().ok_or_else(usage)?.clone();
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Options { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A numeric flag with a default.
+    pub fn num_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key} expects an integer, got {v:?}")),
+        }
+    }
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "usage: hetsort <gen|sort|verify|cluster> [--flag value]...\n\
+     see `hetsort help` or the crate docs for the flag list"
+        .to_string()
+}
+
+/// Parses a comma-separated perf vector like `1,1,4,4`.
+pub fn parse_perf(s: &str) -> Result<PerfVector, String> {
+    let parts: Result<Vec<u64>, _> = s.split(',').map(|x| x.trim().parse()).collect();
+    match parts {
+        Ok(v) if !v.is_empty() && v.iter().all(|&x| x > 0) => Ok(PerfVector::new(v)),
+        _ => Err(format!("bad perf vector {s:?} (expected e.g. 1,1,4,4)")),
+    }
+}
+
+/// Parses a benchmark by name or id.
+pub fn parse_bench(s: &str) -> Result<Benchmark, String> {
+    if let Ok(id) = s.parse::<usize>() {
+        if id < Benchmark::ALL.len() {
+            return Ok(Benchmark::from_id(id));
+        }
+    }
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == s)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+            format!("unknown benchmark {s:?}; known: {}", names.join(", "))
+        })
+}
+
+/// Runs a parsed command; returns the human-readable output.
+pub fn run(opts: &Options) -> Result<String, String> {
+    match opts.command.as_str() {
+        "gen" => cmd_gen(opts),
+        "sort" => cmd_sort(opts),
+        "verify" => cmd_verify(opts),
+        "cluster" => cmd_cluster(opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn open_dir(opts: &Options) -> Result<Disk, String> {
+    let dir = opts.required("dir")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let block = opts.num_or("block", 32 * 1024)? as usize;
+    Ok(Disk::on_files(dir, block))
+}
+
+fn cmd_gen(opts: &Options) -> Result<String, String> {
+    let disk = open_dir(opts)?;
+    let name = opts.required("name")?;
+    let n = opts.num_or("n", 1 << 20)?;
+    let bench = parse_bench(opts.get_or("bench", "uniform"))?;
+    let seed = opts.num_or("seed", 2002)?;
+    generate_to_disk(&disk, name, bench, seed, Layout::single(n))
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {n} records of benchmark {bench} ({} MiB) to {name:?}",
+        (n * 4) >> 20
+    ))
+}
+
+fn cmd_sort(opts: &Options) -> Result<String, String> {
+    let disk = open_dir(opts)?;
+    let input = opts.required("input")?;
+    let output = opts.required("output")?;
+    let mem = opts.num_or("mem", 1 << 20)? as usize;
+    let tapes = opts.num_or("tapes", 16)? as usize;
+    let algo = opts.get_or("algo", "polyphase");
+    let cfg = ExtSortConfig::new(mem).with_tapes(tapes);
+    let start = std::time::Instant::now();
+    let report = match algo {
+        "polyphase" => extsort::polyphase_sort::<u32>(&disk, input, output, "cli", &cfg),
+        "balanced" => extsort::balanced_kway_sort::<u32>(&disk, input, output, "cli", &cfg),
+        "distribution" => extsort::distribution_sort::<u32>(&disk, input, output, "cli", &cfg),
+        other => return Err(format!("unknown --algo {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "sorted {} records with {algo} in {:.2}s wall time\n\
+         initial runs {}, passes {}, comparisons {}, block I/Os {}",
+        report.records,
+        start.elapsed().as_secs_f64(),
+        report.initial_runs,
+        report.merge_phases,
+        report.comparisons,
+        report.io.total_blocks()
+    ))
+}
+
+fn cmd_verify(opts: &Options) -> Result<String, String> {
+    let disk = open_dir(opts)?;
+    let sorted = opts.required("sorted")?;
+    if !is_sorted_file::<u32>(&disk, sorted).map_err(|e| e.to_string())? {
+        return Err(format!("{sorted:?} is NOT sorted"));
+    }
+    let mut msg = format!("{sorted:?} is sorted");
+    if let Some(input) = opts.flags.get("input") {
+        let fin = fingerprint_file::<u32>(&disk, input).map_err(|e| e.to_string())?;
+        let fout = fingerprint_file::<u32>(&disk, sorted).map_err(|e| e.to_string())?;
+        if fin != fout {
+            return Err(format!("{sorted:?} is NOT a permutation of {input:?}"));
+        }
+        msg.push_str(&format!(" and a permutation of {input:?}"));
+    }
+    Ok(msg)
+}
+
+fn cmd_cluster(opts: &Options) -> Result<String, String> {
+    let declared = parse_perf(opts.get_or("perf", "1,1,1,1"))?;
+    let hardware = parse_perf(opts.get_or(
+        "hardware",
+        opts.get_or("perf", "1,1,1,1"),
+    ))?;
+    if hardware.p() != declared.p() {
+        return Err("--perf and --hardware must have the same width".into());
+    }
+    let n = opts.num_or("n", 1 << 20)?;
+    let mut cfg = TrialConfig::new(hardware.as_slice().to_vec(), declared, n);
+    cfg.bench = parse_bench(opts.get_or("bench", "uniform"))?;
+    cfg.mem_records = opts.num_or("mem", (n / 16).max(16 * 16 * 1024))? as usize;
+    cfg.tapes = opts.num_or("tapes", 16)? as usize;
+    cfg.msg_records = opts.num_or("msg", 8192)? as usize;
+    cfg.block_bytes = opts.num_or("block", 32 * 1024)? as usize;
+    cfg.seed = opts.num_or("seed", 2002)?;
+    cfg.net = match opts.get_or("net", "fe") {
+        "fe" | "fast-ethernet" => cluster::NetworkModel::fast_ethernet(),
+        "myrinet" => cluster::NetworkModel::myrinet(),
+        "infinite" => cluster::NetworkModel::infinite(),
+        other => return Err(format!("unknown --net {other:?}")),
+    };
+    cfg.algo = match opts.get_or("algo", "psrs") {
+        "psrs" => SortAlgo::ExternalPsrs,
+        "overpartition" => SortAlgo::OverpartitionExternal,
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let result = run_trial(&cfg).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "sorted n = {} on {} nodes in {:.3} virtual seconds\n\
+         partition sizes {:?}\n\
+         sublist expansion S(max) = {:.5}\n\
+         network traffic {:.1} MiB, {} block I/Os",
+        result.n,
+        cfg.hardware.len(),
+        result.time_secs,
+        result.balance.sizes,
+        result.balance.expansion(),
+        result.sent_bytes as f64 / (1 << 20) as f64,
+        result.total_io_blocks
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = opts(&["sort", "--dir", "/tmp/x", "--mem", "1024"]);
+        assert_eq!(o.command, "sort");
+        assert_eq!(o.required("dir").unwrap(), "/tmp/x");
+        assert_eq!(o.num_or("mem", 0).unwrap(), 1024);
+        assert_eq!(o.num_or("tapes", 16).unwrap(), 16);
+        assert_eq!(o.get_or("algo", "polyphase"), "polyphase");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Options::parse(&[]).is_err());
+        assert!(Options::parse(&["sort".into(), "oops".into()]).is_err());
+        assert!(Options::parse(&["sort".into(), "--mem".into()]).is_err());
+        let o = opts(&["sort", "--mem", "abc"]);
+        assert!(o.num_or("mem", 0).is_err());
+        assert!(o.required("dir").is_err());
+    }
+
+    #[test]
+    fn perf_parsing() {
+        assert_eq!(parse_perf("1,1,4,4").unwrap(), PerfVector::paper_1144());
+        assert_eq!(parse_perf(" 2, 3 ").unwrap(), PerfVector::new(vec![2, 3]));
+        assert!(parse_perf("").is_err());
+        assert!(parse_perf("1,0").is_err());
+        assert!(parse_perf("1,x").is_err());
+    }
+
+    #[test]
+    fn bench_parsing() {
+        assert_eq!(parse_bench("uniform").unwrap(), Benchmark::Uniform);
+        assert_eq!(parse_bench("0").unwrap(), Benchmark::Uniform);
+        assert_eq!(parse_bench("7").unwrap(), Benchmark::ReverseSorted);
+        assert!(parse_bench("nope").is_err());
+        assert!(parse_bench("99").is_err());
+    }
+
+    #[test]
+    fn gen_sort_verify_pipeline() {
+        let scratch = pdm::ScratchDir::new("cli-test").unwrap();
+        let dir = scratch.path().to_str().unwrap().to_string();
+        let out = run(&opts(&[
+            "gen", "--dir", &dir, "--name", "input", "--n", "20000", "--seed", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("20000 records"));
+        let out = run(&opts(&[
+            "sort", "--dir", &dir, "--input", "input", "--output", "sorted", "--mem",
+            "131072", "--tapes", "4", "--block", "4096",
+        ]))
+        .unwrap();
+        assert!(out.contains("sorted 20000 records"), "{out}");
+        let out = run(&opts(&[
+            "verify", "--dir", &dir, "--sorted", "sorted", "--input", "input", "--block",
+            "4096",
+        ]))
+        .unwrap();
+        assert!(out.contains("is sorted and a permutation"), "{out}");
+    }
+
+    #[test]
+    fn sort_all_algorithms() {
+        for algo in ["polyphase", "balanced", "distribution"] {
+            let scratch = pdm::ScratchDir::new("cli-algo").unwrap();
+            let dir = scratch.path().to_str().unwrap().to_string();
+            run(&opts(&["gen", "--dir", &dir, "--name", "in", "--n", "5000"])).unwrap();
+            let out = run(&opts(&[
+                "sort", "--dir", &dir, "--input", "in", "--output", "out", "--mem", "65536",
+                "--tapes", "4", "--block", "4096", "--algo", algo,
+            ]))
+            .unwrap();
+            assert!(out.contains("sorted 5000"), "{algo}: {out}");
+            run(&opts(&[
+                "verify", "--dir", &dir, "--sorted", "out", "--input", "in", "--block",
+                "4096",
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn cluster_command_runs() {
+        let out = run(&opts(&[
+            "cluster", "--n", "20000", "--perf", "1,1,4,4", "--mem", "4096", "--tapes",
+            "4", "--msg", "512", "--block", "1024", "--seed", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("sublist expansion"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(&opts(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn verify_detects_unsorted() {
+        let scratch = pdm::ScratchDir::new("cli-bad").unwrap();
+        let dir = scratch.path().to_str().unwrap().to_string();
+        let disk = Disk::on_files(scratch.path(), 4096);
+        disk.write_file::<u32>("bad", &[3, 1, 2]).unwrap();
+        let err = run(&opts(&["verify", "--dir", &dir, "--sorted", "bad"])).unwrap_err();
+        assert!(err.contains("NOT sorted"));
+    }
+}

@@ -1,0 +1,20 @@
+//! The `hetsort` command-line tool. See the library crate docs for the
+//! subcommand and flag reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match hetsort_cli::Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match hetsort_cli::run(&opts) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! BSP cost analysis of a phase-structured run.
+//!
+//! The paper's implementation heritage is BSP ("our previous codes were
+//! developed under the framework of BSP", §5, refs. 33–36, including
+//! Sibeyn–Kaufmann's BSP-like external-memory model). In BSP, a program is
+//! a sequence of *supersteps*, each costing
+//!
+//! ```text
+//! T(step) = w  +  g·h  +  L
+//! ```
+//!
+//! where `w` is the maximum local work, `h` the maximum bytes a node sends
+//! (the h-relation), `g` the fabric's per-byte routing cost and `L` the
+//! barrier latency. Algorithm 1 is naturally phase-structured, so its
+//! [`crate::PhaseMark`]s carry everything needed to evaluate the model:
+//! per-phase time deltas give `w` (compute + disk), per-phase traffic
+//! deltas give `h`.
+//!
+//! [`analyze`] prices each phase under BSP and compares the summed
+//! prediction with the simulated makespan — a consistency check between
+//! the two cost models (they agree when waiting is mostly barrier-shaped,
+//! and diverge when point-to-point pipelining lets the simulation beat the
+//! barrier-synchronous bound).
+
+use sim::SimDuration;
+
+use crate::net::NetworkModel;
+use crate::runtime::{ClusterReport, NodeOutcome};
+
+/// BSP machine parameters derived from a fabric model.
+#[derive(Debug, Clone)]
+pub struct BspModel {
+    /// Per-byte routing cost `g` (seconds/byte).
+    pub g: f64,
+    /// Barrier cost `L` (seconds).
+    pub l: f64,
+}
+
+impl BspModel {
+    /// Derives `g` and `L` from a [`NetworkModel`] and the cluster width:
+    /// `g` is the inverse bandwidth (plus the amortized per-message
+    /// overheads at the given message size), `L` a flat-tree barrier
+    /// through node 0.
+    pub fn from_network(net: &NetworkModel, p: usize, msg_bytes: usize) -> Self {
+        let per_byte = if net.bytes_per_sec.is_infinite() {
+            0.0
+        } else {
+            1.0 / net.bytes_per_sec
+        };
+        let overhead_per_byte = (net.send_overhead.as_secs()
+            + net.recv_overhead.as_secs())
+            / msg_bytes.max(1) as f64;
+        let l = 2.0
+            * (net.latency.as_secs() + net.send_overhead.as_secs() + net.recv_overhead.as_secs())
+            * (p.max(2) - 1) as f64;
+        BspModel {
+            g: per_byte + overhead_per_byte,
+            l,
+        }
+    }
+
+    /// The cost of one superstep: `w + g·h + L`.
+    pub fn superstep_cost(&self, w: SimDuration, h_bytes: u64) -> SimDuration {
+        SimDuration::from_secs(w.as_secs() + self.g * h_bytes as f64 + self.l)
+    }
+}
+
+/// One phase of a run, priced under BSP.
+#[derive(Debug, Clone)]
+pub struct SuperstepCost {
+    /// Phase name (from the phase marks).
+    pub name: String,
+    /// Max local time spent in the phase across nodes (`w`).
+    pub w: SimDuration,
+    /// Max bytes sent by any node during the phase (`h`).
+    pub h_bytes: u64,
+    /// The BSP prediction `w + g·h + L`.
+    pub predicted: SimDuration,
+}
+
+/// Prices every phase of a report under the BSP model. Nodes must have
+/// marked the same phases in the same order (all our algorithms do).
+pub fn analyze<T>(report: &ClusterReport<T>, model: &BspModel) -> Vec<SuperstepCost> {
+    let Some(first) = report.nodes.first() else {
+        return Vec::new();
+    };
+    (0..first.phases.len())
+        .map(|k| {
+            let name = first.phases[k].name.to_string();
+            let w = report
+                .nodes
+                .iter()
+                .map(|nd| phase_time(nd, k))
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let h_bytes = report
+                .nodes
+                .iter()
+                .map(|nd| phase_bytes(nd, k))
+                .max()
+                .unwrap_or(0);
+            SuperstepCost {
+                predicted: model.superstep_cost(w, h_bytes),
+                name,
+                w,
+                h_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Sum of the per-superstep predictions (the BSP makespan bound).
+pub fn predicted_total(steps: &[SuperstepCost]) -> SimDuration {
+    steps.iter().map(|s| s.predicted).sum()
+}
+
+fn phase_time<T>(node: &NodeOutcome<T>, k: usize) -> SimDuration {
+    let Some(mark) = node.phases.get(k) else {
+        return SimDuration::ZERO;
+    };
+    let prev = if k == 0 {
+        sim::SimTime::ZERO
+    } else {
+        node.phases[k - 1].at
+    };
+    mark.at.since(prev)
+}
+
+fn phase_bytes<T>(node: &NodeOutcome<T>, k: usize) -> u64 {
+    let Some(mark) = node.phases.get(k) else {
+        return 0;
+    };
+    let prev = if k == 0 { 0 } else { node.phases[k - 1].sent_bytes };
+    mark.sent_bytes.saturating_sub(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::Work;
+    use crate::runtime::run_cluster;
+    use crate::spec::ClusterSpec;
+
+    #[test]
+    fn model_parameters_from_network() {
+        let m = BspModel::from_network(&NetworkModel::fast_ethernet(), 4, 32 * 1024);
+        // g is dominated by the 12.5 MB/s bandwidth at 32 Kb messages.
+        assert!(m.g > 0.9 / 12.5e6 && m.g < 2.0 / 12.5e6, "g = {}", m.g);
+        assert!(m.l > 0.0);
+        let inf = BspModel::from_network(&NetworkModel::infinite(), 4, 1024);
+        assert_eq!(inf.g, 0.0);
+    }
+
+    #[test]
+    fn superstep_cost_formula() {
+        let m = BspModel { g: 1e-6, l: 0.5 };
+        let c = m.superstep_cost(SimDuration::from_secs(2.0), 1_000_000);
+        assert!((c.as_secs() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyze_prices_an_exchange() {
+        // Two phases: local work, then an all-to-all of 1 MB per pair.
+        let spec = ClusterSpec::homogeneous(4);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.charge_work(Work::comparisons(10_000_000));
+            ctx.mark_phase("compute");
+            let outgoing: Vec<Vec<u8>> = (0..ctx.p).map(|_| vec![0u8; 1 << 20]).collect();
+            let _ = ctx.all_to_all(outgoing);
+            ctx.mark_phase("exchange");
+        });
+        let model = BspModel::from_network(&NetworkModel::fast_ethernet(), 4, 1 << 20);
+        let steps = analyze(&report, &model);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].name, "compute");
+        assert_eq!(steps[0].h_bytes, 0);
+        assert!(steps[0].w.as_secs() > 2.0); // 10M comparisons at 280 ns
+        // The exchange sends 3 MB per node.
+        assert_eq!(steps[1].h_bytes, 3 << 20);
+        // BSP predicted total is within a small factor of the simulation
+        // (it upper-bounds: the simulation pipelines, BSP synchronizes).
+        let predicted = predicted_total(&steps).as_secs();
+        let measured = report.makespan.as_secs();
+        assert!(
+            predicted >= measured * 0.8 && predicted <= measured * 3.0,
+            "BSP {predicted:.3}s vs simulated {measured:.3}s"
+        );
+    }
+
+    #[test]
+    fn empty_report_analyzes_to_nothing() {
+        let spec = ClusterSpec::homogeneous(2);
+        let report = run_cluster(&spec, |_| ());
+        let model = BspModel::from_network(&NetworkModel::myrinet(), 2, 1024);
+        assert!(analyze(&report, &model).is_empty());
+    }
+}

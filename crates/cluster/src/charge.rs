@@ -1,0 +1,360 @@
+//! Converting work into virtual time.
+//!
+//! One [`Charger`] per node owns the node's clock and knows the node's
+//! slowdown factor. Every charge path multiplies by the slowdown (loaded
+//! nodes run everything slower — CPU *and* disk service, matching the
+//! paper's protocol where the calibration ratio is measured on the whole
+//! external sort) and by a seeded log-normal jitter factor.
+//!
+//! Disk I/O is charged exclusively through [`Charger::sync_io`], which
+//! prices the block-counter delta since the previous sync; algorithm code
+//! calls it at phase boundaries. Compute sections go through
+//! [`Charger::compute`], which supports both the analytic
+//! ([`TimePolicy::Modeled`]) and the wall-clock ([`TimePolicy::Measured`])
+//! policies.
+
+use pdm::{Disk, IoSnapshot};
+use sim::{Jitter, SimDuration, SimTime};
+
+use crate::clock::NodeClock;
+use crate::cost::CpuModel;
+use crate::spec::TimePolicy;
+
+/// Counted work for one compute section.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Work {
+    /// Key comparisons.
+    pub comparisons: u64,
+    /// Record moves (buffer copies).
+    pub moves: u64,
+}
+
+impl Work {
+    /// Work consisting only of comparisons.
+    pub fn comparisons(n: u64) -> Self {
+        Work {
+            comparisons: n,
+            moves: 0,
+        }
+    }
+
+    /// Work consisting only of record moves.
+    pub fn moves(n: u64) -> Self {
+        Work {
+            comparisons: 0,
+            moves: n,
+        }
+    }
+
+    /// Combines two work tallies.
+    #[must_use]
+    pub fn plus(self, other: Work) -> Work {
+        Work {
+            comparisons: self.comparisons + other.comparisons,
+            moves: self.moves + other.moves,
+        }
+    }
+}
+
+/// Per-node time accounting.
+#[derive(Debug)]
+pub struct Charger {
+    clock: NodeClock,
+    cpu: CpuModel,
+    slowdown: f64,
+    jitter: Jitter,
+    disk: Disk,
+    last_io: IoSnapshot,
+    policy: TimePolicy,
+    /// Cumulative breakdown (reference-speed seconds are *not* kept; these
+    /// are post-slowdown, post-jitter charges).
+    cpu_time: SimDuration,
+    io_time: SimDuration,
+    wait_time: SimDuration,
+}
+
+impl Charger {
+    /// Creates a charger for one node.
+    pub fn new(
+        cpu: CpuModel,
+        slowdown: f64,
+        jitter: Jitter,
+        disk: Disk,
+        policy: TimePolicy,
+    ) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1, got {slowdown}");
+        let last_io = disk.stats().snapshot();
+        Charger {
+            clock: NodeClock::new(),
+            cpu,
+            slowdown,
+            jitter,
+            disk,
+            last_io,
+            policy,
+            cpu_time: SimDuration::ZERO,
+            io_time: SimDuration::ZERO,
+            wait_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Current virtual time on this node.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The node's slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Runs a compute section, charging per the active policy.
+    pub fn compute<T>(&mut self, estimate: Work, f: impl FnOnce() -> T) -> T {
+        match self.policy {
+            TimePolicy::Modeled => {
+                let out = f();
+                self.charge_work(estimate);
+                out
+            }
+            TimePolicy::Measured => {
+                let start = std::time::Instant::now();
+                let out = f();
+                let elapsed = SimDuration::from_secs(start.elapsed().as_secs_f64());
+                self.charge_cpu_raw(elapsed);
+                out
+            }
+        }
+    }
+
+    /// Charges a completed section for which both the counted work and the
+    /// real elapsed time are known (the work counts usually come from a
+    /// sorter's report, available only *after* the section ran). Uses the
+    /// counts under [`TimePolicy::Modeled`] and the wall time under
+    /// [`TimePolicy::Measured`].
+    pub fn charge_section(&mut self, work: Work, elapsed: std::time::Duration) {
+        match self.policy {
+            TimePolicy::Modeled => self.charge_work(work),
+            TimePolicy::Measured => {
+                self.charge_cpu_raw(SimDuration::from_secs(elapsed.as_secs_f64()))
+            }
+        }
+    }
+
+    /// Charges counted work at reference speed ÷ node speed.
+    pub fn charge_work(&mut self, w: Work) {
+        let t = self.cpu.comparisons(w.comparisons) + self.cpu.record_moves(w.moves);
+        self.charge_cpu_raw(t);
+    }
+
+    /// Charges a raw reference-speed CPU duration (scaled and jittered).
+    pub fn charge_cpu_raw(&mut self, t: SimDuration) {
+        let charged = self.jitter.apply(t.scale(self.slowdown));
+        self.cpu_time += charged;
+        self.clock.advance(charged);
+    }
+
+    /// Prices all block I/O performed since the last call and advances the
+    /// clock. Call at phase boundaries (and before reading [`Self::now`]
+    /// for reporting).
+    pub fn sync_io(&mut self) -> IoSnapshot {
+        let now = self.disk.stats().snapshot();
+        let delta = now.delta(&self.last_io);
+        self.last_io = now;
+        let t = self.disk.model().service_time(&delta);
+        let charged = self.jitter.apply(t.scale(self.slowdown));
+        self.io_time += charged;
+        self.clock.advance(charged);
+        delta
+    }
+
+    /// Zeroes the clock and all accumulated times, and absorbs (without
+    /// charging) any un-synced I/O. Used to exclude setup work — the paper's
+    /// timings "do not comprise the initial distribution of data". Only call
+    /// at a point where all nodes reset together (right after a barrier),
+    /// or Lamport timestamps lose their meaning.
+    pub fn reset(&mut self) {
+        self.last_io = self.disk.stats().snapshot();
+        self.clock = NodeClock::new();
+        self.cpu_time = SimDuration::ZERO;
+        self.io_time = SimDuration::ZERO;
+        self.wait_time = SimDuration::ZERO;
+    }
+
+    /// Merges a message arrival timestamp (may jump the clock forward).
+    /// The jump is accounted as wait time.
+    pub fn merge_arrival(&mut self, arrival: SimTime) {
+        let before = self.clock.now();
+        self.clock.merge(arrival);
+        self.wait_time += self.clock.now().since(before);
+    }
+
+    /// Cumulative charged CPU time.
+    pub fn cpu_time(&self) -> SimDuration {
+        self.cpu_time
+    }
+
+    /// Cumulative charged disk time.
+    pub fn io_time(&self) -> SimDuration {
+        self.io_time
+    }
+
+    /// Cumulative time spent waiting on messages.
+    pub fn wait_time(&self) -> SimDuration {
+        self.wait_time
+    }
+
+    /// The disk whose counters this charger prices.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::DiskModel;
+
+    fn test_charger(slowdown: f64) -> Charger {
+        let disk = Disk::in_memory(64).with_model(DiskModel::scsi_2000());
+        Charger::new(
+            CpuModel::alpha_533(),
+            slowdown,
+            Jitter::none(),
+            disk,
+            TimePolicy::Modeled,
+        )
+    }
+
+    #[test]
+    fn work_constructors_and_plus() {
+        let w = Work::comparisons(10).plus(Work::moves(5)).plus(Work {
+            comparisons: 2,
+            moves: 3,
+        });
+        assert_eq!(w.comparisons, 12);
+        assert_eq!(w.moves, 8);
+        let zero = Work::default();
+        assert_eq!(zero.comparisons, 0);
+        assert_eq!(zero.moves, 0);
+    }
+
+    #[test]
+    fn charge_section_respects_policy() {
+        let mut modeled = test_charger(1.0);
+        modeled.charge_section(
+            Work::comparisons(1_000_000),
+            std::time::Duration::from_secs(99),
+        );
+        // Modeled: uses the counts (0.28 s), not the 99 s wall time.
+        assert!((modeled.now().as_secs() - 0.28).abs() < 1e-9);
+
+        let disk = Disk::in_memory(64);
+        let mut measured = Charger::new(
+            CpuModel::alpha_533(),
+            2.0,
+            Jitter::none(),
+            disk,
+            TimePolicy::Measured,
+        );
+        measured.charge_section(
+            Work::comparisons(1_000_000),
+            std::time::Duration::from_millis(100),
+        );
+        // Measured: wall time x slowdown.
+        assert!((measured.now().as_secs() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = test_charger(1.0);
+        c.charge_work(Work::comparisons(1000));
+        c.disk().write_file::<u32>("f", &[1, 2, 3]).unwrap();
+        c.reset();
+        assert_eq!(c.now().as_secs(), 0.0);
+        assert_eq!(c.cpu_time().as_secs(), 0.0);
+        // The pre-reset I/O was absorbed: a sync after reset charges nothing.
+        c.sync_io();
+        assert_eq!(c.io_time().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn work_charges_scale_with_slowdown() {
+        let mut fast = test_charger(1.0);
+        let mut slow = test_charger(4.0);
+        fast.charge_work(Work::comparisons(1_000_000));
+        slow.charge_work(Work::comparisons(1_000_000));
+        let f = fast.now().as_secs();
+        let s = slow.now().as_secs();
+        assert!((s - 4.0 * f).abs() < 1e-12, "slow {s} vs fast {f}");
+    }
+
+    #[test]
+    fn compute_returns_value_and_charges() {
+        let mut c = test_charger(1.0);
+        let v = c.compute(Work::comparisons(1000), || 7 * 6);
+        assert_eq!(v, 42);
+        assert!(c.now().as_secs() > 0.0);
+        assert_eq!(c.cpu_time().as_secs(), c.now().as_secs());
+    }
+
+    #[test]
+    fn sync_io_prices_block_deltas() {
+        let mut c = test_charger(1.0);
+        c.disk().write_file::<u32>("f", &(0..64).collect::<Vec<_>>()).unwrap();
+        let delta = c.sync_io();
+        assert!(delta.blocks_written > 0);
+        assert!(c.io_time().as_secs() > 0.0);
+        // Second sync with no new I/O charges nothing.
+        let t = c.now();
+        let delta2 = c.sync_io();
+        assert_eq!(delta2.total_blocks(), 0);
+        assert_eq!(c.now(), t);
+    }
+
+    #[test]
+    fn io_also_scaled_by_slowdown() {
+        let mut fast = test_charger(1.0);
+        let mut slow = test_charger(4.0);
+        let data: Vec<u32> = (0..256).collect();
+        fast.disk().write_file("f", &data).unwrap();
+        slow.disk().write_file("f", &data).unwrap();
+        fast.sync_io();
+        slow.sync_io();
+        assert!((slow.io_time().as_secs() - 4.0 * fast.io_time().as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_arrival_counts_wait() {
+        let mut c = test_charger(1.0);
+        c.charge_work(Work::comparisons(100));
+        let before = c.now();
+        c.merge_arrival(before + SimDuration::from_secs(2.0));
+        assert_eq!(c.wait_time(), SimDuration::from_secs(2.0));
+        // Arrivals in the past don't move the clock or add wait.
+        c.merge_arrival(SimTime::ZERO);
+        assert_eq!(c.wait_time(), SimDuration::from_secs(2.0));
+    }
+
+    #[test]
+    fn measured_policy_charges_wall_time() {
+        let disk = Disk::in_memory(64);
+        let mut c = Charger::new(
+            CpuModel::free(),
+            2.0,
+            Jitter::none(),
+            disk,
+            TimePolicy::Measured,
+        );
+        c.compute(Work::default(), || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+        // ~20ms × slowdown 2 = ≥ 40ms of virtual time.
+        assert!(c.now().as_secs() >= 0.04, "got {}", c.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be >= 1")]
+    fn speedups_rejected() {
+        let _ = test_charger(0.5);
+    }
+}

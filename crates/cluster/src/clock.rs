@@ -1,0 +1,79 @@
+//! Per-node virtual clocks.
+//!
+//! Each node owns a [`NodeClock`]; compute/disk charges advance it, and
+//! message receipt merges the sender-side arrival timestamp (Lamport
+//! style). Because charges are the *only* way time passes, the clock of a
+//! node at the final barrier is exactly the node's simulated finish time.
+
+use sim::{SimDuration, SimTime};
+
+/// A monotonically advancing virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct NodeClock {
+    now: SimTime,
+}
+
+impl NodeClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances by a duration.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Lamport merge: jumps forward to `ts` if `ts` is later (never
+    /// backwards).
+    pub fn merge(&mut self, ts: SimTime) {
+        self.now = self.now.merge(ts);
+    }
+
+    /// Elapsed virtual time since `mark`.
+    pub fn since(&self, mark: SimTime) -> SimDuration {
+        self.now.since(mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_epoch() {
+        assert_eq!(NodeClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = NodeClock::new();
+        c.advance(SimDuration::from_secs(1.5));
+        c.advance(SimDuration::from_secs(0.5));
+        assert_eq!(c.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn merge_never_goes_backwards() {
+        let mut c = NodeClock::new();
+        c.advance(SimDuration::from_secs(5.0));
+        c.merge(SimTime::from_secs(3.0));
+        assert_eq!(c.now(), SimTime::from_secs(5.0));
+        c.merge(SimTime::from_secs(7.0));
+        assert_eq!(c.now(), SimTime::from_secs(7.0));
+    }
+
+    #[test]
+    fn since_measures_intervals() {
+        let mut c = NodeClock::new();
+        c.advance(SimDuration::from_secs(1.0));
+        let mark = c.now();
+        c.advance(SimDuration::from_secs(2.5));
+        assert_eq!(c.since(mark), SimDuration::from_secs(2.5));
+    }
+}

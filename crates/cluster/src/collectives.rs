@@ -1,0 +1,243 @@
+//! Collective operations: barrier, gather, broadcast, all-to-all.
+//!
+//! All collectives are built from timestamped point-to-point messages, so
+//! their synchronizing effect on the virtual clocks is exact: a barrier
+//! leaves every clock at ≥ the maximum participant clock at entry (plus the
+//! wire costs), which is precisely how the makespan of a phase-structured
+//! algorithm like PSRS is defined.
+//!
+//! Every collective call bumps the endpoint's internal sequence number;
+//! since all nodes execute collectives in the same program order, sequence
+//! numbers agree and back-to-back collectives cannot cross-talk.
+
+use crate::charge::Charger;
+use crate::comm::{Endpoint, Tag};
+
+const KIND_BARRIER_IN: u16 = 0x8001;
+const KIND_BARRIER_OUT: u16 = 0x8002;
+const KIND_GATHER: u16 = 0x8003;
+const KIND_BCAST: u16 = 0x8004;
+const KIND_A2A: u16 = 0x8005;
+
+impl Endpoint {
+    /// Synchronizes all nodes (flat tree through rank 0).
+    pub fn barrier(&mut self, charger: &mut Charger) {
+        let seq = self.next_seq();
+        let p = self.p();
+        let me = self.rank();
+        if me == 0 {
+            for from in 1..p {
+                let _ = self.recv_from(from, Tag::collective(KIND_BARRIER_IN, seq), charger);
+            }
+            for to in 1..p {
+                self.send(to, Tag::collective(KIND_BARRIER_OUT, seq), Vec::new(), charger);
+            }
+        } else {
+            self.send(0, Tag::collective(KIND_BARRIER_IN, seq), Vec::new(), charger);
+            let _ = self.recv_from(0, Tag::collective(KIND_BARRIER_OUT, seq), charger);
+        }
+    }
+
+    /// Gathers every node's payload at `root`. Returns `Some(payloads)` at
+    /// the root (indexed by rank) and `None` elsewhere.
+    pub fn gather(
+        &mut self,
+        root: usize,
+        bytes: Vec<u8>,
+        charger: &mut Charger,
+    ) -> Option<Vec<Vec<u8>>> {
+        let seq = self.next_seq();
+        let p = self.p();
+        let me = self.rank();
+        if me == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+            out[root] = bytes;
+            for from in (0..p).filter(|&f| f != root) {
+                let msg = self.recv_from(from, Tag::collective(KIND_GATHER, seq), charger);
+                out[from] = msg.bytes;
+            }
+            Some(out)
+        } else {
+            self.send(root, Tag::collective(KIND_GATHER, seq), bytes, charger);
+            None
+        }
+    }
+
+    /// Broadcasts `bytes` from `root` to everyone; returns the payload on
+    /// every node (the root passes its own through untouched).
+    pub fn broadcast(
+        &mut self,
+        root: usize,
+        bytes: Vec<u8>,
+        charger: &mut Charger,
+    ) -> Vec<u8> {
+        let seq = self.next_seq();
+        let p = self.p();
+        let me = self.rank();
+        if me == root {
+            for to in (0..p).filter(|&t| t != root) {
+                self.send(to, Tag::collective(KIND_BCAST, seq), bytes.clone(), charger);
+            }
+            bytes
+        } else {
+            self.recv_from(root, Tag::collective(KIND_BCAST, seq), charger)
+                .bytes
+        }
+    }
+
+    /// Personalized all-to-all: `outgoing[j]` goes to node `j`; returns
+    /// `incoming[i]` = the payload node `i` sent here. The self-payload is
+    /// moved locally for free.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != p`.
+    pub fn all_to_all(
+        &mut self,
+        mut outgoing: Vec<Vec<u8>>,
+        charger: &mut Charger,
+    ) -> Vec<Vec<u8>> {
+        let p = self.p();
+        let me = self.rank();
+        assert_eq!(outgoing.len(), p, "all_to_all needs one payload per node");
+        let seq = self.next_seq();
+        let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); p];
+        incoming[me] = std::mem::take(&mut outgoing[me]);
+        // Send everything first (channels are unbounded, so this cannot
+        // deadlock), then drain the inbound side.
+        for to in (0..p).filter(|&t| t != me) {
+            self.send(
+                to,
+                Tag::collective(KIND_A2A, seq),
+                std::mem::take(&mut outgoing[to]),
+                charger,
+            );
+        }
+        for from in (0..p).filter(|&f| f != me) {
+            let msg = self.recv_from(from, Tag::collective(KIND_A2A, seq), charger);
+            incoming[from] = msg.bytes;
+        }
+        incoming
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.coll_seq += 1;
+        self.coll_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CpuModel;
+    use crate::net::NetworkModel;
+    use crate::spec::TimePolicy;
+    use pdm::Disk;
+    use sim::{Jitter, SimDuration};
+
+    fn charger() -> Charger {
+        Charger::new(
+            CpuModel::free(),
+            1.0,
+            Jitter::none(),
+            Disk::in_memory(64),
+            TimePolicy::Modeled,
+        )
+    }
+
+    /// Runs `f(rank, endpoint, charger)` on `p` threads; returns per-rank
+    /// outputs.
+    fn on_cluster<T: Send>(
+        p: usize,
+        net: NetworkModel,
+        f: impl Fn(usize, &mut Endpoint, &mut Charger) -> T + Send + Sync,
+    ) -> Vec<T> {
+        let eps = Endpoint::mesh(p, net);
+        let mut out: Vec<Option<T>> = Vec::new();
+        for _ in 0..p {
+            out.push(None);
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut ep)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut ch = charger();
+                        f(rank, &mut ep, &mut ch)
+                    })
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("node panicked"));
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let times = on_cluster(4, NetworkModel::fast_ethernet(), |rank, ep, ch| {
+            // Node `rank` works for `rank` seconds before the barrier.
+            ch.charge_cpu_raw(SimDuration::from_secs(rank as f64));
+            ep.barrier(ch);
+            ch.now().as_secs()
+        });
+        // Everyone leaves the barrier at ≥ the slowest node's entry time.
+        for &t in &times {
+            assert!(t >= 3.0, "clock {t} below the barrier floor");
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = on_cluster(3, NetworkModel::infinite(), |rank, ep, ch| {
+            ep.gather(0, vec![rank as u8; rank + 1], ch)
+        });
+        let at_root = results[0].as_ref().expect("root gets the gather");
+        assert_eq!(at_root[0], vec![0u8; 1]);
+        assert_eq!(at_root[1], vec![1u8; 2]);
+        assert_eq!(at_root[2], vec![2u8; 3]);
+        assert!(results[1].is_none() && results[2].is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = on_cluster(4, NetworkModel::infinite(), |rank, ep, ch| {
+            let payload = if rank == 2 { b"pivots".to_vec() } else { Vec::new() };
+            ep.broadcast(2, payload, ch)
+        });
+        assert!(results.iter().all(|r| r == b"pivots"));
+    }
+
+    #[test]
+    fn all_to_all_routes_correctly() {
+        let results = on_cluster(3, NetworkModel::infinite(), |rank, ep, ch| {
+            // Node i sends the byte (10*i + j) to node j.
+            let outgoing: Vec<Vec<u8>> =
+                (0..3).map(|j| vec![(10 * rank + j) as u8]).collect();
+            ep.all_to_all(outgoing, ch)
+        });
+        for (j, incoming) in results.iter().enumerate() {
+            for (i, payload) in incoming.iter().enumerate() {
+                assert_eq!(payload, &vec![(10 * i + j) as u8], "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_crosstalk() {
+        let results = on_cluster(2, NetworkModel::infinite(), |rank, ep, ch| {
+            let a = ep.broadcast(0, if rank == 0 { vec![1] } else { vec![] }, ch);
+            let b = ep.broadcast(0, if rank == 0 { vec![2] } else { vec![] }, ch);
+            ep.barrier(ch);
+            let c = ep.broadcast(1, if rank == 1 { vec![3] } else { vec![] }, ch);
+            (a, b, c)
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, vec![1]);
+            assert_eq!(b, vec![2]);
+            assert_eq!(c, vec![3]);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Point-to-point messaging with Lamport-timestamped delivery.
+//!
+//! Every node owns an [`Endpoint`]: an inbound channel plus senders to every
+//! node. A message records its *arrival time* — the sender's clock at send
+//! plus the network's wire time — and the receiver merges that into its own
+//! clock, so causality and waiting fall out of the timestamps without a
+//! global scheduler.
+//!
+//! Receives are *selective* (by sender and tag); out-of-order arrivals park
+//! in a pending list. A 60-second real-time timeout turns an algorithmic
+//! deadlock into a loud panic instead of a hung test suite.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use pdm::{record, Record};
+use sim::SimTime;
+
+use crate::charge::Charger;
+use crate::net::NetworkModel;
+
+/// Message tag: a user kind plus a sequence number for collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// A user-level tag (kinds `0..=0x7FFF`).
+    pub fn user(kind: u16) -> Tag {
+        assert!(kind < 0x8000, "user tags must be below 0x8000");
+        Tag(kind as u64)
+    }
+
+    /// An internal collective tag: kind ≥ 0x8000 plus a per-endpoint
+    /// sequence number (all nodes execute collectives in the same order, so
+    /// sequence numbers agree).
+    pub(crate) fn collective(kind: u16, seq: u64) -> Tag {
+        debug_assert!(kind >= 0x8000);
+        Tag((kind as u64) | (seq << 16))
+    }
+}
+
+/// A delivered message.
+#[derive(Debug)]
+pub struct Message {
+    /// Sender rank.
+    pub from: usize,
+    /// Tag it was sent with.
+    pub tag: Tag,
+    /// Virtual time at which the bytes are fully available at the receiver.
+    pub arrival: SimTime,
+    /// Payload.
+    pub bytes: Vec<u8>,
+}
+
+/// One node's communication port.
+#[derive(Debug)]
+pub struct Endpoint {
+    rank: usize,
+    p: usize,
+    rx: Receiver<Message>,
+    txs: Vec<Sender<Message>>,
+    pending: Vec<Message>,
+    net: NetworkModel,
+    /// Per-destination link occupancy: the virtual time at which this
+    /// node's outgoing link to each peer finishes its last transmission.
+    /// Makes links FIFO (a later message cannot overtake an earlier one).
+    link_free: Vec<SimTime>,
+    pub(crate) coll_seq: u64,
+    sent_messages: u64,
+    sent_bytes: u64,
+}
+
+/// How long a blocking receive waits (wall-clock) before declaring the
+/// cluster deadlocked.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+impl Endpoint {
+    /// Wires up endpoints for `p` nodes over the given fabric.
+    pub fn mesh(p: usize, net: NetworkModel) -> Vec<Endpoint> {
+        let mut rxs = Vec::with_capacity(p);
+        let mut txs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Endpoint {
+                rank,
+                p,
+                rx,
+                txs: txs.clone(),
+                pending: Vec::new(),
+                net: net.clone(),
+                link_free: vec![SimTime::ZERO; p],
+                coll_seq: 0,
+                sent_messages: 0,
+                sent_bytes: 0,
+            })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Cluster size.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The fabric model in use.
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Messages sent so far (excluding self-sends).
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Bytes sent so far (excluding self-sends).
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Sends `bytes` to node `to`. Charges the sender the per-message CPU
+    /// overhead; the wire time shows up in the message's arrival timestamp.
+    /// Self-sends are free local moves.
+    pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>, charger: &mut Charger) {
+        assert!(to < self.p, "send to rank {to} of {}", self.p);
+        let arrival = if to == self.rank {
+            charger.now()
+        } else {
+            charger.charge_cpu_raw(self.net.send_overhead);
+            self.sent_messages += 1;
+            self.sent_bytes += bytes.len() as u64;
+            // Store-and-forward FIFO link: transmission starts when both
+            // the sender and the link are ready; the link stays busy for
+            // the transfer, and the payload lands one latency later.
+            let transfer = self.net.wire_time(bytes.len() as u64) - self.net.latency;
+            let depart = charger.now().merge(self.link_free[to]);
+            self.link_free[to] = depart + transfer;
+            depart + transfer + self.net.latency
+        };
+        let msg = Message {
+            from: self.rank,
+            tag,
+            arrival,
+            bytes,
+        };
+        self.txs[to].send(msg).expect("receiver endpoint dropped");
+    }
+
+    /// Receives the next message from `from` with tag `tag`, blocking until
+    /// it arrives. Merges the arrival timestamp into the node clock.
+    ///
+    /// # Panics
+    /// Panics after 60 s of wall-clock inactivity (deadlock guard).
+    pub fn recv_from(&mut self, from: usize, tag: Tag, charger: &mut Charger) -> Message {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            let msg = self.pending.remove(i);
+            self.charge_delivery(&msg, charger);
+            return msg;
+        }
+        loop {
+            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
+                Ok(msg) if msg.from == from && msg.tag == tag => {
+                    self.charge_delivery(&msg, charger);
+                    return msg;
+                }
+                Ok(msg) => self.pending.push(msg),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "node {} deadlocked waiting for (from={from}, tag={tag:?}); \
+                     {} messages pending",
+                    self.rank,
+                    self.pending.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("cluster torn down while node {} was receiving", self.rank)
+                }
+            }
+        }
+    }
+
+    /// Per-message receive cost (self-deliveries are free local moves),
+    /// then the Lamport merge of the arrival timestamp.
+    fn charge_delivery(&self, msg: &Message, charger: &mut Charger) {
+        if msg.from != self.rank {
+            charger.charge_cpu_raw(self.net.recv_overhead);
+        }
+        charger.merge_arrival(msg.arrival);
+    }
+
+    /// Typed send: encodes records as their fixed-size little-endian bytes.
+    pub fn send_records<R: Record>(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        records: &[R],
+        charger: &mut Charger,
+    ) {
+        self.send(to, tag, record::encode_all(records), charger);
+    }
+
+    /// Typed receive counterpart of [`Self::send_records`].
+    pub fn recv_records<R: Record>(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        charger: &mut Charger,
+    ) -> Vec<R> {
+        let msg = self.recv_from(from, tag, charger);
+        record::decode_all(&msg.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CpuModel;
+    use crate::spec::TimePolicy;
+    use pdm::Disk;
+    use sim::Jitter;
+
+    fn charger() -> Charger {
+        Charger::new(
+            CpuModel::free(),
+            1.0,
+            Jitter::none(),
+            Disk::in_memory(64),
+            TimePolicy::Modeled,
+        )
+    }
+
+    #[test]
+    fn two_node_ping_pong() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::fast_ethernet());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut ch = charger();
+            let msg = e1.recv_from(0, Tag::user(1), &mut ch);
+            assert_eq!(msg.bytes, b"ping");
+            e1.send(0, Tag::user(2), b"pong".to_vec(), &mut ch);
+            ch.now()
+        });
+        let mut ch = charger();
+        e0.send(1, Tag::user(1), b"ping".to_vec(), &mut ch);
+        let reply = e0.recv_from(1, Tag::user(2), &mut ch);
+        assert_eq!(reply.bytes, b"pong");
+        let peer_time = t.join().unwrap();
+        // The reply's arrival is after two wire traversals.
+        assert!(ch.now() > peer_time.merge(SimTime::ZERO) || ch.now().as_secs() > 0.0);
+        assert!(ch.now().as_secs() >= 2.0 * 100e-6, "two latencies: {}", ch.now());
+    }
+
+    #[test]
+    fn selective_receive_reorders() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::infinite());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        e0.send(1, Tag::user(1), vec![1], &mut ch0);
+        e0.send(1, Tag::user(2), vec![2], &mut ch0);
+        e0.send(1, Tag::user(3), vec![3], &mut ch0);
+        let mut ch1 = charger();
+        // Receive in reverse tag order.
+        assert_eq!(e1.recv_from(0, Tag::user(3), &mut ch1).bytes, vec![3]);
+        assert_eq!(e1.recv_from(0, Tag::user(2), &mut ch1).bytes, vec![2]);
+        assert_eq!(e1.recv_from(0, Tag::user(1), &mut ch1).bytes, vec![1]);
+    }
+
+    #[test]
+    fn arrival_timestamp_reflects_bandwidth() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::fast_ethernet());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        let payload = vec![0u8; 1_250_000]; // 0.1 s on 12.5 MB/s
+        e0.send(1, Tag::user(1), payload, &mut ch0);
+        let mut ch1 = charger();
+        let msg = e1.recv_from(0, Tag::user(1), &mut ch1);
+        assert!(msg.arrival.as_secs() >= 0.1, "arrival {}", msg.arrival);
+        assert_eq!(ch1.now(), msg.arrival); // receiver waited for the bytes
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        let mut eps = Endpoint::mesh(1, NetworkModel::fast_ethernet());
+        let mut e0 = eps.pop().unwrap();
+        let mut ch = charger();
+        e0.send(0, Tag::user(1), vec![42], &mut ch);
+        let msg = e0.recv_from(0, Tag::user(1), &mut ch);
+        assert_eq!(msg.bytes, vec![42]);
+        assert_eq!(ch.now().as_secs(), 0.0);
+        assert_eq!(e0.sent_messages(), 0);
+    }
+
+    #[test]
+    fn typed_records_roundtrip() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::infinite());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        let data: Vec<u32> = (0..100).collect();
+        e0.send_records(1, Tag::user(7), &data, &mut ch0);
+        let mut ch1 = charger();
+        let got: Vec<u32> = e1.recv_records(0, Tag::user(7), &mut ch1);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::infinite());
+        let _e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch = charger();
+        e0.send(1, Tag::user(1), vec![0; 100], &mut ch);
+        e0.send(1, Tag::user(1), vec![0; 50], &mut ch);
+        assert_eq!(e0.sent_messages(), 2);
+        assert_eq!(e0.sent_bytes(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "user tags must be below")]
+    fn user_tag_range_enforced() {
+        let _ = Tag::user(0x8000);
+    }
+}

@@ -1,0 +1,92 @@
+//! CPU cost models.
+//!
+//! Converts counted work (comparisons, record moves) into virtual seconds
+//! on a *reference* (speed 1.0) node. The heterogeneity factor is applied
+//! by the [`crate::charge::Charger`], not here.
+//!
+//! The `alpha_533` preset is calibrated so that the Table 2 reproduction
+//! lands in the same order of magnitude as the paper's 533 MHz Alpha
+//! 21164 measurements (tens to hundreds of seconds for 2²¹–2²⁵ records);
+//! see `EXPERIMENTS.md` for the calibration notes.
+
+use sim::SimDuration;
+
+/// Linear CPU work model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Cost of one key comparison (including the data movement, branch
+    /// misprediction and cache behaviour that surrounds it in a sort loop).
+    pub ns_per_comparison: f64,
+    /// Cost of moving one record through a buffer (memcpy + bookkeeping).
+    pub ns_per_record_move: f64,
+}
+
+impl CpuModel {
+    /// Calibrated to the paper's 533 MHz Alpha 21164 nodes running the 2002
+    /// polyphase code.
+    pub fn alpha_533() -> Self {
+        CpuModel {
+            name: "Alpha 21164 @533MHz",
+            ns_per_comparison: 280.0,
+            ns_per_record_move: 120.0,
+        }
+    }
+
+    /// A modern x86 core, for "what would this look like today" ablations.
+    pub fn modern_x86() -> Self {
+        CpuModel {
+            name: "modern x86 core",
+            ns_per_comparison: 4.0,
+            ns_per_record_move: 1.5,
+        }
+    }
+
+    /// Zero-cost CPU, to isolate disk/network effects.
+    pub fn free() -> Self {
+        CpuModel {
+            name: "free (zero-cost)",
+            ns_per_comparison: 0.0,
+            ns_per_record_move: 0.0,
+        }
+    }
+
+    /// Reference-speed time for `n` comparisons.
+    pub fn comparisons(&self, n: u64) -> SimDuration {
+        SimDuration::from_nanos(self.ns_per_comparison * n as f64)
+    }
+
+    /// Reference-speed time for `n` record moves.
+    pub fn record_moves(&self, n: u64) -> SimDuration {
+        SimDuration::from_nanos(self.ns_per_record_move * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_linearly() {
+        let m = CpuModel::alpha_533();
+        let one = m.comparisons(1_000_000);
+        let two = m.comparisons(2_000_000);
+        assert!((two.as_secs() - 2.0 * one.as_secs()).abs() < 1e-12);
+        assert!((one.as_secs() - 0.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let m = CpuModel::free();
+        assert_eq!(m.comparisons(u64::MAX / 2).as_secs(), 0.0);
+        assert_eq!(m.record_moves(123).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn modern_much_faster_than_alpha() {
+        let a = CpuModel::alpha_533().comparisons(1 << 20);
+        let x = CpuModel::modern_x86().comparisons(1 << 20);
+        assert!(a.as_secs() > 10.0 * x.as_secs());
+    }
+}

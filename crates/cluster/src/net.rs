@@ -1,0 +1,101 @@
+//! Network fabric models.
+//!
+//! A message of `b` bytes costs `latency + b / bandwidth` of virtual time
+//! between send and earliest possible receive, plus a small per-message CPU
+//! overhead on the sender (the MPI stack). Presets model the paper's two
+//! fabrics; the paper's observation that Myrinet does **not** speed the sort
+//! up (each record moves only once, so the network is never the bottleneck)
+//! is reproduced by these numbers.
+
+use sim::SimDuration;
+
+/// A linear latency/bandwidth network model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Human-readable name (Table 1 / Table 3 rows).
+    pub name: &'static str,
+    /// One-way message latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Sender-side CPU overhead per message (stack traversal, copies).
+    pub send_overhead: SimDuration,
+    /// Receiver-side CPU overhead per message (interrupt, stack, copy).
+    pub recv_overhead: SimDuration,
+}
+
+impl NetworkModel {
+    /// 100 Mbit/s switched Fast-Ethernet, ~100 µs small-message latency —
+    /// the paper's commodity fabric.
+    pub fn fast_ethernet() -> Self {
+        NetworkModel {
+            name: "Fast-Ethernet (100Mb/s, 100us)",
+            latency: SimDuration::from_micros(100.0),
+            bytes_per_sec: 12.5e6,
+            // c. 2000 Linux TCP + MPI stacks burned ~100 us of CPU per
+            // message on each side — what makes tiny packets catastrophic.
+            send_overhead: SimDuration::from_micros(110.0),
+            recv_overhead: SimDuration::from_micros(110.0),
+        }
+    }
+
+    /// Myrinet (c. 2000): ~1.28 Gbit/s, single-digit-µs latency — the
+    /// paper's "best we can use" fabric.
+    pub fn myrinet() -> Self {
+        NetworkModel {
+            name: "Myrinet (1.28Gb/s, 9us)",
+            latency: SimDuration::from_micros(9.0),
+            bytes_per_sec: 160.0e6,
+            // OS-bypass fabric: user-level messaging, tiny per-message CPU.
+            send_overhead: SimDuration::from_micros(8.0),
+            recv_overhead: SimDuration::from_micros(8.0),
+        }
+    }
+
+    /// An idealized zero-cost network, to isolate CPU/disk effects.
+    pub fn infinite() -> Self {
+        NetworkModel {
+            name: "infinite (zero-cost)",
+            latency: SimDuration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+            send_overhead: SimDuration::ZERO,
+            recv_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Wire time for a message of `bytes` (latency + transfer).
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        if self.bytes_per_sec.is_infinite() {
+            self.latency
+        } else {
+            self.latency + SimDuration::from_secs(bytes as f64 / self.bytes_per_sec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales() {
+        let n = NetworkModel::fast_ethernet();
+        let t1 = n.wire_time(12_500_000); // 1 second of transfer
+        assert!((t1.as_secs() - 1.0001).abs() < 1e-6, "{t1}");
+        assert_eq!(n.wire_time(0), n.latency);
+    }
+
+    #[test]
+    fn myrinet_beats_fast_ethernet() {
+        let fe = NetworkModel::fast_ethernet();
+        let my = NetworkModel::myrinet();
+        assert!(my.wire_time(1 << 20) < fe.wire_time(1 << 20));
+        assert!(my.latency < fe.latency);
+    }
+
+    #[test]
+    fn infinite_network_only_latency_free() {
+        let inf = NetworkModel::infinite();
+        assert_eq!(inf.wire_time(u64::MAX), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,416 @@
+//! Cluster runtime: spawns node threads and collects outcomes.
+//!
+//! [`run_cluster`] materializes a [`ClusterSpec`]: one OS thread per node,
+//! each with a private disk, RNG, charger and endpoint, all wrapped in a
+//! [`NodeCtx`] façade. The node function runs to completion; the runtime
+//! then syncs outstanding I/O charges, executes a final barrier (so every
+//! clock reflects the full run) and reports per-node outcomes plus the
+//! makespan.
+
+use pdm::{Disk, IoSnapshot, ScratchDir};
+use sim::rng::Pcg64;
+use sim::{Jitter, SimDuration, SimTime, SplitMix64};
+
+use crate::charge::Charger;
+use crate::comm::{Endpoint, Message, Tag};
+use crate::spec::{ClusterSpec, StorageKind};
+
+/// One phase boundary recorded by [`NodeCtx::mark_phase`]: the cumulative
+/// clock and traffic at the stamp (deltas between consecutive marks give
+/// per-phase time and h-relation sizes — what the BSP analysis consumes).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseMark {
+    /// Phase name.
+    pub name: &'static str,
+    /// Node clock at the end of the phase.
+    pub at: SimTime,
+    /// Cumulative bytes this node had sent by the end of the phase.
+    pub sent_bytes: u64,
+}
+
+/// Everything a node function needs, bundled per node.
+pub struct NodeCtx {
+    /// This node's rank in `0..p`.
+    pub rank: usize,
+    /// Cluster size.
+    pub p: usize,
+    /// The full performance vector (shared knowledge, like the paper's
+    /// `perf` array baked into the program).
+    pub perf: Vec<u64>,
+    /// This node's private disk.
+    pub disk: Disk,
+    /// Deterministic per-node RNG (forked from the spec seed).
+    pub rng: Pcg64,
+    /// Time accounting for this node.
+    pub charger: Charger,
+    endpoint: Endpoint,
+    phases: Vec<PhaseMark>,
+}
+
+impl NodeCtx {
+    /// This node's performance figure.
+    pub fn my_perf(&self) -> u64 {
+        self.perf[self.rank]
+    }
+
+    /// Sum of all perf entries (the data-share denominator).
+    pub fn perf_total(&self) -> u64 {
+        self.perf.iter().sum()
+    }
+
+    /// Sends `bytes` to `to`.
+    pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>) {
+        self.endpoint.send(to, tag, bytes, &mut self.charger);
+    }
+
+    /// Receives from `from` with `tag` (blocking, selective).
+    pub fn recv_from(&mut self, from: usize, tag: Tag) -> Message {
+        self.endpoint.recv_from(from, tag, &mut self.charger)
+    }
+
+    /// Typed record send.
+    pub fn send_records<R: pdm::Record>(&mut self, to: usize, tag: Tag, records: &[R]) {
+        self.endpoint
+            .send_records(to, tag, records, &mut self.charger);
+    }
+
+    /// Typed record receive.
+    pub fn recv_records<R: pdm::Record>(&mut self, from: usize, tag: Tag) -> Vec<R> {
+        self.endpoint.recv_records(from, tag, &mut self.charger)
+    }
+
+    /// Barrier across all nodes.
+    pub fn barrier(&mut self) {
+        self.endpoint.barrier(&mut self.charger);
+    }
+
+    /// Gather at `root`.
+    pub fn gather(&mut self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        self.endpoint.gather(root, bytes, &mut self.charger)
+    }
+
+    /// Broadcast from `root`.
+    pub fn broadcast(&mut self, root: usize, bytes: Vec<u8>) -> Vec<u8> {
+        self.endpoint.broadcast(root, bytes, &mut self.charger)
+    }
+
+    /// Personalized all-to-all.
+    pub fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        self.endpoint.all_to_all(outgoing, &mut self.charger)
+    }
+
+    /// Records a phase boundary: prices outstanding I/O, then stamps
+    /// `name` at the current clock. The phase report shows cumulative
+    /// times, so phase `k`'s duration is `stamp[k] − stamp[k−1]`.
+    pub fn mark_phase(&mut self, name: &'static str) {
+        self.charger.sync_io();
+        self.phases.push(PhaseMark {
+            name,
+            at: self.charger.now(),
+            sent_bytes: self.endpoint.sent_bytes(),
+        });
+    }
+
+    /// Synchronizes all nodes, then zeroes this node's clock, counters and
+    /// phase marks. Call on **every** node at the same program point to
+    /// exclude setup (e.g. workload generation) from the timed region, as
+    /// the paper does for the initial data distribution.
+    pub fn reset_timing(&mut self) {
+        self.barrier();
+        self.charger.reset();
+        self.phases.clear();
+    }
+
+    /// Network traffic sent by this node so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.endpoint.sent_bytes()
+    }
+
+    /// Messages sent by this node so far.
+    pub fn sent_messages(&self) -> u64 {
+        self.endpoint.sent_messages()
+    }
+}
+
+/// Per-node result of a cluster run.
+#[derive(Debug)]
+pub struct NodeOutcome<T> {
+    /// Whatever the node function returned.
+    pub value: T,
+    /// The node's clock after the final barrier.
+    pub finish: SimTime,
+    /// Total block I/O performed by the node.
+    pub io: IoSnapshot,
+    /// Cumulative phase stamps recorded via [`NodeCtx::mark_phase`].
+    pub phases: Vec<PhaseMark>,
+    /// Charged CPU time (post-slowdown).
+    pub cpu_time: SimDuration,
+    /// Charged disk time (post-slowdown).
+    pub io_time: SimDuration,
+    /// Time spent waiting on messages.
+    pub wait_time: SimDuration,
+    /// Bytes this node pushed into the network.
+    pub sent_bytes: u64,
+}
+
+/// Result of [`run_cluster`].
+#[derive(Debug)]
+pub struct ClusterReport<T> {
+    /// Outcomes indexed by rank.
+    pub nodes: Vec<NodeOutcome<T>>,
+    /// The simulated wall time of the whole run (max node finish).
+    pub makespan: SimDuration,
+}
+
+impl<T> ClusterReport<T> {
+    /// Values only, indexed by rank.
+    pub fn values(&self) -> Vec<&T> {
+        self.nodes.iter().map(|n| &n.value).collect()
+    }
+
+    /// Total block I/O across nodes.
+    pub fn total_io(&self) -> IoSnapshot {
+        self.nodes
+            .iter()
+            .fold(IoSnapshot::default(), |acc, n| acc.plus(&n.io))
+    }
+}
+
+/// Spawns one thread per node and runs `f` on each.
+///
+/// The runtime adds a final I/O sync + barrier after `f` returns so that
+/// every node's clock covers the entire computation; the makespan is the
+/// maximum finish time.
+///
+/// ```
+/// use cluster::{run_cluster, ClusterSpec, Tag};
+///
+/// // Two nodes, the second 4x faster; node 0 sends its rank to node 1.
+/// let spec = ClusterSpec::new(vec![1, 4]);
+/// let report = run_cluster(&spec, |ctx| {
+///     if ctx.rank == 0 {
+///         ctx.send_records::<u32>(1, Tag::user(1), &[7]);
+///         0
+///     } else {
+///         ctx.recv_records::<u32>(0, Tag::user(1))[0]
+///     }
+/// });
+/// assert_eq!(report.nodes[1].value, 7);
+/// assert!(report.makespan.as_secs() > 0.0); // wire time was charged
+/// ```
+///
+/// # Panics
+/// Propagates panics from node threads.
+pub fn run_cluster<T, F>(spec: &ClusterSpec, f: F) -> ClusterReport<T>
+where
+    T: Send,
+    F: Fn(&mut NodeCtx) -> T + Send + Sync,
+{
+    let p = spec.p();
+    let endpoints = Endpoint::mesh(p, spec.net.clone());
+
+    // File-backed clusters get one scratch dir per node, kept alive until
+    // all threads join.
+    let scratches: Vec<Option<ScratchDir>> = (0..p)
+        .map(|i| match spec.storage {
+            StorageKind::Memory => None,
+            StorageKind::Files => Some(
+                ScratchDir::new(&format!("cluster-node{i}"))
+                    .expect("cannot create scratch dir"),
+            ),
+        })
+        .collect();
+
+    let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        outcomes.push(None);
+    }
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, endpoint)| {
+                let f = &f;
+                let scratch = &scratches[rank];
+                s.spawn(move || {
+                    let disk = match scratch {
+                        None => Disk::in_memory(spec.block_bytes),
+                        Some(dir) => Disk::on_files(dir.path(), spec.block_bytes),
+                    }
+                    .with_model(spec.disk_model.clone())
+                    .with_label(format!("node{rank}"));
+                    let jitter = Jitter::new(
+                        SplitMix64::mix(spec.seed ^ (rank as u64).wrapping_mul(0x9E37)),
+                        // Loaded nodes show proportionally noisier timings
+                        // (cf. Table 2's deviations); scale sigma by √slowdown.
+                        (spec.jitter_sigma * spec.slowdown(rank).sqrt()).min(0.9),
+                    );
+                    let charger = Charger::new(
+                        spec.cpu.clone(),
+                        spec.slowdown(rank),
+                        jitter,
+                        disk.clone(),
+                        spec.time_policy,
+                    );
+                    let mut ctx = NodeCtx {
+                        rank,
+                        p,
+                        perf: spec.perf.clone(),
+                        disk,
+                        rng: Pcg64::with_stream(spec.seed, rank as u64),
+                        charger,
+                        endpoint,
+                        phases: Vec::new(),
+                    };
+                    let value = f(&mut ctx);
+                    ctx.charger.sync_io();
+                    ctx.barrier();
+                    NodeOutcome {
+                        value,
+                        finish: ctx.charger.now(),
+                        io: ctx.disk.stats().snapshot(),
+                        phases: ctx.phases,
+                        cpu_time: ctx.charger.cpu_time(),
+                        io_time: ctx.charger.io_time(),
+                        wait_time: ctx.charger.wait_time(),
+                        sent_bytes: ctx.endpoint.sent_bytes(),
+                    }
+                })
+            })
+            .collect();
+        for (slot, h) in outcomes.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("node thread panicked"));
+        }
+    });
+
+    let nodes: Vec<NodeOutcome<T>> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+    let makespan = nodes
+        .iter()
+        .map(|n| n.finish)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    ClusterReport { nodes, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charge::Work;
+    use crate::cost::CpuModel;
+    use pdm::DiskModel;
+
+    #[test]
+    fn nodes_run_and_report() {
+        let spec = ClusterSpec::homogeneous(3);
+        let report = run_cluster(&spec, |ctx| ctx.rank * 10);
+        assert_eq!(report.nodes.len(), 3);
+        for (rank, n) in report.nodes.iter().enumerate() {
+            assert_eq!(n.value, rank * 10);
+        }
+    }
+
+    #[test]
+    fn makespan_is_slowest_node() {
+        let spec = ClusterSpec::new(vec![1, 4]); // node 0 is 4× slower
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.compute(Work::comparisons(1_000_000), || ());
+        });
+        // Reference work = 0.28 s; node 0 takes 1.12 s; makespan ≈ that
+        // plus barrier wire time.
+        assert!(report.makespan.as_secs() >= 1.12);
+        assert!(report.makespan.as_secs() < 1.2);
+        // Both nodes finish at (about) the makespan thanks to the barrier.
+        assert!(report.nodes[1].finish.as_secs() >= 1.12);
+    }
+
+    #[test]
+    fn per_node_disks_are_private() {
+        let spec = ClusterSpec::homogeneous(2);
+        let report = run_cluster(&spec, |ctx| {
+            let name = "private";
+            ctx.disk
+                .write_file::<u32>(name, &[ctx.rank as u32])
+                .unwrap();
+            ctx.disk.read_file::<u32>(name).unwrap()
+        });
+        assert_eq!(report.nodes[0].value, vec![0]);
+        assert_eq!(report.nodes[1].value, vec![1]);
+    }
+
+    #[test]
+    fn io_counted_and_charged() {
+        let spec = ClusterSpec::homogeneous(1).with_disk_model(DiskModel::scsi_2000());
+        let report = run_cluster(&spec, |ctx| {
+            let data: Vec<u32> = (0..10_000).collect();
+            ctx.disk.write_file("f", &data).unwrap();
+            ctx.disk.read_file::<u32>("f").unwrap().len()
+        });
+        assert_eq!(report.nodes[0].value, 10_000);
+        assert!(report.nodes[0].io.blocks_written > 0);
+        assert!(report.nodes[0].io_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn phase_marks_are_cumulative() {
+        let spec = ClusterSpec::homogeneous(1).with_cpu(CpuModel::alpha_533());
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.charge_work(Work::comparisons(1000));
+            ctx.mark_phase("first");
+            ctx.charger.charge_work(Work::comparisons(1000));
+            ctx.mark_phase("second");
+        });
+        let phases = &report.nodes[0].phases;
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "first");
+        assert!(phases[1].at > phases[0].at);
+    }
+
+    #[test]
+    fn messaging_inside_cluster() {
+        let spec = ClusterSpec::homogeneous(2);
+        let report = run_cluster(&spec, |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_records(1, Tag::user(5), &[1u32, 2, 3]);
+                0
+            } else {
+                let v: Vec<u32> = ctx.recv_records(0, Tag::user(5));
+                v.iter().sum::<u32>() as usize
+            }
+        });
+        assert_eq!(report.nodes[1].value, 6);
+        assert!(report.nodes[1].wait_time.as_secs() > 0.0);
+        assert!(report.nodes[0].sent_bytes >= 12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let spec = ClusterSpec::new(vec![1, 2]).with_jitter(0.05).with_seed(7);
+            run_cluster(&spec, |ctx| {
+                ctx.charger.compute(Work::comparisons(500_000), || ());
+                ctx.barrier();
+                ctx.charger.now().as_secs()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.value, y.value);
+        }
+    }
+
+    #[test]
+    fn file_backed_cluster_works() {
+        let spec = ClusterSpec::homogeneous(2).with_storage(StorageKind::Files);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.disk
+                .write_file::<u32>("x", &[ctx.rank as u32; 100])
+                .unwrap();
+            ctx.disk.len_records::<u32>("x").unwrap()
+        });
+        assert!(report.nodes.iter().all(|n| n.value == 100));
+    }
+}

@@ -1,0 +1,102 @@
+//! Cluster-level invariant tests: clock causality, collective correctness
+//! under randomized work patterns, and determinism of whole runs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cluster::charge::Work;
+use cluster::{run_cluster, ClusterSpec, NetworkModel, Tag};
+use sim::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn barrier_dominates_all_entry_clocks(work in vec(0u64..2_000_000, 2..6)) {
+        let p = work.len();
+        let spec = ClusterSpec::homogeneous(p);
+        let work2 = work.clone();
+        let report = run_cluster(&spec, move |ctx| {
+            ctx.charger.charge_work(Work::comparisons(work2[ctx.rank]));
+            let before = ctx.charger.now();
+            ctx.barrier();
+            (before, ctx.charger.now())
+        });
+        let max_entry = report
+            .nodes
+            .iter()
+            .map(|n| n.value.0)
+            .max()
+            .unwrap();
+        for node in &report.nodes {
+            prop_assert!(node.value.1 >= max_entry, "barrier exit before slowest entry");
+        }
+    }
+
+    #[test]
+    fn messages_never_travel_back_in_time(
+        payload_sizes in vec(0usize..10_000, 1..8),
+        latency_us in 0.0f64..1000.0,
+    ) {
+        let spec = ClusterSpec::homogeneous(2).with_net(NetworkModel {
+            name: "prop",
+            latency: SimDuration::from_micros(latency_us),
+            bytes_per_sec: 1e6,
+            send_overhead: SimDuration::from_micros(5.0),
+            recv_overhead: SimDuration::from_micros(5.0),
+        });
+        let sizes = payload_sizes.clone();
+        let report = run_cluster(&spec, move |ctx| {
+            if ctx.rank == 0 {
+                for (i, &s) in sizes.iter().enumerate() {
+                    ctx.send(1, Tag::user(i as u16), vec![0u8; s]);
+                }
+                Vec::new()
+            } else {
+                let mut arrivals = Vec::new();
+                for i in 0..sizes.len() {
+                    let msg = ctx.recv_from(0, Tag::user(i as u16));
+                    // The receiver clock must have reached the arrival time.
+                    assert!(ctx.charger.now() >= msg.arrival);
+                    arrivals.push(msg.arrival);
+                }
+                arrivals
+            }
+        });
+        // FIFO per sender: arrivals are non-decreasing.
+        let arrivals = &report.nodes[1].value;
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn all_to_all_is_a_permutation_router(p in 2usize..6, seed in any::<u64>()) {
+        let spec = ClusterSpec::homogeneous(p).with_seed(seed);
+        let report = run_cluster(&spec, move |ctx| {
+            let outgoing: Vec<Vec<u8>> = (0..ctx.p)
+                .map(|j| format!("{}->{}", ctx.rank, j).into_bytes())
+                .collect();
+            ctx.all_to_all(outgoing)
+        });
+        for (j, node) in report.nodes.iter().enumerate() {
+            for (i, payload) in node.value.iter().enumerate() {
+                prop_assert_eq!(payload.clone(), format!("{i}->{j}").into_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), jitter in 0.0f64..0.2) {
+        let run = || {
+            let spec = ClusterSpec::new(vec![1, 3])
+                .with_seed(seed)
+                .with_jitter(jitter);
+            let report = run_cluster(&spec, |ctx| {
+                ctx.charger.charge_work(Work::comparisons(100_000));
+                ctx.barrier();
+                ctx.charger.now()
+            });
+            (report.makespan, report.nodes[0].value, report.nodes[1].value)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

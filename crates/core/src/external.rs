@@ -1,0 +1,600 @@
+//! Algorithm 1: external PSRS for heterogeneous clusters.
+//!
+//! Each node holds an on-disk block of `l_i = n · perf[i] / Σ perf` records
+//! and runs five phases (all I/O metered in PDM blocks, all work charged to
+//! the node's virtual clock):
+//!
+//! 1. **local external sort** — polyphase merge sort,
+//!    `2·l_i(1 + ⌈log_m l_i⌉)` I/Os;
+//! 2. **pivot selection** — `p·perf[i]` regular samples read with seeks
+//!    (the paper's "L I/Os, very inferior to step 1"), gathered on node 0,
+//!    pivots at cumulative-performance ranks, broadcast;
+//! 3. **partitioning** — one streaming pass splits the sorted block into
+//!    `p` files (`2·Q/B` I/Os);
+//! 4. **redistribution** — partition `j` travels to node `j` in messages of
+//!    `msg_records` records (the message-size knob the paper tunes to 8 Ki
+//!    integers / 32 Kb);
+//! 5. **final merge** — one k-way merge pass over the `p` received sorted
+//!    files.
+
+use std::time::Instant;
+
+use cluster::charge::Work;
+use cluster::{NodeCtx, Tag};
+use extsort::report::incore_sort_comparisons;
+use extsort::{merge_sorted_files, ExtSortConfig, MergeReport, SortReport};
+use pdm::{record, PdmResult, Record};
+
+use crate::partition::partition_file_streaming;
+use crate::perf::PerfVector;
+use crate::pivots::select_pivots;
+use crate::sampling::{regular_positions, regular_sample_count};
+
+/// Tag for redistribution data chunks.
+const TAG_PART_DATA: Tag = Tag(0x0100);
+
+/// Configuration of one external-PSRS run (identical on every node).
+#[derive(Debug, Clone)]
+pub struct ExternalPsrsConfig {
+    /// The *declared* performance vector: data shares, sample counts and
+    /// pivot ranks all follow it. Independent of the hardware speeds.
+    pub perf: PerfVector,
+    /// Per-node in-core memory budget `M`, in records.
+    pub mem_records: usize,
+    /// Tape files for the local polyphase sort (paper: 16 = 15
+    /// intermediate + output).
+    pub tapes: usize,
+    /// Records per redistribution message (paper's tuned value: 8 Ki
+    /// integers = 32 Kb).
+    pub msg_records: usize,
+    /// Name of each node's unsorted input file on its own disk.
+    pub input: String,
+    /// Name for each node's sorted output file.
+    pub output: String,
+    /// Fuse steps 3 and 4: stream the sorted file once, sending each
+    /// partition chunk straight into the network instead of materializing
+    /// `p` partition files first. Saves `2·Q/B` block I/Os per node — the
+    /// paper's remark that "hardware able to transfer data from disk to
+    /// disk … will be more efficient". `false` reproduces the paper's
+    /// algorithm literally.
+    pub fused_redistribution: bool,
+}
+
+impl ExternalPsrsConfig {
+    /// A config with the paper's defaults (16 tapes, 8 Ki-record messages).
+    pub fn new(perf: PerfVector, mem_records: usize) -> Self {
+        ExternalPsrsConfig {
+            perf,
+            mem_records,
+            tapes: 16,
+            msg_records: 8 * 1024,
+            input: "input".to_string(),
+            output: "output".to_string(),
+            fused_redistribution: false,
+        }
+    }
+
+    /// Enables the fused partition+redistribution path (builder style).
+    #[must_use]
+    pub fn with_fused_redistribution(mut self, fused: bool) -> Self {
+        self.fused_redistribution = fused;
+        self
+    }
+
+    /// Sets the message size in records (builder style).
+    #[must_use]
+    pub fn with_msg_records(mut self, m: usize) -> Self {
+        assert!(m > 0, "message size must be positive");
+        self.msg_records = m;
+        self
+    }
+
+    /// Sets the tape count (builder style).
+    #[must_use]
+    pub fn with_tapes(mut self, t: usize) -> Self {
+        self.tapes = t;
+        self
+    }
+}
+
+/// Per-node outcome of Algorithm 1.
+#[derive(Debug)]
+pub struct ExternalPsrsOutcome {
+    /// Records this node finally owns (its `output` file length).
+    pub received_records: u64,
+    /// Step-1 local sort report.
+    pub local_sort: SortReport,
+    /// Step-5 merge report.
+    pub final_merge: MergeReport,
+    /// Sizes of the partitions this node cut (by destination).
+    pub sent_partition_sizes: Vec<u64>,
+    /// Samples this node contributed in step 2.
+    pub samples_contributed: u64,
+    /// The pivots used (identical on every node).
+    pub pivot_count: usize,
+}
+
+/// Runs Algorithm 1 on this node. Call from inside a
+/// [`cluster::run_cluster`] node function on **every** node (the phases
+/// contain collectives). `cfg.input` must already exist on the node's disk;
+/// `cfg.output` is created.
+pub fn psrs_external<R: Record>(
+    ctx: &mut NodeCtx,
+    cfg: &ExternalPsrsConfig,
+) -> PdmResult<ExternalPsrsOutcome> {
+    assert_eq!(cfg.perf.p(), ctx.p, "perf vector must cover every node");
+    let p = ctx.p;
+    let rank = ctx.rank;
+    let perf = &cfg.perf;
+    let sorted_name = "xpsrs.sorted";
+    let part_prefix = "xpsrs.part";
+    let recv_prefix = "xpsrs.recv";
+
+    // ---- Step 1: local external sort (polyphase merge sort). ----
+    let sort_cfg = ExtSortConfig::new(cfg.mem_records).with_tapes(cfg.tapes);
+    let t0 = Instant::now();
+    let local_sort = extsort::polyphase_sort::<R>(&ctx.disk, &cfg.input, sorted_name, "xpsrs", &sort_cfg)?;
+    ctx.charger.charge_section(
+        Work {
+            comparisons: local_sort.comparisons,
+            moves: local_sort.records * (local_sort.merge_phases as u64 + 1),
+        },
+        t0.elapsed(),
+    );
+    ctx.mark_phase("local-sort");
+
+    // ---- Step 2: regular sampling and pivot selection. ----
+    let count = regular_sample_count(perf, rank);
+    let mut reader = ctx.disk.open_reader::<R>(sorted_name)?;
+    let mut sample = Vec::with_capacity(count as usize);
+    for q in regular_positions(local_sort.records, count) {
+        sample.push(reader.read_at(q)?); // metered as random reads: L I/Os
+    }
+    drop(reader);
+    let samples_contributed = sample.len() as u64;
+    let gathered = ctx.gather(0, record::encode_all(&sample));
+    let pivots: Vec<R> = if rank == 0 {
+        let mut all: Vec<R> = gathered
+            .expect("root gathers")
+            .iter()
+            .flat_map(|bytes| record::decode_all::<R>(bytes))
+            .collect();
+        let est = Work {
+            comparisons: incore_sort_comparisons(all.len() as u64),
+            moves: all.len() as u64,
+        };
+        ctx.charger.compute(est, || all.sort_unstable());
+        let pivots = select_pivots(&all, perf);
+        ctx.broadcast(0, record::encode_all(&pivots));
+        pivots
+    } else {
+        record::decode_all(&ctx.broadcast(0, Vec::new()))
+    };
+    ctx.mark_phase("pivots");
+
+    let sent_sizes = if cfg.fused_redistribution {
+        // ---- Steps 3+4 fused: one streaming pass sends partitions
+        // straight to their owners (no intermediate partition files),
+        // saving 2·Q/B block I/Os — the paper's disk-to-disk remark.
+        fused_partition_redistribute::<R>(ctx, cfg, &pivots, sorted_name, recv_prefix)?
+    } else {
+        // ---- Step 3: partition the sorted file at the pivots. ----
+        let t0 = Instant::now();
+        let sent_sizes = partition_file_streaming::<R>(&ctx.disk, sorted_name, part_prefix, &pivots)?;
+        ctx.charger.charge_section(
+            Work {
+                comparisons: local_sort.records + p as u64,
+                moves: local_sort.records,
+            },
+            t0.elapsed(),
+        );
+        ctx.disk.remove(sorted_name)?;
+        ctx.mark_phase("partition");
+
+        // ---- Step 4: redistribution in block-multiple messages. ----
+        // 4a: everyone learns how much to expect from everyone.
+        let size_payloads: Vec<Vec<u8>> = sent_sizes
+            .iter()
+            .map(|&s| s.to_le_bytes().to_vec())
+            .collect();
+        let incoming_sizes: Vec<u64> = ctx
+            .all_to_all(size_payloads)
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8-byte size")))
+            .collect();
+
+        // 4b: my own partition stays local (a rename, no I/O).
+        ctx.disk
+            .rename(&format!("{part_prefix}{rank}"), &format!("{recv_prefix}{rank}"))?;
+
+        // 4c: stream every foreign partition out in msg_records chunks.
+        for j in (0..p).filter(|&j| j != rank) {
+            let name = format!("{part_prefix}{j}");
+            let mut rd = ctx.disk.open_reader::<R>(&name)?;
+            let mut chunk: Vec<R> = Vec::with_capacity(cfg.msg_records);
+            loop {
+                chunk.clear();
+                while chunk.len() < cfg.msg_records {
+                    match rd.next_record()? {
+                        Some(x) => chunk.push(x),
+                        None => break,
+                    }
+                }
+                if chunk.is_empty() {
+                    break;
+                }
+                ctx.charger.charge_work(Work::moves(chunk.len() as u64));
+                ctx.send_records(j, TAG_PART_DATA, &chunk);
+            }
+            drop(rd);
+            ctx.disk.remove(&name)?;
+        }
+
+        // 4d: receive every foreign partition into a local sorted file.
+        for i in (0..p).filter(|&i| i != rank) {
+            let mut wr = ctx
+                .disk
+                .create_writer::<R>(&format!("{recv_prefix}{i}"))?;
+            let expect = incoming_sizes[i];
+            let msgs = expect.div_ceil(cfg.msg_records as u64);
+            for _ in 0..msgs {
+                let records: Vec<R> = ctx.recv_records(i, TAG_PART_DATA);
+                ctx.charger.charge_work(Work::moves(records.len() as u64));
+                wr.push_all(&records)?;
+            }
+            let got = wr.finish()?;
+            debug_assert_eq!(got, expect, "partition size mismatch from node {i}");
+        }
+        ctx.mark_phase("redistribute");
+        sent_sizes
+    };
+
+    // ---- Step 5: final k-way merge of the received partitions. ----
+    let inputs: Vec<String> = (0..p).map(|i| format!("{recv_prefix}{i}")).collect();
+    let t0 = Instant::now();
+    let final_merge = merge_sorted_files::<R>(&ctx.disk, &inputs, &cfg.output)?;
+    ctx.charger.charge_section(
+        Work {
+            comparisons: final_merge.comparisons,
+            moves: final_merge.records,
+        },
+        t0.elapsed(),
+    );
+    for name in &inputs {
+        ctx.disk.remove(name)?;
+    }
+    ctx.mark_phase("merge");
+
+    Ok(ExternalPsrsOutcome {
+        received_records: final_merge.records,
+        local_sort,
+        final_merge,
+        sent_partition_sizes: sent_sizes,
+        samples_contributed,
+        pivot_count: pivots.len(),
+    })
+}
+
+/// Fused steps 3+4: streams the sorted file once; records bound for node
+/// `j ≠ rank` leave in `msg_records` chunks terminated by an empty
+/// message, records owned locally go straight into the local receive
+/// file. Returns the partition sizes this node cut.
+fn fused_partition_redistribute<R: Record>(
+    ctx: &mut NodeCtx,
+    cfg: &ExternalPsrsConfig,
+    pivots: &[R],
+    sorted_name: &str,
+    recv_prefix: &str,
+) -> PdmResult<Vec<u64>> {
+    let p = ctx.p;
+    let rank = ctx.rank;
+    let t0 = Instant::now();
+    let mut sizes = vec![0u64; p];
+    let mut buffers: Vec<Vec<R>> = (0..p).map(|_| Vec::with_capacity(cfg.msg_records)).collect();
+    let mut own_writer = ctx.disk.create_writer::<R>(&format!("{recv_prefix}{rank}"))?;
+    let mut rd = ctx.disk.open_reader::<R>(sorted_name)?;
+    let mut dest = 0usize;
+    let mut n_local = 0u64;
+    while let Some(x) = rd.next_record()? {
+        while dest < pivots.len() && x > pivots[dest] {
+            dest += 1;
+        }
+        sizes[dest] += 1;
+        n_local += 1;
+        if dest == rank {
+            own_writer.push(x)?;
+        } else {
+            buffers[dest].push(x);
+            if buffers[dest].len() == cfg.msg_records {
+                ctx.charger.charge_work(Work::moves(cfg.msg_records as u64));
+                let chunk = std::mem::take(&mut buffers[dest]);
+                ctx.send_records(dest, TAG_PART_DATA, &chunk);
+                buffers[dest] = chunk;
+                buffers[dest].clear();
+            }
+        }
+    }
+    drop(rd);
+    ctx.disk.remove(sorted_name)?;
+    // Flush tails and terminate every stream with an empty message.
+    for j in (0..p).filter(|&j| j != rank) {
+        if !buffers[j].is_empty() {
+            ctx.charger.charge_work(Work::moves(buffers[j].len() as u64));
+            let chunk = std::mem::take(&mut buffers[j]);
+            ctx.send_records(j, TAG_PART_DATA, &chunk);
+        }
+        ctx.send_records::<R>(j, TAG_PART_DATA, &[]);
+    }
+    ctx.charger.charge_section(
+        Work {
+            comparisons: n_local + p as u64,
+            moves: n_local,
+        },
+        t0.elapsed(),
+    );
+    own_writer.finish()?;
+    // Receive every foreign partition into its own sorted receive file.
+    for i in (0..p).filter(|&i| i != rank) {
+        let mut wr = ctx.disk.create_writer::<R>(&format!("{recv_prefix}{i}"))?;
+        loop {
+            let records: Vec<R> = ctx.recv_records(i, TAG_PART_DATA);
+            if records.is_empty() {
+                break;
+            }
+            ctx.charger.charge_work(Work::moves(records.len() as u64));
+            wr.push_all(&records)?;
+        }
+        wr.finish()?;
+    }
+    ctx.mark_phase("partition+redistribute");
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{run_cluster, ClusterSpec, StorageKind};
+    use extsort::{fingerprint_slice, is_sorted_file};
+    use workloads::{generate_to_disk, Benchmark, Layout};
+
+    struct NodeResult {
+        outcome: ExternalPsrsOutcome,
+        output: Vec<u32>,
+    }
+
+    fn run(
+        spec: &ClusterSpec,
+        perf: &PerfVector,
+        bench: Benchmark,
+        n: u64,
+        mem: usize,
+        tapes: usize,
+        seed: u64,
+    ) -> Vec<NodeResult> {
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let cfg = ExternalPsrsConfig {
+            perf: perf.clone(),
+            mem_records: mem,
+            tapes,
+            msg_records: 64,
+            input: "input".into(),
+            output: "output".into(),
+            fused_redistribution: false,
+        };
+        let report = run_cluster(spec, move |ctx| {
+            generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
+            let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+            assert!(is_sorted_file::<u32>(&ctx.disk, "output").unwrap());
+            let output = ctx.disk.read_file::<u32>("output").unwrap();
+            NodeResult { outcome, output }
+        });
+        report.nodes.into_iter().map(|n| n.value).collect()
+    }
+
+    fn assert_correct(results: &[NodeResult], perf: &PerfVector, bench: Benchmark, n: u64, seed: u64) {
+        // Global order: concatenation by rank is sorted.
+        let flat: Vec<u32> = results.iter().flat_map(|r| r.output.iter().copied()).collect();
+        assert_eq!(flat.len() as u64, n, "records lost or duplicated");
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]), "global order broken");
+        // Permutation of the input.
+        let input = workloads::generate_whole(bench, seed, &perf.shares(n));
+        assert_eq!(
+            fingerprint_slice(&flat),
+            fingerprint_slice(&input),
+            "output is not a permutation of the input"
+        );
+        // Outcome bookkeeping agrees with reality.
+        for r in results {
+            assert_eq!(r.outcome.received_records as usize, r.output.len());
+        }
+    }
+
+    #[test]
+    fn homogeneous_end_to_end() {
+        let spec = ClusterSpec::homogeneous(4).with_block_bytes(64);
+        let perf = PerfVector::homogeneous(4);
+        let n = perf.padded_size(8_000);
+        let results = run(&spec, &perf, Benchmark::Uniform, n, 256, 4, 1);
+        assert_correct(&results, &perf, Benchmark::Uniform, n, 1);
+    }
+
+    #[test]
+    fn heterogeneous_1144_end_to_end() {
+        let spec = ClusterSpec::new(vec![1, 1, 4, 4]).with_block_bytes(64);
+        let perf = PerfVector::paper_1144();
+        let n = perf.padded_size(10_000);
+        let results = run(&spec, &perf, Benchmark::Uniform, n, 256, 4, 2);
+        assert_correct(&results, &perf, Benchmark::Uniform, n, 2);
+        // Load balance within the heterogeneous PSRS bound.
+        let sizes: Vec<u64> = results.iter().map(|r| r.output.len() as u64).collect();
+        let lb = crate::metrics::LoadBalance::new(sizes, &perf);
+        assert!(lb.expansion() < 2.0, "expansion {}", lb.expansion());
+    }
+
+    #[test]
+    fn real_files_backend() {
+        let spec = ClusterSpec::homogeneous(2)
+            .with_block_bytes(64)
+            .with_storage(StorageKind::Files);
+        let perf = PerfVector::homogeneous(2);
+        let n = perf.padded_size(3_000);
+        let results = run(&spec, &perf, Benchmark::Gaussian, n, 128, 4, 3);
+        assert_correct(&results, &perf, Benchmark::Gaussian, n, 3);
+    }
+
+    #[test]
+    fn all_benchmarks_small() {
+        let spec = ClusterSpec::homogeneous(4).with_block_bytes(64);
+        let perf = PerfVector::homogeneous(4);
+        let n = perf.padded_size(2_000);
+        for bench in Benchmark::ALL {
+            let results = run(&spec, &perf, bench, n, 128, 4, 4);
+            assert_correct(&results, &perf, bench, n, 4);
+        }
+    }
+
+    #[test]
+    fn tiny_messages_still_correct() {
+        let spec = ClusterSpec::homogeneous(3).with_block_bytes(64);
+        let perf = PerfVector::homogeneous(3);
+        let n = perf.padded_size(1_000);
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let cfg = ExternalPsrsConfig {
+            perf: perf.clone(),
+            mem_records: 128,
+            tapes: 4,
+            msg_records: 8, // the paper's pathological packet size
+            input: "input".into(),
+            output: "output".into(),
+            fused_redistribution: false,
+        };
+        let report = run_cluster(&spec, move |ctx| {
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank])
+                .unwrap();
+            psrs_external::<u32>(ctx, &cfg).unwrap();
+            ctx.disk.read_file::<u32>("output").unwrap()
+        });
+        let flat: Vec<u32> = report.nodes.iter().flat_map(|n| n.value.iter().copied()).collect();
+        assert_eq!(flat.len() as u64, n);
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fused_redistribution_correct_and_cheaper() {
+        let perf = PerfVector::paper_1144();
+        let n = perf.padded_size(10_000);
+        let shares = perf.shares(n);
+        let run_mode = |fused: bool| {
+            let spec = ClusterSpec::new(vec![1, 1, 4, 4]).with_block_bytes(64);
+            let layouts = Layout::cluster(&shares);
+            let cfg = ExternalPsrsConfig {
+                perf: perf.clone(),
+                mem_records: 256,
+                tapes: 4,
+                msg_records: 64,
+                input: "input".into(),
+                output: "output".into(),
+                fused_redistribution: fused,
+            };
+            run_cluster(&spec, move |ctx| {
+                generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 11, layouts[ctx.rank])
+                    .unwrap();
+                psrs_external::<u32>(ctx, &cfg).unwrap();
+                ctx.disk.read_file::<u32>("output").unwrap()
+            })
+        };
+        let plain = run_mode(false);
+        let fused = run_mode(true);
+        // Identical results (same pivots, same data).
+        for (a, b) in plain.nodes.iter().zip(&fused.nodes) {
+            assert_eq!(a.value, b.value);
+        }
+        let flat: Vec<u32> = fused
+            .nodes
+            .iter()
+            .flat_map(|nd| nd.value.iter().copied())
+            .collect();
+        assert_eq!(flat.len() as u64, n);
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+        // The fused path skips writing + re-reading the partition files:
+        // strictly fewer block transfers.
+        let io_plain = plain.total_io().total_blocks();
+        let io_fused = fused.total_io().total_blocks();
+        assert!(
+            io_fused < io_plain,
+            "fused should save I/O: {io_fused} vs {io_plain}"
+        );
+    }
+
+    #[test]
+    fn temp_files_cleaned_up() {
+        let spec = ClusterSpec::homogeneous(2).with_block_bytes(64);
+        let perf = PerfVector::homogeneous(2);
+        let n = perf.padded_size(1_000);
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let cfg = ExternalPsrsConfig {
+            perf: perf.clone(),
+            mem_records: 128,
+            tapes: 4,
+            msg_records: 64,
+            input: "input".into(),
+            output: "output".into(),
+            fused_redistribution: false,
+        };
+        let report = run_cluster(&spec, move |ctx| {
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank])
+                .unwrap();
+            psrs_external::<u32>(ctx, &cfg).unwrap();
+            let p = ctx.p;
+            let mut leftovers = Vec::new();
+            for name in ["xpsrs.sorted".to_string()]
+                .into_iter()
+                .chain((0..p).map(|j| format!("xpsrs.part{j}")))
+                .chain((0..p).map(|j| format!("xpsrs.recv{j}")))
+                .chain((0..8).map(|t| format!("xpsrs.tape{t}")))
+            {
+                if ctx.disk.exists(&name) {
+                    leftovers.push(name);
+                }
+            }
+            leftovers
+        });
+        for n in &report.nodes {
+            assert!(n.value.is_empty(), "leftover temp files: {:?}", n.value);
+        }
+    }
+
+    #[test]
+    fn phase_marks_present_and_ordered() {
+        let spec = ClusterSpec::homogeneous(2).with_block_bytes(64);
+        let perf = PerfVector::homogeneous(2);
+        let n = perf.padded_size(2_000);
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let cfg = ExternalPsrsConfig {
+            perf: perf.clone(),
+            mem_records: 128,
+            tapes: 4,
+            msg_records: 64,
+            input: "input".into(),
+            output: "output".into(),
+            fused_redistribution: false,
+        };
+        let report = run_cluster(&spec, move |ctx| {
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank])
+                .unwrap();
+            psrs_external::<u32>(ctx, &cfg).unwrap();
+        });
+        for node in &report.nodes {
+            let names: Vec<&str> = node.phases.iter().map(|m| m.name).collect();
+            assert_eq!(
+                names,
+                vec!["local-sort", "pivots", "partition", "redistribute", "merge"]
+            );
+            assert!(node.phases.windows(2).all(|w| w[0].at <= w[1].at));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Load-balance metrics.
+//!
+//! The paper's Table 3 prints, per run: the mean final partition size, the
+//! maximum final partition size, and the **sublist expansion**
+//! `S(max) = max_i(size_i / optimal_i)` — how far the worst node is above
+//! its proportional share. PSRS theory bounds it by 2 (+ duplicates);
+//! the paper measures 1.003–1.094; Li & Sevcik report ~1.3 for
+//! overpartitioning.
+
+use crate::perf::PerfVector;
+
+/// Final partition sizes against their proportional targets.
+#[derive(Debug, Clone)]
+pub struct LoadBalance {
+    /// Actual records owned by each node after the sort.
+    pub sizes: Vec<u64>,
+    /// The proportional share each node *should* own.
+    pub expected: Vec<u64>,
+}
+
+impl LoadBalance {
+    /// Builds the metric from final sizes and the declared perf vector.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or the totals disagree.
+    pub fn new(sizes: Vec<u64>, perf: &PerfVector) -> Self {
+        assert_eq!(sizes.len(), perf.p(), "one size per node");
+        let n: u64 = sizes.iter().sum();
+        let expected = if n == 0 {
+            vec![0; sizes.len()]
+        } else {
+            // Proportional targets; rounding spread so they sum to n.
+            let total = perf.total();
+            let mut exp: Vec<u64> = (0..perf.p())
+                .map(|i| n * perf.get(i) / total)
+                .collect();
+            let mut short = n - exp.iter().sum::<u64>();
+            let len = exp.len();
+            let mut i = 0;
+            while short > 0 {
+                exp[i % len] += 1;
+                short -= 1;
+                i += 1;
+            }
+            exp
+        };
+        LoadBalance { sizes, expected }
+    }
+
+    /// Total records.
+    pub fn total(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Mean partition size.
+    pub fn mean_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.sizes.len() as f64
+        }
+    }
+
+    /// Largest partition.
+    pub fn max_size(&self) -> u64 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The sublist expansion `max_i(size_i / expected_i)`; 1.0 is perfect.
+    /// Returns 1.0 for an empty input.
+    pub fn expansion(&self) -> f64 {
+        self.sizes
+            .iter()
+            .zip(&self.expected)
+            .filter(|(_, &e)| e > 0)
+            .map(|(&s, &e)| s as f64 / e as f64)
+            .fold(1.0f64, f64::max)
+    }
+
+    /// Checks the PSRS theorem: every node holds at most
+    /// `2 · expected + d` records (`d` = max duplicate multiplicity).
+    pub fn within_psrs_bound(&self, max_duplicates: u64) -> bool {
+        self.sizes
+            .iter()
+            .zip(&self.expected)
+            .all(|(&s, &e)| s <= 2 * e + max_duplicates)
+    }
+
+    /// Mean over a subset of nodes (Table 3's heterogeneous rows report the
+    /// mean/max over the *fastest* nodes).
+    pub fn mean_size_of(&self, nodes: &[usize]) -> f64 {
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        nodes.iter().map(|&i| self.sizes[i] as f64).sum::<f64>() / nodes.len() as f64
+    }
+
+    /// Max over a subset of nodes.
+    pub fn max_size_of(&self, nodes: &[usize]) -> u64 {
+        nodes.iter().map(|&i| self.sizes[i]).max().unwrap_or(0)
+    }
+
+    /// Expansion over a subset of nodes.
+    pub fn expansion_of(&self, nodes: &[usize]) -> f64 {
+        nodes
+            .iter()
+            .filter(|&&i| self.expected[i] > 0)
+            .map(|&i| self.sizes[i] as f64 / self.expected[i] as f64)
+            .fold(1.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_homogeneous_balance() {
+        let lb = LoadBalance::new(vec![25, 25, 25, 25], &PerfVector::homogeneous(4));
+        assert_eq!(lb.expansion(), 1.0);
+        assert_eq!(lb.mean_size(), 25.0);
+        assert_eq!(lb.max_size(), 25);
+        assert!(lb.within_psrs_bound(0));
+    }
+
+    #[test]
+    fn heterogeneous_targets() {
+        // perf {1,1,4,4}, n = 100 → expected 10,10,40,40.
+        let lb = LoadBalance::new(vec![12, 9, 39, 40], &PerfVector::paper_1144());
+        assert_eq!(lb.expected, vec![10, 10, 40, 40]);
+        assert!((lb.expansion() - 1.2).abs() < 1e-12);
+        assert!(lb.within_psrs_bound(0));
+    }
+
+    #[test]
+    fn expansion_detects_overload() {
+        let lb = LoadBalance::new(vec![90, 10], &PerfVector::homogeneous(2));
+        assert!((lb.expansion() - 1.8).abs() < 1e-12);
+        assert!(lb.within_psrs_bound(0)); // 90 <= 2·50
+        // With p = 2 the max can never exceed 2·(n/2), so use p = 3.
+        let lb2 = LoadBalance::new(vec![90, 0, 0], &PerfVector::homogeneous(3));
+        assert!(!lb2.within_psrs_bound(0)); // 90 > 2·30
+        assert!(lb2.within_psrs_bound(30));
+    }
+
+    #[test]
+    fn rounding_keeps_totals() {
+        // n = 10 over perf {1,1,1}: expected must sum to 10.
+        let lb = LoadBalance::new(vec![4, 3, 3], &PerfVector::homogeneous(3));
+        assert_eq!(lb.expected.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let lb = LoadBalance::new(vec![0, 0], &PerfVector::homogeneous(2));
+        assert_eq!(lb.expansion(), 1.0);
+        assert_eq!(lb.mean_size(), 0.0);
+        assert!(lb.within_psrs_bound(0));
+    }
+
+    #[test]
+    fn subset_views_match_table3_reporting() {
+        // Paper reports mean/max/S(max) over the two fastest nodes.
+        let lb = LoadBalance::new(vec![1_700_000, 1_650_000, 6_900_000, 6_700_000], &PerfVector::paper_1144());
+        let fast = [2usize, 3];
+        assert_eq!(lb.max_size_of(&fast), 6_900_000);
+        assert!((lb.mean_size_of(&fast) - 6_800_000.0).abs() < 1.0);
+        assert!(lb.expansion_of(&fast) > 1.0);
+        assert!(lb.expansion_of(&fast) < 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per node")]
+    fn length_mismatch_rejected() {
+        let _ = LoadBalance::new(vec![1, 2, 3], &PerfVector::homogeneous(2));
+    }
+}

@@ -1,0 +1,158 @@
+//! Partitioning sorted data at the pivots.
+//!
+//! Records `x` with `x <= pivot[0]` go to partition 0, `pivot[j-1] < x <=
+//! pivot[j]` to partition `j`, and everything above the last pivot to
+//! partition `p−1`. For *sorted* data the partitions are contiguous ranges,
+//! found by binary search in-core ([`partition_ranges`]) or by a single
+//! streaming pass with pivot advancement out-of-core
+//! ([`partition_file_streaming`] — the paper's step 3, `2·Q/B` I/Os).
+
+use pdm::{Disk, PdmResult, Record};
+
+/// Partition boundaries of a **sorted** slice: returns `p+1` cut indices
+/// (`cuts[0] = 0`, `cuts[p] = len`); partition `j` is `data[cuts[j]..cuts[j+1]]`.
+pub fn partition_ranges<R: Record>(sorted: &[R], pivots: &[R]) -> Vec<usize> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    debug_assert!(pivots.windows(2).all(|w| w[0] <= w[1]), "pivots must be sorted");
+    let mut cuts = Vec::with_capacity(pivots.len() + 2);
+    cuts.push(0);
+    for pv in pivots {
+        // Upper bound: first index with element > pivot.
+        let cut = sorted.partition_point(|x| x <= pv);
+        cuts.push(cut.max(*cuts.last().unwrap()));
+    }
+    cuts.push(sorted.len());
+    cuts
+}
+
+/// Comparison estimate for [`partition_ranges`]: one binary search per
+/// pivot.
+pub fn partition_comparisons(len: u64, pivots: usize) -> u64 {
+    if len < 2 {
+        return pivots as u64;
+    }
+    pivots as u64 * (64 - (len - 1).leading_zeros()) as u64
+}
+
+/// Splits a **sorted** disk file into `pivots.len() + 1` partition files
+/// named `"{prefix}{j}"` with one streaming pass. Returns the partition
+/// sizes.
+pub fn partition_file_streaming<R: Record>(
+    disk: &Disk,
+    input: &str,
+    prefix: &str,
+    pivots: &[R],
+) -> PdmResult<Vec<u64>> {
+    let p = pivots.len() + 1;
+    let mut reader = disk.open_reader::<R>(input)?;
+    let mut sizes = vec![0u64; p];
+    let mut writers = (0..p)
+        .map(|j| disk.create_writer::<R>(&format!("{prefix}{j}")))
+        .collect::<PdmResult<Vec<_>>>()?;
+    let mut j = 0usize;
+    let mut prev: Option<R> = None;
+    while let Some(x) = reader.next_record()? {
+        if let Some(pr) = prev {
+            debug_assert!(pr <= x, "partition input {input:?} is not sorted");
+        }
+        prev = Some(x);
+        // Advance to the first partition whose pivot admits x.
+        while j < pivots.len() && x > pivots[j] {
+            j += 1;
+        }
+        writers[j].push(x)?;
+        sizes[j] += 1;
+    }
+    for w in writers {
+        w.finish()?;
+    }
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Disk;
+
+    #[test]
+    fn ranges_basic() {
+        let data: Vec<u32> = (0..10).collect(); // 0..9
+        let cuts = partition_ranges(&data, &[2, 6]);
+        // <=2 → [0,1,2]; <=6 → [3..6]; rest → [7,8,9].
+        assert_eq!(cuts, vec![0, 3, 7, 10]);
+    }
+
+    #[test]
+    fn ranges_with_duplicates_at_pivot() {
+        let data = vec![1u32, 2, 2, 2, 3];
+        let cuts = partition_ranges(&data, &[2]);
+        // All the 2s go left of the cut (x <= pivot).
+        assert_eq!(cuts, vec![0, 4, 5]);
+    }
+
+    #[test]
+    fn ranges_extreme_pivots() {
+        let data = vec![5u32, 6, 7];
+        assert_eq!(partition_ranges(&data, &[0]), vec![0, 0, 3]);
+        assert_eq!(partition_ranges(&data, &[100]), vec![0, 3, 3]);
+        assert_eq!(partition_ranges(&data, &[]), vec![0, 3]);
+    }
+
+    #[test]
+    fn ranges_empty_data() {
+        let data: Vec<u32> = vec![];
+        assert_eq!(partition_ranges(&data, &[1, 2]), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ranges_equal_pivots_make_empty_middle() {
+        let data: Vec<u32> = (0..10).collect();
+        let cuts = partition_ranges(&data, &[4, 4]);
+        assert_eq!(cuts, vec![0, 5, 5, 10]);
+    }
+
+    #[test]
+    fn streaming_matches_in_core() {
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        disk.write_file("in", &data).unwrap();
+        let pivots = vec![30u32, 31, 120];
+        let sizes = partition_file_streaming(&disk, "in", "part", &pivots).unwrap();
+        let cuts = partition_ranges(&data, &pivots);
+        for j in 0..4 {
+            let expect = &data[cuts[j]..cuts[j + 1]];
+            assert_eq!(
+                disk.read_file::<u32>(&format!("part{j}")).unwrap(),
+                expect,
+                "partition {j}"
+            );
+            assert_eq!(sizes[j], expect.len() as u64);
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn streaming_single_partition() {
+        let disk = Disk::in_memory(16);
+        disk.write_file::<u32>("in", &[1, 2, 3]).unwrap();
+        let sizes = partition_file_streaming::<u32>(&disk, "in", "q", &[]).unwrap();
+        assert_eq!(sizes, vec![3]);
+        assert_eq!(disk.read_file::<u32>("q0").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn streaming_empty_file() {
+        let disk = Disk::in_memory(16);
+        disk.write_file::<u32>("in", &[]).unwrap();
+        let sizes = partition_file_streaming::<u32>(&disk, "in", "e", &[5]).unwrap();
+        assert_eq!(sizes, vec![0, 0]);
+        assert!(disk.read_file::<u32>("e0").unwrap().is_empty());
+        assert!(disk.read_file::<u32>("e1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comparison_estimate() {
+        assert_eq!(partition_comparisons(1024, 3), 3 * 10);
+        assert_eq!(partition_comparisons(0, 3), 3);
+    }
+}

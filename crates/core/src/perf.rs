@@ -1,0 +1,268 @@
+//! The performance vector and Equation 2 arithmetic.
+//!
+//! `perf[i]` is node `i`'s relative speed; the paper requires the input
+//! size to satisfy
+//!
+//! ```text
+//! n = k · lcm(perf) · (perf[0] + … + perf[p−1])          (Equation 2)
+//! ```
+//!
+//! so that every share `l_i = n · perf[i] / Σ perf` is a whole multiple of
+//! `lcm(perf)` and the regular-sampling positions land on integers. The
+//! paper pads its heterogeneous experiment from 16 777 216 to 16 777 220
+//! for exactly this reason; [`PerfVector::padded_size`] does the same.
+
+use std::fmt;
+
+/// A validated performance vector.
+///
+/// ```
+/// use hetsort::PerfVector;
+///
+/// // The paper's worked example: perf {8,5,3,1} → lcm 120, n = 2040.
+/// let pv = PerfVector::new(vec![8, 5, 3, 1]);
+/// assert_eq!(pv.lcm(), 120);
+/// assert_eq!(pv.padded_size(2000), 2040);
+/// assert_eq!(pv.shares(2040), vec![960, 600, 360, 120]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfVector {
+    perf: Vec<u64>,
+}
+
+/// Greatest common divisor.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (checked; panics on overflow, which would need
+/// absurd perf values).
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+impl PerfVector {
+    /// Creates a performance vector.
+    ///
+    /// # Panics
+    /// Panics if `perf` is empty or contains zeros.
+    pub fn new(perf: Vec<u64>) -> Self {
+        assert!(!perf.is_empty(), "perf vector must be non-empty");
+        assert!(
+            perf.iter().all(|&x| x > 0),
+            "perf entries must be positive: {perf:?}"
+        );
+        PerfVector { perf }
+    }
+
+    /// The homogeneous vector of `p` ones.
+    pub fn homogeneous(p: usize) -> Self {
+        Self::new(vec![1; p])
+    }
+
+    /// The paper's experimental vector `{1, 1, 4, 4}` (two loaded nodes,
+    /// two 4×-faster nodes).
+    pub fn paper_1144() -> Self {
+        Self::new(vec![1, 1, 4, 4])
+    }
+
+    /// Number of nodes.
+    pub fn p(&self) -> usize {
+        self.perf.len()
+    }
+
+    /// Node `i`'s entry.
+    pub fn get(&self, i: usize) -> u64 {
+        self.perf[i]
+    }
+
+    /// The raw entries.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.perf
+    }
+
+    /// `Σ perf`.
+    pub fn total(&self) -> u64 {
+        self.perf.iter().sum()
+    }
+
+    /// `lcm(perf)`.
+    pub fn lcm(&self) -> u64 {
+        self.perf.iter().copied().fold(1, lcm)
+    }
+
+    /// Whether the vector is all-equal (the homogeneous case).
+    pub fn is_homogeneous(&self) -> bool {
+        self.perf.iter().all(|&x| x == self.perf[0])
+    }
+
+    /// An equivalent vector with entries divided by their gcd (e.g.
+    /// `{2,2,8,8} → {1,1,4,4}`); shares and pivot ranks are unchanged.
+    #[must_use]
+    pub fn normalized(&self) -> PerfVector {
+        let g = self.perf.iter().copied().fold(0, gcd).max(1);
+        PerfVector::new(self.perf.iter().map(|&x| x / g).collect())
+    }
+
+    /// The Equation 2 granule: `lcm(perf) · Σ perf`. Valid sizes are
+    /// positive multiples of this.
+    pub fn granule(&self) -> u64 {
+        self.lcm() * self.total()
+    }
+
+    /// Does `n` satisfy Equation 2?
+    pub fn is_valid_size(&self, n: u64) -> bool {
+        n > 0 && n.is_multiple_of(self.granule())
+    }
+
+    /// The smallest Equation-2-valid size ≥ `n` (the paper's padding:
+    /// 16 777 216 → 16 777 220 for `{1,1,4,4}`).
+    pub fn padded_size(&self, n: u64) -> u64 {
+        let g = self.granule();
+        n.max(1).div_ceil(g) * g
+    }
+
+    /// Node `i`'s share `l_i = n · perf[i] / Σ perf`.
+    ///
+    /// # Panics
+    /// Panics if `n` violates Equation 2.
+    pub fn share(&self, i: usize, n: u64) -> u64 {
+        assert!(
+            self.is_valid_size(n),
+            "input size {n} violates Equation 2 (granule {})",
+            self.granule()
+        );
+        n / self.total() * self.perf[i]
+    }
+
+    /// All shares; they sum to exactly `n`.
+    pub fn shares(&self, n: u64) -> Vec<u64> {
+        (0..self.p()).map(|i| self.share(i, n)).collect()
+    }
+
+    /// Cumulative perf before node `i` (`Σ_{j<i} perf[j]`), used for pivot
+    /// ranks.
+    pub fn cumulative(&self, i: usize) -> u64 {
+        self.perf[..i].iter().sum()
+    }
+}
+
+impl fmt::Display for PerfVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, x) in self.perf.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_8531() {
+        // perf {8,5,3,1}: lcm 120; with k = 1, n = 120·17 = 2040.
+        let pv = PerfVector::new(vec![8, 5, 3, 1]);
+        assert_eq!(pv.lcm(), 120);
+        assert_eq!(pv.total(), 17);
+        assert_eq!(pv.granule(), 2040);
+        assert!(pv.is_valid_size(2040));
+        assert_eq!(pv.shares(2040), vec![960, 600, 360, 120]);
+        // n = 120 + 3·120 + 5·120 + 8·120 = 2040 as in the paper.
+        assert_eq!(pv.shares(2040).iter().sum::<u64>(), 2040);
+    }
+
+    #[test]
+    fn paper_padding_1144() {
+        // The paper pads 2^24 to 16 777 220 for perf {1,1,4,4} (lcm 4,
+        // total 10, granule 40).
+        let pv = PerfVector::paper_1144();
+        assert_eq!(pv.granule(), 40);
+        assert_eq!(pv.padded_size(16_777_216), 16_777_240);
+        assert!(pv.is_valid_size(16_777_240));
+        // The paper's own 16 777 220 is NOT a granule multiple (220/40 =
+        // 419 430.5); it is divisible by total=10 only. Our stricter
+        // Equation 2 keeps shares lcm-aligned; see DESIGN.md.
+        assert!(!pv.is_valid_size(16_777_220));
+        let shares = pv.shares(16_777_240);
+        assert_eq!(shares, vec![1_677_724, 1_677_724, 6_710_896, 6_710_896]);
+    }
+
+    #[test]
+    fn homogeneous_shares_are_equal() {
+        let pv = PerfVector::homogeneous(4);
+        assert_eq!(pv.granule(), 4);
+        assert!(pv.is_valid_size(16_777_216));
+        assert_eq!(pv.shares(100), vec![25; 4]);
+        assert!(pv.is_homogeneous());
+    }
+
+    #[test]
+    fn padded_size_is_minimal_and_valid() {
+        let pv = PerfVector::new(vec![2, 3]);
+        let g = pv.granule(); // lcm 6 · total 5 = 30
+        assert_eq!(g, 30);
+        for n in [1u64, 29, 30, 31, 59, 60, 1000] {
+            let padded = pv.padded_size(n);
+            assert!(padded >= n);
+            assert!(pv.is_valid_size(padded));
+            assert!(padded - n < g, "padding overshot");
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_n() {
+        let pv = PerfVector::new(vec![1, 2, 3, 4, 5]);
+        let n = pv.padded_size(1_000_000);
+        assert_eq!(pv.shares(n).iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn normalization() {
+        let pv = PerfVector::new(vec![2, 2, 8, 8]);
+        assert_eq!(pv.normalized(), PerfVector::paper_1144());
+        let n = 80; // valid for both? granule {2,2,8,8}: lcm 8 · 20 = 160.
+        assert!(!pv.is_valid_size(n));
+        assert!(pv.is_valid_size(160));
+        // Shares agree on a commonly valid size.
+        let m = 160;
+        assert_eq!(pv.shares(m), PerfVector::paper_1144().shares(m * 4).iter().map(|x| x / 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cumulative_prefix_sums() {
+        let pv = PerfVector::new(vec![1, 1, 4, 4]);
+        assert_eq!(pv.cumulative(0), 0);
+        assert_eq!(pv.cumulative(1), 1);
+        assert_eq!(pv.cumulative(2), 2);
+        assert_eq!(pv.cumulative(3), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Equation 2")]
+    fn invalid_size_rejected_by_share() {
+        let pv = PerfVector::paper_1144();
+        let _ = pv.share(0, 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        let _ = PerfVector::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_entry_rejected() {
+        let _ = PerfVector::new(vec![1, 0]);
+    }
+}

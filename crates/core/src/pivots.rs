@@ -1,0 +1,178 @@
+//! Pivot selection from the gathered sample.
+//!
+//! The designated node sorts the gathered candidates and takes `p − 1`
+//! pivots at **cumulative-performance ranks**. With node `i` contributing
+//! `perf[i]·Σ perf` segment-start samples (sample total `S = (Σ perf)²`),
+//! every boundary quantile `g_j = cum_perf(j)/Σ perf` falls exactly on
+//! every node's sample grid, so the sorted sample contains a tight cluster
+//! of `p` samples (one per node) sitting at `g_j`, starting at rank
+//! `cum_perf(j)·Σ perf`. The pivot is taken from the middle of that
+//! cluster: rank `cum_perf(j)·Σ perf + p/2` — which in the homogeneous
+//! case (`Σ perf = p`, `cum_perf(j) = j`) is the paper's classic
+//! "`j·p + p/2`" position exactly.
+
+use pdm::Record;
+
+use crate::perf::PerfVector;
+
+/// Selects `p − 1` pivots from a **sorted** sample, at ranks proportional
+/// to cumulative performance.
+///
+/// The sample may be smaller than the ideal `(Σ perf)²` (tiny inputs);
+/// ranks are scaled into the actual sample size, clamped to valid indices.
+///
+/// # Panics
+/// Panics if the sample is unsorted (debug builds) or empty while `p > 1`.
+pub fn select_pivots<R: Record>(sample_sorted: &[R], perf: &PerfVector) -> Vec<R> {
+    let p = perf.p();
+    if p <= 1 {
+        return Vec::new();
+    }
+    assert!(
+        !sample_sorted.is_empty(),
+        "cannot pick pivots from an empty sample"
+    );
+    debug_assert!(
+        sample_sorted.windows(2).all(|w| w[0] <= w[1]),
+        "pivot sample must be sorted"
+    );
+    let s = sample_sorted.len() as u64;
+    let total = perf.total();
+    let ideal = total * total;
+    (1..p)
+        .map(|j| {
+            // Boundary cluster start + centring offset, then scale into the
+            // actual sample size if it differs from the ideal.
+            let ideal_rank = perf.cumulative(j) * total + p as u64 / 2;
+            let rank = if s == ideal {
+                ideal_rank
+            } else {
+                ideal_rank * s / ideal
+            };
+            sample_sorted[rank.min(s - 1) as usize]
+        })
+        .collect()
+}
+
+/// Pivot selection for the **quantile** strategy (Cérin–Gaudiot, §3.2):
+/// node `i` contributed `perf[i]·(p−1)` exact quantile ranks, so the sample
+/// is an order-statistics estimate rather than an aligned grid; the pivot
+/// for boundary fraction `g_j = cum_perf(j)/Σperf` is the standard quantile
+/// estimator rank `⌈g_j·(S+1)⌉ − 1`.
+///
+/// In the homogeneous case this lands in the middle of the `p`-sample
+/// cluster sitting at quantile `j/p` — the behaviour of the original
+/// algorithm. Heterogeneous vectors lose the exact alignment (that is the
+/// memory-for-precision trade of the variant), but stay within the 2×
+/// theorem.
+pub fn select_pivots_quantile<R: Record>(sample_sorted: &[R], perf: &PerfVector) -> Vec<R> {
+    let p = perf.p();
+    if p <= 1 {
+        return Vec::new();
+    }
+    assert!(
+        !sample_sorted.is_empty(),
+        "cannot pick pivots from an empty sample"
+    );
+    debug_assert!(
+        sample_sorted.windows(2).all(|w| w[0] <= w[1]),
+        "pivot sample must be sorted"
+    );
+    let s = sample_sorted.len() as u64;
+    let total = perf.total();
+    (1..p)
+        .map(|j| {
+            let rank = (perf.cumulative(j) * (s + 1)).div_ceil(total).saturating_sub(1);
+            sample_sorted[rank.min(s - 1) as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_matches_classic_psrs() {
+        // p = 4, sample size p² = 16 (values 0..16): pivots at ranks
+        // 4+2, 8+2, 12+2 = values 6, 10, 14.
+        let sample: Vec<u32> = (0..16).collect();
+        let pivots = select_pivots(&sample, &PerfVector::homogeneous(4));
+        assert_eq!(pivots, vec![6, 10, 14]);
+    }
+
+    #[test]
+    fn heterogeneous_ranks_follow_cumulative_perf() {
+        // perf {1,1,4,4}: Σ=10, p=4, sample size Σ²=100 (values 0..100).
+        // Boundaries at ranks 1·10+2, 2·10+2, 6·10+2 = 12, 22, 62.
+        let sample: Vec<u32> = (0..100).collect();
+        let pivots = select_pivots(&sample, &PerfVector::paper_1144());
+        assert_eq!(pivots, vec![12, 22, 62]);
+    }
+
+    #[test]
+    fn pivot_count_is_p_minus_one() {
+        let sample: Vec<u32> = (0..100).collect();
+        for p in 1..8 {
+            let pv = PerfVector::homogeneous(p);
+            assert_eq!(select_pivots(&sample, &pv).len(), p.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn pivots_are_nondecreasing() {
+        let sample: Vec<u32> = (0..55).map(|i| i * 7 % 100).collect();
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        let pivots = select_pivots(&sorted, &PerfVector::new(vec![3, 1, 2]));
+        assert!(pivots.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn undersized_sample_scales_ranks() {
+        // Ideal sample 100 but only 10 candidates: ranks scale by 1/10.
+        let sample: Vec<u32> = (0..10).collect();
+        let pivots = select_pivots(&sample, &PerfVector::paper_1144());
+        assert_eq!(pivots.len(), 3);
+        assert!(pivots.windows(2).all(|w| w[0] <= w[1]));
+        assert!(pivots.iter().all(|&x| x < 10));
+        // The last boundary (cum perf 6 of 10) stays in the upper half.
+        assert!(pivots[2] >= 5);
+    }
+
+    #[test]
+    fn quantile_selector_centers_clusters_homogeneous() {
+        // p = 4, sample (p−1)·p = 12 values 0..12, one 4-sample cluster per
+        // interior quantile (ranks 0–3, 4–7, 8–11): each boundary pivot
+        // must land inside its own cluster, not the next one.
+        let sample: Vec<u32> = (0..12).collect();
+        let pivots = select_pivots_quantile(&sample, &PerfVector::homogeneous(4));
+        assert_eq!(pivots, vec![3, 6, 9]);
+        assert!(pivots[0] < 4 && (4..8).contains(&pivots[1]) && (8..12).contains(&pivots[2]));
+    }
+
+    #[test]
+    fn quantile_selector_heterogeneous_fractions() {
+        // perf {1,1,4,4}: sample (p−1)·Σ = 30, boundary fractions 0.1,
+        // 0.2, 0.6 → ranks ~2, ~5, ~17.
+        let sample: Vec<u32> = (0..30).collect();
+        let pivots = select_pivots_quantile(&sample, &PerfVector::paper_1144());
+        assert!(pivots.windows(2).all(|w| w[0] <= w[1]));
+        assert!((1..=4).contains(&pivots[0]), "pivot0 {}", pivots[0]);
+        assert!((4..=8).contains(&pivots[1]), "pivot1 {}", pivots[1]);
+        assert!((16..=20).contains(&pivots[2]), "pivot2 {}", pivots[2]);
+    }
+
+    #[test]
+    fn single_node_needs_no_pivots() {
+        let sample: Vec<u32> = vec![1, 2, 3];
+        assert!(select_pivots(&sample, &PerfVector::homogeneous(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let sample: Vec<u32> = vec![];
+        let _ = select_pivots(&sample, &PerfVector::homogeneous(2));
+    }
+}

@@ -1,0 +1,353 @@
+//! High-level trial runner: the one-call path used by the benchmark
+//! binaries and the examples.
+//!
+//! A [`TrialConfig`] names the hardware (speed factors, disk, network), the
+//! *declared* performance vector (the paper deliberately mismatches the two
+//! in Table 3's first row), the workload and the algorithm. [`run_trial`]
+//! provisions the simulated cluster, generates each node's block on its own
+//! disk, resets the clocks (the paper excludes the initial distribution
+//! from its timings), runs the sort, verifies the result, and returns the
+//! paper-style row: execution time, partition sizes, sublist expansion,
+//! traffic and I/O totals, and the per-phase breakdown.
+
+use cluster::{run_cluster, ClusterSpec, NetworkModel, StorageKind};
+use extsort::{fingerprint_file, is_sorted_file, Fingerprint};
+use pdm::PdmResult;
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+use crate::external::{psrs_external, ExternalPsrsConfig};
+use crate::metrics::LoadBalance;
+use crate::overpartition::{overpartition_external, OverpartitionConfig};
+use crate::perf::PerfVector;
+
+/// Which sorting algorithm a trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// The paper's Algorithm 1 (external heterogeneous PSRS).
+    ExternalPsrs,
+    /// Li & Sevcik overpartitioning, external variant (baseline).
+    OverpartitionExternal,
+}
+
+/// Full description of one experiment trial.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// Hardware speed factors (drive the cost model): the paper's loaded
+    /// cluster is `{1,1,4,4}` regardless of what the algorithm assumes.
+    pub hardware: Vec<u64>,
+    /// The perf vector the *algorithm* uses for data shares and pivots.
+    pub declared: PerfVector,
+    /// Input distribution.
+    pub bench: Benchmark,
+    /// Requested input size (padded up to Equation 2 validity).
+    pub n: u64,
+    /// Per-node memory budget in records.
+    pub mem_records: usize,
+    /// Polyphase tape files.
+    pub tapes: usize,
+    /// Redistribution message size in records.
+    pub msg_records: usize,
+    /// Network fabric.
+    pub net: NetworkModel,
+    /// Disk backend.
+    pub storage: StorageKind,
+    /// PDM block size in bytes.
+    pub block_bytes: usize,
+    /// Trial seed (vary per repetition).
+    pub seed: u64,
+    /// Timing jitter shape (0 = deterministic).
+    pub jitter: f64,
+    /// Algorithm under test.
+    pub algo: SortAlgo,
+    /// Overpartitioning factor (only for [`SortAlgo::OverpartitionExternal`]).
+    pub oversampling: u64,
+    /// Check output order and input/output permutation equality.
+    pub verify: bool,
+    /// Use the fused partition+redistribution path (extension; `false`
+    /// reproduces the paper's Algorithm 1 literally).
+    pub fused: bool,
+}
+
+impl TrialConfig {
+    /// Paper-defaults trial: Algorithm 1, uniform input, Fast-Ethernet,
+    /// SCSI disks, 32 Kb messages, 16 tapes, memory for ~1 Mi records.
+    pub fn new(hardware: Vec<u64>, declared: PerfVector, n: u64) -> Self {
+        TrialConfig {
+            hardware,
+            declared,
+            bench: Benchmark::Uniform,
+            n,
+            mem_records: 1 << 20,
+            tapes: 16,
+            msg_records: 8 * 1024,
+            net: NetworkModel::fast_ethernet(),
+            storage: StorageKind::Memory,
+            block_bytes: 32 * 1024,
+            seed: 1,
+            jitter: 0.03,
+            algo: SortAlgo::ExternalPsrs,
+            oversampling: 4,
+            verify: true,
+            fused: false,
+        }
+    }
+}
+
+/// What one trial produced (one row of a paper table).
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The padded input size actually sorted.
+    pub n: u64,
+    /// Virtual execution time of the sort (generation excluded), seconds.
+    pub time_secs: f64,
+    /// Final partition sizes vs. proportional targets.
+    pub balance: LoadBalance,
+    /// Per-phase makespan contributions: for each phase name, the maximum
+    /// across nodes of that node's time spent up to the end of the phase.
+    pub phase_ends: Vec<(String, f64)>,
+    /// Total block I/Os across all nodes.
+    pub total_io_blocks: u64,
+    /// Total bytes pushed into the network.
+    pub sent_bytes: u64,
+    /// Whether verification ran and passed (always true when `verify` was
+    /// set — failures panic with diagnostics).
+    pub verified: bool,
+}
+
+struct NodeReturn {
+    received: u64,
+    fp_in: Fingerprint,
+    fp_out: Fingerprint,
+    first: Option<u32>,
+    last: Option<u32>,
+}
+
+/// Runs one trial end to end. Panics on any correctness violation when
+/// `cfg.verify` is set.
+pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
+    let p = cfg.hardware.len();
+    assert_eq!(
+        cfg.declared.p(),
+        p,
+        "declared perf and hardware must have the same width"
+    );
+    let n = cfg.declared.padded_size(cfg.n);
+    let shares = cfg.declared.shares(n);
+    let layouts = Layout::cluster(&shares);
+
+    let spec = ClusterSpec::new(cfg.hardware.clone())
+        .with_net(cfg.net.clone())
+        .with_block_bytes(cfg.block_bytes)
+        .with_storage(cfg.storage)
+        .with_seed(cfg.seed)
+        .with_jitter(cfg.jitter);
+
+    let xcfg = ExternalPsrsConfig {
+        perf: cfg.declared.clone(),
+        mem_records: cfg.mem_records,
+        tapes: cfg.tapes,
+        msg_records: cfg.msg_records,
+        input: "input".into(),
+        output: "output".into(),
+        fused_redistribution: cfg.fused,
+    };
+    let ocfg = OverpartitionConfig::new(cfg.declared.clone())
+        .with_oversampling(cfg.oversampling);
+    let trial = cfg.clone();
+
+    let report = run_cluster(&spec, move |ctx| -> PdmResult<NodeReturn> {
+        generate_to_disk(&ctx.disk, "input", trial.bench, trial.seed, layouts[ctx.rank])?;
+        let fp_in = if trial.verify {
+            fingerprint_file::<u32>(&ctx.disk, "input")?
+        } else {
+            Fingerprint::default()
+        };
+        // The paper's timings exclude the initial distribution of data.
+        ctx.reset_timing();
+
+        let received = match trial.algo {
+            SortAlgo::ExternalPsrs => psrs_external::<u32>(ctx, &xcfg)?.received_records,
+            SortAlgo::OverpartitionExternal => {
+                overpartition_external::<u32>(
+                    ctx,
+                    &ocfg,
+                    trial.mem_records,
+                    trial.tapes,
+                    trial.msg_records,
+                    "input",
+                    "output",
+                )?
+                .received
+            }
+        };
+
+        let (fp_out, first, last) = if trial.verify {
+            assert!(
+                is_sorted_file::<u32>(&ctx.disk, "output")?,
+                "node {} produced an unsorted output",
+                ctx.rank
+            );
+            let fp = fingerprint_file::<u32>(&ctx.disk, "output")?;
+            let mut rd = ctx.disk.open_reader::<u32>("output")?;
+            let first = if rd.is_empty() { None } else { Some(rd.read_at(0)?) };
+            let last = if rd.is_empty() {
+                None
+            } else {
+                Some(rd.read_at(rd.len() - 1)?)
+            };
+            (fp, first, last)
+        } else {
+            (Fingerprint::default(), None, None)
+        };
+        Ok(NodeReturn {
+            received,
+            fp_in,
+            fp_out,
+            first,
+            last,
+        })
+    });
+
+    let mut returns = Vec::with_capacity(p);
+    for node in &report.nodes {
+        match &node.value {
+            Ok(r) => returns.push(r),
+            Err(e) => panic!("node failed: {e}"),
+        }
+    }
+
+    if cfg.verify {
+        // Permutation: combined output fingerprint equals combined input.
+        let fin = returns
+            .iter()
+            .fold(Fingerprint::default(), |acc, r| acc.combine(&r.fp_in));
+        let fout = returns
+            .iter()
+            .fold(Fingerprint::default(), |acc, r| acc.combine(&r.fp_out));
+        assert_eq!(fin, fout, "output is not a permutation of the input");
+        // Global order across node boundaries.
+        let mut prev_last: Option<u32> = None;
+        for (rank, r) in returns.iter().enumerate() {
+            if let (Some(pl), Some(f)) = (prev_last, r.first) {
+                assert!(
+                    pl <= f,
+                    "boundary violation between node {} and {rank}: {pl} > {f}",
+                    rank - 1
+                );
+            }
+            if r.last.is_some() {
+                prev_last = r.last;
+            }
+        }
+        let total: u64 = returns.iter().map(|r| r.received).sum();
+        assert_eq!(total, n, "records lost or duplicated");
+    }
+
+    let sizes: Vec<u64> = returns.iter().map(|r| r.received).collect();
+    let balance = LoadBalance::new(sizes, &cfg.declared);
+
+    // Per-phase maxima across nodes (phases are identical in order).
+    let mut phase_ends: Vec<(String, f64)> = Vec::new();
+    if let Some(first) = report.nodes.first() {
+        for (idx, mark) in first.phases.iter().enumerate() {
+            let end = report
+                .nodes
+                .iter()
+                .map(|nd| nd.phases.get(idx).map(|m| m.at.as_secs()).unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            phase_ends.push((mark.name.to_string(), end));
+        }
+    }
+
+    Ok(TrialResult {
+        n,
+        time_secs: report.makespan.as_secs(),
+        balance,
+        phase_ends,
+        total_io_blocks: report.total_io().total_blocks(),
+        sent_bytes: report.nodes.iter().map(|nd| nd.sent_bytes).sum(),
+        verified: cfg.verify,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TrialConfig {
+        let mut cfg = TrialConfig::new(
+            vec![1, 1, 4, 4],
+            PerfVector::paper_1144(),
+            8_000,
+        );
+        cfg.mem_records = 512;
+        cfg.tapes = 4;
+        cfg.msg_records = 256;
+        cfg.block_bytes = 256;
+        cfg
+    }
+
+    #[test]
+    fn trial_runs_and_verifies() {
+        let result = run_trial(&small_cfg()).unwrap();
+        assert!(result.verified);
+        assert!(result.time_secs > 0.0);
+        assert!(result.balance.expansion() < 2.0);
+        assert_eq!(result.balance.total(), result.n);
+        assert_eq!(result.phase_ends.len(), 5);
+        assert!(result.total_io_blocks > 0);
+        assert!(result.sent_bytes > 0);
+    }
+
+    #[test]
+    fn declared_vector_matters_on_heterogeneous_hardware() {
+        // Table 3's experiment: same loaded hardware, homogeneous vs
+        // correct declared vector. The correct vector must win clearly.
+        let mut wrong = small_cfg();
+        wrong.declared = PerfVector::homogeneous(4);
+        let mut right = small_cfg();
+        right.n = wrong.declared.padded_size(8_000); // same workload size
+        let t_wrong = run_trial(&wrong).unwrap().time_secs;
+        let t_right = run_trial(&right).unwrap().time_secs;
+        assert!(
+            t_right < t_wrong,
+            "declared {{1,1,4,4}} ({t_right:.2}s) must beat {{1,1,1,1}} ({t_wrong:.2}s)"
+        );
+    }
+
+    #[test]
+    fn overpartitioning_trial_runs() {
+        let mut cfg = small_cfg();
+        cfg.algo = SortAlgo::OverpartitionExternal;
+        let result = run_trial(&cfg).unwrap();
+        assert!(result.verified);
+        assert!(result.balance.expansion() < 3.0);
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let a = run_trial(&small_cfg()).unwrap();
+        let b = run_trial(&small_cfg()).unwrap();
+        assert_eq!(a.time_secs, b.time_secs);
+        assert_eq!(a.balance.sizes, b.balance.sizes);
+        let mut c_cfg = small_cfg();
+        c_cfg.seed = 999;
+        let c = run_trial(&c_cfg).unwrap();
+        assert_ne!(a.time_secs, c.time_secs);
+    }
+
+    #[test]
+    fn myrinet_does_not_help_much() {
+        // The paper's observation: the algorithm moves each record once, so
+        // a faster fabric barely changes the total time.
+        let fe = run_trial(&small_cfg()).unwrap();
+        let mut cfg = small_cfg();
+        cfg.net = NetworkModel::myrinet();
+        let my = run_trial(&cfg).unwrap();
+        let ratio = fe.time_secs / my.time_secs;
+        assert!(
+            (0.9..1.6).contains(&ratio),
+            "Myrinet changed time by {ratio:.2}× — network should not dominate"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Sampling strategies for pivot candidates.
+//!
+//! **Regular sampling** (PSRS, the paper's choice): node `i` takes
+//! `s_i = p · perf[i]` samples at evenly spaced positions of its *sorted*
+//! block. Because shares are proportional to `perf`, the spacing
+//! `l_i / s_i = n / (p · Σ perf)` is identical on every node — the property
+//! the paper highlights ("between any two consecutive pivots there is the
+//! same number of sorted elements") that makes the 2× load-balance theorem
+//! carry over to the heterogeneous case. In the homogeneous case this
+//! degenerates to the classic `p` samples per node (sample size `p²`).
+//!
+//! **Random oversampling** (Li & Sevcik): `c · perf[i]` uniform positions of
+//! the *unsorted* block; no pre-sort needed, weaker balance guarantees.
+//!
+//! **Quantile positions** (Cérin–Gaudiot HiPC 2000): the memory-light
+//! variant that takes sample positions as exact quantile ranks.
+
+use sim::rng::{Pcg64, Rng};
+
+/// Evenly spaced sample positions for a sorted block of `len` records,
+/// `count` samples at the **segment starts**: position `t` is
+/// `⌊t·len/count⌋` (local quantiles `0, 1/count, 2/count, …`).
+///
+/// Segment-start placement is the classic Shi–Schaeffer layout: the
+/// gathered sample then contains, for every boundary quantile, one sample
+/// from *every* node sitting exactly at that quantile, which is what makes
+/// the `p/2`-centred pivot ranks land on the boundary (see
+/// [`crate::pivots::select_pivots`]). Returns an empty vector when
+/// `len == 0` or `count == 0`.
+pub fn regular_positions(len: u64, count: u64) -> Vec<u64> {
+    if len == 0 || count == 0 {
+        return Vec::new();
+    }
+    let count = count.min(len);
+    (0..count).map(|t| t * len / count).collect()
+}
+
+/// The heterogeneous PSRS sample count for node `i`: `perf[i] · Σ perf`.
+///
+/// This generalizes the classic homogeneous choice (`p` samples per node,
+/// `p²` total): the sample total is `(Σ perf)²`, and — because node `i`'s
+/// quantile grid has spacing `1/(perf[i]·Σ perf)` — every boundary
+/// quantile `cum_perf(j)/Σ perf` lies **exactly** on every node's grid, so
+/// the floor terms that would otherwise skew heterogeneous pivot ranks
+/// vanish, and the 2× load-balance theorem survives unchanged.
+pub fn regular_sample_count(perf: &crate::perf::PerfVector, rank: usize) -> u64 {
+    perf.get(rank) * perf.total()
+}
+
+/// Uniformly random sample positions in `[0, len)` (sorted, possibly with
+/// repeats) — Li & Sevcik's candidate draw over *unsorted* data.
+pub fn random_positions(len: u64, count: u64, rng: &mut Pcg64) -> Vec<u64> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut pos: Vec<u64> = (0..count).map(|_| rng.below(len)).collect();
+    pos.sort_unstable();
+    pos
+}
+
+/// Exact quantile ranks: the `q`-th of `count` cut points of a block of
+/// `len` records (`q` in `1..=count`), i.e. `⌊q·len/(count+1)⌋`.
+pub fn quantile_positions(len: u64, count: u64) -> Vec<u64> {
+    if len == 0 || count == 0 {
+        return Vec::new();
+    }
+    (1..=count.min(len))
+        .map(|q| (q * len / (count.min(len) + 1)).min(len - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_positions_classic_stride() {
+        // len 12, 4 samples at segment starts → positions 0, 3, 6, 9.
+        assert_eq!(regular_positions(12, 4), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn regular_positions_start_at_zero() {
+        let pos = regular_positions(100, 7);
+        assert_eq!(pos[0], 0);
+        assert_eq!(pos.len(), 7);
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        assert!(*pos.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn regular_positions_identical_spacing_across_heterogeneous_nodes() {
+        // perf {1,1,4,4}, n = 4000: shares 400,400,1600,1600; counts
+        // perf·Σ = 10,10,40,40. Spacing l_i / s_i is 40 on every node.
+        for (len, count) in [(400u64, 10u64), (1600, 40)] {
+            let pos = regular_positions(len, count);
+            assert_eq!(pos[0], 0);
+            assert!(pos.windows(2).all(|w| w[1] - w[0] == len / count));
+        }
+    }
+
+    #[test]
+    fn regular_positions_degenerate() {
+        assert!(regular_positions(0, 5).is_empty());
+        assert!(regular_positions(5, 0).is_empty());
+        // More samples than records: clamps to one sample per record.
+        assert_eq!(regular_positions(3, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_count_formula() {
+        use crate::perf::PerfVector;
+        // Homogeneous p=4: the classic p samples per node (p² total).
+        let hom = PerfVector::homogeneous(4);
+        assert_eq!(regular_sample_count(&hom, 0), 4);
+        // Heterogeneous {1,1,4,4}: Σ=10 → 10 per slow node, 40 per fast.
+        let het = PerfVector::paper_1144();
+        assert_eq!(regular_sample_count(&het, 0), 10);
+        assert_eq!(regular_sample_count(&het, 2), 40);
+        // Boundary quantiles land exactly on every node's grid:
+        // cum(j)/Σ · s_i = cum(j)·perf_i ∈ ℤ.
+        for j in 1..4 {
+            for i in 0..4 {
+                // g_j · s_i = (cum(j)/Σ) · (perf_i·Σ) must be an integer.
+                let num = het.cumulative(j) * regular_sample_count(&het, i);
+                assert_eq!(num % het.total(), 0, "grid misalignment at j={j}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_positions_in_range_and_sorted() {
+        let mut rng = Pcg64::new(5);
+        let pos = random_positions(1000, 64, &mut rng);
+        assert_eq!(pos.len(), 64);
+        assert!(pos.iter().all(|&x| x < 1000));
+        assert!(pos.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn random_positions_empty_data() {
+        let mut rng = Pcg64::new(5);
+        assert!(random_positions(0, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn quantile_positions_are_interior() {
+        let pos = quantile_positions(100, 3);
+        assert_eq!(pos, vec![25, 50, 75]);
+        assert!(quantile_positions(0, 3).is_empty());
+        let tiny = quantile_positions(2, 5);
+        assert!(tiny.iter().all(|&x| x < 2));
+    }
+}

@@ -1,0 +1,118 @@
+//! External-sort configuration.
+
+/// How initial sorted runs are formed from the unsorted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunFormation {
+    /// Read one memory load (`M` records), sort it in-core, write it out.
+    /// Produces `⌈N/M⌉` runs of length `M`.
+    ChunkSort,
+    /// Replacement selection with a heap of `M` records. Produces runs of
+    /// expected length `2M` on random input (fewer, longer runs → fewer
+    /// merge passes), and a *single* run on already-sorted input.
+    ReplacementSelection,
+}
+
+/// Parameters for the sequential external sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtSortConfig {
+    /// Internal memory budget `M`, in records. Run formation sorts chunks of
+    /// this size; merging keeps one block per tape plus one output block.
+    pub mem_records: usize,
+    /// Total number of tape files available to polyphase merge sort (the
+    /// paper's "2m files for a (2m−1)-way merge"; Table 3 uses 15
+    /// intermediate files + the output). Minimum 3.
+    pub tapes: usize,
+    /// Initial run formation strategy.
+    pub run_formation: RunFormation,
+}
+
+impl ExtSortConfig {
+    /// A reasonable default: the paper's 16-file setup (15 intermediate
+    /// files, as in Table 3) with chunk-sort run formation.
+    pub fn new(mem_records: usize) -> Self {
+        ExtSortConfig {
+            mem_records,
+            tapes: 16,
+            run_formation: RunFormation::ChunkSort,
+        }
+    }
+
+    /// Sets the tape count (builder style).
+    #[must_use]
+    pub fn with_tapes(mut self, tapes: usize) -> Self {
+        self.tapes = tapes;
+        self
+    }
+
+    /// Sets the run-formation strategy (builder style).
+    #[must_use]
+    pub fn with_run_formation(mut self, rf: RunFormation) -> Self {
+        self.run_formation = rf;
+        self
+    }
+
+    /// Validates against a block size (records per block): memory must hold
+    /// one block per tape so the merge can stream.
+    ///
+    /// # Panics
+    /// Panics if the configuration cannot support a streaming merge.
+    pub fn validate(&self, records_per_block: usize) {
+        assert!(self.mem_records > 0, "memory budget must be positive");
+        assert!(
+            self.tapes >= 3,
+            "polyphase needs at least 3 tapes, got {}",
+            self.tapes
+        );
+        assert!(
+            self.mem_records >= self.tapes * records_per_block,
+            "memory budget {} records cannot buffer one {}-record block per tape ({} tapes)",
+            self.mem_records,
+            records_per_block,
+            self.tapes
+        );
+    }
+
+    /// Merge order (fan-in): tapes − 1.
+    pub fn merge_order(&self) -> usize {
+        self.tapes - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = ExtSortConfig::new(1 << 20);
+        assert_eq!(c.tapes, 16);
+        assert_eq!(c.merge_order(), 15);
+        assert_eq!(c.run_formation, RunFormation::ChunkSort);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExtSortConfig::new(4096)
+            .with_tapes(4)
+            .with_run_formation(RunFormation::ReplacementSelection);
+        assert_eq!(c.tapes, 4);
+        assert_eq!(c.run_formation, RunFormation::ReplacementSelection);
+    }
+
+    #[test]
+    fn validate_accepts_streaming_config() {
+        ExtSortConfig::new(64).with_tapes(4).validate(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 tapes")]
+    fn too_few_tapes() {
+        ExtSortConfig::new(1024).with_tapes(2).validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot buffer")]
+    fn memory_too_small_for_tapes() {
+        ExtSortConfig::new(32).with_tapes(16).validate(8);
+    }
+}

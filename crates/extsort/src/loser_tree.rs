@@ -1,0 +1,242 @@
+//! Tournament (loser) tree for k-way merging.
+//!
+//! The classic selection structure for external merging (Knuth §5.4.1):
+//! with `k` sorted input streams, producing each output record costs exactly
+//! `⌈log₂ k⌉` comparisons — replay the winner's path, recording losers.
+//! Exhausted streams are treated as carrying a `+∞` sentinel; ties are
+//! broken by stream index, which makes the merge **stable** with respect to
+//! input order and therefore deterministic.
+//!
+//! The tree counts its comparisons; the cost models charge CPU time from
+//! that count.
+
+use pdm::{PdmResult, Record};
+
+use crate::stream::RecordStream;
+
+/// A k-way merge over sorted [`RecordStream`]s.
+#[derive(Debug)]
+pub struct LoserTree<R: Record, S: RecordStream<R>> {
+    sources: Vec<S>,
+    /// Current head record of each source (`None` = exhausted).
+    heads: Vec<Option<R>>,
+    /// Internal nodes: `tree[j]` holds the *loser* source index at node `j`;
+    /// `tree[0]` holds the overall winner.
+    tree: Vec<usize>,
+    k: usize,
+    comparisons: u64,
+    produced: u64,
+}
+
+impl<R: Record, S: RecordStream<R>> LoserTree<R, S> {
+    /// Builds the tree and primes it with the first record of every source.
+    ///
+    /// An empty source list is allowed (the merge is immediately exhausted).
+    pub fn new(mut sources: Vec<S>) -> PdmResult<Self> {
+        let k = sources.len().max(1);
+        let mut heads = Vec::with_capacity(sources.len());
+        for s in &mut sources {
+            heads.push(s.next_record()?);
+        }
+        heads.resize(k, None);
+        let mut lt = LoserTree {
+            sources,
+            heads,
+            tree: vec![usize::MAX; k],
+            k,
+            comparisons: 0,
+            produced: 0,
+        };
+        lt.build();
+        Ok(lt)
+    }
+
+    /// Initial tournament: fills every internal node with its loser and
+    /// `tree[0]` with the overall winner. O(k) comparisons.
+    fn build(&mut self) {
+        self.tree = vec![usize::MAX; self.k];
+        let root_winner = self.init_node(1);
+        self.tree[0] = root_winner;
+    }
+
+    /// Recursively plays the sub-tournament rooted at implicit tree node
+    /// `node` (children `2·node`, `2·node+1`; nodes `>= k` are the leaves,
+    /// leaf `j` holding source `j − k`). Stores the loser at `node` and
+    /// returns the winner.
+    fn init_node(&mut self, node: usize) -> usize {
+        if node >= self.k {
+            return node - self.k;
+        }
+        let left = self.init_node(2 * node);
+        let right = self.init_node(2 * node + 1);
+        let (winner, loser) = if self.beats(left, right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.tree[node] = loser;
+        winner
+    }
+
+    /// Does source `a`'s head beat (sort before) source `b`'s head?
+    /// `None` (exhausted) loses to everything; ties break by index.
+    fn beats(&mut self, a: usize, b: usize) -> bool {
+        self.comparisons += 1;
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(x), Some(y)) => (x, a) < (y, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Pops the smallest head record, refilling from its source.
+    pub fn next_record(&mut self) -> PdmResult<Option<R>> {
+        let winner = self.tree[0];
+        let out = match self.heads.get(winner).copied().flatten() {
+            Some(r) => r,
+            None => return Ok(None),
+        };
+        // Refill the winning source and replay its path to the root.
+        self.heads[winner] = if winner < self.sources.len() {
+            self.sources[winner].next_record()?
+        } else {
+            None
+        };
+        let mut cand = winner;
+        let mut node = (winner + self.k) / 2;
+        while node >= 1 {
+            let stored = self.tree[node];
+            if stored != usize::MAX && self.beats(stored, cand) {
+                self.tree[node] = cand;
+                cand = stored;
+            }
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        self.tree[0] = cand;
+        self.produced += 1;
+        Ok(Some(out))
+    }
+
+    /// Comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Records produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Number of input streams.
+    pub fn fan_in(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl<R: Record, S: RecordStream<R>> RecordStream<R> for LoserTree<R, S> {
+    fn next_record(&mut self) -> PdmResult<Option<R>> {
+        LoserTree::next_record(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SliceStream;
+
+    fn merge_all(inputs: Vec<Vec<u32>>) -> Vec<u32> {
+        let sources: Vec<_> = inputs.into_iter().map(SliceStream::new).collect();
+        let mut lt = LoserTree::new(sources).unwrap();
+        let mut out = Vec::new();
+        while let Some(x) = lt.next_record().unwrap() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_two_sorted_runs() {
+        assert_eq!(
+            merge_all(vec![vec![1, 3, 5], vec![2, 4, 6]]),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn merges_many_runs_with_duplicates() {
+        let out = merge_all(vec![
+            vec![1, 1, 8],
+            vec![1, 5, 5],
+            vec![0, 9],
+            vec![],
+            vec![5],
+        ]);
+        assert_eq!(out, vec![0, 1, 1, 1, 5, 5, 5, 8, 9]);
+    }
+
+    #[test]
+    fn single_source_passthrough() {
+        assert_eq!(merge_all(vec![vec![2, 4, 9]]), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn no_sources() {
+        assert_eq!(merge_all(vec![]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_empty_sources() {
+        assert_eq!(merge_all(vec![vec![], vec![], vec![]]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn skewed_lengths() {
+        let long: Vec<u32> = (0..1000).map(|i| i * 2).collect();
+        let short = vec![1u32, 999, 1999];
+        let mut expect = [long.clone(), short.clone()].concat();
+        expect.sort_unstable();
+        assert_eq!(merge_all(vec![long, short]), expect);
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic() {
+        // k=16 runs of 64 each: ~ n * log2(k) = 1024 * 4 comparisons.
+        let inputs: Vec<Vec<u32>> = (0..16)
+            .map(|s| (0..64).map(|i| (i * 16 + s) as u32).collect())
+            .collect();
+        let sources: Vec<_> = inputs.into_iter().map(SliceStream::new).collect();
+        let mut lt = LoserTree::new(sources).unwrap();
+        while lt.next_record().unwrap().is_some() {}
+        assert_eq!(lt.produced(), 1024);
+        let per_record = lt.comparisons() as f64 / 1024.0;
+        assert!(
+            per_record <= 5.0,
+            "expected ~log2(16)=4 comparisons per record, got {per_record}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_equal_keys() {
+        // Two identical merges must produce identical sequences.
+        let a = merge_all(vec![vec![7; 10], vec![7; 10], vec![7; 3]]);
+        let b = merge_all(vec![vec![7; 10], vec![7; 10], vec![7; 3]]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 23);
+    }
+
+    #[test]
+    fn non_power_of_two_fanin() {
+        for k in [3usize, 5, 6, 7, 9, 11, 13] {
+            let inputs: Vec<Vec<u32>> = (0..k)
+                .map(|s| (0..50).map(|i| (i * k + s) as u32).collect())
+                .collect();
+            let merged = merge_all(inputs);
+            let expect: Vec<u32> = (0..(50 * k) as u32).collect();
+            assert_eq!(merged, expect, "fan-in {k}");
+        }
+    }
+}

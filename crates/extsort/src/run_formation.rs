@@ -1,0 +1,403 @@
+//! Initial run formation with polyphase distribution.
+//!
+//! Reads the unsorted input once and writes sorted runs directly onto the
+//! `T − 1` input tapes, laid out according to the **ideal (generalized
+//! Fibonacci) distribution** of Knuth §5.4.2 so that the polyphase merge
+//! terminates with a single run. Missing runs at the final level are
+//! recorded as *dummy runs* (they merge for free).
+//!
+//! Two strategies:
+//!
+//! * **Chunk sort** — one memory load at a time, `⌈N/M⌉` runs of length `M`
+//!   (what the paper's polyphase uses).
+//! * **Replacement selection** — a heap of `M` records produces runs of
+//!   expected length `2M` on random input and a single run on sorted input
+//!   (the classic optimization; exercised by the ablation benches).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use pdm::{BlockReader, Disk, PdmResult, Record};
+
+use crate::config::{ExtSortConfig, RunFormation};
+use crate::report::incore_sort_comparisons;
+
+/// Where the runs of one tape ended up.
+#[derive(Debug)]
+pub struct TapeRuns {
+    /// Disk file holding this tape's runs, concatenated front to back.
+    pub name: String,
+    /// Real run lengths, in order.
+    pub runs: VecDeque<u64>,
+    /// Dummy runs assigned to this tape by the ideal distribution.
+    pub dummies: u64,
+}
+
+/// The result of run formation: per-tape run layouts plus work accounting.
+#[derive(Debug)]
+pub struct FormedRuns {
+    /// One entry per input tape (`T − 1` of them).
+    pub tapes: Vec<TapeRuns>,
+    /// Total real runs across tapes.
+    pub total_runs: u64,
+    /// Records read from the input.
+    pub records: u64,
+    /// In-core comparison estimate for sorting the runs.
+    pub comparisons: u64,
+}
+
+/// Chooses a destination tape for each new run so that the final layout
+/// (real + dummy runs) matches an ideal polyphase level.
+///
+/// Level 0 is `(1, 0, …, 0)`; level `n` follows
+/// `dₙ[j] = dₙ₋₁[0] + dₙ₋₁[j+1]` (with `dₙ[k−1] = dₙ₋₁[0]`), the
+/// generalized Fibonacci recurrence of order `k`.
+#[derive(Debug)]
+pub struct Distributor {
+    ideal: Vec<u64>,
+    actual: Vec<u64>,
+    level: u32,
+}
+
+impl Distributor {
+    /// A distributor over `k ≥ 2` input tapes.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "polyphase needs at least 2 input tapes, got {k}");
+        let mut ideal = vec![0u64; k];
+        ideal[0] = 1;
+        Distributor {
+            ideal,
+            actual: vec![0u64; k],
+            level: 0,
+        }
+    }
+
+    /// Advances to the next ideal level.
+    fn level_up(&mut self) {
+        let prev = self.ideal.clone();
+        let k = prev.len();
+        for j in 0..k {
+            self.ideal[j] = prev[0] + if j + 1 < k { prev[j + 1] } else { 0 };
+        }
+        self.level += 1;
+    }
+
+    /// Assigns the next run to a tape (the one with the largest deficit
+    /// against the ideal level, lowest index on ties) and returns its index.
+    pub fn next_tape(&mut self) -> usize {
+        if self.deficit_total() == 0 {
+            self.level_up();
+        }
+        let j = (0..self.ideal.len())
+            .max_by_key(|&j| self.ideal[j] - self.actual[j])
+            .expect("non-empty tape set");
+        debug_assert!(self.ideal[j] > self.actual[j]);
+        self.actual[j] += 1;
+        j
+    }
+
+    /// Runs still missing to complete the current level.
+    fn deficit_total(&self) -> u64 {
+        self.ideal
+            .iter()
+            .zip(&self.actual)
+            .map(|(i, a)| i - a)
+            .sum()
+    }
+
+    /// Dummy runs per tape needed to pad the layout to the current level.
+    pub fn dummies(&self) -> Vec<u64> {
+        self.ideal
+            .iter()
+            .zip(&self.actual)
+            .map(|(i, a)| i - a)
+            .collect()
+    }
+
+    /// The ideal distribution currently targeted.
+    pub fn ideal(&self) -> &[u64] {
+        &self.ideal
+    }
+
+    /// The current level number.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+}
+
+/// Reads `input` once and distributes sorted runs over `k` fresh tape files
+/// named `"{job}.tape{j}"`.
+pub fn form_runs<R: Record>(
+    disk: &Disk,
+    input: &str,
+    job: &str,
+    k: usize,
+    cfg: &ExtSortConfig,
+) -> PdmResult<FormedRuns> {
+    let mut reader = disk.open_reader::<R>(input)?;
+    let names: Vec<String> = (0..k).map(|j| format!("{job}.tape{j}")).collect();
+    let mut writers = names
+        .iter()
+        .map(|n| disk.create_writer::<R>(n))
+        .collect::<PdmResult<Vec<_>>>()?;
+    let mut runs: Vec<VecDeque<u64>> = vec![VecDeque::new(); k];
+    let mut dist = Distributor::new(k);
+    let mut total_runs = 0u64;
+    let mut records = 0u64;
+    let mut comparisons = 0u64;
+
+    match cfg.run_formation {
+        RunFormation::ChunkSort => {
+            let mut chunk: Vec<R> = Vec::with_capacity(cfg.mem_records);
+            loop {
+                chunk.clear();
+                while chunk.len() < cfg.mem_records {
+                    match reader.next_record()? {
+                        Some(x) => chunk.push(x),
+                        None => break,
+                    }
+                }
+                if chunk.is_empty() {
+                    break;
+                }
+                chunk.sort_unstable();
+                comparisons += incore_sort_comparisons(chunk.len() as u64);
+                let t = dist.next_tape();
+                writers[t].push_all(&chunk)?;
+                runs[t].push_back(chunk.len() as u64);
+                total_runs += 1;
+                records += chunk.len() as u64;
+            }
+        }
+        RunFormation::ReplacementSelection => {
+            let (r, c, t) =
+                replacement_selection(&mut reader, &mut writers, &mut runs, &mut dist, cfg)?;
+            records = r;
+            comparisons = c;
+            total_runs = t;
+        }
+    }
+
+    for w in writers {
+        w.finish()?;
+    }
+    let dummies = dist.dummies();
+    let tapes = names
+        .into_iter()
+        .zip(runs)
+        .zip(dummies)
+        .map(|((name, runs), dummies)| TapeRuns {
+            name,
+            runs,
+            dummies,
+        })
+        .collect();
+    Ok(FormedRuns {
+        tapes,
+        total_runs,
+        records,
+        comparisons,
+    })
+}
+
+/// Replacement selection: a min-heap of `(generation, record)` produces
+/// maximal runs; records smaller than the last one emitted are deferred to
+/// the next generation.
+fn replacement_selection<R: Record>(
+    reader: &mut BlockReader<R>,
+    writers: &mut [pdm::BlockWriter<R>],
+    runs: &mut [VecDeque<u64>],
+    dist: &mut Distributor,
+    cfg: &ExtSortConfig,
+) -> PdmResult<(u64, u64, u64)> {
+    use std::cmp::Reverse;
+
+    let mut heap: BinaryHeap<Reverse<(u64, R)>> = BinaryHeap::with_capacity(cfg.mem_records);
+    let mut records = 0u64;
+    for _ in 0..cfg.mem_records {
+        match reader.next_record()? {
+            Some(x) => {
+                heap.push(Reverse((0, x)));
+                records += 1;
+            }
+            None => break,
+        }
+    }
+    let mut total_runs = 0u64;
+    let mut comparisons = 0u64;
+    let mut gen = 0u64;
+    while let Some(&Reverse((g, _))) = heap.peek() {
+        // Start a run for generation `g`.
+        debug_assert!(g >= gen);
+        gen = g;
+        let tape = dist.next_tape();
+        total_runs += 1;
+        let mut run_len = 0u64;
+        while let Some(&Reverse((g2, x))) = heap.peek() {
+            if g2 != gen {
+                break;
+            }
+            heap.pop();
+            writers[tape].push(x)?;
+            run_len += 1;
+            // Each heap pop/push costs ~log2(M) comparisons.
+            comparisons += heap_log2(cfg.mem_records);
+            if let Some(nxt) = reader.next_record()? {
+                records += 1;
+                // A record smaller than the one just emitted cannot extend
+                // the current run; defer it to the next generation.
+                let g_next = if nxt >= x { gen } else { gen + 1 };
+                heap.push(Reverse((g_next, nxt)));
+                comparisons += heap_log2(cfg.mem_records);
+            }
+        }
+        runs[tape].push_back(run_len);
+    }
+    Ok((records, comparisons, total_runs))
+}
+
+fn heap_log2(m: usize) -> u64 {
+    (usize::BITS - m.max(2).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Disk;
+
+    fn cfg(mem: usize) -> ExtSortConfig {
+        ExtSortConfig::new(mem).with_tapes(4)
+    }
+
+    #[test]
+    fn distributor_fibonacci_levels_k2() {
+        let mut d = Distributor::new(2);
+        assert_eq!(d.ideal(), &[1, 0]);
+        d.next_tape(); // consumes level 0
+        d.next_tape(); // forces level 1: (1,1) → one deficit left
+        assert_eq!(d.ideal(), &[1, 1]);
+        d.next_tape(); // level 2: (2,1)
+        assert_eq!(d.ideal(), &[2, 1]);
+        // Fibonacci totals: 1, 2, 3, 5, 8…
+        for _ in 0..2 {
+            d.next_tape();
+        }
+        assert_eq!(d.ideal().iter().sum::<u64>(), 5);
+        assert_eq!(d.ideal(), &[3, 2]);
+    }
+
+    #[test]
+    fn distributor_k3_levels() {
+        let mut d = Distributor::new(3);
+        // Levels for order-3: (1,0,0)=1, (1,1,1)=3, (2,2,1)? — recurrence:
+        // d1 = (1+0, 1+0, 1) = (1,1,1); d2 = (1+1, 1+1, 1) = (2,2,1).
+        d.next_tape();
+        d.next_tape();
+        assert_eq!(d.ideal(), &[1, 1, 1]);
+        for _ in 0..3 {
+            d.next_tape();
+        }
+        assert_eq!(d.ideal(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn distributor_dummies_complete_level() {
+        let mut d = Distributor::new(3);
+        for _ in 0..4 {
+            d.next_tape();
+        }
+        // 4 runs placed; level (2,2,1) totals 5 → one dummy somewhere.
+        assert_eq!(d.dummies().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn chunk_sort_forms_sorted_runs() {
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = vec![9, 3, 7, 1, 8, 2, 6, 4, 5, 0];
+        disk.write_file("in", &data).unwrap();
+        let formed = form_runs::<u32>(&disk, "in", "job", 3, &cfg(4)).unwrap();
+        assert_eq!(formed.records, 10);
+        assert_eq!(formed.total_runs, 3); // 4+4+2
+        // Each tape's runs are individually sorted.
+        for tape in &formed.tapes {
+            let content = disk.read_file::<u32>(&tape.name).unwrap();
+            let mut off = 0usize;
+            for &len in &tape.runs {
+                let run = &content[off..off + len as usize];
+                assert!(run.windows(2).all(|w| w[0] <= w[1]), "unsorted run");
+                off += len as usize;
+            }
+            assert_eq!(off, content.len());
+        }
+        // Ideal layout: real + dummies equals an ideal level.
+        let real: u64 = formed.tapes.iter().map(|t| t.runs.len() as u64).sum();
+        let dum: u64 = formed.tapes.iter().map(|t| t.dummies).sum();
+        assert_eq!(real, 3);
+        assert_eq!(real + dum, 3); // level (1,1,1) fits exactly
+    }
+
+    #[test]
+    fn empty_input_forms_no_runs() {
+        let disk = Disk::in_memory(16);
+        disk.write_file::<u32>("in", &[]).unwrap();
+        let formed = form_runs::<u32>(&disk, "in", "j", 3, &cfg(4)).unwrap();
+        assert_eq!(formed.total_runs, 0);
+        assert_eq!(formed.records, 0);
+    }
+
+    #[test]
+    fn replacement_selection_runs_are_longer() {
+        let disk = Disk::in_memory(64);
+        let mut rng = sim::Pcg64::new(42);
+        use sim::rng::Rng;
+        let data: Vec<u32> = (0..1000).map(|_| rng.next_u32()).collect();
+        disk.write_file("in", &data).unwrap();
+
+        let c_chunk = cfg(50);
+        let chunk = form_runs::<u32>(&disk, "in", "a", 3, &c_chunk).unwrap();
+        let c_rs = cfg(50).with_run_formation(RunFormation::ReplacementSelection);
+        let rs = form_runs::<u32>(&disk, "in", "b", 3, &c_rs).unwrap();
+        assert_eq!(rs.records, 1000);
+        assert!(
+            rs.total_runs < chunk.total_runs,
+            "replacement selection ({}) should beat chunking ({})",
+            rs.total_runs,
+            chunk.total_runs
+        );
+    }
+
+    #[test]
+    fn replacement_selection_sorted_input_single_run() {
+        let disk = Disk::in_memory(64);
+        let data: Vec<u32> = (0..500).collect();
+        disk.write_file("in", &data).unwrap();
+        let c = cfg(32).with_run_formation(RunFormation::ReplacementSelection);
+        let formed = form_runs::<u32>(&disk, "in", "j", 3, &c).unwrap();
+        assert_eq!(formed.total_runs, 1, "sorted input → one maximal run");
+        let tape = formed.tapes.iter().find(|t| !t.runs.is_empty()).unwrap();
+        assert_eq!(disk.read_file::<u32>(&tape.name).unwrap(), data);
+    }
+
+    #[test]
+    fn replacement_selection_preserves_multiset() {
+        let disk = Disk::in_memory(32);
+        let data: Vec<u32> = vec![5, 5, 1, 9, 1, 3, 3, 3, 0, 7, 2, 8];
+        disk.write_file("in", &data).unwrap();
+        let c = cfg(4).with_run_formation(RunFormation::ReplacementSelection);
+        let formed = form_runs::<u32>(&disk, "in", "j", 3, &c).unwrap();
+        let mut all: Vec<u32> = Vec::new();
+        for t in &formed.tapes {
+            all.extend(disk.read_file::<u32>(&t.name).unwrap());
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        all.sort_unstable();
+        assert_eq!(all, expect);
+        assert_eq!(formed.records, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 input tapes")]
+    fn distributor_needs_two_tapes() {
+        let _ = Distributor::new(1);
+    }
+}

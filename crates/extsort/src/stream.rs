@@ -1,0 +1,127 @@
+//! Fallible record streams.
+//!
+//! The merge machinery is generic over where records come from: a block
+//! file, an in-memory slice (tests), or a *bounded view* of the next `L`
+//! records of a tape (polyphase reads one run at a time from each tape).
+
+use pdm::{BlockReader, PdmResult, Record};
+
+/// A fallible source of records, like `Iterator` but with I/O errors.
+pub trait RecordStream<R: Record> {
+    /// Returns the next record, or `None` when exhausted.
+    fn next_record(&mut self) -> PdmResult<Option<R>>;
+}
+
+impl<R: Record> RecordStream<R> for BlockReader<R> {
+    fn next_record(&mut self) -> PdmResult<Option<R>> {
+        BlockReader::next_record(self)
+    }
+}
+
+/// An in-memory stream over a vector of records (mainly for tests and for
+/// merging in-core chunks).
+#[derive(Debug)]
+pub struct SliceStream<R> {
+    data: Vec<R>,
+    pos: usize,
+}
+
+impl<R: Record> SliceStream<R> {
+    /// Wraps a vector as a stream.
+    pub fn new(data: Vec<R>) -> Self {
+        SliceStream { data, pos: 0 }
+    }
+}
+
+impl<R: Record> RecordStream<R> for SliceStream<R> {
+    fn next_record(&mut self) -> PdmResult<Option<R>> {
+        if self.pos < self.data.len() {
+            let r = self.data[self.pos];
+            self.pos += 1;
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// A stream that yields at most `limit` records from an underlying stream —
+/// a *view of one run* on a tape whose cursor then stays positioned at the
+/// start of the next run.
+#[derive(Debug)]
+pub struct Bounded<'a, R: Record, S: RecordStream<R>> {
+    inner: &'a mut S,
+    left: u64,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, R: Record, S: RecordStream<R>> Bounded<'a, R, S> {
+    /// Takes the next `limit` records of `inner` as a sub-stream.
+    pub fn new(inner: &'a mut S, limit: u64) -> Self {
+        Bounded {
+            inner,
+            left: limit,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: Record, S: RecordStream<R>> RecordStream<R> for Bounded<'_, R, S> {
+    fn next_record(&mut self) -> PdmResult<Option<R>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        let r = self.inner.next_record()?;
+        debug_assert!(r.is_some(), "bounded stream ran past underlying end");
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::Disk;
+
+    fn drain<R: Record>(s: &mut impl RecordStream<R>) -> Vec<R> {
+        let mut out = Vec::new();
+        while let Some(x) = s.next_record().unwrap() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn slice_stream_yields_all() {
+        let mut s = SliceStream::new(vec![3u32, 1, 4, 1, 5]);
+        assert_eq!(drain(&mut s), vec![3, 1, 4, 1, 5]);
+        assert_eq!(s.next_record().unwrap(), None); // stays exhausted
+    }
+
+    #[test]
+    fn block_reader_is_a_stream() {
+        let disk = Disk::in_memory(16);
+        disk.write_file::<u32>("f", &[9, 8, 7]).unwrap();
+        let mut r = disk.open_reader::<u32>("f").unwrap();
+        assert_eq!(drain(&mut r), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn bounded_takes_prefix_and_leaves_cursor() {
+        let mut s = SliceStream::new((0u32..10).collect());
+        {
+            let mut b = Bounded::new(&mut s, 4);
+            assert_eq!(drain(&mut b), vec![0, 1, 2, 3]);
+            assert_eq!(b.next_record().unwrap(), None);
+        }
+        // The underlying stream continues where the bound left off.
+        assert_eq!(drain(&mut s), vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn bounded_zero_is_empty() {
+        let mut s = SliceStream::new(vec![1u32]);
+        let mut b = Bounded::new(&mut s, 0);
+        assert_eq!(b.next_record().unwrap(), None);
+    }
+}

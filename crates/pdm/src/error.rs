@@ -1,0 +1,105 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the PDM storage layer.
+#[derive(Debug)]
+pub enum PdmError {
+    /// An underlying OS I/O error (file backend).
+    Io(io::Error),
+    /// A named file does not exist on the disk.
+    NotFound(String),
+    /// A file already exists and `create` would clobber it.
+    AlreadyExists(String),
+    /// The on-disk byte length is not a whole number of records — the file
+    /// was truncated or corrupted.
+    Corrupt {
+        /// File name.
+        name: String,
+        /// Observed byte length.
+        bytes: u64,
+        /// Record size the reader expected.
+        record_size: usize,
+    },
+    /// A random access outside the file bounds.
+    OutOfRange {
+        /// File name.
+        name: String,
+        /// Requested record index.
+        index: u64,
+        /// Number of records in the file.
+        len: u64,
+    },
+}
+
+/// Result alias for storage operations.
+pub type PdmResult<T> = Result<T, PdmError>;
+
+impl fmt::Display for PdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdmError::Io(e) => write!(f, "I/O error: {e}"),
+            PdmError::NotFound(name) => write!(f, "file not found: {name:?}"),
+            PdmError::AlreadyExists(name) => write!(f, "file already exists: {name:?}"),
+            PdmError::Corrupt {
+                name,
+                bytes,
+                record_size,
+            } => write!(
+                f,
+                "file {name:?} is corrupt: {bytes} bytes is not a multiple of the \
+                 {record_size}-byte record size"
+            ),
+            PdmError::OutOfRange { name, index, len } => write!(
+                f,
+                "record index {index} out of range for file {name:?} of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PdmError {
+    fn from(e: io::Error) -> Self {
+        PdmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PdmError::NotFound("runs.0".into());
+        assert!(e.to_string().contains("runs.0"));
+        let e = PdmError::Corrupt {
+            name: "x".into(),
+            bytes: 7,
+            record_size: 4,
+        };
+        assert!(e.to_string().contains("corrupt"));
+        let e = PdmError::OutOfRange {
+            name: "x".into(),
+            index: 10,
+            len: 5,
+        };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: PdmError = io::Error::other("boom").into();
+        assert!(matches!(e, PdmError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,446 @@
+//! Typed, block-buffered file access.
+//!
+//! [`BlockWriter`] and [`BlockReader`] move records through a one-block
+//! buffer: every buffer fill/flush is exactly one metered block I/O, so the
+//! counters in [`crate::stats::IoStats`] reproduce the PDM cost measure. The
+//! reader also supports metered *random* access ([`BlockReader::read_at`]),
+//! which is what the pivot-sampling step of the paper's algorithm uses.
+
+use crate::disk::{Disk, RawFile};
+use crate::error::{PdmError, PdmResult};
+use crate::record::Record;
+
+/// Appends records to a disk file, one block at a time.
+#[derive(Debug)]
+pub struct BlockWriter<R: Record> {
+    raw: RawFile,
+    disk: Disk,
+    name: String,
+    buf: Vec<u8>,
+    records_per_block: usize,
+    written: u64,
+    finished: bool,
+    _marker: std::marker::PhantomData<R>,
+}
+
+/// Streams records from a disk file, one block at a time, with random access.
+#[derive(Debug)]
+pub struct BlockReader<R: Record> {
+    raw: RawFile,
+    disk: Disk,
+    name: String,
+    len: u64,
+    pos: u64,
+    /// Currently buffered block: record index range [buf_start, buf_end).
+    buf: Vec<u8>,
+    buf_start: u64,
+    buf_end: u64,
+    records_per_block: usize,
+    _marker: std::marker::PhantomData<R>,
+}
+
+fn records_per_block<R: Record>(disk: &Disk) -> usize {
+    let rpb = disk.block_bytes() / R::SIZE;
+    assert!(
+        rpb > 0,
+        "block size {} smaller than record size {}",
+        disk.block_bytes(),
+        R::SIZE
+    );
+    rpb
+}
+
+impl Disk {
+    /// Creates a file and returns a typed block writer for it.
+    pub fn create_writer<R: Record>(&self, name: &str) -> PdmResult<BlockWriter<R>> {
+        let raw = self.create_raw(name)?;
+        Ok(BlockWriter {
+            raw,
+            disk: self.clone(),
+            name: name.to_string(),
+            buf: Vec::with_capacity(self.block_bytes()),
+            records_per_block: records_per_block::<R>(self),
+            written: 0,
+            finished: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Opens a file and returns a typed block reader positioned at record 0.
+    ///
+    /// Fails with [`PdmError::Corrupt`] if the byte length is not a whole
+    /// number of records.
+    pub fn open_reader<R: Record>(&self, name: &str) -> PdmResult<BlockReader<R>> {
+        let (raw, bytes) = self.open_raw(name)?;
+        if bytes % R::SIZE as u64 != 0 {
+            return Err(PdmError::Corrupt {
+                name: name.to_string(),
+                bytes,
+                record_size: R::SIZE,
+            });
+        }
+        Ok(BlockReader {
+            raw,
+            disk: self.clone(),
+            name: name.to_string(),
+            len: bytes / R::SIZE as u64,
+            pos: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+            buf_end: 0,
+            records_per_block: records_per_block::<R>(self),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of records in a file (type-directed).
+    pub fn len_records<R: Record>(&self, name: &str) -> PdmResult<u64> {
+        let bytes = self.len_bytes(name)?;
+        if bytes % R::SIZE as u64 != 0 {
+            return Err(PdmError::Corrupt {
+                name: name.to_string(),
+                bytes,
+                record_size: R::SIZE,
+            });
+        }
+        Ok(bytes / R::SIZE as u64)
+    }
+
+    /// Convenience: writes an entire slice as a new file.
+    pub fn write_file<R: Record>(&self, name: &str, records: &[R]) -> PdmResult<()> {
+        let mut w = self.create_writer::<R>(name)?;
+        w.push_all(records)?;
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Convenience: reads an entire file into memory (metered).
+    pub fn read_file<R: Record>(&self, name: &str) -> PdmResult<Vec<R>> {
+        let mut r = self.open_reader::<R>(name)?;
+        let mut out = Vec::with_capacity(r.len() as usize);
+        while let Some(x) = r.next_record()? {
+            out.push(x);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Record> BlockWriter<R> {
+    /// Appends one record.
+    pub fn push(&mut self, r: R) -> PdmResult<()> {
+        debug_assert!(!self.finished, "push after finish");
+        let old = self.buf.len();
+        self.buf.resize(old + R::SIZE, 0);
+        r.write_to(&mut self.buf[old..]);
+        self.written += 1;
+        if self.buf.len() >= self.records_per_block * R::SIZE {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every record in the slice.
+    pub fn push_all(&mut self, rs: &[R]) -> PdmResult<()> {
+        for &r in rs {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Records pushed so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the partial last block and closes the file; returns the total
+    /// record count. Must be called — dropping an unfinished writer loses
+    /// the buffered tail (mirrors real buffered I/O) and debug-asserts.
+    pub fn finish(mut self) -> PdmResult<u64> {
+        if !self.buf.is_empty() {
+            self.flush_block()?;
+        }
+        self.raw.sync()?;
+        self.finished = true;
+        Ok(self.written)
+    }
+
+    /// File name this writer targets.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn flush_block(&mut self) -> PdmResult<()> {
+        self.raw.append(&self.buf)?;
+        self.disk.stats().on_write(self.buf.len() as u64);
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+impl<R: Record> Drop for BlockWriter<R> {
+    fn drop(&mut self) {
+        // Dropping mid-stream during error unwinding is legitimate (the
+        // file is garbage anyway); dropping with buffered records on the
+        // happy path is a forgotten finish() — catch it in debug builds.
+        debug_assert!(
+            self.finished || self.buf.is_empty() || std::thread::panicking(),
+            "BlockWriter for {:?} dropped with {} unflushed bytes — call finish()",
+            self.name,
+            self.buf.len()
+        );
+    }
+}
+
+impl<R: Record> BlockReader<R> {
+    /// Total number of records in the file.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current streaming position (record index).
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Records left to stream.
+    pub fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
+    /// File name this reader reads.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the next record, or `None` at end of file. Buffer refills are
+    /// metered as sequential block reads.
+    pub fn next_record(&mut self) -> PdmResult<Option<R>> {
+        if self.pos >= self.len {
+            return Ok(None);
+        }
+        if self.pos < self.buf_start || self.pos >= self.buf_end {
+            self.fill_block(self.pos, false)?;
+        }
+        let off = ((self.pos - self.buf_start) as usize) * R::SIZE;
+        let rec = R::read_from(&self.buf[off..off + R::SIZE]);
+        self.pos += 1;
+        Ok(Some(rec))
+    }
+
+    /// Repositions the streaming cursor (no I/O until the next read).
+    ///
+    /// # Panics
+    /// Panics if `idx > len` (positioning exactly at EOF is allowed).
+    pub fn seek(&mut self, idx: u64) {
+        assert!(idx <= self.len, "seek {idx} past end {}", self.len);
+        self.pos = idx;
+    }
+
+    /// Random access to the record at `idx`. Metered as a *random* block
+    /// read unless `idx` falls inside the currently buffered block.
+    pub fn read_at(&mut self, idx: u64) -> PdmResult<R> {
+        if idx >= self.len {
+            return Err(PdmError::OutOfRange {
+                name: self.name.clone(),
+                index: idx,
+                len: self.len,
+            });
+        }
+        if idx < self.buf_start || idx >= self.buf_end {
+            self.fill_block(idx, true)?;
+        }
+        let off = ((idx - self.buf_start) as usize) * R::SIZE;
+        Ok(R::read_from(&self.buf[off..off + R::SIZE]))
+    }
+
+    /// Loads the block containing record `idx` into the buffer.
+    fn fill_block(&mut self, idx: u64, random: bool) -> PdmResult<()> {
+        let rpb = self.records_per_block as u64;
+        let block_no = idx / rpb;
+        let start = block_no * rpb;
+        let end = (start + rpb).min(self.len);
+        let byte_off = start * R::SIZE as u64;
+        let want = ((end - start) as usize) * R::SIZE;
+        self.buf.resize(want, 0);
+        let got = self.raw.read_at(byte_off, &mut self.buf)?;
+        if got != want {
+            // The file shrank under us (torn write / concurrent truncate).
+            return Err(PdmError::Corrupt {
+                name: self.name.clone(),
+                bytes: byte_off + got as u64,
+                record_size: R::SIZE,
+            });
+        }
+        if random {
+            self.disk.stats().on_random_read(want as u64);
+        } else {
+            self.disk.stats().on_read(want as u64);
+        }
+        self.buf_start = start;
+        self.buf_end = end;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use crate::record::KeyPayload;
+    use crate::tempdir::ScratchDir;
+
+    fn disks() -> Vec<(Disk, Option<ScratchDir>)> {
+        let scratch = ScratchDir::new("pdm-file-test").unwrap();
+        let fd = Disk::on_files(scratch.path(), 16); // 4 u32 records per block
+        vec![(Disk::in_memory(16), None), (fd, Some(scratch))]
+    }
+
+    #[test]
+    fn write_then_stream_roundtrip() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..23).map(|i| i * 3).collect();
+            disk.write_file("f", &data).unwrap();
+            assert_eq!(disk.len_records::<u32>("f").unwrap(), 23);
+            assert_eq!(disk.read_file::<u32>("f").unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn empty_file() {
+        for (disk, _g) in disks() {
+            disk.write_file::<u32>("e", &[]).unwrap();
+            let mut r = disk.open_reader::<u32>("e").unwrap();
+            assert!(r.is_empty());
+            assert_eq!(r.next_record().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn io_is_metered_in_blocks() {
+        let disk = Disk::in_memory(16); // 4 u32 per block
+        let data: Vec<u32> = (0..10).collect(); // 2 full + 1 partial block
+        disk.write_file("m", &data).unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.blocks_written, 3);
+        assert_eq!(snap.bytes_written, 40);
+        disk.read_file::<u32>("m").unwrap();
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.blocks_read, 3);
+        assert_eq!(snap.bytes_read, 40);
+    }
+
+    #[test]
+    fn read_at_random_access() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..100).map(|i| i * 7).collect();
+            disk.write_file("r", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("r").unwrap();
+            assert_eq!(r.read_at(0).unwrap(), 0);
+            assert_eq!(r.read_at(99).unwrap(), 99 * 7);
+            assert_eq!(r.read_at(50).unwrap(), 350);
+            assert!(matches!(
+                r.read_at(100),
+                Err(PdmError::OutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn read_at_within_buffered_block_is_free() {
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = (0..8).collect();
+        disk.write_file("c", &data).unwrap();
+        let mut r = disk.open_reader::<u32>("c").unwrap();
+        r.read_at(0).unwrap();
+        let before = disk.stats().snapshot();
+        r.read_at(1).unwrap();
+        r.read_at(3).unwrap();
+        assert_eq!(disk.stats().snapshot().random_reads, before.random_reads);
+        r.read_at(4).unwrap(); // next block: one more random read
+        assert_eq!(
+            disk.stats().snapshot().random_reads,
+            before.random_reads + 1
+        );
+    }
+
+    #[test]
+    fn seek_then_stream() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..50).collect();
+            disk.write_file("s", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("s").unwrap();
+            r.seek(45);
+            let mut tail = Vec::new();
+            while let Some(x) = r.next_record().unwrap() {
+                tail.push(x);
+            }
+            assert_eq!(tail, vec![45, 46, 47, 48, 49]);
+            r.seek(50); // exactly EOF is allowed
+            assert_eq!(r.next_record().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_length_detected_on_open() {
+        for (disk, _g) in disks() {
+            disk.write_file::<u32>("x", &[1, 2, 3]).unwrap();
+            disk.truncate("x", 10).unwrap(); // 10 bytes: not a multiple of 4
+            assert!(matches!(
+                disk.open_reader::<u32>("x"),
+                Err(PdmError::Corrupt { .. })
+            ));
+            assert!(matches!(
+                disk.len_records::<u32>("x"),
+                Err(PdmError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn truncation_under_reader_detected() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..16).collect();
+            disk.write_file("t", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("t").unwrap();
+            assert_eq!(r.next_record().unwrap(), Some(0));
+            disk.truncate("t", 16).unwrap(); // drop the tail blocks
+            r.seek(8);
+            assert!(matches!(
+                r.next_record(),
+                Err(PdmError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn keypayload_files() {
+        for (disk, _g) in disks() {
+            let data: Vec<KeyPayload> =
+                (0..9).map(|i| KeyPayload::new(i as u64, i as u64 * 10)).collect();
+            disk.write_file("kp", &data).unwrap();
+            assert_eq!(disk.read_file::<KeyPayload>("kp").unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn writer_counts_records() {
+        let disk = Disk::in_memory(64);
+        let mut w = disk.create_writer::<u32>("w").unwrap();
+        w.push(1).unwrap();
+        w.push_all(&[2, 3, 4]).unwrap();
+        assert_eq!(w.written(), 4);
+        assert_eq!(w.finish().unwrap(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than record size")]
+    fn tiny_blocks_rejected() {
+        let disk = Disk::in_memory(8);
+        let _ = disk.create_writer::<KeyPayload>("oops");
+    }
+}

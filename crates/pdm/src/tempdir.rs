@@ -1,0 +1,91 @@
+//! Scratch directories for file-backed disks.
+//!
+//! A tiny self-contained replacement for the `tempfile` crate: creates a
+//! uniquely named directory under the system temp dir (or a caller-chosen
+//! root) and removes it on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory that is deleted (best-effort) when dropped.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Creates a fresh scratch directory under the system temp dir.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        Self::under(std::env::temp_dir(), prefix)
+    }
+
+    /// Creates a fresh scratch directory under `root`.
+    pub fn under(root: impl AsRef<Path>, prefix: &str) -> std::io::Result<Self> {
+        let unique = format!(
+            "{}-{}-{}",
+            prefix,
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = root.as_ref().join(unique);
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path, keep: false })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disables deletion on drop (for post-mortem inspection).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let d = ScratchDir::new("pdm-test").unwrap();
+            p = d.path().to_path_buf();
+            assert!(p.is_dir());
+            std::fs::write(p.join("x"), b"hello").unwrap();
+        }
+        assert!(!p.exists(), "directory should be removed on drop");
+    }
+
+    #[test]
+    fn keep_preserves() {
+        let p;
+        {
+            let mut d = ScratchDir::new("pdm-keep").unwrap();
+            d.keep();
+            p = d.path().to_path_buf();
+        }
+        assert!(p.exists());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = ScratchDir::new("pdm-dup").unwrap();
+        let b = ScratchDir::new("pdm-dup").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

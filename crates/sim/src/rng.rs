@@ -1,0 +1,406 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Experiments must be exactly reproducible from a single `u64` seed, across
+//! platforms and across runs, so we implement two small, well-known PRNGs
+//! in-repo rather than depending on the `rand` version du jour:
+//!
+//! * [`SplitMix64`] — the classic 64-bit mixer; used for seeding and cheap
+//!   stateless hashing.
+//! * [`Pcg64`] — PCG XSL-RR 128/64, a high-quality general-purpose generator;
+//!   used by the workload generators and the jitter models.
+//!
+//! Distribution helpers (uniform ranges, Gaussian via Marsaglia polar,
+//! log-normal, Zipf via rejection-inversion) live on the [`Rng`] trait so that
+//! both generators (and test doubles) share them.
+
+/// Minimal PRNG interface: a source of uniformly distributed `u64`s plus
+/// derived distribution helpers.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling gives [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// (debiased via rejection).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Rejection sampling on the widening multiply keeps the result exact.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Standard normal deviate (mean 0, variance 1) via the Marsaglia polar
+    /// method. Unbuffered: each call consumes fresh uniforms.
+    fn gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Log-normal deviate with the *median* at 1.0 and shape `sigma`:
+    /// `exp(sigma * N(0,1))`. Used as a multiplicative jitter factor.
+    fn lognormal(&mut self, sigma: f64) -> f64 {
+        (sigma * self.gaussian()).exp()
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a mixer. Primarily
+/// used to expand one user seed into many independent stream seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// One-shot stateless mix of `x`; useful for hashing small keys.
+    pub fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        // `mix` already folds in the golden-ratio increment, so emit first
+        // and advance afterwards to match the canonical splitmix64 stream.
+        let out = Self::mix(self.state);
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        out
+    }
+}
+
+/// PCG XSL-RR 128/64: 128-bit LCG state, 64-bit xorshift-rotate output.
+/// High statistical quality, 2^128 period, deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+const PCG_MULT: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+impl Pcg64 {
+    /// Creates a generator from a seed, on the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Creates a generator on an explicit stream; different streams with the
+    /// same seed are statistically independent.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        // Expand the 64-bit inputs into 128-bit state via SplitMix64.
+        let mut sm = SplitMix64::new(seed);
+        let s0 = sm.next_u64() as u128;
+        let s1 = sm.next_u64() as u128;
+        let mut sm2 = SplitMix64::new(stream);
+        let i0 = sm2.next_u64() as u128;
+        let i1 = sm2.next_u64() as u128;
+        let inc = (((i0 << 64) | i1) << 1) | 1; // must be odd
+        let mut rng = Pcg64 {
+            state: (s0 << 64) | s1,
+            inc,
+        };
+        // Warm up so that similar seeds diverge immediately.
+        rng.state = rng.state.wrapping_add(rng.inc);
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Derives an independent child generator; used to give each cluster node
+    /// or workload stream its own sequence from one master seed.
+    pub fn fork(&mut self, salt: u64) -> Pcg64 {
+        let seed = self.next_u64() ^ SplitMix64::mix(salt);
+        let stream = self.next_u64() ^ salt;
+        Pcg64::with_stream(seed, stream)
+    }
+}
+
+impl Rng for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULT)
+            .wrapping_add(self.inc);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+}
+
+/// A Zipf(α) sampler over `{0, 1, .., n-1}` (rank 0 is the most frequent).
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is O(1)
+/// per sample for any α > 0, α ≠ 1 handled via the generalized harmonic
+/// integral. Used by the duplicate-heavy workload.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha <= 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(alpha > 0.0, "Zipf exponent must be positive");
+        let nf = n as f64;
+        let h_x1 = Self::h(1.5, alpha) - 1.0;
+        let h_n = Self::h(nf + 0.5, alpha);
+        let s = 2.0 - Self::h_inv(Self::h(2.5, alpha) - (2.0f64).powf(-alpha), alpha);
+        Zipf {
+            n: nf,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    // H(x) = integral of x^-alpha  (antiderivative), with the alpha == 1 case
+    // degenerating to ln(x).
+    fn h(x: f64, alpha: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - alpha) / (1.0 - alpha)
+        }
+    }
+
+    fn h_inv(x: f64, alpha: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            ((1.0 - alpha) * x).powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 has the highest probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv(u, self.alpha);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.s
+                || u >= Self::h(k + 0.5, self.alpha) - k.powf(-self.alpha)
+            {
+                return k as usize - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the canonical splitmix64.c with seed 0.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn pcg_different_seeds_differ() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn pcg_streams_differ() {
+        let mut a = Pcg64::with_stream(7, 1);
+        let mut b = Pcg64::with_stream(7, 2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_produces_independent_children() {
+        let mut root = Pcg64::new(99);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let v1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Pcg64::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = r.below(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Pcg64::new(6);
+        for _ in 0..1000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Pcg64::new(8);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.gaussian();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut r = Pcg64::new(9);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal(0.3)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Pcg64::new(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut w = v.clone();
+        w.sort_unstable();
+        assert_eq!(w, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn zipf_rank0_most_frequent() {
+        let mut r = Pcg64::new(11);
+        let z = Zipf::new(100, 1.2);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99]);
+        // All samples in range is implied by the indexing not panicking.
+    }
+
+    #[test]
+    fn zipf_alpha_one_works() {
+        let mut r = Pcg64::new(12);
+        let z = Zipf::new(50, 1.0);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 50);
+        }
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut r = Pcg64::new(13);
+        let z = Zipf::new(1, 2.0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let mut r = SplitMix64::new(0);
+        let _ = r.below(0);
+    }
+}

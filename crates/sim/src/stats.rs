@@ -1,0 +1,197 @@
+//! Streaming summary statistics.
+//!
+//! The benchmark harness reports `mean ± deviation` over repeated trials just
+//! like the paper's tables do. [`Summary`] accumulates observations with
+//! Welford's numerically stable online algorithm.
+
+use std::fmt;
+
+/// Online mean / variance / min / max accumulator (Welford).
+///
+/// ```
+/// use sim::Summary;
+///
+/// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation: {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator; 0 for fewer than two
+    /// observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    /// Panics if the summary is empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.n > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    /// Panics if the summary is empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.n > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5} ± {:.5} (n={})", self.mean(), self.stddev(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_mean_and_stddev() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample stddev sqrt(32/7).
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::of(&xs);
+        let mut left = Summary::of(&xs[..20]);
+        let right = Summary::of(&xs[20..]);
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-10);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::of(&[1.0, 2.0]);
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&[1.0, 2.0]));
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation test: huge offset, tiny variance.
+        let base = 1e9;
+        let s = Summary::of(&[base + 4.0, base + 7.0, base + 13.0, base + 16.0]);
+        assert!((s.mean() - (base + 10.0)).abs() < 1e-3);
+        assert!((s.stddev() - (30.0f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+}

@@ -1,0 +1,134 @@
+//! Real-time CPU throttling.
+//!
+//! The paper emulates a heterogeneous cluster by *loading* two of its four
+//! identical Alpha nodes with forked competitor processes, making them ~4×
+//! slower. The primary reproduction path in this repo uses virtual time (the
+//! slowdown is a factor in the cost model), but for end-to-end demos that
+//! measure *wall-clock* time we also provide a [`Throttle`] that inserts
+//! calibrated busy work after each unit of real computation, stretching a
+//! node's effective speed by a chosen factor.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Inserts busy work so that a code section takes `slowdown`× longer.
+#[derive(Debug, Clone)]
+pub struct Throttle {
+    slowdown: f64,
+    /// Busy-loop iterations per microsecond, measured at construction.
+    iters_per_us: f64,
+}
+
+impl Throttle {
+    /// Creates a throttle with the given slowdown factor (1.0 = no-op).
+    ///
+    /// Calibrates the busy loop against the host CPU; calibration takes a few
+    /// milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `slowdown < 1.0`.
+    pub fn new(slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1, got {slowdown}");
+        let iters_per_us = if slowdown > 1.0 { calibrate() } else { 0.0 };
+        Throttle {
+            slowdown,
+            iters_per_us,
+        }
+    }
+
+    /// The configured slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Given that `elapsed` of real work just happened, burns
+    /// `elapsed * (slowdown - 1)` of additional CPU time.
+    pub fn pay(&self, elapsed: Duration) {
+        if self.slowdown <= 1.0 {
+            return;
+        }
+        let extra_us = elapsed.as_secs_f64() * 1e6 * (self.slowdown - 1.0);
+        burn((extra_us * self.iters_per_us) as u64);
+    }
+
+    /// Runs `f`, then burns enough extra CPU so the total takes ~`slowdown`×
+    /// the time `f` took. Returns `f`'s result.
+    pub fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.pay(start.elapsed());
+        out
+    }
+}
+
+/// Spin for `iters` iterations of opaque integer work.
+fn burn(iters: u64) {
+    let mut acc: u64 = 0x9E37_79B9;
+    for i in 0..iters {
+        acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+    }
+    black_box(acc);
+}
+
+/// Measures how many burn iterations fit in a microsecond on this host.
+fn calibrate() -> f64 {
+    // Warm up, then time a fixed batch a few times and keep the fastest rate
+    // (least descheduled) measurement.
+    burn(100_000);
+    let mut best = 0.0f64;
+    for _ in 0..4 {
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        burn(iters);
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        if us > 0.0 {
+            best = best.max(iters as f64 / us);
+        }
+    }
+    best.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_slowdown_is_noop() {
+        let t = Throttle::new(1.0);
+        let start = Instant::now();
+        t.pay(Duration::from_millis(100));
+        // No busy work should have happened.
+        assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn run_returns_value() {
+        let t = Throttle::new(1.0);
+        assert_eq!(t.run(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn throttle_stretches_time() {
+        let t = Throttle::new(3.0);
+        // Real work of ~3ms, throttled to ~9ms total.
+        let start = Instant::now();
+        t.run(|| burn(200_000));
+        let total = start.elapsed();
+        let unthrottled = {
+            let s = Instant::now();
+            burn(200_000);
+            s.elapsed()
+        };
+        // Allow generous scheduling slop; we only assert a clear stretch.
+        assert!(
+            total > unthrottled * 2,
+            "throttled {total:?} vs raw {unthrottled:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be >= 1")]
+    fn rejects_speedup() {
+        let _ = Throttle::new(0.5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the simulation primitives.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sim::rng::{Rng, Zipf};
+use sim::{Pcg64, SimDuration, SimTime, SplitMix64, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn simtime_merge_is_max(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let ta = SimTime::from_secs(a);
+        let tb = SimTime::from_secs(b);
+        let m = ta.merge(tb);
+        prop_assert!(m >= ta && m >= tb);
+        prop_assert!(m == ta || m == tb);
+        prop_assert_eq!(ta.merge(tb), tb.merge(ta));
+    }
+
+    #[test]
+    fn duration_arithmetic_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let da = SimDuration::from_secs(a);
+        let db = SimDuration::from_secs(b);
+        let sum = da + db;
+        prop_assert!((sum.as_secs() - (a + b)).abs() < 1e-9 * (1.0 + a + b));
+        prop_assert!(sum >= da && sum >= db);
+        // Subtraction saturates at zero.
+        prop_assert!((da - db).as_secs() >= 0.0);
+    }
+
+    #[test]
+    fn below_is_uniformish_and_bounded(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut rng = Pcg64::new(seed);
+        for _ in 0..200 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 0usize..200) {
+        let mut rng = Pcg64::new(seed);
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pcg_streams_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Pcg64::with_stream(seed, stream);
+        let mut b = Pcg64::with_stream(seed, stream);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_mix_is_injective_on_samples(xs in vec(any::<u64>(), 2..100)) {
+        // Not a proof of injectivity, but distinct inputs should hash
+        // distinctly on any realistic sample.
+        let mut hashes: Vec<u64> = xs.iter().map(|&x| SplitMix64::mix(x)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let mut unique = xs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(hashes.len(), unique.len());
+    }
+
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1usize..5000, alpha in 0.2f64..3.0) {
+        let mut rng = Pcg64::new(seed);
+        let z = Zipf::new(n, alpha);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn summary_matches_naive_computation(xs in vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn summary_merge_associative(xs in vec(-1e3f64..1e3, 0..60), ys in vec(-1e3f64..1e3, 0..60)) {
+        let mut left = Summary::of(&xs);
+        left.merge(&Summary::of(&ys));
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let whole = Summary::of(&all);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+}

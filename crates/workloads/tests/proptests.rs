@@ -1,0 +1,68 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use workloads::{generate_block, generate_whole, Benchmark, Layout};
+
+fn benchmark() -> impl Strategy<Value = Benchmark> {
+    (0usize..9).prop_map(Benchmark::from_id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generators_are_deterministic(bench in benchmark(), seed in any::<u64>(), len in 0u64..2000) {
+        let layout = Layout { node: 1, p: 4, len, offset: len, total: 4 * len };
+        prop_assert_eq!(
+            generate_block(bench, seed, layout),
+            generate_block(bench, seed, layout)
+        );
+    }
+
+    #[test]
+    fn generators_respect_length(bench in benchmark(), seed in any::<u64>(), len in 0u64..3000) {
+        let layout = Layout { node: 0, p: 2, len, offset: 0, total: 2 * len.max(1) };
+        prop_assert_eq!(generate_block(bench, seed, layout).len() as u64, len);
+    }
+
+    #[test]
+    fn nodes_generate_independent_blocks(seed in any::<u64>()) {
+        // Different nodes of the same benchmark must not produce identical
+        // random streams (they fork by rank).
+        let l0 = Layout { node: 0, p: 4, len: 256, offset: 0, total: 1024 };
+        let l1 = Layout { node: 1, p: 4, len: 256, offset: 256, total: 1024 };
+        let a = generate_block(Benchmark::Uniform, seed, l0);
+        let b = generate_block(Benchmark::Uniform, seed, l1);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sorted_benchmarks_are_globally_monotone(
+        shares in proptest::collection::vec(1u64..400, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let asc = generate_whole(Benchmark::Sorted, seed, &shares);
+        prop_assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let desc = generate_whole(Benchmark::ReverseSorted, seed, &shares);
+        prop_assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+        // They are reverses of each other (same key set).
+        let mut r = desc.clone();
+        r.reverse();
+        prop_assert_eq!(asc, r);
+    }
+
+    #[test]
+    fn whole_is_concatenation_of_blocks(
+        bench in benchmark(),
+        shares in proptest::collection::vec(1u64..300, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let whole = generate_whole(bench, seed, &shares);
+        let mut cat = Vec::new();
+        for layout in Layout::cluster(&shares) {
+            cat.extend(generate_block(bench, seed, layout));
+        }
+        prop_assert_eq!(whole, cat);
+    }
+}

@@ -1,0 +1,64 @@
+//! BSP cost analysis of Algorithm 1 (the paper's §5 heritage: "our
+//! previous codes were developed under the framework of BSP").
+//!
+//! ```sh
+//! cargo run --release --example bsp_analysis
+//! ```
+//!
+//! Runs the external sort on the `{1,1,4,4}` cluster, then prices every
+//! phase as a BSP superstep (`w + g·h + L`) and compares the summed
+//! prediction with the simulated makespan. The two cost models agree when
+//! waiting is barrier-shaped; the simulation comes in under the BSP bound
+//! because point-to-point messages pipeline.
+
+use cluster::bsp::{analyze, predicted_total, BspModel};
+use cluster::{run_cluster, ClusterSpec, NetworkModel};
+use hetsort::{psrs_external, ExternalPsrsConfig, PerfVector};
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+fn main() {
+    let perf = PerfVector::paper_1144();
+    let n = perf.padded_size(1 << 20);
+    let shares = perf.shares(n);
+    let layouts = Layout::cluster(&shares);
+    let net = NetworkModel::fast_ethernet();
+    let spec = ClusterSpec::new(vec![1, 1, 4, 4])
+        .with_net(net.clone())
+        .with_seed(33);
+    let msg_records = 8 * 1024;
+    let cfg = ExternalPsrsConfig::new(perf, 1 << 18).with_msg_records(msg_records);
+
+    let report = run_cluster(&spec, move |ctx| {
+        generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 33, layouts[ctx.rank])
+            .unwrap();
+        ctx.reset_timing();
+        psrs_external::<u32>(ctx, &cfg).unwrap();
+    });
+
+    let model = BspModel::from_network(&net, 4, msg_records * 4);
+    let steps = analyze(&report, &model);
+
+    println!("external PSRS of {n} records as BSP supersteps (g = {:.2e} s/B, L = {:.1} ms):\n", model.g, model.l * 1e3);
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "superstep", "w (s)", "h (MiB)", "w + g·h + L"
+    );
+    for s in &steps {
+        println!(
+            "{:<14} {:>10.3} {:>12.2} {:>11.3}s",
+            s.name,
+            s.w.as_secs(),
+            s.h_bytes as f64 / (1 << 20) as f64,
+            s.predicted.as_secs()
+        );
+    }
+    let predicted = predicted_total(&steps).as_secs();
+    let measured = report.makespan.as_secs();
+    println!("\nBSP predicted total: {predicted:.3}s");
+    println!("simulated makespan:  {measured:.3}s");
+    println!(
+        "ratio {:.2} — BSP upper-bounds the pipelined simulation, as expected",
+        predicted / measured
+    );
+    assert!(predicted >= measured * 0.8);
+}

@@ -1,0 +1,84 @@
+//! The paper's calibration protocol: fill the `perf` array by timing the
+//! sequential external sort on every node.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+//!
+//! "For an input size of N integers on a p-processor machine, we first
+//! execute the sequential external sort used in the parallel code on N/p
+//! data … the ratios to the slower execution time allow us to fill the
+//! perf array." — §5. We reproduce that: time each (simulated) node,
+//! compute the ratios, round, and hand the resulting vector to the sort.
+
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort_bench::sequential_polyphase_trial;
+use workloads::Benchmark;
+
+fn main() {
+    // The unknown hardware: some nodes are loaded. (In a real deployment
+    // you would not know these numbers — that is what calibration is for.)
+    let hardware = vec![2u64, 1, 4, 4];
+    let p = hardware.len();
+    let n_total: u64 = 1 << 20;
+    let n_probe = n_total / p as u64;
+
+    println!("calibrating {p} nodes with a {n_probe}-record sequential sort each…");
+    let max_speed = *hardware.iter().max().unwrap() as f64;
+    let times: Vec<f64> = hardware
+        .iter()
+        .map(|&speed| {
+            let slowdown = max_speed / speed as f64;
+            sequential_polyphase_trial(
+                n_probe,
+                (n_probe / 4) as usize,
+                8,
+                slowdown,
+                11,
+                0.02, // a little measurement noise, like real timings
+                false,
+                Benchmark::Uniform,
+            )
+            .0
+        })
+        .collect();
+
+    let slowest = times.iter().cloned().fold(0.0f64, f64::max);
+    let ratios: Vec<f64> = times.iter().map(|t| slowest / t).collect();
+    let perf: Vec<u64> = ratios.iter().map(|r| r.round().max(1.0) as u64).collect();
+    for (i, (t, r)) in times.iter().zip(&ratios).enumerate() {
+        println!("  node {i}: {t:.3}s  -> ratio to slowest {r:.2} -> perf {}", perf[i]);
+    }
+    let declared = PerfVector::new(perf);
+    println!("calibrated perf vector: {declared}");
+
+    // Now sort with it, on the same hardware.
+    let mut cfg = TrialConfig::new(hardware, declared.clone(), n_total);
+    cfg.bench = Benchmark::Uniform;
+    cfg.mem_records = 1 << 16;
+    cfg.tapes = 8;
+    cfg.seed = 11;
+    cfg.jitter = 0.02;
+    cfg.algo = SortAlgo::ExternalPsrs;
+    let with_cal = run_trial(&cfg).expect("trial");
+
+    let mut naive_cfg = cfg.clone();
+    naive_cfg.declared = PerfVector::homogeneous(declared.p());
+    let naive = run_trial(&naive_cfg).expect("trial");
+
+    println!(
+        "\nsort with calibrated {declared}: {:.3}s (expansion {:.4})",
+        with_cal.time_secs,
+        with_cal.balance.expansion()
+    );
+    println!(
+        "sort with naive {{1,1,1,1}}:      {:.3}s (expansion {:.4})",
+        naive.time_secs,
+        naive.balance.expansion()
+    );
+    println!(
+        "calibration pays: {:.2}x faster",
+        naive.time_secs / with_cal.time_secs
+    );
+    assert!(with_cal.time_secs < naive.time_secs);
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the out-of-core heterogeneous sorting workspace.
+//!
+//! This package exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the library code
+//! lives in the member crates:
+//!
+//! * [`sim`] — virtual time, deterministic PRNGs, statistics;
+//! * [`pdm`] — the Parallel Disk Model storage substrate;
+//! * [`extsort`] — sequential external sorting (polyphase et al.);
+//! * [`cluster`] — the simulated heterogeneous message-passing cluster;
+//! * [`hetsort`] — the paper's algorithms (external/in-core PSRS,
+//!   overpartitioning) and the trial runner;
+//! * [`workloads`] — the benchmark input distributions.
+
+pub use cluster;
+pub use extsort;
+pub use hetsort;
+pub use pdm;
+pub use sim;
+pub use workloads;

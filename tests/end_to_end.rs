@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full Algorithm 1 pipeline
+//! (workload generation → cluster → external PSRS → verification) under
+//! many configurations.
+
+use cluster::{ClusterSpec, NetworkModel, StorageKind};
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use workloads::Benchmark;
+
+fn base(hardware: Vec<u64>, declared: PerfVector, n: u64) -> TrialConfig {
+    let mut cfg = TrialConfig::new(hardware, declared, n);
+    cfg.mem_records = 1 << 12;
+    cfg.tapes = 6;
+    cfg.msg_records = 512;
+    cfg.block_bytes = 1024;
+    cfg.jitter = 0.0;
+    cfg
+}
+
+#[test]
+fn external_psrs_every_benchmark_homogeneous() {
+    for bench in Benchmark::ALL {
+        let mut cfg = base(vec![1; 4], PerfVector::homogeneous(4), 20_000);
+        cfg.bench = bench;
+        cfg.seed = 100 + bench.id() as u64;
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "{bench} failed verification");
+    }
+}
+
+#[test]
+fn external_psrs_every_benchmark_heterogeneous() {
+    for bench in Benchmark::ALL {
+        let mut cfg = base(vec![1, 1, 4, 4], PerfVector::paper_1144(), 20_000);
+        cfg.bench = bench;
+        cfg.seed = 200 + bench.id() as u64;
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "{bench} failed verification");
+        assert!(
+            result.balance.expansion() < 2.0 || bench.duplicate_heavy(),
+            "{bench}: expansion {}",
+            result.balance.expansion()
+        );
+    }
+}
+
+#[test]
+fn assorted_perf_vectors() {
+    for perf in [
+        PerfVector::new(vec![8, 5, 3, 1]), // the paper's worked example
+        PerfVector::new(vec![2, 3]),
+        PerfVector::new(vec![1, 2, 3, 4, 5]),
+        PerfVector::new(vec![7]), // single node
+        PerfVector::new(vec![16, 1]),
+    ] {
+        let hardware = perf.as_slice().to_vec();
+        let mut cfg = base(hardware, perf.clone(), 15_000);
+        cfg.seed = perf.total();
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "perf {perf} failed");
+        assert_eq!(result.balance.sizes.len(), perf.p());
+    }
+}
+
+#[test]
+fn file_backend_end_to_end() {
+    let mut cfg = base(vec![1, 1, 4, 4], PerfVector::paper_1144(), 12_000);
+    cfg.storage = StorageKind::Files;
+    cfg.seed = 5;
+    let result = run_trial(&cfg).expect("trial");
+    assert!(result.verified);
+}
+
+#[test]
+fn overpartitioning_external_all_benchmarks() {
+    for bench in [Benchmark::Uniform, Benchmark::Staggered, Benchmark::Sorted] {
+        let mut cfg = base(vec![1; 3], PerfVector::homogeneous(3), 9_000);
+        cfg.bench = bench;
+        cfg.algo = SortAlgo::OverpartitionExternal;
+        cfg.seed = 300 + bench.id() as u64;
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "{bench} failed under overpartitioning");
+    }
+}
+
+#[test]
+fn declared_vector_beats_homogeneous_on_loaded_hardware() {
+    // The central claim of the paper, end to end.
+    let mut right = base(vec![1, 1, 4, 4], PerfVector::paper_1144(), 40_000);
+    right.seed = 9;
+    let mut wrong = base(vec![1, 1, 4, 4], PerfVector::homogeneous(4), 40_000);
+    wrong.seed = 9;
+    let t_right = run_trial(&right).expect("trial").time_secs;
+    let t_wrong = run_trial(&wrong).expect("trial").time_secs;
+    assert!(
+        t_right < t_wrong,
+        "correct vector {t_right:.3}s must beat homogeneous split {t_wrong:.3}s"
+    );
+}
+
+#[test]
+fn myrinet_vs_fast_ethernet_shape() {
+    let mut fe = base(vec![1, 1, 4, 4], PerfVector::paper_1144(), 40_000);
+    fe.seed = 11;
+    let mut my = fe.clone();
+    my.net = NetworkModel::myrinet();
+    let t_fe = run_trial(&fe).expect("trial").time_secs;
+    let t_my = run_trial(&my).expect("trial").time_secs;
+    // Myrinet helps a little but must not transform the run time: the
+    // algorithm moves each record at most once (paper's observation).
+    assert!(t_my <= t_fe);
+    assert!(
+        t_fe / t_my < 1.7,
+        "network-bound behaviour: {t_fe:.3} vs {t_my:.3}"
+    );
+}
+
+#[test]
+fn two_and_eight_node_clusters() {
+    for p in [2usize, 8] {
+        let mut cfg = base(vec![1; p], PerfVector::homogeneous(p), 16_000);
+        cfg.seed = p as u64;
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "p = {p} failed");
+    }
+}
+
+#[test]
+fn in_core_psrs_matches_external_ownership() {
+    // The in-core and external algorithms use the same pivot machinery,
+    // so on identical data their final partition sizes must agree.
+    use cluster::run_cluster;
+    use workloads::{generate_block, Layout};
+
+    let perf = PerfVector::paper_1144();
+    let n = perf.padded_size(10_000);
+    let shares = perf.shares(n);
+    let layouts = Layout::cluster(&shares);
+    let spec = ClusterSpec::new(vec![1, 1, 4, 4]).with_seed(13);
+    let pv = perf.clone();
+    let incore_sizes: Vec<u64> = run_cluster(&spec, move |ctx| {
+        let local = generate_block(Benchmark::Uniform, 13, layouts[ctx.rank]);
+        hetsort::psrs_incore(ctx, &pv, local).sorted.len() as u64
+    })
+    .nodes
+    .into_iter()
+    .map(|nd| nd.value)
+    .collect();
+
+    let mut cfg = base(vec![1, 1, 4, 4], perf, n);
+    cfg.seed = 13;
+    let external = run_trial(&cfg).expect("trial");
+    assert_eq!(external.balance.sizes, incore_sizes);
+}

@@ -1,0 +1,128 @@
+//! Cross-crate property tests: for arbitrary inputs, perf vectors and
+//! geometry, the sorters produce sorted permutations and respect the
+//! paper's invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cluster::{run_cluster, ClusterSpec};
+use extsort::{fingerprint_slice, ExtSortConfig, RunFormation};
+use hetsort::{psrs_incore, PerfVector};
+use pdm::Disk;
+
+/// A small, valid perf vector.
+fn perf_vector() -> impl Strategy<Value = PerfVector> {
+    vec(1u64..6, 1..5).prop_map(PerfVector::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn polyphase_sorts_arbitrary_data(
+        data in vec(any::<u32>(), 0..3000),
+        mem in 16usize..200,
+        tapes in 3usize..8,
+        rf in prop_oneof![Just(RunFormation::ChunkSort), Just(RunFormation::ReplacementSelection)],
+    ) {
+        let block_bytes = 32; // 8 records per block
+        let mem = mem.max(tapes * (block_bytes / 4));
+        let disk = Disk::in_memory(block_bytes);
+        disk.write_file("in", &data).unwrap();
+        let cfg = ExtSortConfig::new(mem).with_tapes(tapes).with_run_formation(rf);
+        let report = extsort::polyphase_sort::<u32>(&disk, "in", "out", "pp", &cfg).unwrap();
+        prop_assert_eq!(report.records, data.len() as u64);
+        let out = disk.read_file::<u32>("out").unwrap();
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(fingerprint_slice(&out), fingerprint_slice(&data));
+    }
+
+    #[test]
+    fn balanced_kway_sorts_arbitrary_data(
+        data in vec(any::<u32>(), 0..2000),
+        tapes in 4usize..8,
+    ) {
+        let disk = Disk::in_memory(32);
+        disk.write_file("in", &data).unwrap();
+        let cfg = ExtSortConfig::new(64).with_tapes(tapes);
+        extsort::balanced_kway_sort::<u32>(&disk, "in", "out", "kw", &cfg).unwrap();
+        let out = disk.read_file::<u32>("out").unwrap();
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(fingerprint_slice(&out), fingerprint_slice(&data));
+    }
+
+    #[test]
+    fn equation2_padding_is_tight_and_valid(
+        perf in perf_vector(),
+        n in 1u64..1_000_000,
+    ) {
+        let padded = perf.padded_size(n);
+        prop_assert!(padded >= n);
+        prop_assert!(perf.is_valid_size(padded));
+        prop_assert!(padded - n < perf.granule());
+        let shares = perf.shares(padded);
+        prop_assert_eq!(shares.iter().sum::<u64>(), padded);
+        // Shares proportional to perf exactly.
+        for (i, &s) in shares.iter().enumerate() {
+            prop_assert_eq!(s * perf.total(), padded * perf.get(i));
+        }
+    }
+
+    #[test]
+    fn incore_psrs_sorts_arbitrary_multisets(
+        perf in perf_vector(),
+        granules in 1u64..20,
+        seed in any::<u64>(),
+        key_space in 1u32..1000,
+    ) {
+        // Duplicate-rich data (small key space) over arbitrary perf.
+        let n = perf.granule() * granules * 4;
+        let shares = perf.shares(n);
+        let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
+        let pv = perf.clone();
+        let report = run_cluster(&spec, move |ctx| {
+            use sim::rng::Rng;
+            let local: Vec<u32> = (0..shares[ctx.rank])
+                .map(|_| ctx.rng.next_u32() % key_space)
+                .collect();
+            let out = psrs_incore(ctx, &pv, local.clone());
+            (local, out.sorted)
+        });
+        let mut input: Vec<u32> = Vec::new();
+        let mut output: Vec<u32> = Vec::new();
+        for node in &report.nodes {
+            input.extend(&node.value.0);
+            output.extend(&node.value.1);
+        }
+        prop_assert!(output.windows(2).all(|w| w[0] <= w[1]));
+        input.sort_unstable();
+        prop_assert_eq!(input, output);
+    }
+
+    #[test]
+    fn psrs_load_bound_holds_on_unique_keys(
+        perf in perf_vector(),
+        granules in 2u64..16,
+        seed in any::<u64>(),
+    ) {
+        // With (nearly) unique keys, every node ends within 2x its share
+        // plus the p·stride sampling slack (the theorem's constant).
+        let n = perf.granule() * granules * 8;
+        let shares = perf.shares(n);
+        let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
+        let pv = perf.clone();
+        let report = run_cluster(&spec, move |ctx| {
+            use sim::rng::Rng;
+            let local: Vec<u32> = (0..shares[ctx.rank]).map(|_| ctx.rng.next_u32()).collect();
+            psrs_incore(ctx, &pv, local).sorted.len() as u64
+        });
+        let sizes: Vec<u64> = report.nodes.iter().map(|nd| nd.value).collect();
+        for (i, (&got, &want)) in sizes.iter().zip(&perf.shares(n)).enumerate() {
+            prop_assert!(
+                got <= 2 * want + 64,
+                "node {} got {} of expected {} (perf {})",
+                i, got, want, perf
+            );
+        }
+    }
+}

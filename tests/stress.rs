@@ -1,0 +1,60 @@
+//! Opt-in stress tests (run with `cargo test --release -- --ignored`):
+//! paper-scale inputs through the full pipeline, checking correctness and
+//! the load-balance theorem at size.
+
+use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use workloads::Benchmark;
+
+fn paper_scale_cfg(n: u64) -> TrialConfig {
+    let mut cfg = TrialConfig::new(vec![1, 1, 4, 4], PerfVector::paper_1144(), n);
+    cfg.bench = Benchmark::Uniform;
+    cfg.mem_records = (n / 16) as usize;
+    cfg.tapes = 16;
+    cfg.msg_records = 8 * 1024;
+    cfg.jitter = 0.0;
+    cfg.seed = 20_02;
+    cfg
+}
+
+#[test]
+#[ignore = "paper-scale; run with --ignored in release mode"]
+fn table3_size_heterogeneous_verified() {
+    // The paper's full 2^24-record experiment, verification on.
+    let result = run_trial(&paper_scale_cfg(1 << 24)).expect("trial");
+    assert!(result.verified);
+    assert!(result.balance.expansion() < 1.1, "expansion {}", result.balance.expansion());
+}
+
+#[test]
+#[ignore = "paper-scale; run with --ignored in release mode"]
+fn fused_matches_plain_at_scale() {
+    let mut plain = paper_scale_cfg(1 << 22);
+    plain.verify = true;
+    let mut fused = plain.clone();
+    fused.fused = true;
+    let a = run_trial(&plain).expect("plain");
+    let b = run_trial(&fused).expect("fused");
+    assert_eq!(a.balance.sizes, b.balance.sizes);
+    assert!(b.total_io_blocks < a.total_io_blocks);
+}
+
+#[test]
+#[ignore = "paper-scale; run with --ignored in release mode"]
+fn every_benchmark_at_four_million() {
+    for bench in Benchmark::ALL {
+        let mut cfg = paper_scale_cfg(1 << 22);
+        cfg.bench = bench;
+        cfg.seed = 77 + bench.id() as u64;
+        let result = run_trial(&cfg).expect("trial");
+        assert!(result.verified, "{bench} failed at scale");
+    }
+}
+
+#[test]
+#[ignore = "paper-scale; run with --ignored in release mode"]
+fn overpartitioning_at_scale() {
+    let mut cfg = paper_scale_cfg(1 << 22);
+    cfg.algo = SortAlgo::OverpartitionExternal;
+    let result = run_trial(&cfg).expect("trial");
+    assert!(result.verified);
+}
