@@ -17,12 +17,9 @@ fn bench_polyphase(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let disk = Disk::in_memory(4096);
-                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
-                    .unwrap();
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n)).unwrap();
                 let cfg = ExtSortConfig::new((n / 8) as usize).with_tapes(8);
-                black_box(
-                    extsort::polyphase_sort::<u32>(&disk, "in", "out", "b", &cfg).unwrap(),
-                )
+                black_box(extsort::polyphase_sort::<u32>(&disk, "in", "out", "b", &cfg).unwrap())
             });
         });
     }
@@ -37,12 +34,10 @@ fn bench_balanced(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let disk = Disk::in_memory(4096);
-                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
-                    .unwrap();
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n)).unwrap();
                 let cfg = ExtSortConfig::new((n / 8) as usize).with_tapes(8);
                 black_box(
-                    extsort::balanced_kway_sort::<u32>(&disk, "in", "out", "b", &cfg)
-                        .unwrap(),
+                    extsort::balanced_kway_sort::<u32>(&disk, "in", "out", "b", &cfg).unwrap(),
                 )
             });
         });
@@ -62,8 +57,7 @@ fn bench_run_formation(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let disk = Disk::in_memory(4096);
-                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n))
-                    .unwrap();
+                generate_to_disk(&disk, "in", Benchmark::Uniform, 1, Layout::single(n)).unwrap();
                 let cfg = ExtSortConfig::new((n / 8) as usize)
                     .with_tapes(8)
                     .with_run_formation(rf);
@@ -78,5 +72,10 @@ fn bench_run_formation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(seqsort, bench_polyphase, bench_balanced, bench_run_formation);
+criterion_group!(
+    seqsort,
+    bench_polyphase,
+    bench_balanced,
+    bench_run_formation
+);
 criterion_main!(seqsort);

@@ -52,7 +52,15 @@ fn main() {
     }
     print_table(
         "Ablation A2 — duplicates and the U + d bound (external PSRS, hom. 4 nodes)",
-        &["benchmark", "n", "d (max dup)", "d/n", "max partition", "S(max)", "within 2·share + d"],
+        &[
+            "benchmark",
+            "n",
+            "d (max dup)",
+            "d/n",
+            "max partition",
+            "S(max)",
+            "within 2·share + d",
+        ],
         &rows,
     );
     println!(

@@ -63,7 +63,15 @@ fn main() {
     }
     print_table(
         "Ablation A4 — Algorithm 1 vs fused partition+redistribution ({1,1,4,4} cluster)",
-        &["N", "I/Os (paper)", "I/Os (fused)", "I/O saved", "time (paper)", "time (fused)", "time saved"],
+        &[
+            "N",
+            "I/Os (paper)",
+            "I/Os (fused)",
+            "I/O saved",
+            "time (paper)",
+            "time (fused)",
+            "time saved",
+        ],
         &rows,
     );
     println!(
@@ -78,7 +86,10 @@ fn main() {
             io_save > 10.0,
             "fusing should save a visible share of block I/O, got {io_save:.1}%"
         );
-        assert!(t_save > 0.0, "fusing should not be slower, got {t_save:.1}%");
+        assert!(
+            t_save > 0.0,
+            "fusing should not be slower, got {t_save:.1}%"
+        );
         println!("selftest ok: fused path saves {io_save:.1}% I/O, {t_save:.1}% time");
     }
 }

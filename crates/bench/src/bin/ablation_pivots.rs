@@ -8,10 +8,10 @@
 //! the `{1,1,4,4}` clusters.
 
 use cluster::{run_cluster, ClusterSpec};
+use hetsort::metrics::LoadBalance;
 use hetsort::{
     overpartition_incore, psrs_incore_with, OverpartitionConfig, PerfVector, PivotStrategy,
 };
-use hetsort::metrics::LoadBalance;
 use hetsort_bench::{fmt_ratio, print_table, repeat, Args};
 use workloads::{generate_block, Benchmark, Layout};
 
@@ -88,7 +88,16 @@ fn main() {
         }
         print_table(
             &format!("Ablation A1 — sublist expansion, {vec_name}, n = {n}"),
-            &["benchmark", "PSRS", "quantile", "ovp s=1", "ovp s=2", "ovp s=4", "ovp s=16", "ovp s=64"],
+            &[
+                "benchmark",
+                "PSRS",
+                "quantile",
+                "ovp s=1",
+                "ovp s=2",
+                "ovp s=4",
+                "ovp s=16",
+                "ovp s=64",
+            ],
             &rows,
         );
     }
@@ -108,7 +117,10 @@ fn main() {
             psrs < ovp4,
             "PSRS expansion ({psrs:.3}) must beat overpartitioning s=4 ({ovp4:.3})"
         );
-        assert!(psrs < 1.1, "PSRS should be within a few percent, got {psrs:.3}");
+        assert!(
+            psrs < 1.1,
+            "PSRS should be within a few percent, got {psrs:.3}"
+        );
         // Li & Sevcik's own observation: more sublists help, but the gap
         // to PSRS persists.
         let ovp64 = repeat(3, args.seed, |seed| {

@@ -94,7 +94,14 @@ fn main() {
     }
     print_table(
         "Ablation A3 — sequential external sorts on the same 16-file budget",
-        &["N", "algorithm", "initial runs", "merge phases", "block I/Os", "time (s)"],
+        &[
+            "N",
+            "algorithm",
+            "initial runs",
+            "merge phases",
+            "block I/Os",
+            "time (s)",
+        ],
         &rows,
     );
 
@@ -102,7 +109,13 @@ fn main() {
     let n = args.size_ladder()[args.size_ladder().len() / 2];
     let mut rows = Vec::new();
     for tapes in [4usize, 6, 8, 12, 16] {
-        let (tp, rp) = run_once(n, tapes, Algo::Polyphase, RunFormation::ChunkSort, args.seed);
+        let (tp, rp) = run_once(
+            n,
+            tapes,
+            Algo::Polyphase,
+            RunFormation::ChunkSort,
+            args.seed,
+        );
         let (tb, rb) = run_once(n, tapes, Algo::Balanced, RunFormation::ChunkSort, args.seed);
         rows.push(vec![
             tapes.to_string(),
@@ -115,7 +128,14 @@ fn main() {
     }
     print_table(
         &format!("Tape sweep at N = {n} (fan-in: polyphase T−1 vs balanced T/2)"),
-        &["tapes", "fan-in p/b", "poly I/Os", "bal I/Os", "poly time", "bal time"],
+        &[
+            "tapes",
+            "fan-in p/b",
+            "poly I/Os",
+            "bal I/Os",
+            "poly time",
+            "bal time",
+        ],
         &rows,
     );
 
@@ -127,8 +147,17 @@ fn main() {
             rp.io.total_blocks() <= rb.io.total_blocks(),
             "polyphase must not do more I/O than balanced on the same budget"
         );
-        assert!(tp <= tb * 1.05, "polyphase time {tp:.2} vs balanced {tb:.2}");
-        let (_, rrs) = run_once(n, 8, Algo::Polyphase, RunFormation::ReplacementSelection, args.seed);
+        assert!(
+            tp <= tb * 1.05,
+            "polyphase time {tp:.2} vs balanced {tb:.2}"
+        );
+        let (_, rrs) = run_once(
+            n,
+            8,
+            Algo::Polyphase,
+            RunFormation::ReplacementSelection,
+            args.seed,
+        );
         assert!(
             rrs.initial_runs < rp.initial_runs,
             "replacement selection must form fewer runs"

@@ -50,9 +50,7 @@ fn main() {
         &["msg (integers)", "msg (bytes)", "Exe Time (s)", "Deviation"],
         &rows,
     );
-    println!(
-        "paper reference points (2^21 integers): 8-int packets -> 133.61s; 8Ki-int -> 32.6s"
-    );
+    println!("paper reference points (2^21 integers): 8-int packets -> 133.61s; 8Ki-int -> 32.6s");
 
     if args.selftest {
         let t_tiny = times[0];

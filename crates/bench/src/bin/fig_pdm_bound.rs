@@ -59,7 +59,16 @@ fn main() {
     }
     print_table(
         "PDM bound — measured polyphase block I/Os vs Sort(N) = 2·(n/D)·⌈log_m n⌉",
-        &["N", "M", "n=N/B", "m=M/B", "levels", "bound (blocks)", "measured", "measured/bound"],
+        &[
+            "N",
+            "M",
+            "n=N/B",
+            "m=M/B",
+            "levels",
+            "bound (blocks)",
+            "measured",
+            "measured/bound",
+        ],
         &rows,
     );
 
@@ -128,7 +137,13 @@ fn main() {
     }
     print_table(
         &format!("Disk sweep at N = {n_d} (striped two-phase sort; bound has the 1/D factor)"),
-        &["D", "bound (par. I/Os)", "total blocks", "parallel I/Os (busiest disk)", "speedup vs D=1"],
+        &[
+            "D",
+            "bound (par. I/Os)",
+            "total blocks",
+            "parallel I/Os (busiest disk)",
+            "speedup vs D=1",
+        ],
         &rows,
     );
 

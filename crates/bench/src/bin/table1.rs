@@ -39,7 +39,14 @@ fn main() {
         .collect();
     print_table(
         "Table 1 — simulated cluster configuration (4 Alpha 21164 EV56, 533 MHz)",
-        &["Node", "CPU model", "speed factor", "load state", "Disk", "storage"],
+        &[
+            "Node",
+            "CPU model",
+            "speed factor",
+            "load state",
+            "Disk",
+            "storage",
+        ],
         &rows,
     );
 

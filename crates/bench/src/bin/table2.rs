@@ -10,9 +10,7 @@
 //! `--trials` times per node class; the ratio of the class means yields the
 //! recommended perf vector.
 
-use hetsort_bench::{
-    default_mem, fmt_secs, print_table, repeat, sequential_polyphase_trial, Args,
-};
+use hetsort_bench::{default_mem, fmt_secs, print_table, repeat, sequential_polyphase_trial, Args};
 use workloads::Benchmark;
 
 fn main() {

@@ -13,11 +13,11 @@
 //! the sequential times (gain ≈ 3 homogeneous; 1.37 vs the fastest node and
 //! 6.13 vs the slowest for the heterogeneous run).
 
+use cluster::NetworkModel;
 use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
 use hetsort_bench::{
     default_mem, fmt_ratio, fmt_secs, print_table, repeat, sequential_polyphase_trial, Args,
 };
-use cluster::NetworkModel;
 use sim::Summary;
 use workloads::Benchmark;
 
@@ -31,12 +31,7 @@ struct Row {
     phase_ends: Vec<(String, f64)>,
 }
 
-fn run_config(
-    args: &Args,
-    declared: PerfVector,
-    net: NetworkModel,
-    label: &'static str,
-) -> Row {
+fn run_config(args: &Args, declared: PerfVector, net: NetworkModel, label: &'static str) -> Row {
     let hardware = vec![1u64, 1, 4, 4]; // the loaded cluster, always
     let n_req = args.table3_n();
     let mut mean_size = 0.0;
@@ -124,7 +119,15 @@ fn main() {
         .collect();
     print_table(
         "Table 3 — external PSRS on the loaded cluster (32 Kb messages, 15 intermediate files)",
-        &["Configuration", "Input size", "Exe Time (s)", "Deviation", "Mean", "Max", "S(max)"],
+        &[
+            "Configuration",
+            "Input size",
+            "Exe Time (s)",
+            "Deviation",
+            "Mean",
+            "Max",
+            "S(max)",
+        ],
         &table,
     );
 
@@ -159,10 +162,26 @@ fn main() {
         Benchmark::Uniform,
     );
     // A sequential run of the whole input on the fastest / slowest node.
-    let (seq_fast_full, _) =
-        sequential_polyphase_trial(n, mem, 16, 1.0, args.seed, 0.0, args.files, Benchmark::Uniform);
-    let (seq_slow_full, _) =
-        sequential_polyphase_trial(n, mem, 16, 4.0, args.seed, 0.0, args.files, Benchmark::Uniform);
+    let (seq_fast_full, _) = sequential_polyphase_trial(
+        n,
+        mem,
+        16,
+        1.0,
+        args.seed,
+        0.0,
+        args.files,
+        Benchmark::Uniform,
+    );
+    let (seq_slow_full, _) = sequential_polyphase_trial(
+        n,
+        mem,
+        16,
+        4.0,
+        args.seed,
+        0.0,
+        args.files,
+        Benchmark::Uniform,
+    );
     let hom = rows[0].time.mean();
     let het = rows[1].time.mean();
     println!("sequential n/4 on a fast node:   {:.2}s", seq_fast);

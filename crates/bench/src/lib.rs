@@ -115,7 +115,10 @@ impl Args {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -230,16 +233,8 @@ mod tests {
 
     #[test]
     fn sequential_trial_runs() {
-        let (t, report) = sequential_polyphase_trial(
-            1 << 14,
-            1 << 16,
-            4,
-            1.0,
-            7,
-            0.0,
-            false,
-            Benchmark::Uniform,
-        );
+        let (t, report) =
+            sequential_polyphase_trial(1 << 14, 1 << 16, 4, 1.0, 7, 0.0, false, Benchmark::Uniform);
         assert!(t > 0.0);
         assert_eq!(report.records, 1 << 14);
     }

@@ -47,9 +47,8 @@ impl BspModel {
         } else {
             1.0 / net.bytes_per_sec
         };
-        let overhead_per_byte = (net.send_overhead.as_secs()
-            + net.recv_overhead.as_secs())
-            / msg_bytes.max(1) as f64;
+        let overhead_per_byte =
+            (net.send_overhead.as_secs() + net.recv_overhead.as_secs()) / msg_bytes.max(1) as f64;
         let l = 2.0
             * (net.latency.as_secs() + net.send_overhead.as_secs() + net.recv_overhead.as_secs())
             * (p.max(2) - 1) as f64;
@@ -130,7 +129,11 @@ fn phase_bytes<T>(node: &NodeOutcome<T>, k: usize) -> u64 {
     let Some(mark) = node.phases.get(k) else {
         return 0;
     };
-    let prev = if k == 0 { 0 } else { node.phases[k - 1].sent_bytes };
+    let prev = if k == 0 {
+        0
+    } else {
+        node.phases[k - 1].sent_bytes
+    };
     mark.sent_bytes.saturating_sub(prev)
 }
 
@@ -175,7 +178,7 @@ mod tests {
         assert_eq!(steps[0].name, "compute");
         assert_eq!(steps[0].h_bytes, 0);
         assert!(steps[0].w.as_secs() > 2.0); // 10M comparisons at 280 ns
-        // The exchange sends 3 MB per node.
+                                             // The exchange sends 3 MB per node.
         assert_eq!(steps[1].h_bytes, 3 << 20);
         // BSP predicted total is within a small factor of the simulation
         // (it upper-bounds: the simulation pipelines, BSP synchronizes).

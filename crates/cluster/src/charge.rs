@@ -71,6 +71,7 @@ pub struct Charger {
     cpu_time: SimDuration,
     io_time: SimDuration,
     wait_time: SimDuration,
+    overlap_saved: SimDuration,
 }
 
 impl Charger {
@@ -95,6 +96,7 @@ impl Charger {
             cpu_time: SimDuration::ZERO,
             io_time: SimDuration::ZERO,
             wait_time: SimDuration::ZERO,
+            overlap_saved: SimDuration::ZERO,
         }
     }
 
@@ -140,6 +142,46 @@ impl Charger {
         }
     }
 
+    /// Charges a completed *pipelined* section: computation and disk
+    /// transfers overlapped, so the phase costs `max(cpu, io)` instead of
+    /// `cpu + io`. Prices the same quantities as the sequential
+    /// [`Self::charge_section`] + [`Self::sync_io`] pair — same work counts,
+    /// same block-counter delta, same two jitter draws in the same order —
+    /// and advances the clock by the larger of the two charges. The smaller
+    /// charge (the hidden one) is accumulated in [`Self::overlap_saved`].
+    ///
+    /// Both components still land in the [`Self::cpu_time`] /
+    /// [`Self::io_time`] breakdowns, so `cpu_time + io_time` can exceed
+    /// elapsed virtual time on a pipelined node; the breakdowns answer
+    /// "how busy was each resource", the clock answers "how long did it
+    /// take".
+    pub fn charge_overlapped_section(
+        &mut self,
+        work: Work,
+        elapsed: std::time::Duration,
+    ) -> IoSnapshot {
+        let cpu_raw = match self.policy {
+            TimePolicy::Modeled => {
+                self.cpu.comparisons(work.comparisons) + self.cpu.record_moves(work.moves)
+            }
+            TimePolicy::Measured => SimDuration::from_secs(elapsed.as_secs_f64()),
+        };
+        let charged_cpu = self.jitter.apply(cpu_raw.scale(self.slowdown));
+
+        let now = self.disk.stats().snapshot();
+        let delta = now.delta(&self.last_io);
+        self.last_io = now;
+        let io_raw = self.disk.model().service_time(&delta);
+        let charged_io = self.jitter.apply(io_raw.scale(self.slowdown));
+
+        self.cpu_time += charged_cpu;
+        self.io_time += charged_io;
+        let advance = charged_cpu.max(charged_io);
+        self.overlap_saved += charged_cpu + charged_io - advance;
+        self.clock.advance(advance);
+        delta
+    }
+
     /// Charges counted work at reference speed ÷ node speed.
     pub fn charge_work(&mut self, w: Work) {
         let t = self.cpu.comparisons(w.comparisons) + self.cpu.record_moves(w.moves);
@@ -178,6 +220,7 @@ impl Charger {
         self.cpu_time = SimDuration::ZERO;
         self.io_time = SimDuration::ZERO;
         self.wait_time = SimDuration::ZERO;
+        self.overlap_saved = SimDuration::ZERO;
     }
 
     /// Merges a message arrival timestamp (may jump the clock forward).
@@ -201,6 +244,13 @@ impl Charger {
     /// Cumulative time spent waiting on messages.
     pub fn wait_time(&self) -> SimDuration {
         self.wait_time
+    }
+
+    /// Cumulative time hidden by pipelining: for every overlapped section,
+    /// the smaller of its CPU and I/O charges (what a sequential execution
+    /// would have paid on top of the clock advance).
+    pub fn overlap_saved(&self) -> SimDuration {
+        self.overlap_saved
     }
 
     /// The disk whose counters this charger prices.
@@ -300,7 +350,9 @@ mod tests {
     #[test]
     fn sync_io_prices_block_deltas() {
         let mut c = test_charger(1.0);
-        c.disk().write_file::<u32>("f", &(0..64).collect::<Vec<_>>()).unwrap();
+        c.disk()
+            .write_file::<u32>("f", &(0..64).collect::<Vec<_>>())
+            .unwrap();
         let delta = c.sync_io();
         assert!(delta.blocks_written > 0);
         assert!(c.io_time().as_secs() > 0.0);
@@ -356,5 +408,65 @@ mod tests {
     #[should_panic(expected = "slowdown must be >= 1")]
     fn speedups_rejected() {
         let _ = test_charger(0.5);
+    }
+
+    #[test]
+    fn overlapped_charges_max_of_cpu_and_io() {
+        // CPU-bound section: lots of comparisons, tiny I/O.
+        let mut c = test_charger(1.0);
+        c.disk().write_file::<u32>("f", &[1]).unwrap();
+        let delta = c
+            .charge_overlapped_section(Work::comparisons(1_000_000_000), std::time::Duration::ZERO);
+        assert!(delta.blocks_written > 0);
+        let cpu = c.cpu_time();
+        let io = c.io_time();
+        assert!(cpu > io, "meant to be CPU-bound: cpu {cpu} io {io}");
+        assert_eq!(c.now().as_secs(), cpu.as_secs());
+        assert!((c.overlap_saved().as_secs() - io.as_secs()).abs() < 1e-12);
+
+        // I/O-bound section: no counted work, lots of blocks.
+        let mut c = test_charger(1.0);
+        c.disk()
+            .write_file::<u32>("g", &(0..4096).collect::<Vec<_>>())
+            .unwrap();
+        c.charge_overlapped_section(Work::default(), std::time::Duration::ZERO);
+        assert_eq!(c.now().as_secs(), c.io_time().as_secs());
+        assert!((c.overlap_saved().as_secs() - c.cpu_time().as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_prices_same_components_as_sequential() {
+        // Same work, same I/O: the overlapped clock advance must equal
+        // max(cpu, io) of the sequential charges, and the breakdowns match.
+        let data: Vec<u32> = (0..1024).collect();
+        let work = Work::comparisons(500_000).plus(Work::moves(100_000));
+
+        let mut seq = test_charger(2.0);
+        seq.disk().write_file("f", &data).unwrap();
+        seq.charge_section(work, std::time::Duration::ZERO);
+        seq.sync_io();
+
+        let mut over = test_charger(2.0);
+        over.disk().write_file("f", &data).unwrap();
+        over.charge_overlapped_section(work, std::time::Duration::ZERO);
+
+        assert_eq!(over.cpu_time(), seq.cpu_time());
+        assert_eq!(over.io_time(), seq.io_time());
+        assert_eq!(
+            over.now().as_secs(),
+            seq.cpu_time().max(seq.io_time()).as_secs()
+        );
+        assert!(over.now() < seq.now(), "pipelining must save time here");
+        let saved = seq.now().since(over.now());
+        assert!((saved.as_secs() - over.overlap_saved().as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_overlap_saved() {
+        let mut c = test_charger(1.0);
+        c.disk().write_file::<u32>("f", &[1, 2, 3]).unwrap();
+        c.charge_overlapped_section(Work::comparisons(10), std::time::Duration::ZERO);
+        c.reset();
+        assert_eq!(c.overlap_saved(), SimDuration::ZERO);
     }
 }

@@ -30,10 +30,20 @@ impl Endpoint {
                 let _ = self.recv_from(from, Tag::collective(KIND_BARRIER_IN, seq), charger);
             }
             for to in 1..p {
-                self.send(to, Tag::collective(KIND_BARRIER_OUT, seq), Vec::new(), charger);
+                self.send(
+                    to,
+                    Tag::collective(KIND_BARRIER_OUT, seq),
+                    Vec::new(),
+                    charger,
+                );
             }
         } else {
-            self.send(0, Tag::collective(KIND_BARRIER_IN, seq), Vec::new(), charger);
+            self.send(
+                0,
+                Tag::collective(KIND_BARRIER_IN, seq),
+                Vec::new(),
+                charger,
+            );
             let _ = self.recv_from(0, Tag::collective(KIND_BARRIER_OUT, seq), charger);
         }
     }
@@ -65,12 +75,7 @@ impl Endpoint {
 
     /// Broadcasts `bytes` from `root` to everyone; returns the payload on
     /// every node (the root passes its own through untouched).
-    pub fn broadcast(
-        &mut self,
-        root: usize,
-        bytes: Vec<u8>,
-        charger: &mut Charger,
-    ) -> Vec<u8> {
+    pub fn broadcast(&mut self, root: usize, bytes: Vec<u8>, charger: &mut Charger) -> Vec<u8> {
         let seq = self.next_seq();
         let p = self.p();
         let me = self.rank();
@@ -204,7 +209,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone() {
         let results = on_cluster(4, NetworkModel::infinite(), |rank, ep, ch| {
-            let payload = if rank == 2 { b"pivots".to_vec() } else { Vec::new() };
+            let payload = if rank == 2 {
+                b"pivots".to_vec()
+            } else {
+                Vec::new()
+            };
             ep.broadcast(2, payload, ch)
         });
         assert!(results.iter().all(|r| r == b"pivots"));
@@ -214,8 +223,7 @@ mod tests {
     fn all_to_all_routes_correctly() {
         let results = on_cluster(3, NetworkModel::infinite(), |rank, ep, ch| {
             // Node i sends the byte (10*i + j) to node j.
-            let outgoing: Vec<Vec<u8>> =
-                (0..3).map(|j| vec![(10 * rank + j) as u8]).collect();
+            let outgoing: Vec<Vec<u8>> = (0..3).map(|j| vec![(10 * rank + j) as u8]).collect();
             ep.all_to_all(outgoing, ch)
         });
         for (j, incoming) in results.iter().enumerate() {

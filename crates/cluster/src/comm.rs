@@ -10,9 +10,9 @@
 //! in a pending list. A 60-second real-time timeout turns an algorithmic
 //! deadlock into a loud panic instead of a hung test suite.
 
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pdm::{record, Record};
 use sim::SimTime;
 
@@ -80,7 +80,7 @@ impl Endpoint {
         let mut rxs = Vec::with_capacity(p);
         let mut txs = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = crossbeam::channel::unbounded();
+            let (tx, rx) = channel();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -258,7 +258,11 @@ mod tests {
         let peer_time = t.join().unwrap();
         // The reply's arrival is after two wire traversals.
         assert!(ch.now() > peer_time.merge(SimTime::ZERO) || ch.now().as_secs() > 0.0);
-        assert!(ch.now().as_secs() >= 2.0 * 100e-6, "two latencies: {}", ch.now());
+        assert!(
+            ch.now().as_secs() >= 2.0 * 100e-6,
+            "two latencies: {}",
+            ch.now()
+        );
     }
 
     #[test]

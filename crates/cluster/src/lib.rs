@@ -6,7 +6,7 @@
 //!
 //! * every node is an OS thread with its own [`pdm::Disk`] and its own
 //!   virtual clock ([`clock::NodeClock`]);
-//! * nodes exchange byte messages through [`comm::Endpoint`]s (crossbeam
+//! * nodes exchange byte messages through [`comm::Endpoint`]s (std `mpsc`
 //!   channels underneath); every message carries a Lamport timestamp, and a
 //!   receive merges `max(local, send_time + network_cost)` into the
 //!   receiver's clock, so the *makespan* of a run is simply the maximum
@@ -25,12 +25,12 @@
 //! Nothing here knows about sorting; the `hetsort` crate builds the paper's
 //! algorithm on top of these primitives.
 
+pub mod bsp;
 pub mod charge;
 pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
-pub mod bsp;
 pub mod net;
 pub mod runtime;
 pub mod spec;

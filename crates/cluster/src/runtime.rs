@@ -215,8 +215,7 @@ where
         .map(|i| match spec.storage {
             StorageKind::Memory => None,
             StorageKind::Files => Some(
-                ScratchDir::new(&format!("cluster-node{i}"))
-                    .expect("cannot create scratch dir"),
+                ScratchDir::new(&format!("cluster-node{i}")).expect("cannot create scratch dir"),
             ),
         })
         .collect();

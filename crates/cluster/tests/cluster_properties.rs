@@ -1,6 +1,9 @@
 //! Cluster-level invariant tests: clock causality, collective correctness
 //! under randomized work patterns, and determinism of whole runs.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 

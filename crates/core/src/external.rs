@@ -22,7 +22,7 @@ use std::time::Instant;
 use cluster::charge::Work;
 use cluster::{NodeCtx, Tag};
 use extsort::report::incore_sort_comparisons;
-use extsort::{merge_sorted_files, ExtSortConfig, MergeReport, SortReport};
+use extsort::{merge_sorted_files_with, ExtSortConfig, MergeReport, PipelineConfig, SortReport};
 use pdm::{record, PdmResult, Record};
 
 use crate::partition::partition_file_streaming;
@@ -58,6 +58,12 @@ pub struct ExternalPsrsConfig {
     /// disk … will be more efficient". `false` reproduces the paper's
     /// algorithm literally.
     pub fused_redistribution: bool,
+    /// Pipelined-execution knobs for the I/O-heavy phases (step 1's local
+    /// sort and step 5's final merge): prefetch readers, write-behind
+    /// writers, parallel run formation. Off by default (the sequential
+    /// reference). When on, those phases are charged `max(cpu, io)` instead
+    /// of `cpu + io` — the transfers hide behind the computation.
+    pub pipeline: PipelineConfig,
 }
 
 impl ExternalPsrsConfig {
@@ -71,7 +77,15 @@ impl ExternalPsrsConfig {
             input: "input".to_string(),
             output: "output".to_string(),
             fused_redistribution: false,
+            pipeline: PipelineConfig::off(),
         }
+    }
+
+    /// Sets the pipeline knobs (builder style).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 
     /// Enables the fused partition+redistribution path (builder style).
@@ -131,16 +145,22 @@ pub fn psrs_external<R: Record>(
     let recv_prefix = "xpsrs.recv";
 
     // ---- Step 1: local external sort (polyphase merge sort). ----
-    let sort_cfg = ExtSortConfig::new(cfg.mem_records).with_tapes(cfg.tapes);
+    let sort_cfg = ExtSortConfig::new(cfg.mem_records)
+        .with_tapes(cfg.tapes)
+        .with_pipeline(cfg.pipeline);
     let t0 = Instant::now();
-    let local_sort = extsort::polyphase_sort::<R>(&ctx.disk, &cfg.input, sorted_name, "xpsrs", &sort_cfg)?;
-    ctx.charger.charge_section(
-        Work {
-            comparisons: local_sort.comparisons,
-            moves: local_sort.records * (local_sort.merge_phases as u64 + 1),
-        },
-        t0.elapsed(),
-    );
+    let local_sort =
+        extsort::polyphase_sort::<R>(&ctx.disk, &cfg.input, sorted_name, "xpsrs", &sort_cfg)?;
+    let sort_work = Work {
+        comparisons: local_sort.comparisons,
+        moves: local_sort.records * (local_sort.merge_phases as u64 + 1),
+    };
+    if cfg.pipeline.enabled {
+        ctx.charger
+            .charge_overlapped_section(sort_work, t0.elapsed());
+    } else {
+        ctx.charger.charge_section(sort_work, t0.elapsed());
+    }
     ctx.mark_phase("local-sort");
 
     // ---- Step 2: regular sampling and pivot selection. ----
@@ -180,7 +200,8 @@ pub fn psrs_external<R: Record>(
     } else {
         // ---- Step 3: partition the sorted file at the pivots. ----
         let t0 = Instant::now();
-        let sent_sizes = partition_file_streaming::<R>(&ctx.disk, sorted_name, part_prefix, &pivots)?;
+        let sent_sizes =
+            partition_file_streaming::<R>(&ctx.disk, sorted_name, part_prefix, &pivots)?;
         ctx.charger.charge_section(
             Work {
                 comparisons: local_sort.records + p as u64,
@@ -204,8 +225,10 @@ pub fn psrs_external<R: Record>(
             .collect();
 
         // 4b: my own partition stays local (a rename, no I/O).
-        ctx.disk
-            .rename(&format!("{part_prefix}{rank}"), &format!("{recv_prefix}{rank}"))?;
+        ctx.disk.rename(
+            &format!("{part_prefix}{rank}"),
+            &format!("{recv_prefix}{rank}"),
+        )?;
 
         // 4c: stream every foreign partition out in msg_records chunks.
         for j in (0..p).filter(|&j| j != rank) {
@@ -232,9 +255,7 @@ pub fn psrs_external<R: Record>(
 
         // 4d: receive every foreign partition into a local sorted file.
         for i in (0..p).filter(|&i| i != rank) {
-            let mut wr = ctx
-                .disk
-                .create_writer::<R>(&format!("{recv_prefix}{i}"))?;
+            let mut wr = ctx.disk.create_writer::<R>(&format!("{recv_prefix}{i}"))?;
             let expect = incoming_sizes[i];
             let msgs = expect.div_ceil(cfg.msg_records as u64);
             for _ in 0..msgs {
@@ -252,14 +273,17 @@ pub fn psrs_external<R: Record>(
     // ---- Step 5: final k-way merge of the received partitions. ----
     let inputs: Vec<String> = (0..p).map(|i| format!("{recv_prefix}{i}")).collect();
     let t0 = Instant::now();
-    let final_merge = merge_sorted_files::<R>(&ctx.disk, &inputs, &cfg.output)?;
-    ctx.charger.charge_section(
-        Work {
-            comparisons: final_merge.comparisons,
-            moves: final_merge.records,
-        },
-        t0.elapsed(),
-    );
+    let final_merge = merge_sorted_files_with::<R>(&ctx.disk, &inputs, &cfg.output, &cfg.pipeline)?;
+    let merge_work = Work {
+        comparisons: final_merge.comparisons,
+        moves: final_merge.records,
+    };
+    if cfg.pipeline.enabled {
+        ctx.charger
+            .charge_overlapped_section(merge_work, t0.elapsed());
+    } else {
+        ctx.charger.charge_section(merge_work, t0.elapsed());
+    }
     for name in &inputs {
         ctx.disk.remove(name)?;
     }
@@ -290,8 +314,12 @@ fn fused_partition_redistribute<R: Record>(
     let rank = ctx.rank;
     let t0 = Instant::now();
     let mut sizes = vec![0u64; p];
-    let mut buffers: Vec<Vec<R>> = (0..p).map(|_| Vec::with_capacity(cfg.msg_records)).collect();
-    let mut own_writer = ctx.disk.create_writer::<R>(&format!("{recv_prefix}{rank}"))?;
+    let mut buffers: Vec<Vec<R>> = (0..p)
+        .map(|_| Vec::with_capacity(cfg.msg_records))
+        .collect();
+    let mut own_writer = ctx
+        .disk
+        .create_writer::<R>(&format!("{recv_prefix}{rank}"))?;
     let mut rd = ctx.disk.open_reader::<R>(sorted_name)?;
     let mut dest = 0usize;
     let mut n_local = 0u64;
@@ -319,7 +347,8 @@ fn fused_partition_redistribute<R: Record>(
     // Flush tails and terminate every stream with an empty message.
     for j in (0..p).filter(|&j| j != rank) {
         if !buffers[j].is_empty() {
-            ctx.charger.charge_work(Work::moves(buffers[j].len() as u64));
+            ctx.charger
+                .charge_work(Work::moves(buffers[j].len() as u64));
             let chunk = std::mem::take(&mut buffers[j]);
             ctx.send_records(j, TAG_PART_DATA, &chunk);
         }
@@ -381,6 +410,7 @@ mod tests {
             input: "input".into(),
             output: "output".into(),
             fused_redistribution: false,
+            pipeline: PipelineConfig::off(),
         };
         let report = run_cluster(spec, move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
@@ -392,9 +422,18 @@ mod tests {
         report.nodes.into_iter().map(|n| n.value).collect()
     }
 
-    fn assert_correct(results: &[NodeResult], perf: &PerfVector, bench: Benchmark, n: u64, seed: u64) {
+    fn assert_correct(
+        results: &[NodeResult],
+        perf: &PerfVector,
+        bench: Benchmark,
+        n: u64,
+        seed: u64,
+    ) {
         // Global order: concatenation by rank is sorted.
-        let flat: Vec<u32> = results.iter().flat_map(|r| r.output.iter().copied()).collect();
+        let flat: Vec<u32> = results
+            .iter()
+            .flat_map(|r| r.output.iter().copied())
+            .collect();
         assert_eq!(flat.len() as u64, n, "records lost or duplicated");
         assert!(flat.windows(2).all(|w| w[0] <= w[1]), "global order broken");
         // Permutation of the input.
@@ -469,14 +508,18 @@ mod tests {
             input: "input".into(),
             output: "output".into(),
             fused_redistribution: false,
+            pipeline: PipelineConfig::off(),
         };
         let report = run_cluster(&spec, move |ctx| {
-            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank])
-                .unwrap();
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank]).unwrap();
             psrs_external::<u32>(ctx, &cfg).unwrap();
             ctx.disk.read_file::<u32>("output").unwrap()
         });
-        let flat: Vec<u32> = report.nodes.iter().flat_map(|n| n.value.iter().copied()).collect();
+        let flat: Vec<u32> = report
+            .nodes
+            .iter()
+            .flat_map(|n| n.value.iter().copied())
+            .collect();
         assert_eq!(flat.len() as u64, n);
         assert!(flat.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -497,10 +540,17 @@ mod tests {
                 input: "input".into(),
                 output: "output".into(),
                 fused_redistribution: fused,
+                pipeline: PipelineConfig::off(),
             };
             run_cluster(&spec, move |ctx| {
-                generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 11, layouts[ctx.rank])
-                    .unwrap();
+                generate_to_disk(
+                    &ctx.disk,
+                    "input",
+                    Benchmark::Uniform,
+                    11,
+                    layouts[ctx.rank],
+                )
+                .unwrap();
                 psrs_external::<u32>(ctx, &cfg).unwrap();
                 ctx.disk.read_file::<u32>("output").unwrap()
             })
@@ -543,10 +593,10 @@ mod tests {
             input: "input".into(),
             output: "output".into(),
             fused_redistribution: false,
+            pipeline: PipelineConfig::off(),
         };
         let report = run_cluster(&spec, move |ctx| {
-            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank])
-                .unwrap();
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank]).unwrap();
             psrs_external::<u32>(ctx, &cfg).unwrap();
             let p = ctx.p;
             let mut leftovers = Vec::new();
@@ -582,10 +632,10 @@ mod tests {
             input: "input".into(),
             output: "output".into(),
             fused_redistribution: false,
+            pipeline: PipelineConfig::off(),
         };
         let report = run_cluster(&spec, move |ctx| {
-            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank])
-                .unwrap();
+            generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank]).unwrap();
             psrs_external::<u32>(ctx, &cfg).unwrap();
         });
         for node in &report.nodes {

@@ -31,9 +31,7 @@ impl LoadBalance {
         } else {
             // Proportional targets; rounding spread so they sum to n.
             let total = perf.total();
-            let mut exp: Vec<u64> = (0..perf.p())
-                .map(|i| n * perf.get(i) / total)
-                .collect();
+            let mut exp: Vec<u64> = (0..perf.p()).map(|i| n * perf.get(i) / total).collect();
             let mut short = n - exp.iter().sum::<u64>();
             let len = exp.len();
             let mut i = 0;
@@ -137,7 +135,7 @@ mod tests {
         let lb = LoadBalance::new(vec![90, 10], &PerfVector::homogeneous(2));
         assert!((lb.expansion() - 1.8).abs() < 1e-12);
         assert!(lb.within_psrs_bound(0)); // 90 <= 2·50
-        // With p = 2 the max can never exceed 2·(n/2), so use p = 3.
+                                          // With p = 2 the max can never exceed 2·(n/2), so use p = 3.
         let lb2 = LoadBalance::new(vec![90, 0, 0], &PerfVector::homogeneous(3));
         assert!(!lb2.within_psrs_bound(0)); // 90 > 2·30
         assert!(lb2.within_psrs_bound(30));
@@ -161,7 +159,10 @@ mod tests {
     #[test]
     fn subset_views_match_table3_reporting() {
         // Paper reports mean/max/S(max) over the two fastest nodes.
-        let lb = LoadBalance::new(vec![1_700_000, 1_650_000, 6_900_000, 6_700_000], &PerfVector::paper_1144());
+        let lb = LoadBalance::new(
+            vec![1_700_000, 1_650_000, 6_900_000, 6_700_000],
+            &PerfVector::paper_1144(),
+        );
         let fast = [2usize, 3];
         assert_eq!(lb.max_size_of(&fast), 6_900_000);
         assert!((lb.mean_size_of(&fast) - 6_800_000.0).abs() < 1.0);

@@ -91,7 +91,9 @@ fn choose_random_pivots<R: Record>(
             Vec::new()
         } else {
             (1..=cuts)
-                .map(|q| all[((q * all.len() as u64) / (cuts + 1)).min(all.len() as u64 - 1) as usize])
+                .map(|q| {
+                    all[((q * all.len() as u64) / (cuts + 1)).min(all.len() as u64 - 1) as usize]
+                })
                 .collect()
         };
         ctx.broadcast(0, record::encode_all(&pivots));
@@ -202,14 +204,8 @@ pub fn overpartition_incore<R: Record>(
     for (b, bucket) in buckets.into_iter().enumerate() {
         outgoing[owners[b]].extend(bucket);
     }
-    ctx.charger
-        .charge_work(Work::moves(local.len() as u64));
-    let incoming = ctx.all_to_all(
-        outgoing
-            .iter()
-            .map(|v| record::encode_all(v))
-            .collect(),
-    );
+    ctx.charger.charge_work(Work::moves(local.len() as u64));
+    let incoming = ctx.all_to_all(outgoing.iter().map(|v| record::encode_all(v)).collect());
     ctx.mark_phase("redistribute");
 
     // The single sequential sort of the algorithm.
@@ -308,7 +304,12 @@ pub fn overpartition_external<R: Record>(
         dest_totals[o] += my_sizes[b];
     }
     let incoming_sizes: Vec<u64> = ctx
-        .all_to_all(dest_totals.iter().map(|&s| s.to_le_bytes().to_vec()).collect())
+        .all_to_all(
+            dest_totals
+                .iter()
+                .map(|&s| s.to_le_bytes().to_vec())
+                .collect(),
+        )
         .iter()
         .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8-byte size")))
         .collect();
@@ -497,10 +498,8 @@ mod tests {
         let layouts = Layout::cluster(&shares);
         let cfg = OverpartitionConfig::new(perf.clone());
         let report = run_cluster(&spec, move |ctx| {
-            generate_to_disk(&ctx.disk, "in", Benchmark::Gaussian, 10, layouts[ctx.rank])
-                .unwrap();
-            let out =
-                overpartition_external::<u32>(ctx, &cfg, 256, 4, 64, "in", "out").unwrap();
+            generate_to_disk(&ctx.disk, "in", Benchmark::Gaussian, 10, layouts[ctx.rank]).unwrap();
+            let out = overpartition_external::<u32>(ctx, &cfg, 256, 4, 64, "in", "out").unwrap();
             assert!(extsort::is_sorted_file::<u32>(&ctx.disk, "out").unwrap());
             (out.received, ctx.disk.read_file::<u32>("out").unwrap())
         });

@@ -12,8 +12,14 @@ use pdm::{Disk, PdmResult, Record};
 /// Partition boundaries of a **sorted** slice: returns `p+1` cut indices
 /// (`cuts[0] = 0`, `cuts[p] = len`); partition `j` is `data[cuts[j]..cuts[j+1]]`.
 pub fn partition_ranges<R: Record>(sorted: &[R], pivots: &[R]) -> Vec<usize> {
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
-    debug_assert!(pivots.windows(2).all(|w| w[0] <= w[1]), "pivots must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "data must be sorted"
+    );
+    debug_assert!(
+        pivots.windows(2).all(|w| w[0] <= w[1]),
+        "pivots must be sorted"
+    );
     let mut cuts = Vec::with_capacity(pivots.len() + 2);
     cuts.push(0);
     for pv in pivots {

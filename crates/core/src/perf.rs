@@ -235,7 +235,14 @@ mod tests {
         assert!(pv.is_valid_size(160));
         // Shares agree on a commonly valid size.
         let m = 160;
-        assert_eq!(pv.shares(m), PerfVector::paper_1144().shares(m * 4).iter().map(|x| x / 4).collect::<Vec<_>>());
+        assert_eq!(
+            pv.shares(m),
+            PerfVector::paper_1144()
+                .shares(m * 4)
+                .iter()
+                .map(|x| x / 4)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

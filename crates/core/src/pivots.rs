@@ -82,7 +82,9 @@ pub fn select_pivots_quantile<R: Record>(sample_sorted: &[R], perf: &PerfVector)
     let total = perf.total();
     (1..p)
         .map(|j| {
-            let rank = (perf.cumulative(j) * (s + 1)).div_ceil(total).saturating_sub(1);
+            let rank = (perf.cumulative(j) * (s + 1))
+                .div_ceil(total)
+                .saturating_sub(1);
             sample_sorted[rank.min(s - 1) as usize]
         })
         .collect()

@@ -11,7 +11,7 @@
 //! traffic and I/O totals, and the per-phase breakdown.
 
 use cluster::{run_cluster, ClusterSpec, NetworkModel, StorageKind};
-use extsort::{fingerprint_file, is_sorted_file, Fingerprint};
+use extsort::{fingerprint_file, is_sorted_file, Fingerprint, PipelineConfig};
 use pdm::PdmResult;
 use workloads::{generate_to_disk, Benchmark, Layout};
 
@@ -66,6 +66,9 @@ pub struct TrialConfig {
     /// Use the fused partition+redistribution path (extension; `false`
     /// reproduces the paper's Algorithm 1 literally).
     pub fused: bool,
+    /// Pipelined-execution knobs for the per-node sort and merge phases
+    /// (off = the paper's sequential execution).
+    pub pipeline: PipelineConfig,
 }
 
 impl TrialConfig {
@@ -89,6 +92,7 @@ impl TrialConfig {
             oversampling: 4,
             verify: true,
             fused: false,
+            pipeline: PipelineConfig::off(),
         }
     }
 }
@@ -150,13 +154,19 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: cfg.fused,
+        pipeline: cfg.pipeline,
     };
-    let ocfg = OverpartitionConfig::new(cfg.declared.clone())
-        .with_oversampling(cfg.oversampling);
+    let ocfg = OverpartitionConfig::new(cfg.declared.clone()).with_oversampling(cfg.oversampling);
     let trial = cfg.clone();
 
     let report = run_cluster(&spec, move |ctx| -> PdmResult<NodeReturn> {
-        generate_to_disk(&ctx.disk, "input", trial.bench, trial.seed, layouts[ctx.rank])?;
+        generate_to_disk(
+            &ctx.disk,
+            "input",
+            trial.bench,
+            trial.seed,
+            layouts[ctx.rank],
+        )?;
         let fp_in = if trial.verify {
             fingerprint_file::<u32>(&ctx.disk, "input")?
         } else {
@@ -189,7 +199,11 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
             );
             let fp = fingerprint_file::<u32>(&ctx.disk, "output")?;
             let mut rd = ctx.disk.open_reader::<u32>("output")?;
-            let first = if rd.is_empty() { None } else { Some(rd.read_at(0)?) };
+            let first = if rd.is_empty() {
+                None
+            } else {
+                Some(rd.read_at(0)?)
+            };
             let last = if rd.is_empty() {
                 None
             } else {
@@ -275,11 +289,7 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> TrialConfig {
-        let mut cfg = TrialConfig::new(
-            vec![1, 1, 4, 4],
-            PerfVector::paper_1144(),
-            8_000,
-        );
+        let mut cfg = TrialConfig::new(vec![1, 1, 4, 4], PerfVector::paper_1144(), 8_000);
         cfg.mem_records = 512;
         cfg.tapes = 4;
         cfg.msg_records = 256;
@@ -334,6 +344,27 @@ mod tests {
         c_cfg.seed = 999;
         let c = run_trial(&c_cfg).unwrap();
         assert_ne!(a.time_secs, c.time_secs);
+    }
+
+    #[test]
+    fn pipelined_trial_matches_sequential_observables() {
+        // Same seed, same data: pipelining must not change what is sorted,
+        // where it lands, or how many blocks move — only the virtual time.
+        let seq = run_trial(&small_cfg()).unwrap();
+        let mut pcfg = small_cfg();
+        pcfg.pipeline = PipelineConfig::with_workers(4);
+        let pipe = run_trial(&pcfg).unwrap();
+        assert!(pipe.verified);
+        assert_eq!(pipe.balance.sizes, seq.balance.sizes);
+        assert_eq!(pipe.total_io_blocks, seq.total_io_blocks);
+        assert_eq!(pipe.sent_bytes, seq.sent_bytes);
+        // max(cpu, io) can only shrink the charged phase times.
+        assert!(
+            pipe.time_secs <= seq.time_secs + 1e-9,
+            "pipelined {} vs sequential {}",
+            pipe.time_secs,
+            seq.time_secs
+        );
     }
 
     #[test]

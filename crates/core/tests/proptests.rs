@@ -1,13 +1,18 @@
 //! Property tests for the PSRS building blocks: sampling grids, pivot
 //! ranks, partition cuts and sublist assignment.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use hetsort::overpartition::assign_sublists;
 use hetsort::partition::{partition_file_streaming, partition_ranges};
 use hetsort::pivots::select_pivots;
-use hetsort::sampling::{quantile_positions, random_positions, regular_positions, regular_sample_count};
+use hetsort::sampling::{
+    quantile_positions, random_positions, regular_positions, regular_sample_count,
+};
 use hetsort::PerfVector;
 use pdm::Disk;
 

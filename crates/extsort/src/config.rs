@@ -1,5 +1,7 @@
 //! External-sort configuration.
 
+use pdm::{PdmError, PdmResult};
+
 /// How initial sorted runs are formed from the unsorted input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunFormation {
@@ -12,11 +14,77 @@ pub enum RunFormation {
     ReplacementSelection,
 }
 
+/// Pipelined-execution knobs: whether the sorters overlap I/O with
+/// computation, and how wide the in-core sort pool is.
+///
+/// The pipelined path is *observationally identical* to the sequential one —
+/// byte-identical outputs and identical metered block-I/O — so the
+/// sequential path (`PipelineConfig::off()`, the default) remains the
+/// reference oracle the differential tests compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Overlap block I/O with computation (prefetching readers, write-behind
+    /// writers, parallel chunk sorting).
+    pub enabled: bool,
+    /// Worker threads for in-core chunk sorting during run formation.
+    /// Ignored when `enabled` is false; clamped to ≥ 1.
+    pub workers: usize,
+    /// Blocks each pipelined reader/writer keeps in flight (queue depth).
+    /// Clamped to ≥ 1; the default is double buffering.
+    pub prefetch_blocks: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::off()
+    }
+}
+
+impl PipelineConfig {
+    /// Strictly sequential execution — the reference oracle.
+    pub fn off() -> Self {
+        PipelineConfig {
+            enabled: false,
+            workers: 1,
+            prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
+        }
+    }
+
+    /// Pipelined execution with `workers` sort threads and double-buffered
+    /// I/O queues.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig {
+            enabled: true,
+            workers: workers.max(1),
+            prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
+        }
+    }
+
+    /// Sets the I/O queue depth (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_prefetch_blocks(mut self, depth: usize) -> Self {
+        self.prefetch_blocks = depth.max(1);
+        self
+    }
+
+    /// Effective sort-worker count (≥ 1).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// Effective I/O queue depth (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.prefetch_blocks.max(1)
+    }
+}
+
 /// Parameters for the sequential external sorts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExtSortConfig {
     /// Internal memory budget `M`, in records. Run formation sorts chunks of
     /// this size; merging keeps one block per tape plus one output block.
+    /// With pipelining enabled, run formation holds up to
+    /// `workers + prefetch_blocks + 1` chunks of this size in flight.
     pub mem_records: usize,
     /// Total number of tape files available to polyphase merge sort (the
     /// paper's "2m files for a (2m−1)-way merge"; Table 3 uses 15
@@ -24,16 +92,19 @@ pub struct ExtSortConfig {
     pub tapes: usize,
     /// Initial run formation strategy.
     pub run_formation: RunFormation,
+    /// Pipelined-execution knobs (off by default: sequential oracle).
+    pub pipeline: PipelineConfig,
 }
 
 impl ExtSortConfig {
     /// A reasonable default: the paper's 16-file setup (15 intermediate
-    /// files, as in Table 3) with chunk-sort run formation.
+    /// files, as in Table 3) with chunk-sort run formation, sequential.
     pub fn new(mem_records: usize) -> Self {
         ExtSortConfig {
             mem_records,
             tapes: 16,
             run_formation: RunFormation::ChunkSort,
+            pipeline: PipelineConfig::off(),
         }
     }
 
@@ -51,25 +122,42 @@ impl ExtSortConfig {
         self
     }
 
+    /// Sets the pipeline knobs (builder style).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Validates against a block size (records per block): memory must hold
     /// one block per tape so the merge can stream.
     ///
-    /// # Panics
-    /// Panics if the configuration cannot support a streaming merge.
-    pub fn validate(&self, records_per_block: usize) {
-        assert!(self.mem_records > 0, "memory budget must be positive");
-        assert!(
-            self.tapes >= 3,
-            "polyphase needs at least 3 tapes, got {}",
-            self.tapes
-        );
-        assert!(
-            self.mem_records >= self.tapes * records_per_block,
-            "memory budget {} records cannot buffer one {}-record block per tape ({} tapes)",
-            self.mem_records,
-            records_per_block,
-            self.tapes
-        );
+    /// Fails with [`PdmError::InvalidConfig`] if the configuration cannot
+    /// support a streaming merge.
+    pub fn validate(&self, records_per_block: usize) -> PdmResult<()> {
+        if records_per_block == 0 {
+            return Err(PdmError::InvalidConfig(
+                "block size smaller than record size".to_string(),
+            ));
+        }
+        if self.mem_records == 0 {
+            return Err(PdmError::InvalidConfig(
+                "memory budget must be positive".to_string(),
+            ));
+        }
+        if self.tapes < 3 {
+            return Err(PdmError::InvalidConfig(format!(
+                "polyphase needs at least 3 tapes, got {}",
+                self.tapes
+            )));
+        }
+        if self.mem_records < self.tapes * records_per_block {
+            return Err(PdmError::InvalidConfig(format!(
+                "memory budget {} records cannot buffer one {}-record block per tape ({} tapes)",
+                self.mem_records, records_per_block, self.tapes
+            )));
+        }
+        Ok(())
     }
 
     /// Merge order (fan-in): tapes − 1.
@@ -88,31 +176,54 @@ mod tests {
         assert_eq!(c.tapes, 16);
         assert_eq!(c.merge_order(), 15);
         assert_eq!(c.run_formation, RunFormation::ChunkSort);
+        assert!(!c.pipeline.enabled, "sequential oracle by default");
     }
 
     #[test]
     fn builders() {
         let c = ExtSortConfig::new(4096)
             .with_tapes(4)
-            .with_run_formation(RunFormation::ReplacementSelection);
+            .with_run_formation(RunFormation::ReplacementSelection)
+            .with_pipeline(PipelineConfig::with_workers(4));
         assert_eq!(c.tapes, 4);
         assert_eq!(c.run_formation, RunFormation::ReplacementSelection);
+        assert!(c.pipeline.enabled);
+        assert_eq!(c.pipeline.effective_workers(), 4);
+    }
+
+    #[test]
+    fn pipeline_clamps_degenerate_knobs() {
+        let p = PipelineConfig::with_workers(0).with_prefetch_blocks(0);
+        assert_eq!(p.effective_workers(), 1);
+        assert_eq!(p.depth(), 1);
     }
 
     #[test]
     fn validate_accepts_streaming_config() {
-        ExtSortConfig::new(64).with_tapes(4).validate(16);
+        ExtSortConfig::new(64).with_tapes(4).validate(16).unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "at least 3 tapes")]
     fn too_few_tapes() {
-        ExtSortConfig::new(1024).with_tapes(2).validate(8);
+        let err = ExtSortConfig::new(1024)
+            .with_tapes(2)
+            .validate(8)
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 3 tapes"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "cannot buffer")]
     fn memory_too_small_for_tapes() {
-        ExtSortConfig::new(32).with_tapes(16).validate(8);
+        let err = ExtSortConfig::new(32)
+            .with_tapes(16)
+            .validate(8)
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot buffer"), "{err}");
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        let err = ExtSortConfig::new(32).validate(0).unwrap_err();
+        assert!(matches!(err, PdmError::InvalidConfig(_)));
     }
 }

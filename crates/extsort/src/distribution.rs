@@ -37,7 +37,7 @@ pub fn distribution_sort<R: Record>(
     cfg: &ExtSortConfig,
 ) -> PdmResult<SortReport> {
     let records_per_block = disk.block_bytes() / R::SIZE;
-    cfg.validate(records_per_block);
+    cfg.validate(records_per_block)?;
     let io_before = disk.stats().snapshot();
     let mut report = SortReport::default();
     let mut rng = Pcg64::with_stream(0xD157, 0x50F7);

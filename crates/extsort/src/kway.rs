@@ -10,9 +10,9 @@
 //! final step (step 5) of the paper's Algorithm 1, where each node merges
 //! the `p` sorted partition files it received.
 
-use pdm::{Disk, PdmResult, Record};
+use pdm::{BufferPool, Disk, PdmResult, Record};
 
-use crate::config::ExtSortConfig;
+use crate::config::{ExtSortConfig, PipelineConfig};
 use crate::loser_tree::LoserTree;
 use crate::report::{MergeReport, SortReport};
 use crate::run_formation::{form_runs, FormedRuns};
@@ -28,9 +28,10 @@ pub fn balanced_kway_sort<R: Record>(
     cfg: &ExtSortConfig,
 ) -> PdmResult<SortReport> {
     let records_per_block = disk.block_bytes() / R::SIZE;
-    cfg.validate(records_per_block);
+    cfg.validate(records_per_block)?;
     let fan_in = (cfg.tapes / 2).max(2);
     let io_before = disk.stats().snapshot();
+    let pool = BufferPool::default();
 
     // Run formation over `fan_in` staging tapes (reusing the distributor is
     // unnecessary here — balanced merge re-groups runs every pass — so we
@@ -78,7 +79,7 @@ pub fn balanced_kway_sort<R: Record>(
         let mut next_files: Vec<String> = Vec::new();
         for (g, group) in runs.chunks(fan_in).enumerate() {
             let name = format!("{job}.gen{generation}.{g}");
-            let merged = merge_run_group::<R>(disk, &files, group, &name)?;
+            let merged = merge_run_group::<R>(disk, &files, group, &name, cfg, &pool)?;
             report.comparisons += merged.comparisons;
             next_runs.push(RunRef {
                 file: next_files.len(),
@@ -114,15 +115,21 @@ struct RunRef {
 
 /// Merges one group of runs (possibly from different files/offsets) into a
 /// fresh output file.
+///
+/// Run inputs need `seek`, so they always use (pooled) synchronous readers;
+/// with the pipeline on, the output side is write-behind, overlapping the
+/// merge computation with the output transfers.
 fn merge_run_group<R: Record>(
     disk: &Disk,
     files: &[String],
     group: &[RunRef],
     output: &str,
+    cfg: &ExtSortConfig,
+    pool: &BufferPool,
 ) -> PdmResult<MergeReport> {
     let mut readers = Vec::with_capacity(group.len());
     for r in group {
-        let mut rd = disk.open_reader::<R>(&files[r.file])?;
+        let mut rd = disk.open_reader_pooled::<R>(&files[r.file], Some(pool.clone()))?;
         rd.seek(r.offset);
         readers.push(rd);
     }
@@ -130,15 +137,27 @@ fn merge_run_group<R: Record>(
     for (rd, r) in readers.iter_mut().zip(group) {
         views.push(Bounded::new(rd, r.len));
     }
-    let mut writer = disk.create_writer::<R>(output)?;
     let mut tree = LoserTree::new(views)?;
     let mut produced = 0u64;
-    while let Some(x) = tree.next_record()? {
-        writer.push(x)?;
-        produced += 1;
+    let comparisons;
+    if cfg.pipeline.enabled {
+        let mut writer =
+            disk.create_write_behind::<R>(output, cfg.pipeline.depth(), pool.clone())?;
+        while let Some(x) = tree.next_record()? {
+            writer.push(x)?;
+            produced += 1;
+        }
+        comparisons = tree.comparisons();
+        writer.finish()?;
+    } else {
+        let mut writer = disk.create_writer_pooled::<R>(output, Some(pool.clone()))?;
+        while let Some(x) = tree.next_record()? {
+            writer.push(x)?;
+            produced += 1;
+        }
+        comparisons = tree.comparisons();
+        writer.finish()?;
     }
-    let comparisons = tree.comparisons();
-    writer.finish()?;
     Ok(MergeReport {
         records: produced,
         fan_in: group.len(),
@@ -154,20 +173,53 @@ pub fn merge_sorted_files<R: Record>(
     inputs: &[String],
     output: &str,
 ) -> PdmResult<MergeReport> {
+    merge_sorted_files_with::<R>(disk, inputs, output, &PipelineConfig::off())
+}
+
+/// [`merge_sorted_files`] with explicit pipeline knobs: when enabled, every
+/// input is prefetched by a background reader and the output is written
+/// behind, so the p-way merge computation overlaps all its transfers.
+pub fn merge_sorted_files_with<R: Record>(
+    disk: &Disk,
+    inputs: &[String],
+    output: &str,
+    pipeline: &PipelineConfig,
+) -> PdmResult<MergeReport> {
     let io_before = disk.stats().snapshot();
-    let mut readers = Vec::with_capacity(inputs.len());
-    for name in inputs {
-        readers.push(disk.open_reader::<R>(name)?);
+    let produced;
+    let comparisons;
+    if pipeline.enabled {
+        let pool = BufferPool::default();
+        let mut readers = Vec::with_capacity(inputs.len());
+        for name in inputs {
+            readers.push(disk.open_prefetch_reader::<R>(name, pipeline.depth(), pool.clone())?);
+        }
+        let mut writer = disk.create_write_behind::<R>(output, pipeline.depth(), pool.clone())?;
+        let mut tree = LoserTree::new(readers)?;
+        let mut n = 0u64;
+        while let Some(x) = tree.next_record()? {
+            writer.push(x)?;
+            n += 1;
+        }
+        produced = n;
+        comparisons = tree.comparisons();
+        writer.finish()?;
+    } else {
+        let mut readers = Vec::with_capacity(inputs.len());
+        for name in inputs {
+            readers.push(disk.open_reader::<R>(name)?);
+        }
+        let mut writer = disk.create_writer::<R>(output)?;
+        let mut tree = LoserTree::new(readers)?;
+        let mut n = 0u64;
+        while let Some(x) = tree.next_record()? {
+            writer.push(x)?;
+            n += 1;
+        }
+        produced = n;
+        comparisons = tree.comparisons();
+        writer.finish()?;
     }
-    let mut writer = disk.create_writer::<R>(output)?;
-    let mut tree = LoserTree::new(readers)?;
-    let mut produced = 0u64;
-    while let Some(x) = tree.next_record()? {
-        writer.push(x)?;
-        produced += 1;
-    }
-    let comparisons = tree.comparisons();
-    writer.finish()?;
     Ok(MergeReport {
         records: produced,
         fan_in: inputs.len(),
@@ -257,15 +309,15 @@ mod tests {
         disk.write_file("a", &a).unwrap();
         disk.write_file("b", &b).unwrap();
         disk.write_file("c", &c).unwrap();
-        let report = merge_sorted_files::<u32>(
-            &disk,
-            &["a".into(), "b".into(), "c".into()],
-            "merged",
-        )
-        .unwrap();
+        let report =
+            merge_sorted_files::<u32>(&disk, &["a".into(), "b".into(), "c".into()], "merged")
+                .unwrap();
         assert_eq!(report.records, 150);
         assert_eq!(report.fan_in, 3);
-        assert_eq!(disk.read_file::<u32>("merged").unwrap(), (0..150).collect::<Vec<u32>>());
+        assert_eq!(
+            disk.read_file::<u32>("merged").unwrap(),
+            (0..150).collect::<Vec<u32>>()
+        );
         // Single pass: reads everything once, writes everything once.
         assert_eq!(report.io.bytes_read, 600);
         assert_eq!(report.io.bytes_written, 600);
@@ -276,8 +328,7 @@ mod tests {
         let disk = Disk::in_memory(16);
         disk.write_file::<u32>("a", &[1, 5]).unwrap();
         disk.write_file::<u32>("b", &[]).unwrap();
-        let report =
-            merge_sorted_files::<u32>(&disk, &["a".into(), "b".into()], "m").unwrap();
+        let report = merge_sorted_files::<u32>(&disk, &["a".into(), "b".into()], "m").unwrap();
         assert_eq!(report.records, 2);
         assert_eq!(disk.read_file::<u32>("m").unwrap(), vec![1, 5]);
     }

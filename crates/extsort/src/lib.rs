@@ -41,9 +41,9 @@ pub mod stream;
 pub mod striped;
 pub mod verify;
 
-pub use config::{ExtSortConfig, RunFormation};
+pub use config::{ExtSortConfig, PipelineConfig, RunFormation};
 pub use distribution::distribution_sort;
-pub use kway::{balanced_kway_sort, merge_sorted_files};
+pub use kway::{balanced_kway_sort, merge_sorted_files, merge_sorted_files_with};
 pub use loser_tree::LoserTree;
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use pdm::{BlockReader, Disk, PdmResult, Record};
+use pdm::{BlockReader, BlockWriter, BufferPool, Disk, PdmResult, Record, WriteBehindWriter};
 
 use crate::config::ExtSortConfig;
 use crate::loser_tree::LoserTree;
@@ -45,7 +45,7 @@ pub fn polyphase_sort<R: Record>(
     cfg: &ExtSortConfig,
 ) -> PdmResult<SortReport> {
     let records_per_block = disk.block_bytes() / R::SIZE;
-    cfg.validate(records_per_block);
+    cfg.validate(records_per_block)?;
     let io_before = disk.stats().snapshot();
 
     let k = cfg.tapes - 1;
@@ -58,10 +58,45 @@ pub fn polyphase_sort<R: Record>(
         io: Default::default(),
     };
 
-    merge_phases::<R>(disk, formed, output, job, &mut report)?;
+    merge_phases::<R>(disk, formed, output, job, cfg, &mut report)?;
 
     report.io = disk.stats().snapshot().delta(&io_before);
     Ok(report)
+}
+
+/// The per-phase output sink: a plain block writer, or a write-behind writer
+/// when the pipeline is on (the merge then overlaps the output transfers).
+enum PhaseWriter<R: Record> {
+    Sync(BlockWriter<R>),
+    Pipelined(WriteBehindWriter<R>),
+}
+
+impl<R: Record> PhaseWriter<R> {
+    fn create(disk: &Disk, name: &str, cfg: &ExtSortConfig, pool: &BufferPool) -> PdmResult<Self> {
+        if cfg.pipeline.enabled {
+            Ok(PhaseWriter::Pipelined(disk.create_write_behind::<R>(
+                name,
+                cfg.pipeline.depth(),
+                pool.clone(),
+            )?))
+        } else {
+            Ok(PhaseWriter::Sync(disk.create_writer::<R>(name)?))
+        }
+    }
+
+    fn push(&mut self, r: R) -> PdmResult<()> {
+        match self {
+            PhaseWriter::Sync(w) => w.push(r),
+            PhaseWriter::Pipelined(w) => w.push(r),
+        }
+    }
+
+    fn finish(self) -> PdmResult<u64> {
+        match self {
+            PhaseWriter::Sync(w) => w.finish(),
+            PhaseWriter::Pipelined(w) => w.finish(),
+        }
+    }
 }
 
 /// One tape during the merge: a file plus its queue of run lengths.
@@ -85,8 +120,13 @@ fn merge_phases<R: Record>(
     formed: FormedRuns,
     output: &str,
     job: &str,
+    cfg: &ExtSortConfig,
     report: &mut SortReport,
 ) -> PdmResult<()> {
+    // One shared buffer pool for the whole merge: every tape reader and
+    // phase writer recycles its block buffer through it, so the steady-state
+    // merge loop performs no block-buffer allocations.
+    let pool = BufferPool::default();
     // Degenerate inputs: zero runs → empty output; the general loop handles
     // a single run via zero phases.
     if formed.total_runs == 0 {
@@ -141,7 +181,7 @@ fn merge_phases<R: Record>(
 
         // Fresh file for this phase's output.
         disk.remove(&tapes[out_idx].name)?;
-        let mut writer = disk.create_writer::<R>(&tapes[out_idx].name)?;
+        let mut writer = PhaseWriter::<R>::create(disk, &tapes[out_idx].name, cfg, &pool)?;
         let mut out_runs: VecDeque<u64> = VecDeque::new();
         let mut out_dummies = 0u64;
 
@@ -169,7 +209,8 @@ fn merge_phases<R: Record>(
             // Open readers lazily; build bounded views of one run each.
             for &(i, _) in &contributors {
                 if tapes[i].reader.is_none() {
-                    tapes[i].reader = Some(disk.open_reader::<R>(&tapes[i].name)?);
+                    tapes[i].reader =
+                        Some(disk.open_reader_pooled::<R>(&tapes[i].name, Some(pool.clone()))?);
                 }
             }
             let merged_len: u64 = contributors.iter().map(|&(_, l)| l).sum();
@@ -360,6 +401,35 @@ mod tests {
             .with_tapes(4)
             .with_run_formation(RunFormation::ReplacementSelection);
         check_sort(&disk, &random_data(500, 7), &cfg);
+    }
+
+    #[test]
+    fn pipelined_matches_sequential() {
+        use crate::config::PipelineConfig;
+        let data = random_data(1000, 9);
+        let d1 = Disk::in_memory(16);
+        let seq = check_sort(&d1, &data, &ExtSortConfig::new(64).with_tapes(4));
+        let d2 = Disk::in_memory(16);
+        let cfg = ExtSortConfig::new(64)
+            .with_tapes(4)
+            .with_pipeline(PipelineConfig::with_workers(4));
+        let pipe = check_sort(&d2, &data, &cfg);
+        assert_eq!(seq.io, pipe.io, "pipelining must not change metered I/O");
+        assert_eq!(seq.initial_runs, pipe.initial_runs);
+        assert_eq!(seq.comparisons, pipe.comparisons);
+        assert_eq!(
+            d1.read_file::<u32>("out").unwrap(),
+            d2.read_file::<u32>("out").unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let disk = Disk::in_memory(16);
+        disk.write_file::<u32>("in", &[3, 1, 2]).unwrap();
+        let cfg = ExtSortConfig::new(4).with_tapes(2);
+        let err = polyphase_sort::<u32>(&disk, "in", "out", "pp", &cfg).unwrap_err();
+        assert!(matches!(err, pdm::PdmError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

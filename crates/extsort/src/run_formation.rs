@@ -13,10 +13,19 @@
 //! * **Replacement selection** — a heap of `M` records produces runs of
 //!   expected length `2M` on random input and a single run on sorted input
 //!   (the classic optimization; exercised by the ablation benches).
+//!
+//! With [`crate::config::PipelineConfig`] enabled, chunk sorting runs as a
+//! read → sort → write pipeline: a prefetching reader loads chunk `i+1`
+//! while a pool of worker threads sorts chunks in flight and write-behind
+//! writers flush chunk `i−1`. A reorder buffer hands sorted chunks to the
+//! distributor strictly in input order, so tape assignment, file bytes and
+//! metered block-I/O are identical to the sequential path.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::mpsc::{channel, sync_channel};
+use std::sync::{Arc, Mutex};
 
-use pdm::{BlockReader, Disk, PdmResult, Record};
+use pdm::{BlockReader, BufferPool, Disk, PdmResult, Record, WriteBehindWriter};
 
 use crate::config::{ExtSortConfig, RunFormation};
 use crate::report::incore_sort_comparisons;
@@ -60,15 +69,22 @@ pub struct Distributor {
 
 impl Distributor {
     /// A distributor over `k ≥ 2` input tapes.
-    pub fn new(k: usize) -> Self {
-        assert!(k >= 2, "polyphase needs at least 2 input tapes, got {k}");
+    ///
+    /// Fails with [`pdm::PdmError::InvalidConfig`] for `k < 2` — polyphase
+    /// cannot merge from fewer than two input tapes.
+    pub fn new(k: usize) -> PdmResult<Self> {
+        if k < 2 {
+            return Err(pdm::PdmError::InvalidConfig(format!(
+                "polyphase needs at least 2 input tapes, got {k}"
+            )));
+        }
         let mut ideal = vec![0u64; k];
         ideal[0] = 1;
-        Distributor {
+        Ok(Distributor {
             ideal,
             actual: vec![0u64; k],
             level: 0,
-        }
+        })
     }
 
     /// Advances to the next ideal level.
@@ -133,14 +149,19 @@ pub fn form_runs<R: Record>(
     k: usize,
     cfg: &ExtSortConfig,
 ) -> PdmResult<FormedRuns> {
-    let mut reader = disk.open_reader::<R>(input)?;
     let names: Vec<String> = (0..k).map(|j| format!("{job}.tape{j}")).collect();
+    let mut dist = Distributor::new(k)?;
+
+    if cfg.pipeline.enabled && cfg.run_formation == RunFormation::ChunkSort {
+        return form_runs_pipelined::<R>(disk, input, names, cfg, dist);
+    }
+
+    let mut reader = disk.open_reader::<R>(input)?;
     let mut writers = names
         .iter()
         .map(|n| disk.create_writer::<R>(n))
         .collect::<PdmResult<Vec<_>>>()?;
     let mut runs: Vec<VecDeque<u64>> = vec![VecDeque::new(); k];
-    let mut dist = Distributor::new(k);
     let mut total_runs = 0u64;
     let mut records = 0u64;
     let mut comparisons = 0u64;
@@ -180,6 +201,25 @@ pub fn form_runs<R: Record>(
     for w in writers {
         w.finish()?;
     }
+    Ok(assemble(
+        names,
+        runs,
+        &dist,
+        total_runs,
+        records,
+        comparisons,
+    ))
+}
+
+/// Packs per-tape results into a [`FormedRuns`].
+fn assemble(
+    names: Vec<String>,
+    runs: Vec<VecDeque<u64>>,
+    dist: &Distributor,
+    total_runs: u64,
+    records: u64,
+    comparisons: u64,
+) -> FormedRuns {
     let dummies = dist.dummies();
     let tapes = names
         .into_iter()
@@ -191,12 +231,146 @@ pub fn form_runs<R: Record>(
             dummies,
         })
         .collect();
-    Ok(FormedRuns {
+    FormedRuns {
         tapes,
         total_runs,
         records,
         comparisons,
-    })
+    }
+}
+
+/// Chunk-sort run formation as a read → sort → write pipeline.
+///
+/// A prefetching reader streams the input, a pool of `workers` threads sorts
+/// chunks concurrently, and write-behind writers flush the tapes — so block
+/// transfers overlap the in-core sorts. Sorted chunks pass through a reorder
+/// buffer and reach the distributor strictly in input order, which keeps the
+/// tape assignment, the file contents and the metered I/O identical to the
+/// sequential path.
+fn form_runs_pipelined<R: Record>(
+    disk: &Disk,
+    input: &str,
+    names: Vec<String>,
+    cfg: &ExtSortConfig,
+    mut dist: Distributor,
+) -> PdmResult<FormedRuns> {
+    let workers = cfg.pipeline.effective_workers();
+    let depth = cfg.pipeline.depth();
+    let pool = BufferPool::default();
+    let mut reader = disk.open_prefetch_reader::<R>(input, depth, pool.clone())?;
+    let mut writers = names
+        .iter()
+        .map(|n| disk.create_write_behind::<R>(n, depth, pool.clone()))
+        .collect::<PdmResult<Vec<WriteBehindWriter<R>>>>()?;
+    let k = names.len();
+    let mut runs: Vec<VecDeque<u64>> = vec![VecDeque::new(); k];
+    let mut total_runs = 0u64;
+    let mut records = 0u64;
+    let mut comparisons = 0u64;
+
+    // Unsorted chunks flow to the workers through a bounded queue (so at
+    // most `workers + 1` chunks queue up beyond the ones being sorted);
+    // sorted chunks come back tagged with their sequence number.
+    let (work_tx, work_rx) = sync_channel::<(u64, Vec<R>)>(workers + 1);
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let (done_tx, done_rx) = channel::<(u64, Vec<R>)>();
+
+    std::thread::scope(|scope| -> PdmResult<()> {
+        for w in 0..workers {
+            let work_rx = Arc::clone(&work_rx);
+            let done_tx = done_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("chunk-sort-{w}"))
+                .spawn_scoped(scope, move || loop {
+                    // Hold the receiver lock only while dequeueing.
+                    let job = work_rx.lock().unwrap().recv();
+                    match job {
+                        Ok((seq, mut chunk)) => {
+                            chunk.sort_unstable();
+                            if done_tx.send((seq, chunk)).is_err() {
+                                return; // consumer bailed on an I/O error
+                            }
+                        }
+                        Err(_) => return, // input exhausted
+                    }
+                })
+                .expect("spawn chunk-sort worker");
+        }
+        drop(done_tx);
+
+        // Reorder buffer: sorted chunks arrive in any order, leave in input
+        // order. Its size is bounded by the number of chunks in flight
+        // (workers + queue), not by the input.
+        let mut ready: BTreeMap<u64, Vec<R>> = BTreeMap::new();
+        let mut next_out = 0u64;
+        let mut spare: Vec<Vec<R>> = Vec::new();
+        let mut emit = |chunk: Vec<R>,
+                        writers: &mut [WriteBehindWriter<R>],
+                        spare: &mut Vec<Vec<R>>|
+         -> PdmResult<()> {
+            comparisons += incore_sort_comparisons(chunk.len() as u64);
+            let t = dist.next_tape();
+            writers[t].push_all(&chunk)?;
+            runs[t].push_back(chunk.len() as u64);
+            total_runs += 1;
+            records += chunk.len() as u64;
+            let mut chunk = chunk;
+            chunk.clear();
+            spare.push(chunk);
+            Ok(())
+        };
+
+        let mut seq = 0u64;
+        loop {
+            let mut chunk = spare.pop().unwrap_or_default();
+            chunk.reserve(cfg.mem_records);
+            while chunk.len() < cfg.mem_records {
+                match reader.next_record()? {
+                    Some(x) => chunk.push(x),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            work_tx
+                .send((seq, chunk))
+                .expect("sort workers exited early");
+            seq += 1;
+            // Opportunistically drain finished chunks in order, without
+            // blocking the read side.
+            while let Ok((s, sorted)) = done_rx.try_recv() {
+                ready.insert(s, sorted);
+            }
+            while let Some(sorted) = ready.remove(&next_out) {
+                emit(sorted, &mut writers, &mut spare)?;
+                next_out += 1;
+            }
+        }
+        drop(work_tx); // input done: workers drain the queue and exit
+
+        for (s, sorted) in done_rx.iter() {
+            ready.insert(s, sorted);
+            while let Some(sorted) = ready.remove(&next_out) {
+                emit(sorted, &mut writers, &mut spare)?;
+                next_out += 1;
+            }
+        }
+        debug_assert_eq!(next_out, seq, "all chunks must come back sorted");
+        Ok(())
+    })?;
+
+    for w in writers {
+        w.finish()?;
+    }
+    Ok(assemble(
+        names,
+        runs,
+        &dist,
+        total_runs,
+        records,
+        comparisons,
+    ))
 }
 
 /// Replacement selection: a min-heap of `(generation, record)` produces
@@ -270,7 +444,7 @@ mod tests {
 
     #[test]
     fn distributor_fibonacci_levels_k2() {
-        let mut d = Distributor::new(2);
+        let mut d = Distributor::new(2).unwrap();
         assert_eq!(d.ideal(), &[1, 0]);
         d.next_tape(); // consumes level 0
         d.next_tape(); // forces level 1: (1,1) → one deficit left
@@ -287,7 +461,7 @@ mod tests {
 
     #[test]
     fn distributor_k3_levels() {
-        let mut d = Distributor::new(3);
+        let mut d = Distributor::new(3).unwrap();
         // Levels for order-3: (1,0,0)=1, (1,1,1)=3, (2,2,1)? — recurrence:
         // d1 = (1+0, 1+0, 1) = (1,1,1); d2 = (1+1, 1+1, 1) = (2,2,1).
         d.next_tape();
@@ -301,7 +475,7 @@ mod tests {
 
     #[test]
     fn distributor_dummies_complete_level() {
-        let mut d = Distributor::new(3);
+        let mut d = Distributor::new(3).unwrap();
         for _ in 0..4 {
             d.next_tape();
         }
@@ -317,7 +491,7 @@ mod tests {
         let formed = form_runs::<u32>(&disk, "in", "job", 3, &cfg(4)).unwrap();
         assert_eq!(formed.records, 10);
         assert_eq!(formed.total_runs, 3); // 4+4+2
-        // Each tape's runs are individually sorted.
+                                          // Each tape's runs are individually sorted.
         for tape in &formed.tapes {
             let content = disk.read_file::<u32>(&tape.name).unwrap();
             let mut off = 0usize;
@@ -396,8 +570,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 input tapes")]
     fn distributor_needs_two_tapes() {
-        let _ = Distributor::new(1);
+        let err = Distributor::new(1).unwrap_err();
+        assert!(err.to_string().contains("at least 2 input tapes"), "{err}");
     }
 }

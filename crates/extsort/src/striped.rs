@@ -170,8 +170,7 @@ mod tests {
         let arr2 = DiskArray::in_memory(2, 64);
         let data = random_data(100, 1);
         write_input(&arr2, &data);
-        let report =
-            striped_two_phase_sort::<u32>(&arr2, "input", "output", "j", 128).unwrap();
+        let report = striped_two_phase_sort::<u32>(&arr2, "input", "output", "j", 128).unwrap();
         assert_eq!(report.initial_runs, 1);
         let out = read_output(&arr2);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));

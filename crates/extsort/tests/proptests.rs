@@ -1,13 +1,14 @@
 //! Property tests for the external-sorting machinery.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use extsort::run_formation::Distributor;
 use extsort::stream::Bounded;
-use extsort::{
-    fingerprint_slice, merge_sorted_files, LoserTree, RecordStream, SliceStream,
-};
+use extsort::{fingerprint_slice, merge_sorted_files, LoserTree, RecordStream, SliceStream};
 use pdm::Disk;
 
 /// Drains any stream into a vector.

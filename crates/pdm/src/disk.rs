@@ -17,7 +17,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::{PdmError, PdmResult};
 use crate::model::DiskModel;
@@ -112,7 +112,9 @@ impl Disk {
     pub fn with_model(self, model: DiskModel) -> Self {
         let inner = Arc::try_unwrap(self.inner).unwrap_or_else(|arc| DiskInner {
             backend: match &arc.backend {
-                BackendImpl::Memory(m) => BackendImpl::Memory(Mutex::new(m.lock().clone())),
+                BackendImpl::Memory(m) => {
+                    BackendImpl::Memory(Mutex::new(m.lock().unwrap().clone()))
+                }
                 BackendImpl::Files { dir } => BackendImpl::Files { dir: dir.clone() },
             },
             block_bytes: arc.block_bytes,
@@ -130,7 +132,9 @@ impl Disk {
         let label = label.into();
         let inner = Arc::try_unwrap(self.inner).unwrap_or_else(|arc| DiskInner {
             backend: match &arc.backend {
-                BackendImpl::Memory(m) => BackendImpl::Memory(Mutex::new(m.lock().clone())),
+                BackendImpl::Memory(m) => {
+                    BackendImpl::Memory(Mutex::new(m.lock().unwrap().clone()))
+                }
                 BackendImpl::Files { dir } => BackendImpl::Files { dir: dir.clone() },
             },
             block_bytes: arc.block_bytes,
@@ -168,7 +172,7 @@ impl Disk {
         self.inner.stats.on_create();
         match &self.inner.backend {
             BackendImpl::Memory(map) => {
-                let mut map = map.lock();
+                let mut map = map.lock().unwrap();
                 if map.contains_key(name) {
                     return Err(PdmError::AlreadyExists(name.to_string()));
                 }
@@ -194,18 +198,17 @@ impl Disk {
     pub(crate) fn open_raw(&self, name: &str) -> PdmResult<(RawFile, u64)> {
         match &self.inner.backend {
             BackendImpl::Memory(map) => {
-                let map = map.lock();
+                let map = map.lock().unwrap();
                 let buf = map
                     .get(name)
                     .ok_or_else(|| PdmError::NotFound(name.to_string()))?
                     .clone();
-                let len = buf.lock().len() as u64;
+                let len = buf.lock().unwrap().len() as u64;
                 Ok((RawFile::Mem(buf), len))
             }
             BackendImpl::Files { dir } => {
                 let path = dir.join(name);
-                let f = fs::File::open(&path)
-                    .map_err(|_| PdmError::NotFound(name.to_string()))?;
+                let f = fs::File::open(&path).map_err(|_| PdmError::NotFound(name.to_string()))?;
                 let len = f.metadata()?.len();
                 Ok((RawFile::File(Mutex::new(f)), len))
             }
@@ -216,23 +219,21 @@ impl Disk {
     pub fn remove(&self, name: &str) -> PdmResult<()> {
         match &self.inner.backend {
             BackendImpl::Memory(map) => {
-                map.lock().remove(name);
+                map.lock().unwrap().remove(name);
                 Ok(())
             }
-            BackendImpl::Files { dir } => {
-                match fs::remove_file(dir.join(name)) {
-                    Ok(()) => Ok(()),
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-                    Err(e) => Err(e.into()),
-                }
-            }
+            BackendImpl::Files { dir } => match fs::remove_file(dir.join(name)) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e.into()),
+            },
         }
     }
 
     /// Whether a file exists.
     pub fn exists(&self, name: &str) -> bool {
         match &self.inner.backend {
-            BackendImpl::Memory(map) => map.lock().contains_key(name),
+            BackendImpl::Memory(map) => map.lock().unwrap().contains_key(name),
             BackendImpl::Files { dir } => dir.join(name).exists(),
         }
     }
@@ -242,8 +243,9 @@ impl Disk {
         match &self.inner.backend {
             BackendImpl::Memory(map) => map
                 .lock()
+                .unwrap()
                 .get(name)
-                .map(|b| b.lock().len() as u64)
+                .map(|b| b.lock().unwrap().len() as u64)
                 .ok_or_else(|| PdmError::NotFound(name.to_string())),
             BackendImpl::Files { dir } => {
                 let meta = fs::metadata(dir.join(name))
@@ -258,7 +260,7 @@ impl Disk {
     pub fn rename(&self, old: &str, new: &str) -> PdmResult<()> {
         match &self.inner.backend {
             BackendImpl::Memory(map) => {
-                let mut map = map.lock();
+                let mut map = map.lock().unwrap();
                 if map.contains_key(new) {
                     return Err(PdmError::AlreadyExists(new.to_string()));
                 }
@@ -288,11 +290,11 @@ impl Disk {
     pub fn truncate(&self, name: &str, bytes: u64) -> PdmResult<()> {
         match &self.inner.backend {
             BackendImpl::Memory(map) => {
-                let map = map.lock();
+                let map = map.lock().unwrap();
                 let buf = map
                     .get(name)
                     .ok_or_else(|| PdmError::NotFound(name.to_string()))?;
-                buf.lock().truncate(bytes as usize);
+                buf.lock().unwrap().truncate(bytes as usize);
                 Ok(())
             }
             BackendImpl::Files { dir } => {
@@ -312,11 +314,11 @@ impl RawFile {
     pub(crate) fn append(&self, buf: &[u8]) -> PdmResult<()> {
         match self {
             RawFile::Mem(v) => {
-                v.lock().extend_from_slice(buf);
+                v.lock().unwrap().extend_from_slice(buf);
                 Ok(())
             }
             RawFile::File(f) => {
-                let mut f = f.lock();
+                let mut f = f.lock().unwrap();
                 f.seek(SeekFrom::End(0))?;
                 f.write_all(buf)?;
                 Ok(())
@@ -329,7 +331,7 @@ impl RawFile {
     pub(crate) fn read_at(&self, offset: u64, buf: &mut [u8]) -> PdmResult<usize> {
         match self {
             RawFile::Mem(v) => {
-                let v = v.lock();
+                let v = v.lock().unwrap();
                 let off = offset as usize;
                 if off >= v.len() {
                     return Ok(0);
@@ -339,7 +341,7 @@ impl RawFile {
                 Ok(n)
             }
             RawFile::File(f) => {
-                let mut f = f.lock();
+                let mut f = f.lock().unwrap();
                 f.seek(SeekFrom::Start(offset))?;
                 let mut read = 0;
                 while read < buf.len() {
@@ -360,7 +362,7 @@ impl RawFile {
         match self {
             RawFile::Mem(_) => Ok(()),
             RawFile::File(f) => {
-                f.lock().flush()?;
+                f.lock().unwrap().flush()?;
                 Ok(())
             }
         }
@@ -421,10 +423,7 @@ mod tests {
     #[test]
     fn open_missing_fails() {
         for (disk, _guard) in both_backends() {
-            assert!(matches!(
-                disk.open_raw("nope"),
-                Err(PdmError::NotFound(_))
-            ));
+            assert!(matches!(disk.open_raw("nope"), Err(PdmError::NotFound(_))));
         }
     }
 

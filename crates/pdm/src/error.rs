@@ -31,6 +31,9 @@ pub enum PdmError {
         /// Number of records in the file.
         len: u64,
     },
+    /// A configuration that can never perform I/O correctly (e.g. a block
+    /// size smaller than one record, or a merge order below the minimum).
+    InvalidConfig(String),
 }
 
 /// Result alias for storage operations.
@@ -55,6 +58,7 @@ impl fmt::Display for PdmError {
                 f,
                 "record index {index} out of range for file {name:?} of length {len}"
             ),
+            PdmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -94,6 +98,8 @@ mod tests {
             len: 5,
         };
         assert!(e.to_string().contains("out of range"));
+        let e = PdmError::InvalidConfig("block size 8 smaller than record size 16".into());
+        assert!(e.to_string().contains("invalid configuration"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::disk::{Disk, RawFile};
 use crate::error::{PdmError, PdmResult};
+use crate::pool::BufferPool;
 use crate::record::Record;
 
 /// Appends records to a disk file, one block at a time.
@@ -17,6 +18,7 @@ pub struct BlockWriter<R: Record> {
     disk: Disk,
     name: String,
     buf: Vec<u8>,
+    pool: Option<BufferPool>,
     records_per_block: usize,
     written: u64,
     finished: bool,
@@ -33,33 +35,55 @@ pub struct BlockReader<R: Record> {
     pos: u64,
     /// Currently buffered block: record index range [buf_start, buf_end).
     buf: Vec<u8>,
+    pool: Option<BufferPool>,
     buf_start: u64,
     buf_end: u64,
     records_per_block: usize,
     _marker: std::marker::PhantomData<R>,
 }
 
-fn records_per_block<R: Record>(disk: &Disk) -> usize {
+/// Records per PDM block for record type `R` on this disk.
+///
+/// Fails with [`PdmError::InvalidConfig`] if a block cannot hold even one
+/// record — no block-granular I/O plan is possible then.
+pub(crate) fn records_per_block<R: Record>(disk: &Disk) -> PdmResult<usize> {
     let rpb = disk.block_bytes() / R::SIZE;
-    assert!(
-        rpb > 0,
-        "block size {} smaller than record size {}",
-        disk.block_bytes(),
-        R::SIZE
-    );
-    rpb
+    if rpb == 0 {
+        return Err(PdmError::InvalidConfig(format!(
+            "block size {} smaller than record size {}",
+            disk.block_bytes(),
+            R::SIZE
+        )));
+    }
+    Ok(rpb)
 }
 
 impl Disk {
     /// Creates a file and returns a typed block writer for it.
     pub fn create_writer<R: Record>(&self, name: &str) -> PdmResult<BlockWriter<R>> {
+        self.create_writer_pooled(name, None)
+    }
+
+    /// Like [`Disk::create_writer`], but the block buffer is taken from (and
+    /// on drop returned to) `pool`.
+    pub fn create_writer_pooled<R: Record>(
+        &self,
+        name: &str,
+        pool: Option<BufferPool>,
+    ) -> PdmResult<BlockWriter<R>> {
+        let records_per_block = records_per_block::<R>(self)?;
         let raw = self.create_raw(name)?;
+        let buf = match &pool {
+            Some(p) => p.take(self.block_bytes()),
+            None => Vec::with_capacity(self.block_bytes()),
+        };
         Ok(BlockWriter {
             raw,
             disk: self.clone(),
             name: name.to_string(),
-            buf: Vec::with_capacity(self.block_bytes()),
-            records_per_block: records_per_block::<R>(self),
+            buf,
+            pool,
+            records_per_block,
             written: 0,
             finished: false,
             _marker: std::marker::PhantomData,
@@ -71,6 +95,17 @@ impl Disk {
     /// Fails with [`PdmError::Corrupt`] if the byte length is not a whole
     /// number of records.
     pub fn open_reader<R: Record>(&self, name: &str) -> PdmResult<BlockReader<R>> {
+        self.open_reader_pooled(name, None)
+    }
+
+    /// Like [`Disk::open_reader`], but the block buffer is taken from (and
+    /// on drop returned to) `pool`.
+    pub fn open_reader_pooled<R: Record>(
+        &self,
+        name: &str,
+        pool: Option<BufferPool>,
+    ) -> PdmResult<BlockReader<R>> {
+        let records_per_block = records_per_block::<R>(self)?;
         let (raw, bytes) = self.open_raw(name)?;
         if bytes % R::SIZE as u64 != 0 {
             return Err(PdmError::Corrupt {
@@ -79,16 +114,21 @@ impl Disk {
                 record_size: R::SIZE,
             });
         }
+        let buf = match &pool {
+            Some(p) => p.take(self.block_bytes()),
+            None => Vec::new(),
+        };
         Ok(BlockReader {
             raw,
             disk: self.clone(),
             name: name.to_string(),
             len: bytes / R::SIZE as u64,
             pos: 0,
-            buf: Vec::new(),
+            buf,
+            pool,
             buf_start: 0,
             buf_end: 0,
-            records_per_block: records_per_block::<R>(self),
+            records_per_block,
             _marker: std::marker::PhantomData,
         })
     }
@@ -188,6 +228,17 @@ impl<R: Record> Drop for BlockWriter<R> {
             self.name,
             self.buf.len()
         );
+        if let Some(pool) = &self.pool {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl<R: Record> Drop for BlockReader<R> {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            pool.put(std::mem::take(&mut self.buf));
+        }
     }
 }
 
@@ -343,10 +394,7 @@ mod tests {
             assert_eq!(r.read_at(0).unwrap(), 0);
             assert_eq!(r.read_at(99).unwrap(), 99 * 7);
             assert_eq!(r.read_at(50).unwrap(), 350);
-            assert!(matches!(
-                r.read_at(100),
-                Err(PdmError::OutOfRange { .. })
-            ));
+            assert!(matches!(r.read_at(100), Err(PdmError::OutOfRange { .. })));
         }
     }
 
@@ -410,18 +458,16 @@ mod tests {
             assert_eq!(r.next_record().unwrap(), Some(0));
             disk.truncate("t", 16).unwrap(); // drop the tail blocks
             r.seek(8);
-            assert!(matches!(
-                r.next_record(),
-                Err(PdmError::Corrupt { .. })
-            ));
+            assert!(matches!(r.next_record(), Err(PdmError::Corrupt { .. })));
         }
     }
 
     #[test]
     fn keypayload_files() {
         for (disk, _g) in disks() {
-            let data: Vec<KeyPayload> =
-                (0..9).map(|i| KeyPayload::new(i as u64, i as u64 * 10)).collect();
+            let data: Vec<KeyPayload> = (0..9)
+                .map(|i| KeyPayload::new(i as u64, i as u64 * 10))
+                .collect();
             disk.write_file("kp", &data).unwrap();
             assert_eq!(disk.read_file::<KeyPayload>("kp").unwrap(), data);
         }
@@ -438,9 +484,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "smaller than record size")]
     fn tiny_blocks_rejected() {
         let disk = Disk::in_memory(8);
-        let _ = disk.create_writer::<KeyPayload>("oops");
+        match disk.create_writer::<KeyPayload>("oops") {
+            Err(PdmError::InvalidConfig(msg)) => {
+                assert!(msg.contains("smaller than record size"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        match disk.open_reader::<KeyPayload>("oops") {
+            Err(PdmError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // The failed create must not leave a half-made writer behind: the
+        // config is checked before the file is created.
+        assert!(!disk.exists("oops"));
+    }
+
+    #[test]
+    fn pooled_reader_writer_recycle_buffers() {
+        let pool = crate::pool::BufferPool::new(8);
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = (0..23).collect();
+        {
+            let mut w = disk
+                .create_writer_pooled::<u32>("p", Some(pool.clone()))
+                .unwrap();
+            w.push_all(&data).unwrap();
+            w.finish().unwrap();
+        }
+        assert_eq!(pool.idle(), 1);
+        {
+            let mut r = disk
+                .open_reader_pooled::<u32>("p", Some(pool.clone()))
+                .unwrap();
+            let mut out = Vec::new();
+            while let Some(x) = r.next_record().unwrap() {
+                out.push(x);
+            }
+            assert_eq!(out, data);
+        }
+        assert_eq!(pool.idle(), 1, "reader reused the writer's buffer");
+        assert!(pool.hits() >= 1);
     }
 }

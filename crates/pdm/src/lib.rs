@@ -26,6 +26,8 @@ pub mod error;
 pub mod file;
 pub mod model;
 pub mod params;
+pub mod pipeline;
+pub mod pool;
 pub mod record;
 pub mod stats;
 pub mod stripe;
@@ -36,6 +38,8 @@ pub use error::{PdmError, PdmResult};
 pub use file::{BlockReader, BlockWriter};
 pub use model::DiskModel;
 pub use params::PdmParams;
+pub use pipeline::{PrefetchReader, WriteBehindWriter, DEFAULT_PIPELINE_DEPTH};
+pub use pool::BufferPool;
 pub use record::Record;
 pub use stats::{IoSnapshot, IoStats};
 pub use stripe::DiskArray;

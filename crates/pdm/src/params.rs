@@ -31,7 +31,13 @@ impl PdmParams {
     /// # Panics
     /// Panics if any parameter is zero, if `M ≥ N` (the problem would be
     /// in-core), or if `D·B > M/2` (the model's practicality condition).
-    pub fn new(n_records: u64, mem_records: u64, block_records: u64, disks: u64, procs: u64) -> Self {
+    pub fn new(
+        n_records: u64,
+        mem_records: u64,
+        block_records: u64,
+        disks: u64,
+        procs: u64,
+    ) -> Self {
         let p = PdmParams {
             n_records,
             mem_records,

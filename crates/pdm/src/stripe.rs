@@ -80,14 +80,13 @@ impl DiskArray {
     /// Starts a striped write of a logical file: block `i` of the stream
     /// goes to disk `i mod D` under the name `"{base}.d{j}"`.
     pub fn striped_writer<R: Record>(&self, base: &str) -> PdmResult<StripedWriter<R>> {
+        let rpb = crate::file::records_per_block::<R>(&self.disks[0])?;
         let writers = self
             .disks
             .iter()
             .enumerate()
             .map(|(j, d)| d.create_writer::<R>(&format!("{base}.d{j}")))
             .collect::<PdmResult<Vec<_>>>()?;
-        let rpb = self.disks[0].block_bytes() / R::SIZE;
-        assert!(rpb > 0, "block smaller than record");
         Ok(StripedWriter {
             writers,
             records_per_block: rpb,
@@ -99,13 +98,13 @@ impl DiskArray {
 
     /// Opens a striped logical file for reading in logical order.
     pub fn striped_reader<R: Record>(&self, base: &str) -> PdmResult<StripedReader<R>> {
+        let rpb = crate::file::records_per_block::<R>(&self.disks[0])?;
         let readers = self
             .disks
             .iter()
             .enumerate()
             .map(|(j, d)| d.open_reader::<R>(&format!("{base}.d{j}")))
             .collect::<PdmResult<Vec<_>>>()?;
-        let rpb = self.disks[0].block_bytes() / R::SIZE;
         let total = readers.iter().map(|r| r.len()).sum();
         Ok(StripedReader {
             readers,
@@ -267,6 +266,19 @@ mod tests {
         arr.remove("rm").unwrap();
         assert!(!arr.disk(0).exists("rm.d0"));
         assert!(!arr.disk(1).exists("rm.d1"));
+    }
+
+    #[test]
+    fn tiny_blocks_yield_typed_error() {
+        let arr = DiskArray::in_memory(2, 2); // a u32 does not fit in a block
+        assert!(matches!(
+            arr.striped_writer::<u32>("t"),
+            Err(crate::error::PdmError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            arr.striped_reader::<u32>("t"),
+            Err(crate::error::PdmError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! both backends, I/O accounting matches block arithmetic, and striping
 //! preserves logical order.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 

@@ -170,10 +170,7 @@ impl Pcg64 {
 
 impl Rng for Pcg64 {
     fn next_u64(&mut self) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(PCG_MULT)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
         let rot = (self.state >> 122) as u32;
         let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
         xored.rotate_right(rot)
@@ -240,9 +237,7 @@ impl Zipf {
             let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
             let x = Self::h_inv(u, self.alpha);
             let k = (x + 0.5).floor().clamp(1.0, self.n);
-            if k - x <= self.s
-                || u >= Self::h(k + 0.5, self.alpha) - k.powf(-self.alpha)
-            {
+            if k - x <= self.s || u >= Self::h(k + 0.5, self.alpha) - k.powf(-self.alpha) {
                 return k as usize - 1;
             }
         }

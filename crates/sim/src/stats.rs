@@ -121,7 +121,13 @@ impl Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.5} ± {:.5} (n={})", self.mean(), self.stddev(), self.n)
+        write!(
+            f,
+            "{:.5} ± {:.5} (n={})",
+            self.mean(),
+            self.stddev(),
+            self.n
+        )
     }
 }
 

@@ -113,7 +113,11 @@ pub fn generate_into(bench: Benchmark, seed: u64, layout: Layout, mut emit: impl
             // Node i holds exactly one slab, chosen by the staggered
             // permutation: i < p/2 → slab 2i+1, else slab 2(i − p/2).
             let i = layout.node as u64;
-            let slab = if i < p / 2 { 2 * i + 1 } else { 2 * (i - p / 2) } % p;
+            let slab = if i < p / 2 {
+                2 * i + 1
+            } else {
+                2 * (i - p / 2)
+            } % p;
             for _ in 0..layout.len {
                 emit((slab * width + rng.below(width.max(1))) as u32);
             }
@@ -225,7 +229,10 @@ mod tests {
             let b = generate_block(bench, 7, layout4(1, 500));
             assert_eq!(a, b, "{bench} not deterministic");
             let c = generate_block(bench, 8, layout4(1, 500));
-            if !matches!(bench, Benchmark::Zero | Benchmark::Sorted | Benchmark::ReverseSorted) {
+            if !matches!(
+                bench,
+                Benchmark::Zero | Benchmark::Sorted | Benchmark::ReverseSorted
+            ) {
                 assert_ne!(a, c, "{bench} ignored the seed");
             }
         }
@@ -289,7 +296,10 @@ mod tests {
         let block = generate_block(Benchmark::BucketSorted, 6, layout4(1, 400));
         let width = (1u64 << 32) / 4;
         let slabs: Vec<u64> = block.iter().map(|&x| x as u64 / width).collect();
-        assert!(slabs.windows(2).all(|w| w[0] <= w[1]), "slabs not ascending");
+        assert!(
+            slabs.windows(2).all(|w| w[0] <= w[1]),
+            "slabs not ascending"
+        );
         assert_eq!(slabs.first(), Some(&0));
         assert_eq!(slabs.last(), Some(&3));
     }

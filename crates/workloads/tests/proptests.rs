@@ -1,5 +1,8 @@
 //! Property tests for the workload generators.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::prelude::*;
 
 use workloads::{generate_block, generate_whole, Benchmark, Layout};

@@ -29,8 +29,14 @@ fn main() {
     let cfg = ExternalPsrsConfig::new(perf, 1 << 18).with_msg_records(msg_records);
 
     let report = run_cluster(&spec, move |ctx| {
-        generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 33, layouts[ctx.rank])
-            .unwrap();
+        generate_to_disk(
+            &ctx.disk,
+            "input",
+            Benchmark::Uniform,
+            33,
+            layouts[ctx.rank],
+        )
+        .unwrap();
         ctx.reset_timing();
         psrs_external::<u32>(ctx, &cfg).unwrap();
     });
@@ -38,7 +44,11 @@ fn main() {
     let model = BspModel::from_network(&net, 4, msg_records * 4);
     let steps = analyze(&report, &model);
 
-    println!("external PSRS of {n} records as BSP supersteps (g = {:.2e} s/B, L = {:.1} ms):\n", model.g, model.l * 1e3);
+    println!(
+        "external PSRS of {n} records as BSP supersteps (g = {:.2e} s/B, L = {:.1} ms):\n",
+        model.g,
+        model.l * 1e3
+    );
     println!(
         "{:<14} {:>10} {:>12} {:>12}",
         "superstep", "w (s)", "h (MiB)", "w + g·h + L"

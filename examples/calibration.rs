@@ -47,7 +47,10 @@ fn main() {
     let ratios: Vec<f64> = times.iter().map(|t| slowest / t).collect();
     let perf: Vec<u64> = ratios.iter().map(|r| r.round().max(1.0) as u64).collect();
     for (i, (t, r)) in times.iter().zip(&ratios).enumerate() {
-        println!("  node {i}: {t:.3}s  -> ratio to slowest {r:.2} -> perf {}", perf[i]);
+        println!(
+            "  node {i}: {t:.3}s  -> ratio to slowest {r:.2} -> perf {}",
+            perf[i]
+        );
     }
     let declared = PerfVector::new(perf);
     println!("calibrated perf vector: {declared}");

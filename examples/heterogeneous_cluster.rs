@@ -23,12 +23,18 @@ fn run(declared: PerfVector, label: &str) -> f64 {
     let result = run_trial(&cfg).expect("trial");
 
     println!("-- {label} --");
-    println!("  sorted n = {} records in {:.3} virtual seconds", result.n, result.time_secs);
+    println!(
+        "  sorted n = {} records in {:.3} virtual seconds",
+        result.n, result.time_secs
+    );
     println!(
         "  final partition sizes: {:?} (targets {:?})",
         result.balance.sizes, result.balance.expected
     );
-    println!("  sublist expansion S(max) = {:.4}", result.balance.expansion());
+    println!(
+        "  sublist expansion S(max) = {:.4}",
+        result.balance.expansion()
+    );
     for (phase, end) in &result.phase_ends {
         println!("  phase {phase:<12} done by t = {end:.3}s");
     }

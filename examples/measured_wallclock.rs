@@ -36,10 +36,17 @@ fn run(declared: PerfVector) -> f64 {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: false,
+        pipeline: extsort::PipelineConfig::off(),
     };
     let report = cluster::run_cluster(&spec, move |ctx| {
-        generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 21, layouts[ctx.rank])
-            .unwrap();
+        generate_to_disk(
+            &ctx.disk,
+            "input",
+            Benchmark::Uniform,
+            21,
+            layouts[ctx.rank],
+        )
+        .unwrap();
         ctx.reset_timing();
         // Demonstrate the real-time throttle alongside the Measured policy:
         // burn genuine CPU proportional to this node's slowdown before the

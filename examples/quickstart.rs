@@ -20,14 +20,13 @@ fn main() {
     // Two million uniform 32-bit keys — but only 128 Ki records of memory.
     let n: u64 = 2 << 20;
     let mem = 128 * 1024;
-    generate_to_disk(&disk, "input", Benchmark::Uniform, 42, Layout::single(n))
-        .expect("generate");
+    generate_to_disk(&disk, "input", Benchmark::Uniform, 42, Layout::single(n)).expect("generate");
     println!("wrote {n} records ({} MiB) to 'input'", (n * 4) >> 20);
 
     // Polyphase merge sort with the paper's 16-file setup.
     let cfg = ExtSortConfig::new(mem).with_tapes(16);
-    let report = extsort::polyphase_sort::<u32>(&disk, "input", "sorted", "job", &cfg)
-        .expect("sort");
+    let report =
+        extsort::polyphase_sort::<u32>(&disk, "input", "sorted", "job", &cfg).expect("sort");
 
     println!(
         "sorted {} records: {} initial runs, {} merge phases, {} comparisons",

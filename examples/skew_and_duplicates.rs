@@ -18,9 +18,7 @@ fn main() {
     let hardware = vec![1u64, 1, 4, 4];
     let n = perf.padded_size(200_000);
 
-    println!(
-        "external PSRS of {n} records on the {{1,1,4,4}} cluster, all workloads:\n"
-    );
+    println!("external PSRS of {n} records on the {{1,1,4,4}} cluster, all workloads:\n");
     println!(
         "{:<16} {:>9} {:>8} {:>10} {:>8}",
         "benchmark", "time (s)", "S(max)", "max dup d", "d/n"

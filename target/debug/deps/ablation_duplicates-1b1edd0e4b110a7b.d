@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_duplicates-1b1edd0e4b110a7b.d: crates/bench/src/bin/ablation_duplicates.rs
+
+/root/repo/target/debug/deps/ablation_duplicates-1b1edd0e4b110a7b: crates/bench/src/bin/ablation_duplicates.rs
+
+crates/bench/src/bin/ablation_duplicates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_duplicates-344c905f47c826c6.d: crates/bench/src/bin/ablation_duplicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_duplicates-344c905f47c826c6.rmeta: crates/bench/src/bin/ablation_duplicates.rs Cargo.toml
+
+crates/bench/src/bin/ablation_duplicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_duplicates-fe00b77487307efc.d: crates/bench/src/bin/ablation_duplicates.rs
+
+/root/repo/target/debug/deps/ablation_duplicates-fe00b77487307efc: crates/bench/src/bin/ablation_duplicates.rs
+
+crates/bench/src/bin/ablation_duplicates.rs:

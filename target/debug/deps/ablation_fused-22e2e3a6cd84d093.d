@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-22e2e3a6cd84d093.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-22e2e3a6cd84d093: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fused-908dd372d4e1e3f9.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/debug/deps/ablation_fused-908dd372d4e1e3f9: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

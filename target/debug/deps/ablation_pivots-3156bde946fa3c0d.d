@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pivots-3156bde946fa3c0d.d: crates/bench/src/bin/ablation_pivots.rs
+
+/root/repo/target/debug/deps/ablation_pivots-3156bde946fa3c0d: crates/bench/src/bin/ablation_pivots.rs
+
+crates/bench/src/bin/ablation_pivots.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pivots-6468ed7f659e39fc.d: crates/bench/src/bin/ablation_pivots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pivots-6468ed7f659e39fc.rmeta: crates/bench/src/bin/ablation_pivots.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pivots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pivots-70127e4084d11acd.d: crates/bench/src/bin/ablation_pivots.rs
+
+/root/repo/target/debug/deps/ablation_pivots-70127e4084d11acd: crates/bench/src/bin/ablation_pivots.rs
+
+crates/bench/src/bin/ablation_pivots.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_seqsort-bb9a07148fde655b.d: crates/bench/src/bin/ablation_seqsort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_seqsort-bb9a07148fde655b.rmeta: crates/bench/src/bin/ablation_seqsort.rs Cargo.toml
+
+crates/bench/src/bin/ablation_seqsort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seqsort-d0f73982f8108972.d: crates/bench/src/bin/ablation_seqsort.rs
+
+/root/repo/target/debug/deps/ablation_seqsort-d0f73982f8108972: crates/bench/src/bin/ablation_seqsort.rs
+
+crates/bench/src/bin/ablation_seqsort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seqsort-ddafb7afda14a327.d: crates/bench/src/bin/ablation_seqsort.rs
+
+/root/repo/target/debug/deps/ablation_seqsort-ddafb7afda14a327: crates/bench/src/bin/ablation_seqsort.rs
+
+crates/bench/src/bin/ablation_seqsort.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cluster-c103be107e4356c3.d: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-c103be107e4356c3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsp.rs:
+crates/cluster/src/charge.rs:
+crates/cluster/src/clock.rs:
+crates/cluster/src/collectives.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/net.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cluster-e1eba5f587789f66.d: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/cluster-e1eba5f587789f66: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsp.rs:
+crates/cluster/src/charge.rs:
+crates/cluster/src/clock.rs:
+crates/cluster/src/collectives.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/net.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_properties-18b11521e3ea6dc0.d: crates/cluster/tests/cluster_properties.rs
+
+/root/repo/target/debug/deps/cluster_properties-18b11521e3ea6dc0: crates/cluster/tests/cluster_properties.rs
+
+crates/cluster/tests/cluster_properties.rs:

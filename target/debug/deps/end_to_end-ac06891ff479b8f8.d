@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ac06891ff479b8f8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ac06891ff479b8f8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-08e79aca4c626e31.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-08e79aca4c626e31: tests/failure_injection.rs
+
+tests/failure_injection.rs:

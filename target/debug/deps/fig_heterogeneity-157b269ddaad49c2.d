@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_heterogeneity-157b269ddaad49c2.d: crates/bench/src/bin/fig_heterogeneity.rs
+
+/root/repo/target/debug/deps/fig_heterogeneity-157b269ddaad49c2: crates/bench/src/bin/fig_heterogeneity.rs
+
+crates/bench/src/bin/fig_heterogeneity.rs:

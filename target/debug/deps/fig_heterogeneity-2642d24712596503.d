@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_heterogeneity-2642d24712596503.d: crates/bench/src/bin/fig_heterogeneity.rs
+
+/root/repo/target/debug/deps/fig_heterogeneity-2642d24712596503: crates/bench/src/bin/fig_heterogeneity.rs
+
+crates/bench/src/bin/fig_heterogeneity.rs:

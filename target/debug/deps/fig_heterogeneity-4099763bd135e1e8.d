@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_heterogeneity-4099763bd135e1e8.d: crates/bench/src/bin/fig_heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_heterogeneity-4099763bd135e1e8.rmeta: crates/bench/src/bin/fig_heterogeneity.rs Cargo.toml
+
+crates/bench/src/bin/fig_heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_msgsize-10a6ac15acb800a7.d: crates/bench/src/bin/fig_msgsize.rs
+
+/root/repo/target/debug/deps/fig_msgsize-10a6ac15acb800a7: crates/bench/src/bin/fig_msgsize.rs
+
+crates/bench/src/bin/fig_msgsize.rs:

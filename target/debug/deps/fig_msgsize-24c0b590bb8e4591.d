@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_msgsize-24c0b590bb8e4591.d: crates/bench/src/bin/fig_msgsize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_msgsize-24c0b590bb8e4591.rmeta: crates/bench/src/bin/fig_msgsize.rs Cargo.toml
+
+crates/bench/src/bin/fig_msgsize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

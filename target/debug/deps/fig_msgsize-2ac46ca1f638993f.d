@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_msgsize-2ac46ca1f638993f.d: crates/bench/src/bin/fig_msgsize.rs
+
+/root/repo/target/debug/deps/fig_msgsize-2ac46ca1f638993f: crates/bench/src/bin/fig_msgsize.rs
+
+crates/bench/src/bin/fig_msgsize.rs:

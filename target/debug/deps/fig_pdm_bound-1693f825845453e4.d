@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_pdm_bound-1693f825845453e4.d: crates/bench/src/bin/fig_pdm_bound.rs
+
+/root/repo/target/debug/deps/fig_pdm_bound-1693f825845453e4: crates/bench/src/bin/fig_pdm_bound.rs
+
+crates/bench/src/bin/fig_pdm_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_pdm_bound-18b5c6bbd85e3b80.d: crates/bench/src/bin/fig_pdm_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_pdm_bound-18b5c6bbd85e3b80.rmeta: crates/bench/src/bin/fig_pdm_bound.rs Cargo.toml
+
+crates/bench/src/bin/fig_pdm_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_pdm_bound-c1b31b0f156e76b7.d: crates/bench/src/bin/fig_pdm_bound.rs
+
+/root/repo/target/debug/deps/fig_pdm_bound-c1b31b0f156e76b7: crates/bench/src/bin/fig_pdm_bound.rs
+
+crates/bench/src/bin/fig_pdm_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_speedup-5d5f3891b87b9a90.d: crates/bench/src/bin/fig_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_speedup-5d5f3891b87b9a90.rmeta: crates/bench/src/bin/fig_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_speedup-66aa96e7b047970e.d: crates/bench/src/bin/fig_speedup.rs
+
+/root/repo/target/debug/deps/fig_speedup-66aa96e7b047970e: crates/bench/src/bin/fig_speedup.rs
+
+crates/bench/src/bin/fig_speedup.rs:

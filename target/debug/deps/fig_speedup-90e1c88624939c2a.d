@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_speedup-90e1c88624939c2a.d: crates/bench/src/bin/fig_speedup.rs
+
+/root/repo/target/debug/deps/fig_speedup-90e1c88624939c2a: crates/bench/src/bin/fig_speedup.rs
+
+crates/bench/src/bin/fig_speedup.rs:

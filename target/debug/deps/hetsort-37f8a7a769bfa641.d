@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hetsort-37f8a7a769bfa641.d: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort-37f8a7a769bfa641.rmeta: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/external.rs:
+crates/core/src/incore.rs:
+crates/core/src/metrics.rs:
+crates/core/src/overpartition.rs:
+crates/core/src/partition.rs:
+crates/core/src/perf.rs:
+crates/core/src/pivots.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

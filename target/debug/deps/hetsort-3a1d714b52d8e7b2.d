@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsort-3a1d714b52d8e7b2.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort-3a1d714b52d8e7b2.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

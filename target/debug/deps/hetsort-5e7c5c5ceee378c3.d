@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hetsort-5e7c5c5ceee378c3.d: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/libhetsort-5e7c5c5ceee378c3.rlib: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/libhetsort-5e7c5c5ceee378c3.rmeta: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/external.rs:
+crates/core/src/incore.rs:
+crates/core/src/metrics.rs:
+crates/core/src/overpartition.rs:
+crates/core/src/partition.rs:
+crates/core/src/perf.rs:
+crates/core/src/pivots.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:

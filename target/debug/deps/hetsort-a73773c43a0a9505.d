@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsort-a73773c43a0a9505.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hetsort-a73773c43a0a9505: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

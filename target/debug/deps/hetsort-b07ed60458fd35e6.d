@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hetsort-b07ed60458fd35e6.d: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/hetsort-b07ed60458fd35e6: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/external.rs:
+crates/core/src/incore.rs:
+crates/core/src/metrics.rs:
+crates/core/src/overpartition.rs:
+crates/core/src/partition.rs:
+crates/core/src/perf.rs:
+crates/core/src/pivots.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:

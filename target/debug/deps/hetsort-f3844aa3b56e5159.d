@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsort-f3844aa3b56e5159.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hetsort-f3844aa3b56e5159: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

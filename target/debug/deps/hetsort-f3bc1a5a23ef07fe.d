@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsort-f3bc1a5a23ef07fe.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort-f3bc1a5a23ef07fe.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsort_bench-30ecd93d3deb8191.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hetsort_bench-30ecd93d3deb8191: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

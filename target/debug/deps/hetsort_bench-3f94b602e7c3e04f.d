@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsort_bench-3f94b602e7c3e04f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort_bench-3f94b602e7c3e04f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsort_bench-626997c24597e7a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsort_bench-626997c24597e7a6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsort_bench-626997c24597e7a6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsort_cli-8ab5eaf0c8b2dbf9.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort_cli-8ab5eaf0c8b2dbf9.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

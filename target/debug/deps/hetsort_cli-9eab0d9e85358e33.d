@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetsort_cli-9eab0d9e85358e33.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetsort_cli-9eab0d9e85358e33.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

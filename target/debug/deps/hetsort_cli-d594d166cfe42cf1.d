@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetsort_cli-d594d166cfe42cf1.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsort_cli-d594d166cfe42cf1.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhetsort_cli-d594d166cfe42cf1.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

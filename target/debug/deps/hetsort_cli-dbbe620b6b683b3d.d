@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetsort_cli-dbbe620b6b683b3d.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/hetsort_cli-dbbe620b6b683b3d: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

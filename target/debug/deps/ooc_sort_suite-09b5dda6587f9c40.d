@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooc_sort_suite-09b5dda6587f9c40.d: src/lib.rs
+
+/root/repo/target/debug/deps/ooc_sort_suite-09b5dda6587f9c40: src/lib.rs
+
+src/lib.rs:

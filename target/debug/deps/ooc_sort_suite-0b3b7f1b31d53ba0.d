@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ooc_sort_suite-0b3b7f1b31d53ba0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libooc_sort_suite-0b3b7f1b31d53ba0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libooc_sort_suite-0b3b7f1b31d53ba0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooc_sort_suite-24d0df840ad751ee.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooc_sort_suite-24d0df840ad751ee.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pdm-487b50925204082a.d: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+/root/repo/target/debug/deps/libpdm-487b50925204082a.rlib: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+/root/repo/target/debug/deps/libpdm-487b50925204082a.rmeta: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+crates/pdm/src/lib.rs:
+crates/pdm/src/disk.rs:
+crates/pdm/src/error.rs:
+crates/pdm/src/file.rs:
+crates/pdm/src/model.rs:
+crates/pdm/src/params.rs:
+crates/pdm/src/pipeline.rs:
+crates/pdm/src/pool.rs:
+crates/pdm/src/record.rs:
+crates/pdm/src/stats.rs:
+crates/pdm/src/stripe.rs:
+crates/pdm/src/tempdir.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pdm-e956d68dba2f5105.d: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+/root/repo/target/debug/deps/pdm-e956d68dba2f5105: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+crates/pdm/src/lib.rs:
+crates/pdm/src/disk.rs:
+crates/pdm/src/error.rs:
+crates/pdm/src/file.rs:
+crates/pdm/src/model.rs:
+crates/pdm/src/params.rs:
+crates/pdm/src/pipeline.rs:
+crates/pdm/src/pool.rs:
+crates/pdm/src/record.rs:
+crates/pdm/src/stats.rs:
+crates/pdm/src/stripe.rs:
+crates/pdm/src/tempdir.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pdm-f2605883594b93b3.d: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpdm-f2605883594b93b3.rmeta: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs Cargo.toml
+
+crates/pdm/src/lib.rs:
+crates/pdm/src/disk.rs:
+crates/pdm/src/error.rs:
+crates/pdm/src/file.rs:
+crates/pdm/src/model.rs:
+crates/pdm/src/params.rs:
+crates/pdm/src/pipeline.rs:
+crates/pdm/src/pool.rs:
+crates/pdm/src/record.rs:
+crates/pdm/src/stats.rs:
+crates/pdm/src/stripe.rs:
+crates/pdm/src/tempdir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_differential-9ff4ea8a8b71ca91.d: crates/extsort/tests/pipeline_differential.rs
+
+/root/repo/target/debug/deps/pipeline_differential-9ff4ea8a8b71ca91: crates/extsort/tests/pipeline_differential.rs
+
+crates/extsort/tests/pipeline_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_speedup-49972c1efde2b457.d: crates/bench/src/bin/pipeline_speedup.rs
+
+/root/repo/target/debug/deps/pipeline_speedup-49972c1efde2b457: crates/bench/src/bin/pipeline_speedup.rs
+
+crates/bench/src/bin/pipeline_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_speedup-ac25535cedc57417.d: crates/bench/src/bin/pipeline_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_speedup-ac25535cedc57417.rmeta: crates/bench/src/bin/pipeline_speedup.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

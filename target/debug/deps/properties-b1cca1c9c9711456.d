@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b1cca1c9c9711456.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b1cca1c9c9711456: tests/properties.rs
+
+tests/properties.rs:

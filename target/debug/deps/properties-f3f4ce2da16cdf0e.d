@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f3f4ce2da16cdf0e.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f3f4ce2da16cdf0e.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

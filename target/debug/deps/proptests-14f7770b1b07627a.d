@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-14f7770b1b07627a.d: crates/workloads/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-14f7770b1b07627a.rmeta: crates/workloads/tests/proptests.rs Cargo.toml
+
+crates/workloads/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

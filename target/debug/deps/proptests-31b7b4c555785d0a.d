@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-31b7b4c555785d0a.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-31b7b4c555785d0a.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7b285c1495f78b10.d: crates/extsort/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7b285c1495f78b10: crates/extsort/tests/proptests.rs
+
+crates/extsort/tests/proptests.rs:

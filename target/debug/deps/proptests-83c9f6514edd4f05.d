@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-83c9f6514edd4f05.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-83c9f6514edd4f05: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

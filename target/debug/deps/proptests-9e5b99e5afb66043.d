@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9e5b99e5afb66043.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9e5b99e5afb66043: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a52aaf6b2b71210d.d: crates/pdm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a52aaf6b2b71210d: crates/pdm/tests/proptests.rs
+
+crates/pdm/tests/proptests.rs:

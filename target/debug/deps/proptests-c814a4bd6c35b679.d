@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c814a4bd6c35b679.d: crates/pdm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c814a4bd6c35b679.rmeta: crates/pdm/tests/proptests.rs Cargo.toml
+
+crates/pdm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e8b42de64756086e.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e8b42de64756086e: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-eb5b30e48313f776.d: crates/extsort/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-eb5b30e48313f776.rmeta: crates/extsort/tests/proptests.rs Cargo.toml
+
+crates/extsort/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sim-244ace28cfac766d.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsim-244ace28cfac766d.rlib: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libsim-244ace28cfac766d.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/throttle.rs:
+crates/sim/src/time.rs:

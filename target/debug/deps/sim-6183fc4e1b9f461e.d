@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sim-6183fc4e1b9f461e.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-6183fc4e1b9f461e.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/throttle.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim-9a6a8b5b99c0a2bd.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/sim-9a6a8b5b99c0a2bd: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/throttle.rs:
+crates/sim/src/time.rs:

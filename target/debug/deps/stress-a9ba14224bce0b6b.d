@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-a9ba14224bce0b6b.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-a9ba14224bce0b6b: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1c630d281aa1f4eb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1c630d281aa1f4eb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-71dc37be9c72a014.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-71dc37be9c72a014: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

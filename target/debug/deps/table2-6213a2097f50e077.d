@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-6213a2097f50e077.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-6213a2097f50e077: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

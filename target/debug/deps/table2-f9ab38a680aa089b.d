@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f9ab38a680aa089b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f9ab38a680aa089b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

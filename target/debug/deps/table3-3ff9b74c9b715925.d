@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3ff9b74c9b715925.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3ff9b74c9b715925: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ef5a237378301a94.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ef5a237378301a94: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

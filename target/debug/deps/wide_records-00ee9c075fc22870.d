@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wide_records-00ee9c075fc22870.d: tests/wide_records.rs
+
+/root/repo/target/debug/deps/wide_records-00ee9c075fc22870: tests/wide_records.rs
+
+tests/wide_records.rs:

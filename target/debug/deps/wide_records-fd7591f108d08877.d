@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wide_records-fd7591f108d08877.d: tests/wide_records.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwide_records-fd7591f108d08877.rmeta: tests/wide_records.rs Cargo.toml
+
+tests/wide_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-2f3f961daf55169c.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+/root/repo/target/debug/deps/libworkloads-2f3f961daf55169c.rlib: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+/root/repo/target/debug/deps/libworkloads-2f3f961daf55169c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/gen.rs:

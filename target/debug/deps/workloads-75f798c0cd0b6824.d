@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-75f798c0cd0b6824.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+/root/repo/target/debug/deps/workloads-75f798c0cd0b6824: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/gen.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-7bf327160730e461.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-7bf327160730e461.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bsp_analysis-9a3270a779e7e06e.d: examples/bsp_analysis.rs
+
+/root/repo/target/debug/examples/bsp_analysis-9a3270a779e7e06e: examples/bsp_analysis.rs
+
+examples/bsp_analysis.rs:

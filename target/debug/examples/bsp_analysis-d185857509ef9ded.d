@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bsp_analysis-d185857509ef9ded.d: examples/bsp_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbsp_analysis-d185857509ef9ded.rmeta: examples/bsp_analysis.rs Cargo.toml
+
+examples/bsp_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

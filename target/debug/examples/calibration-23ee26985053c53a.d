@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration-23ee26985053c53a.d: examples/calibration.rs
+
+/root/repo/target/debug/examples/calibration-23ee26985053c53a: examples/calibration.rs
+
+examples/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibration-d9b9e60517948c7b.d: examples/calibration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibration-d9b9e60517948c7b.rmeta: examples/calibration.rs Cargo.toml
+
+examples/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

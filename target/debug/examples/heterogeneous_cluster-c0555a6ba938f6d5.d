@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_cluster-c0555a6ba938f6d5.d: examples/heterogeneous_cluster.rs
+
+/root/repo/target/debug/examples/heterogeneous_cluster-c0555a6ba938f6d5: examples/heterogeneous_cluster.rs
+
+examples/heterogeneous_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/measured_wallclock-9791c837c13ceb4e.d: examples/measured_wallclock.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmeasured_wallclock-9791c837c13ceb4e.rmeta: examples/measured_wallclock.rs Cargo.toml
+
+examples/measured_wallclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/measured_wallclock-b729f65c3818ff2a.d: examples/measured_wallclock.rs
+
+/root/repo/target/debug/examples/measured_wallclock-b729f65c3818ff2a: examples/measured_wallclock.rs
+
+examples/measured_wallclock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6007a79ed2d5266f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6007a79ed2d5266f: examples/quickstart.rs
+
+examples/quickstart.rs:

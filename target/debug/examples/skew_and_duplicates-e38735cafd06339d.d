@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/skew_and_duplicates-e38735cafd06339d.d: examples/skew_and_duplicates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libskew_and_duplicates-e38735cafd06339d.rmeta: examples/skew_and_duplicates.rs Cargo.toml
+
+examples/skew_and_duplicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

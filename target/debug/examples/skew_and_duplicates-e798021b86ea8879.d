@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skew_and_duplicates-e798021b86ea8879.d: examples/skew_and_duplicates.rs
+
+/root/repo/target/debug/examples/skew_and_duplicates-e798021b86ea8879: examples/skew_and_duplicates.rs
+
+examples/skew_and_duplicates.rs:

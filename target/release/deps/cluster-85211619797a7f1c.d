@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cluster-85211619797a7f1c.d: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libcluster-85211619797a7f1c.rlib: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libcluster-85211619797a7f1c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsp.rs crates/cluster/src/charge.rs crates/cluster/src/clock.rs crates/cluster/src/collectives.rs crates/cluster/src/comm.rs crates/cluster/src/cost.rs crates/cluster/src/net.rs crates/cluster/src/runtime.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsp.rs:
+crates/cluster/src/charge.rs:
+crates/cluster/src/clock.rs:
+crates/cluster/src/collectives.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/cost.rs:
+crates/cluster/src/net.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/spec.rs:

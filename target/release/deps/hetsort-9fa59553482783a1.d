@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetsort-9fa59553482783a1.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hetsort-9fa59553482783a1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hetsort-a579418929baa502.d: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/libhetsort-a579418929baa502.rlib: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/libhetsort-a579418929baa502.rmeta: crates/core/src/lib.rs crates/core/src/external.rs crates/core/src/incore.rs crates/core/src/metrics.rs crates/core/src/overpartition.rs crates/core/src/partition.rs crates/core/src/perf.rs crates/core/src/pivots.rs crates/core/src/runner.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/external.rs:
+crates/core/src/incore.rs:
+crates/core/src/metrics.rs:
+crates/core/src/overpartition.rs:
+crates/core/src/partition.rs:
+crates/core/src/perf.rs:
+crates/core/src/pivots.rs:
+crates/core/src/runner.rs:
+crates/core/src/sampling.rs:

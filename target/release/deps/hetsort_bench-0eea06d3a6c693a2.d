@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetsort_bench-0eea06d3a6c693a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetsort_bench-0eea06d3a6c693a2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetsort_bench-0eea06d3a6c693a2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetsort_cli-b7188a6c98af4d79.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhetsort_cli-b7188a6c98af4d79.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhetsort_cli-b7188a6c98af4d79.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ooc_sort_suite-51092861d2efc16b.d: src/lib.rs
+
+/root/repo/target/release/deps/libooc_sort_suite-51092861d2efc16b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libooc_sort_suite-51092861d2efc16b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pdm-8e1d200b32995bee.d: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+/root/repo/target/release/deps/libpdm-8e1d200b32995bee.rlib: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+/root/repo/target/release/deps/libpdm-8e1d200b32995bee.rmeta: crates/pdm/src/lib.rs crates/pdm/src/disk.rs crates/pdm/src/error.rs crates/pdm/src/file.rs crates/pdm/src/model.rs crates/pdm/src/params.rs crates/pdm/src/pipeline.rs crates/pdm/src/pool.rs crates/pdm/src/record.rs crates/pdm/src/stats.rs crates/pdm/src/stripe.rs crates/pdm/src/tempdir.rs
+
+crates/pdm/src/lib.rs:
+crates/pdm/src/disk.rs:
+crates/pdm/src/error.rs:
+crates/pdm/src/file.rs:
+crates/pdm/src/model.rs:
+crates/pdm/src/params.rs:
+crates/pdm/src/pipeline.rs:
+crates/pdm/src/pool.rs:
+crates/pdm/src/record.rs:
+crates/pdm/src/stats.rs:
+crates/pdm/src/stripe.rs:
+crates/pdm/src/tempdir.rs:

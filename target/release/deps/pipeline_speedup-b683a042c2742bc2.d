@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_speedup-b683a042c2742bc2.d: crates/bench/src/bin/pipeline_speedup.rs
+
+/root/repo/target/release/deps/pipeline_speedup-b683a042c2742bc2: crates/bench/src/bin/pipeline_speedup.rs
+
+crates/bench/src/bin/pipeline_speedup.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sim-2114997d91231486.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsim-2114997d91231486.rlib: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libsim-2114997d91231486.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/throttle.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/throttle.rs:
+crates/sim/src/time.rs:

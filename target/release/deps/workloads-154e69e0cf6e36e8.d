@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-154e69e0cf6e36e8.d: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+/root/repo/target/release/deps/libworkloads-154e69e0cf6e36e8.rlib: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+/root/repo/target/release/deps/libworkloads-154e69e0cf6e36e8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dist.rs crates/workloads/src/gen.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/gen.rs:

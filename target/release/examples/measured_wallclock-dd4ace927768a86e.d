@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/measured_wallclock-dd4ace927768a86e.d: examples/measured_wallclock.rs
+
+/root/repo/target/release/examples/measured_wallclock-dd4ace927768a86e: examples/measured_wallclock.rs
+
+examples/measured_wallclock.rs:

@@ -85,8 +85,18 @@ fn out_of_range_sampling_errors() {
 }
 
 #[test]
-#[should_panic(expected = "smaller than record size")]
 fn blocksize_smaller_than_record_rejected() {
     let disk = Disk::in_memory(8); // KeyPayload is 16 bytes
-    let _ = disk.create_writer::<pdm::record::KeyPayload>("x");
+    let err = disk
+        .create_writer::<pdm::record::KeyPayload>("x")
+        .unwrap_err();
+    assert!(matches!(err, PdmError::InvalidConfig(_)), "{err}");
+    assert!(
+        err.to_string().contains("smaller than record size"),
+        "{err}"
+    );
+    assert!(
+        !disk.exists("x"),
+        "failed create must not leave a file behind"
+    );
 }

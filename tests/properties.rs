@@ -2,6 +2,9 @@
 //! geometry, the sorters produce sorted permutations and respect the
 //! paper's invariants.
 
+#![cfg(feature = "proptests")]
+// Requires the `proptest` dev-dependency, not vendored offline; see README.
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 

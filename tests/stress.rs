@@ -22,7 +22,11 @@ fn table3_size_heterogeneous_verified() {
     // The paper's full 2^24-record experiment, verification on.
     let result = run_trial(&paper_scale_cfg(1 << 24)).expect("trial");
     assert!(result.verified);
-    assert!(result.balance.expansion() < 1.1, "expansion {}", result.balance.expansion());
+    assert!(
+        result.balance.expansion() < 1.1,
+        "expansion {}",
+        result.balance.expansion()
+    );
 }
 
 #[test]

@@ -35,8 +35,7 @@ fn polyphase_sorts_wide_records() {
     let data = make_records(5000, 1);
     disk.write_file("in", &data).unwrap();
     let cfg = ExtSortConfig::new(512).with_tapes(4);
-    let report =
-        extsort::polyphase_sort::<KeyPayload>(&disk, "in", "out", "pp", &cfg).unwrap();
+    let report = extsort::polyphase_sort::<KeyPayload>(&disk, "in", "out", "pp", &cfg).unwrap();
     assert_eq!(report.records, 5000);
     let out = disk.read_file::<KeyPayload>("out").unwrap();
     assert!(out.windows(2).all(|w| w[0] <= w[1]));
@@ -61,6 +60,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: false,
+        pipeline: extsort::PipelineConfig::off(),
     };
     let report = run_cluster(&spec, move |ctx| {
         // Each node materializes its share of one deterministic stream.
