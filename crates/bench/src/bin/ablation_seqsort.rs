@@ -57,6 +57,7 @@ fn run_once(n: u64, tapes: usize, algo: Algo, rf: RunFormation, seed: u64) -> (f
     charger.charge_section(
         Work {
             comparisons: report.comparisons,
+            key_ops: report.key_ops,
             moves: report.records * (report.merge_phases as u64 + 1),
         },
         t0.elapsed(),
@@ -88,6 +89,8 @@ fn main() {
                 r.initial_runs.to_string(),
                 r.merge_phases.to_string(),
                 r.io.total_blocks().to_string(),
+                r.comparisons.to_string(),
+                r.key_ops.to_string(),
                 fmt_secs(t),
             ]);
         }
@@ -100,6 +103,8 @@ fn main() {
             "initial runs",
             "merge phases",
             "block I/Os",
+            "comparisons",
+            "key ops",
             "time (s)",
         ],
         &rows,

@@ -1,0 +1,180 @@
+//! Kernel speedup bench: radix fast path vs comparison reference.
+//!
+//! Runs the *real* polyphase sort (run formation + polyphase merge) twice
+//! per workload — once with the comparison-based reference kernel, once
+//! with the radix + cached-key kernel — on identical data, verifies in-run
+//! that the two are observationally identical (byte-identical output,
+//! identical block-I/O counters), and prices each run with the suite's
+//! virtual cost model (533 MHz Alpha, year-2000 SCSI disk): comparisons at
+//! 280 ns, record moves at 120 ns, key-kernel operations at 60 ns, metered
+//! blocks through [`DiskModel::service_time`]. The kernels do the same
+//! I/O, so the speedup is pure CPU: `8·n` cheap key passes instead of
+//! `n·log n` comparisons for run formation, cached-key selects instead of
+//! full comparisons in every merge.
+//!
+//! Emits `BENCH_kernels.json` in the working directory:
+//!
+//! ```sh
+//! cargo run --release -p hetsort-bench --bin kernel_speedup -- --selftest
+//! ```
+
+use std::time::Instant;
+
+use cluster::CpuModel;
+use extsort::{polyphase_sort, ExtSortConfig, SortKernel, SortReport};
+use hetsort_bench::{fmt_ratio, fmt_secs, print_table, Args};
+use pdm::{Disk, DiskModel, IoSnapshot, ScratchDir};
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+const BLOCK_BYTES: usize = 4 * 1024;
+
+struct Run {
+    report: SortReport,
+    io: IoSnapshot,
+    output: Vec<u32>,
+    wall_secs: f64,
+}
+
+fn run_once(n: u64, bench: Benchmark, cfg: &ExtSortConfig, seed: u64, use_files: bool) -> Run {
+    let scratch;
+    let disk = if use_files {
+        scratch = Some(ScratchDir::new("kernel-bench").expect("scratch dir"));
+        Disk::on_files(scratch.as_ref().unwrap().path(), BLOCK_BYTES)
+    } else {
+        scratch = None;
+        Disk::in_memory(BLOCK_BYTES)
+    };
+    let _keep = scratch;
+    generate_to_disk(&disk, "input", bench, seed, Layout::single(n)).expect("generate");
+    let before = disk.stats().snapshot();
+    let t0 = Instant::now();
+    let report = polyphase_sort::<u32>(&disk, "input", "output", "kb", cfg).expect("sort");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let io = disk.stats().snapshot().delta(&before);
+    let output = disk.read_file::<u32>("output").expect("read output");
+    Run {
+        report,
+        io,
+        output,
+        wall_secs,
+    }
+}
+
+/// Virtual CPU seconds for a run: every counter priced by the Alpha model.
+fn cpu_secs(r: &SortReport) -> f64 {
+    let cpu = CpuModel::alpha_533();
+    let moves = r.records * (r.merge_phases as u64 + 1);
+    cpu.comparisons(r.comparisons).as_secs()
+        + cpu.key_ops(r.key_ops).as_secs()
+        + cpu.record_moves(moves).as_secs()
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: u64 = if args.paper {
+        1 << 23
+    } else if args.quick {
+        1 << 16
+    } else {
+        1 << 20
+    };
+    let tapes = 16;
+    let records_per_block = BLOCK_BYTES / 4;
+    // Out-of-core by 8x, but never below the streaming minimum of two
+    // blocks per tape.
+    let mem_records = ((n / 8) as usize).max(2 * tapes * records_per_block);
+    let disk_model = DiskModel::scsi_2000();
+
+    let workloads = [
+        Benchmark::Uniform,
+        Benchmark::Gaussian,
+        Benchmark::Zero,
+        Benchmark::Staggered,
+        Benchmark::ZipfDuplicates,
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut speedup_uniform = 0.0;
+    for bench in workloads {
+        let run_kernel = |kernel: SortKernel| {
+            let cfg = ExtSortConfig::new(mem_records)
+                .with_tapes(tapes)
+                .with_kernel(kernel);
+            run_once(n, bench, &cfg, args.seed, args.files)
+        };
+        let cmp = run_kernel(SortKernel::Comparison);
+        let rad = run_kernel(SortKernel::Radix);
+
+        // The kernel contract, verified in-run: identical bytes, identical
+        // metered I/O — the kernels may only differ in CPU cost.
+        assert_eq!(rad.io, cmp.io, "{bench}: I/O counters diverged");
+        assert_eq!(rad.output, cmp.output, "{bench}: output bytes diverged");
+        assert_eq!(rad.report.records, cmp.report.records);
+        assert_eq!(rad.report.initial_runs, cmp.report.initial_runs);
+        assert_eq!(rad.report.merge_phases, cmp.report.merge_phases);
+
+        let t_io = disk_model.service_time(&cmp.io).as_secs();
+        let mut speedup = 0.0;
+        for (kernel, run) in [("comparison", &cmp), ("radix", &rad)] {
+            let t_cpu = cpu_secs(&run.report);
+            let t_total = t_cpu + t_io;
+            speedup = (cpu_secs(&cmp.report) + t_io) / t_total;
+            rows.push(vec![
+                bench.to_string(),
+                kernel.to_string(),
+                run.report.comparisons.to_string(),
+                run.report.key_ops.to_string(),
+                fmt_secs(t_cpu),
+                fmt_secs(t_total),
+                fmt_ratio(speedup),
+            ]);
+            json_rows.push(format!(
+                "    {{\"workload\": \"{}\", \"kernel\": \"{kernel}\", \
+                 \"comparisons\": {}, \"key_ops\": {}, \"cpu_secs\": {t_cpu:.6}, \
+                 \"io_secs\": {t_io:.6}, \"virtual_secs\": {t_total:.6}, \
+                 \"speedup\": {speedup:.4}, \"wall_secs\": {:.4}}}",
+                bench.name(),
+                run.report.comparisons,
+                run.report.key_ops,
+                run.wall_secs
+            ));
+        }
+        if bench == Benchmark::Uniform {
+            speedup_uniform = speedup;
+        }
+    }
+
+    print_table(
+        &format!("Kernel speedup (n = {n}, M = {mem_records}, T = {tapes})"),
+        &[
+            "workload",
+            "kernel",
+            "comparisons",
+            "key ops",
+            "cpu s",
+            "virtual s",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_speedup\",\n  \"n\": {n},\n  \"record_bytes\": 4,\n  \
+         \"mem_records\": {mem_records},\n  \"tapes\": {tapes},\n  \"block_bytes\": {BLOCK_BYTES},\n  \
+         \"cpu_model\": \"alpha_533\",\n  \"disk_model\": \"scsi_2000\",\n  \
+         \"speedup_uniform\": {speedup_uniform:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json (uniform u32 speedup: {speedup_uniform:.2}x)");
+
+    if args.selftest {
+        assert!(
+            speedup_uniform >= 1.5,
+            "radix kernel must be >= 1.5x the comparison path on uniform u32 \
+             run formation + merge, got {speedup_uniform:.2}x"
+        );
+        println!("selftest ok");
+    }
+}

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use cluster::CpuModel;
 use extsort::report::incore_sort_comparisons;
-use extsort::{polyphase_sort, ExtSortConfig, PipelineConfig, SortReport};
+use extsort::{polyphase_sort, ExtSortConfig, PipelineConfig, SortKernel, SortReport};
 use hetsort_bench::{fmt_ratio, fmt_secs, print_table, Args};
 use pdm::{Disk, DiskModel, IoSnapshot, ScratchDir};
 use workloads::{generate_to_disk, Benchmark, Layout};
@@ -109,7 +109,13 @@ fn main() {
     // blocks per tape.
     let records_per_block = BLOCK_BYTES / 4;
     let mem_records = ((n / 8) as usize).max(2 * tapes * records_per_block);
-    let cfg_seq = ExtSortConfig::new(mem_records).with_tapes(tapes);
+    // Pin the comparison kernel: this bench isolates the *engine* overlap,
+    // and its pricing formula counts full comparisons through the Alpha
+    // model. The radix kernel makes every phase I/O-bound, which is the
+    // kernel_speedup bench's story, not this one's.
+    let cfg_seq = ExtSortConfig::new(mem_records)
+        .with_tapes(tapes)
+        .with_kernel(SortKernel::Comparison);
 
     let seq = run_once(n, &cfg_seq, args.seed, args.files);
     let t_seq = virtual_secs(&seq, mem_records, None);

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use cluster::charge::Work;
 use cluster::{Charger, CpuModel, TimePolicy};
-use extsort::{ExtSortConfig, SortReport};
+use extsort::{ExtSortConfig, SortKernel, SortReport};
 use pdm::{Disk, DiskModel, ScratchDir};
 use sim::{Jitter, Summary};
 use workloads::{generate_to_disk, Benchmark, Layout};
@@ -145,6 +145,12 @@ pub fn default_mem(n: u64) -> usize {
 /// One run of the paper's Table 2 protocol: a single node with the given
 /// slowdown sorts `n` uniform records with polyphase merge sort; returns
 /// the virtual time in seconds and the sort report.
+///
+/// The kernel is pinned to [`SortKernel::Comparison`]: the paper's 2002
+/// Alpha calibration (`CpuModel::alpha_533`) prices a comparison sort, so
+/// the Table 2/3 reproductions must not silently switch to the radix fast
+/// path. Use [`sequential_polyphase_trial_kernel`] to measure a specific
+/// kernel (the `kernel_speedup` bench compares both).
 #[allow(clippy::too_many_arguments)] // a flat experiment-parameter list reads best
 pub fn sequential_polyphase_trial(
     n: u64,
@@ -155,6 +161,32 @@ pub fn sequential_polyphase_trial(
     jitter_sigma: f64,
     use_files: bool,
     bench: Benchmark,
+) -> (f64, SortReport) {
+    sequential_polyphase_trial_kernel(
+        n,
+        mem_records,
+        tapes,
+        slowdown,
+        seed,
+        jitter_sigma,
+        use_files,
+        bench,
+        SortKernel::Comparison,
+    )
+}
+
+/// [`sequential_polyphase_trial`] with an explicit in-core sort kernel.
+#[allow(clippy::too_many_arguments)] // a flat experiment-parameter list reads best
+pub fn sequential_polyphase_trial_kernel(
+    n: u64,
+    mem_records: usize,
+    tapes: usize,
+    slowdown: f64,
+    seed: u64,
+    jitter_sigma: f64,
+    use_files: bool,
+    bench: Benchmark,
+    kernel: SortKernel,
 ) -> (f64, SortReport) {
     let block_bytes = 32 * 1024;
     let scratch;
@@ -179,13 +211,16 @@ pub fn sequential_polyphase_trial(
     generate_to_disk(&disk, "input", bench, seed, Layout::single(n)).expect("generate");
     charger.reset(); // generation is not part of the measured time
 
-    let cfg = ExtSortConfig::new(mem_records).with_tapes(tapes);
+    let cfg = ExtSortConfig::new(mem_records)
+        .with_tapes(tapes)
+        .with_kernel(kernel);
     let t0 = Instant::now();
     let report =
         extsort::polyphase_sort::<u32>(&disk, "input", "output", "seq", &cfg).expect("sort");
     charger.charge_section(
         Work {
             comparisons: report.comparisons,
+            key_ops: report.key_ops,
             moves: report.records * (report.merge_phases as u64 + 1),
         },
         t0.elapsed(),

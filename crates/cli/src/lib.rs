@@ -8,21 +8,28 @@
 //! hetsort sort    --dir D --input input --output sorted
 //!                 [--mem 1048576] [--tapes 16] [--block 32768]
 //!                 [--algo polyphase|balanced|distribution] [--workers W]
+//!                 [--kernel radix|comparison]
 //! hetsort verify  --dir D --sorted sorted [--input input]
 //! hetsort cluster --n 16777216 --perf 1,1,4,4 [--hardware 1,1,4,4]
 //!                 [--net fe|myrinet] [--bench uniform] [--msg 8192]
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
-//!                 [--workers W]
+//!                 [--workers W] [--kernel radix|comparison]
 //! ```
 //!
 //! `--workers W` (W >= 1) enables the pipelined execution engine: W
 //! in-core sort workers plus prefetch/write-behind I/O threads. Output
 //! and I/O counters are identical to the sequential default; only the
 //! charged time changes.
+//!
+//! `--kernel` picks the in-core sort kernel: `radix` (the default fast
+//! path — LSD radix run formation plus cached-key merges, billed as cheap
+//! key operations) or `comparison` (the comparison-based reference the
+//! paper's cost model was calibrated on). Both produce byte-identical
+//! output.
 
 use std::collections::HashMap;
 
-use extsort::{fingerprint_file, is_sorted_file, ExtSortConfig, PipelineConfig};
+use extsort::{fingerprint_file, is_sorted_file, ExtSortConfig, PipelineConfig, SortKernel};
 use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
 use pdm::Disk;
 use workloads::{generate_to_disk, Benchmark, Layout};
@@ -96,6 +103,11 @@ pub fn parse_perf(s: &str) -> Result<PerfVector, String> {
     }
 }
 
+/// Parses a sort kernel name (`radix` or `comparison`).
+pub fn parse_kernel(s: &str) -> Result<SortKernel, String> {
+    SortKernel::parse(s).ok_or_else(|| format!("unknown --kernel {s:?} (radix or comparison)"))
+}
+
 /// Parses a benchmark by name or id.
 pub fn parse_bench(s: &str) -> Result<Benchmark, String> {
     if let Ok(id) = s.parse::<usize>() {
@@ -151,7 +163,10 @@ fn cmd_sort(opts: &Options) -> Result<String, String> {
     let mem = opts.num_or("mem", 1 << 20)? as usize;
     let tapes = opts.num_or("tapes", 16)? as usize;
     let algo = opts.get_or("algo", "polyphase");
-    let mut cfg = ExtSortConfig::new(mem).with_tapes(tapes);
+    let kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
+    let mut cfg = ExtSortConfig::new(mem)
+        .with_tapes(tapes)
+        .with_kernel(kernel);
     let workers = opts.num_or("workers", 0)? as usize;
     if workers > 0 {
         cfg = cfg.with_pipeline(PipelineConfig::with_workers(workers));
@@ -165,13 +180,15 @@ fn cmd_sort(opts: &Options) -> Result<String, String> {
     }
     .map_err(|e| e.to_string())?;
     Ok(format!(
-        "sorted {} records with {algo} in {:.2}s wall time\n\
-         initial runs {}, passes {}, comparisons {}, block I/Os {}",
+        "sorted {} records with {algo} ({} kernel) in {:.2}s wall time\n\
+         initial runs {}, passes {}, comparisons {}, key ops {}, block I/Os {}",
         report.records,
+        kernel.name(),
         start.elapsed().as_secs_f64(),
         report.initial_runs,
         report.merge_phases,
         report.comparisons,
+        report.key_ops,
         report.io.total_blocks()
     ))
 }
@@ -212,6 +229,7 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
     if workers > 0 {
         cfg.pipeline = PipelineConfig::with_workers(workers);
     }
+    cfg.kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
     cfg.net = match opts.get_or("net", "fe") {
         "fe" | "fast-ethernet" => cluster::NetworkModel::fast_ethernet(),
         "myrinet" => cluster::NetworkModel::myrinet(),
@@ -327,6 +345,58 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn kernel_parsing() {
+        assert_eq!(parse_kernel("radix").unwrap(), SortKernel::Radix);
+        assert_eq!(parse_kernel("comparison").unwrap(), SortKernel::Comparison);
+        assert!(parse_kernel("bogus").is_err());
+    }
+
+    #[test]
+    fn sort_kernel_flag_respected() {
+        for kernel in ["radix", "comparison"] {
+            let scratch = pdm::ScratchDir::new("cli-kernel").unwrap();
+            let dir = scratch.path().to_str().unwrap().to_string();
+            run(&opts(&[
+                "gen", "--dir", &dir, "--name", "in", "--n", "5000",
+            ]))
+            .unwrap();
+            let out = run(&opts(&[
+                "sort", "--dir", &dir, "--input", "in", "--output", "out", "--mem", "65536",
+                "--tapes", "4", "--block", "4096", "--kernel", kernel,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("({kernel} kernel)")), "{out}");
+            run(&opts(&[
+                "verify", "--dir", &dir, "--sorted", "out", "--input", "in", "--block", "4096",
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn cluster_kernel_flag_accepted() {
+        let out = run(&opts(&[
+            "cluster",
+            "--n",
+            "8000",
+            "--perf",
+            "1,1",
+            "--mem",
+            "4096",
+            "--tapes",
+            "4",
+            "--msg",
+            "512",
+            "--block",
+            "1024",
+            "--kernel",
+            "comparison",
+        ]))
+        .unwrap();
+        assert!(out.contains("sublist expansion"), "{out}");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct Work {
     pub comparisons: u64,
     /// Record moves (buffer copies).
     pub moves: u64,
+    /// Key-kernel operations (radix-pass record touches, cached-key
+    /// tournament selects) — priced by [`CpuModel::key_ops`], much cheaper
+    /// per unit than a full comparison.
+    pub key_ops: u64,
 }
 
 impl Work {
@@ -34,15 +38,23 @@ impl Work {
     pub fn comparisons(n: u64) -> Self {
         Work {
             comparisons: n,
-            moves: 0,
+            ..Work::default()
         }
     }
 
     /// Work consisting only of record moves.
     pub fn moves(n: u64) -> Self {
         Work {
-            comparisons: 0,
             moves: n,
+            ..Work::default()
+        }
+    }
+
+    /// Work consisting only of key-kernel operations.
+    pub fn key_ops(n: u64) -> Self {
+        Work {
+            key_ops: n,
+            ..Work::default()
         }
     }
 
@@ -52,6 +64,7 @@ impl Work {
         Work {
             comparisons: self.comparisons + other.comparisons,
             moves: self.moves + other.moves,
+            key_ops: self.key_ops + other.key_ops,
         }
     }
 }
@@ -162,7 +175,9 @@ impl Charger {
     ) -> IoSnapshot {
         let cpu_raw = match self.policy {
             TimePolicy::Modeled => {
-                self.cpu.comparisons(work.comparisons) + self.cpu.record_moves(work.moves)
+                self.cpu.comparisons(work.comparisons)
+                    + self.cpu.record_moves(work.moves)
+                    + self.cpu.key_ops(work.key_ops)
             }
             TimePolicy::Measured => SimDuration::from_secs(elapsed.as_secs_f64()),
         };
@@ -184,7 +199,9 @@ impl Charger {
 
     /// Charges counted work at reference speed ÷ node speed.
     pub fn charge_work(&mut self, w: Work) {
-        let t = self.cpu.comparisons(w.comparisons) + self.cpu.record_moves(w.moves);
+        let t = self.cpu.comparisons(w.comparisons)
+            + self.cpu.record_moves(w.moves)
+            + self.cpu.key_ops(w.key_ops);
         self.charge_cpu_raw(t);
     }
 
@@ -277,15 +294,31 @@ mod tests {
 
     #[test]
     fn work_constructors_and_plus() {
-        let w = Work::comparisons(10).plus(Work::moves(5)).plus(Work {
-            comparisons: 2,
-            moves: 3,
-        });
+        let w = Work::comparisons(10)
+            .plus(Work::moves(5))
+            .plus(Work::key_ops(7))
+            .plus(Work {
+                comparisons: 2,
+                moves: 3,
+                key_ops: 1,
+            });
         assert_eq!(w.comparisons, 12);
         assert_eq!(w.moves, 8);
+        assert_eq!(w.key_ops, 8);
         let zero = Work::default();
         assert_eq!(zero.comparisons, 0);
         assert_eq!(zero.moves, 0);
+        assert_eq!(zero.key_ops, 0);
+    }
+
+    #[test]
+    fn key_ops_charged_cheaper_than_comparisons() {
+        let mut by_cmp = test_charger(1.0);
+        let mut by_key = test_charger(1.0);
+        by_cmp.charge_work(Work::comparisons(1_000_000));
+        by_key.charge_work(Work::key_ops(1_000_000));
+        assert!(by_key.now() < by_cmp.now());
+        assert!(by_key.now().as_secs() > 0.0);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct CpuModel {
     pub ns_per_comparison: f64,
     /// Cost of moving one record through a buffer (memcpy + bookkeeping).
     pub ns_per_record_move: f64,
+    /// Cost of one key-kernel operation: touching one record in one radix
+    /// pass, or one cached-key select in a tournament tree. Much cheaper
+    /// than a full comparison — a fixed-width integer op with sequential
+    /// access, no branch misprediction.
+    pub ns_per_key_op: f64,
 }
 
 impl CpuModel {
@@ -31,6 +36,7 @@ impl CpuModel {
             name: "Alpha 21164 @533MHz",
             ns_per_comparison: 280.0,
             ns_per_record_move: 120.0,
+            ns_per_key_op: 60.0,
         }
     }
 
@@ -40,6 +46,7 @@ impl CpuModel {
             name: "modern x86 core",
             ns_per_comparison: 4.0,
             ns_per_record_move: 1.5,
+            ns_per_key_op: 1.0,
         }
     }
 
@@ -49,6 +56,7 @@ impl CpuModel {
             name: "free (zero-cost)",
             ns_per_comparison: 0.0,
             ns_per_record_move: 0.0,
+            ns_per_key_op: 0.0,
         }
     }
 
@@ -60,6 +68,11 @@ impl CpuModel {
     /// Reference-speed time for `n` record moves.
     pub fn record_moves(&self, n: u64) -> SimDuration {
         SimDuration::from_nanos(self.ns_per_record_move * n as f64)
+    }
+
+    /// Reference-speed time for `n` key-kernel operations.
+    pub fn key_ops(&self, n: u64) -> SimDuration {
+        SimDuration::from_nanos(self.ns_per_key_op * n as f64)
     }
 }
 
@@ -81,6 +94,14 @@ mod tests {
         let m = CpuModel::free();
         assert_eq!(m.comparisons(u64::MAX / 2).as_secs(), 0.0);
         assert_eq!(m.record_moves(123).as_secs(), 0.0);
+        assert_eq!(m.key_ops(123).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn key_ops_cheaper_than_comparisons() {
+        for m in [CpuModel::alpha_533(), CpuModel::modern_x86()] {
+            assert!(m.key_ops(1000) < m.comparisons(1000), "{}", m.name);
+        }
     }
 
     #[test]

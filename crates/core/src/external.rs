@@ -21,8 +21,10 @@ use std::time::Instant;
 
 use cluster::charge::Work;
 use cluster::{NodeCtx, Tag};
-use extsort::report::incore_sort_comparisons;
-use extsort::{merge_sorted_files_with, ExtSortConfig, MergeReport, PipelineConfig, SortReport};
+use extsort::{
+    merge_sorted_files_kernel, sort_chunk, ExtSortConfig, MergeReport, PipelineConfig, SortKernel,
+    SortReport,
+};
 use pdm::{record, PdmResult, Record};
 
 use crate::partition::partition_file_streaming;
@@ -64,6 +66,12 @@ pub struct ExternalPsrsConfig {
     /// reference). When on, those phases are charged `max(cpu, io)` instead
     /// of `cpu + io` — the transfers hide behind the computation.
     pub pipeline: PipelineConfig,
+    /// In-core sort kernel for step 1's run formation, step 5's merge and
+    /// the root's pivot sort: the radix fast path (default) or the
+    /// comparison-based reference. Both produce byte-identical output; they
+    /// differ only in speed and in which counter ([`Work::key_ops`] vs
+    /// [`Work::comparisons`]) the CPU work is billed to.
+    pub kernel: SortKernel,
 }
 
 impl ExternalPsrsConfig {
@@ -78,7 +86,15 @@ impl ExternalPsrsConfig {
             output: "output".to_string(),
             fused_redistribution: false,
             pipeline: PipelineConfig::off(),
+            kernel: SortKernel::default(),
         }
+    }
+
+    /// Sets the in-core sort kernel (builder style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SortKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Sets the pipeline knobs (builder style).
@@ -147,12 +163,14 @@ pub fn psrs_external<R: Record>(
     // ---- Step 1: local external sort (polyphase merge sort). ----
     let sort_cfg = ExtSortConfig::new(cfg.mem_records)
         .with_tapes(cfg.tapes)
-        .with_pipeline(cfg.pipeline);
+        .with_pipeline(cfg.pipeline)
+        .with_kernel(cfg.kernel);
     let t0 = Instant::now();
     let local_sort =
         extsort::polyphase_sort::<R>(&ctx.disk, &cfg.input, sorted_name, "xpsrs", &sort_cfg)?;
     let sort_work = Work {
         comparisons: local_sort.comparisons,
+        key_ops: local_sort.key_ops,
         moves: local_sort.records * (local_sort.merge_phases as u64 + 1),
     };
     if cfg.pipeline.enabled {
@@ -179,11 +197,16 @@ pub fn psrs_external<R: Record>(
             .iter()
             .flat_map(|bytes| record::decode_all::<R>(bytes))
             .collect();
-        let est = Work {
-            comparisons: incore_sort_comparisons(all.len() as u64),
-            moves: all.len() as u64,
-        };
-        ctx.charger.compute(est, || all.sort_unstable());
+        let t0 = Instant::now();
+        let kw = sort_chunk(&mut all, cfg.kernel);
+        ctx.charger.charge_section(
+            Work {
+                comparisons: kw.comparisons,
+                key_ops: kw.key_ops,
+                moves: all.len() as u64,
+            },
+            t0.elapsed(),
+        );
         let pivots = select_pivots(&all, perf);
         ctx.broadcast(0, record::encode_all(&pivots));
         pivots
@@ -205,6 +228,7 @@ pub fn psrs_external<R: Record>(
         ctx.charger.charge_section(
             Work {
                 comparisons: local_sort.records + p as u64,
+                key_ops: 0,
                 moves: local_sort.records,
             },
             t0.elapsed(),
@@ -273,9 +297,11 @@ pub fn psrs_external<R: Record>(
     // ---- Step 5: final k-way merge of the received partitions. ----
     let inputs: Vec<String> = (0..p).map(|i| format!("{recv_prefix}{i}")).collect();
     let t0 = Instant::now();
-    let final_merge = merge_sorted_files_with::<R>(&ctx.disk, &inputs, &cfg.output, &cfg.pipeline)?;
+    let final_merge =
+        merge_sorted_files_kernel::<R>(&ctx.disk, &inputs, &cfg.output, &cfg.pipeline, cfg.kernel)?;
     let merge_work = Work {
         comparisons: final_merge.comparisons,
+        key_ops: final_merge.key_ops,
         moves: final_merge.records,
     };
     if cfg.pipeline.enabled {
@@ -357,6 +383,7 @@ fn fused_partition_redistribute<R: Record>(
     ctx.charger.charge_section(
         Work {
             comparisons: n_local + p as u64,
+            key_ops: 0,
             moves: n_local,
         },
         t0.elapsed(),
@@ -411,6 +438,7 @@ mod tests {
             output: "output".into(),
             fused_redistribution: false,
             pipeline: PipelineConfig::off(),
+            kernel: SortKernel::default(),
         };
         let report = run_cluster(spec, move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
@@ -509,6 +537,7 @@ mod tests {
             output: "output".into(),
             fused_redistribution: false,
             pipeline: PipelineConfig::off(),
+            kernel: SortKernel::default(),
         };
         let report = run_cluster(&spec, move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank]).unwrap();
@@ -541,6 +570,7 @@ mod tests {
                 output: "output".into(),
                 fused_redistribution: fused,
                 pipeline: PipelineConfig::off(),
+                kernel: SortKernel::default(),
             };
             run_cluster(&spec, move |ctx| {
                 generate_to_disk(
@@ -594,6 +624,7 @@ mod tests {
             output: "output".into(),
             fused_redistribution: false,
             pipeline: PipelineConfig::off(),
+            kernel: SortKernel::default(),
         };
         let report = run_cluster(&spec, move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank]).unwrap();
@@ -633,6 +664,7 @@ mod tests {
             output: "output".into(),
             fused_redistribution: false,
             pipeline: PipelineConfig::off(),
+            kernel: SortKernel::default(),
         };
         let report = run_cluster(&spec, move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank]).unwrap();

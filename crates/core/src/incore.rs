@@ -5,10 +5,11 @@
 //! implementation for the pivot machinery, and by the overpartitioning
 //! ablation.
 
+use std::time::Instant;
+
 use cluster::charge::Work;
 use cluster::NodeCtx;
-use extsort::report::incore_sort_comparisons;
-use extsort::{LoserTree, SliceStream};
+use extsort::{sort_chunk, LoserTree, SliceStream, SortKernel};
 use pdm::{record, Record};
 
 use crate::partition::{partition_comparisons, partition_ranges};
@@ -38,8 +39,11 @@ pub struct InCoreOutcome<R> {
     pub sorted: Vec<R>,
     /// The pivots that were used (identical on every node).
     pub pivots: Vec<R>,
-    /// Comparisons this node performed (local sort + merge).
+    /// Full-record comparisons this node performed (local sort + merge).
     pub comparisons: u64,
+    /// Key operations this node performed (radix kernel passes and
+    /// key-cached merge selects; zero on the comparison kernel).
+    pub key_ops: u64,
 }
 
 /// Runs in-core PSRS across the cluster; every node calls this with its
@@ -57,26 +61,47 @@ pub fn psrs_incore<R: Record>(
     psrs_incore_with(ctx, perf, local, PivotStrategy::RegularSampling)
 }
 
-/// [`psrs_incore`] with an explicit pivot-candidate strategy.
+/// [`psrs_incore`] with an explicit pivot-candidate strategy (and the
+/// default sort kernel).
 pub fn psrs_incore_with<R: Record>(
+    ctx: &mut NodeCtx,
+    perf: &PerfVector,
+    local: Vec<R>,
+    strategy: PivotStrategy,
+) -> InCoreOutcome<R> {
+    psrs_incore_kernel(ctx, perf, local, strategy, SortKernel::default())
+}
+
+/// [`psrs_incore_with`] with an explicit in-core sort kernel. The kernel
+/// changes how the local sorts run and how CPU work is billed; the sorted
+/// result is byte-identical either way.
+pub fn psrs_incore_kernel<R: Record>(
     ctx: &mut NodeCtx,
     perf: &PerfVector,
     mut local: Vec<R>,
     strategy: PivotStrategy,
+    kernel: SortKernel,
 ) -> InCoreOutcome<R> {
     assert_eq!(perf.p(), ctx.p, "perf vector must cover every node");
     let p = ctx.p;
     let rank = ctx.rank;
     let mut comparisons = 0u64;
+    let mut key_ops = 0u64;
 
     // Phase 1: local sort.
     let n_local = local.len() as u64;
-    let est = Work {
-        comparisons: incore_sort_comparisons(n_local),
-        moves: n_local,
-    };
-    comparisons += est.comparisons;
-    ctx.charger.compute(est, || local.sort_unstable());
+    let t0 = Instant::now();
+    let kw = sort_chunk(&mut local, kernel);
+    comparisons += kw.comparisons;
+    key_ops += kw.key_ops;
+    ctx.charger.charge_section(
+        Work {
+            comparisons: kw.comparisons,
+            key_ops: kw.key_ops,
+            moves: n_local,
+        },
+        t0.elapsed(),
+    );
     ctx.mark_phase("local-sort");
 
     // Phase 2: candidate sampling → gather → pivots → broadcast.
@@ -96,11 +121,16 @@ pub fn psrs_incore_with<R: Record>(
             .iter()
             .flat_map(|bytes| record::decode_all::<R>(bytes))
             .collect();
-        let est = Work {
-            comparisons: incore_sort_comparisons(all.len() as u64),
-            moves: all.len() as u64,
-        };
-        ctx.charger.compute(est, || all.sort_unstable());
+        let t0 = Instant::now();
+        let kw = sort_chunk(&mut all, kernel);
+        ctx.charger.charge_section(
+            Work {
+                comparisons: kw.comparisons,
+                key_ops: kw.key_ops,
+                moves: all.len() as u64,
+            },
+            t0.elapsed(),
+        );
         let pivots = match strategy {
             PivotStrategy::RegularSampling => select_pivots(&all, perf),
             PivotStrategy::Quantiles => select_pivots_quantile(&all, perf),
@@ -137,17 +167,31 @@ pub fn psrs_incore_with<R: Record>(
     while let Some(x) = tree.next_record().expect("in-memory streams cannot fail") {
         sorted.push(x);
     }
-    comparisons += tree.comparisons();
-    ctx.charger.charge_work(Work {
-        comparisons: tree.comparisons(),
-        moves: received,
-    });
+    // Tournament selects resolve on cached keys under a key-based kernel.
+    let selects = tree.comparisons();
+    let select_work = if kernel.key_based::<R>() {
+        key_ops += selects;
+        Work {
+            key_ops: selects,
+            moves: received,
+            ..Work::default()
+        }
+    } else {
+        comparisons += selects;
+        Work {
+            comparisons: selects,
+            moves: received,
+            ..Work::default()
+        }
+    };
+    ctx.charger.charge_work(select_work);
     ctx.mark_phase("merge");
 
     InCoreOutcome {
         sorted,
         pivots,
         comparisons,
+        key_ops,
     }
 }
 

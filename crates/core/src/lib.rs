@@ -42,7 +42,7 @@ pub mod runner;
 pub mod sampling;
 
 pub use external::{psrs_external, ExternalPsrsConfig, ExternalPsrsOutcome};
-pub use incore::{psrs_incore, psrs_incore_with, InCoreOutcome, PivotStrategy};
+pub use incore::{psrs_incore, psrs_incore_kernel, psrs_incore_with, InCoreOutcome, PivotStrategy};
 pub use metrics::LoadBalance;
 pub use overpartition::{overpartition_external, overpartition_incore, OverpartitionConfig};
 pub use perf::PerfVector;

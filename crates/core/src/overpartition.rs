@@ -18,8 +18,7 @@ use std::time::Instant;
 
 use cluster::charge::Work;
 use cluster::{NodeCtx, Tag};
-use extsort::report::incore_sort_comparisons;
-use extsort::{ExtSortConfig, SortReport};
+use extsort::{sort_chunk, ExtSortConfig, SortKernel, SortReport};
 use pdm::{record, PdmResult, Record};
 
 use crate::perf::PerfVector;
@@ -81,11 +80,16 @@ fn choose_random_pivots<R: Record>(
             .iter()
             .flat_map(|b| record::decode_all::<R>(b))
             .collect();
-        let est = Work {
-            comparisons: incore_sort_comparisons(all.len() as u64),
-            moves: all.len() as u64,
-        };
-        ctx.charger.compute(est, || all.sort_unstable());
+        let t0 = Instant::now();
+        let kw = sort_chunk(&mut all, SortKernel::default());
+        ctx.charger.charge_section(
+            Work {
+                comparisons: kw.comparisons,
+                key_ops: kw.key_ops,
+                moves: all.len() as u64,
+            },
+            t0.elapsed(),
+        );
         let cuts = cfg.sublists() as u64 - 1;
         let pivots: Vec<R> = if all.is_empty() {
             Vec::new()
@@ -171,6 +175,7 @@ pub fn overpartition_incore<R: Record>(
     let mut buckets: Vec<Vec<R>> = vec![Vec::new(); sublists];
     let est = Work {
         comparisons: local.len() as u64 * (usize::BITS - sublists.leading_zeros()) as u64,
+        key_ops: 0,
         moves: local.len() as u64,
     };
     ctx.charger.compute(est, || {
@@ -213,11 +218,16 @@ pub fn overpartition_incore<R: Record>(
         .iter()
         .flat_map(|b| record::decode_all::<R>(b))
         .collect();
-    let est = Work {
-        comparisons: incore_sort_comparisons(sorted.len() as u64),
-        moves: sorted.len() as u64,
-    };
-    ctx.charger.compute(est, || sorted.sort_unstable());
+    let t0 = Instant::now();
+    let kw = sort_chunk(&mut sorted, SortKernel::default());
+    ctx.charger.charge_section(
+        Work {
+            comparisons: kw.comparisons,
+            key_ops: kw.key_ops,
+            moves: sorted.len() as u64,
+        },
+        t0.elapsed(),
+    );
     ctx.mark_phase("sort");
 
     Ok(OverpartitionOutcome {
@@ -275,6 +285,7 @@ pub fn overpartition_external<R: Record>(
     ctx.charger.charge_section(
         Work {
             comparisons: n_local * (usize::BITS - sublists.leading_zeros()) as u64,
+            key_ops: 0,
             moves: n_local,
         },
         t0.elapsed(),
@@ -373,6 +384,7 @@ pub fn overpartition_external<R: Record>(
     ctx.charger.charge_section(
         Work {
             comparisons: report.comparisons,
+            key_ops: report.key_ops,
             moves: report.records * (report.merge_phases as u64 + 1),
         },
         t0.elapsed(),

@@ -2,6 +2,8 @@
 
 use pdm::{PdmError, PdmResult};
 
+use crate::kernel::SortKernel;
+
 /// How initial sorted runs are formed from the unsorted input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunFormation {
@@ -92,6 +94,9 @@ pub struct ExtSortConfig {
     pub tapes: usize,
     /// Initial run formation strategy.
     pub run_formation: RunFormation,
+    /// In-core sorting kernel (radix fast path by default; the comparison
+    /// kernel is the byte-identical reference oracle).
+    pub kernel: SortKernel,
     /// Pipelined-execution knobs (off by default: sequential oracle).
     pub pipeline: PipelineConfig,
 }
@@ -104,6 +109,7 @@ impl ExtSortConfig {
             mem_records,
             tapes: 16,
             run_formation: RunFormation::ChunkSort,
+            kernel: SortKernel::default(),
             pipeline: PipelineConfig::off(),
         }
     }
@@ -119,6 +125,13 @@ impl ExtSortConfig {
     #[must_use]
     pub fn with_run_formation(mut self, rf: RunFormation) -> Self {
         self.run_formation = rf;
+        self
+    }
+
+    /// Sets the in-core sorting kernel (builder style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SortKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -176,6 +189,11 @@ mod tests {
         assert_eq!(c.tapes, 16);
         assert_eq!(c.merge_order(), 15);
         assert_eq!(c.run_formation, RunFormation::ChunkSort);
+        assert_eq!(
+            c.kernel,
+            SortKernel::Radix,
+            "radix is the default fast path"
+        );
         assert!(!c.pipeline.enabled, "sequential oracle by default");
     }
 
@@ -184,9 +202,11 @@ mod tests {
         let c = ExtSortConfig::new(4096)
             .with_tapes(4)
             .with_run_formation(RunFormation::ReplacementSelection)
+            .with_kernel(SortKernel::Comparison)
             .with_pipeline(PipelineConfig::with_workers(4));
         assert_eq!(c.tapes, 4);
         assert_eq!(c.run_formation, RunFormation::ReplacementSelection);
+        assert_eq!(c.kernel, SortKernel::Comparison);
         assert!(c.pipeline.enabled);
         assert_eq!(c.pipeline.effective_workers(), 4);
     }

@@ -19,6 +19,7 @@ use pdm::{Disk, PdmResult, Record};
 use sim::rng::{Pcg64, Rng};
 
 use crate::config::ExtSortConfig;
+use crate::kernel::sort_chunk;
 use crate::report::{incore_sort_comparisons, SortReport};
 
 /// How many sample records per splitter the randomized selection draws.
@@ -81,8 +82,9 @@ fn sort_range<R: Record>(
     // Base case: one memory load — sort in-core and emit.
     if len as usize <= cfg.mem_records {
         let mut data = disk.read_file::<R>(&name)?;
-        data.sort_unstable();
-        report.comparisons += incore_sort_comparisons(len);
+        let kw = sort_chunk(&mut data, cfg.kernel);
+        report.comparisons += kw.comparisons;
+        report.key_ops += kw.key_ops;
         out.push_all(&data)?;
         if depth > 0 {
             disk.remove(&name)?;

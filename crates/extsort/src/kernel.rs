@@ -1,0 +1,316 @@
+//! Pluggable CPU sort kernels for the in-core sorting steps.
+//!
+//! Every sorter in this crate (and the local sorts in `hetsort::incore`)
+//! funnels its in-core sorting through [`sort_chunk`], selected by a
+//! [`SortKernel`]:
+//!
+//! * [`SortKernel::Comparison`] — `sort_unstable`, priced by the classical
+//!   `n·⌈log₂ n⌉` comparison estimate. The reference path: simplest, and
+//!   what the paper's 2002 Alpha code did.
+//! * [`SortKernel::Radix`] — LSD radix sort on the record's
+//!   order-preserving [`pdm::Record::sort_key`], with an insertion-sort
+//!   cutoff for small chunks and a skip for trivial digit passes. Priced
+//!   by *counted key passes* ([`KernelWork::key_ops`]) instead of
+//!   comparisons — each pass touches every record once with sequential
+//!   access and no branch misprediction, so it is far cheaper per unit.
+//!
+//! Both kernels produce **byte-identical** output: every [`pdm::Record`]
+//! has a total `Ord`, so equal records are bitwise equal and any correct
+//! sort yields the same byte sequence. Records whose key is not a total
+//! order ([`pdm::Record::KEY_IS_TOTAL`] `== false`, e.g.
+//! [`pdm::record::KeyPayload`]) get a cleanup pass that finishes equal-key
+//! groups with the full `Ord`. Records without a usable key fall back to
+//! the comparison path. The differential tests in
+//! `tests/kernel_differential.rs` enforce byte identity across kernels.
+
+use pdm::Record;
+
+use crate::report::incore_sort_comparisons;
+
+/// Which in-core sorting kernel the sorters use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortKernel {
+    /// `sort_unstable` on the full record `Ord` — the reference path kept
+    /// for differential testing and for the paper-faithful Table 2 pricing.
+    Comparison,
+    /// LSD radix sort on `sort_key()` — the default fast path.
+    #[default]
+    Radix,
+}
+
+impl SortKernel {
+    /// Parses a CLI spelling (`comparison` | `radix`).
+    pub fn parse(s: &str) -> Option<SortKernel> {
+        match s {
+            "comparison" => Some(SortKernel::Comparison),
+            "radix" => Some(SortKernel::Radix),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortKernel::Comparison => "comparison",
+            SortKernel::Radix => "radix",
+        }
+    }
+
+    /// Whether this kernel sorts type `R` by its cached key (and therefore
+    /// whether tournament selects over `R` should be priced as key ops).
+    pub fn key_based<R: Record>(&self) -> bool {
+        *self == SortKernel::Radix && R::HAS_SORT_KEY
+    }
+}
+
+/// Work counted by one kernel invocation. Deterministic in the input data,
+/// so pipelined and sequential executions report identical counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelWork {
+    /// Full-record comparisons (comparison kernel, insertion-sorted small
+    /// chunks, cleanup of equal-key groups).
+    pub comparisons: u64,
+    /// Key-pass record touches: one per record per radix pass (histogram,
+    /// distribution, and cleanup-scan passes alike).
+    pub key_ops: u64,
+}
+
+impl KernelWork {
+    /// Combines two work tallies.
+    #[must_use]
+    pub fn plus(self, other: KernelWork) -> KernelWork {
+        KernelWork {
+            comparisons: self.comparisons + other.comparisons,
+            key_ops: self.key_ops + other.key_ops,
+        }
+    }
+}
+
+/// Below this length the radix kernel insertion-sorts instead: per-digit
+/// histograms over 256 buckets cost more than they save on tiny chunks.
+pub const RADIX_INSERTION_CUTOFF: usize = 64;
+
+/// Sorts `data` in-core with the chosen kernel and returns the counted
+/// work. The result is byte-identical to `data.sort_unstable()` for every
+/// kernel (total `Ord` ⇒ equal records are bitwise equal).
+pub fn sort_chunk<R: Record>(data: &mut [R], kernel: SortKernel) -> KernelWork {
+    match kernel {
+        SortKernel::Comparison => comparison_sort(data),
+        SortKernel::Radix => {
+            if !R::HAS_SORT_KEY {
+                // No usable key: the comparison path is the radix fallback.
+                comparison_sort(data)
+            } else if data.len() <= RADIX_INSERTION_CUTOFF {
+                KernelWork {
+                    comparisons: insertion_sort(data),
+                    key_ops: 0,
+                }
+            } else {
+                radix_sort(data)
+            }
+        }
+    }
+}
+
+fn comparison_sort<R: Record>(data: &mut [R]) -> KernelWork {
+    data.sort_unstable();
+    KernelWork {
+        comparisons: incore_sort_comparisons(data.len() as u64),
+        key_ops: 0,
+    }
+}
+
+/// Stable insertion sort, counting its actual comparisons.
+fn insertion_sort<R: Record>(data: &mut [R]) -> u64 {
+    let mut comparisons = 0u64;
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 {
+            comparisons += 1;
+            if data[j - 1] > x {
+                data[j] = data[j - 1];
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        data[j] = x;
+    }
+    comparisons
+}
+
+/// LSD radix sort on `sort_key()`, 8-bit digits, all 8 histograms built in
+/// one read pass, trivial digit passes (every key sharing one digit value)
+/// skipped. Stable; finished by a full-`Ord` cleanup of equal-key groups
+/// when the key is not a total order.
+fn radix_sort<R: Record>(data: &mut [R]) -> KernelWork {
+    let n = data.len();
+    let mut hist = [[0usize; 256]; 8];
+    for r in data.iter() {
+        let k = r.sort_key();
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[(k >> (8 * d)) as u8 as usize] += 1;
+        }
+    }
+    let mut key_ops = n as u64; // the histogram pass
+
+    let mut scratch: Vec<R> = data.to_vec();
+    let mut in_data = true;
+    for (d, h) in hist.iter().enumerate() {
+        if h.contains(&n) {
+            continue; // every key shares this digit: pass is a no-op
+        }
+        let mut offs = [0usize; 256];
+        let mut sum = 0usize;
+        for (o, &c) in offs.iter_mut().zip(h.iter()) {
+            *o = sum;
+            sum += c;
+        }
+        if in_data {
+            distribute(data, &mut scratch, d, &mut offs);
+        } else {
+            distribute(&scratch, data, d, &mut offs);
+        }
+        in_data = !in_data;
+        key_ops += n as u64;
+    }
+    if !in_data {
+        data.copy_from_slice(&scratch);
+    }
+
+    let mut comparisons = 0u64;
+    if !R::KEY_IS_TOTAL {
+        // Equal keys do not imply equal records: finish each equal-key
+        // group with the full `Ord` (one scan pass + small sorts).
+        key_ops += n as u64;
+        let mut i = 0usize;
+        while i < n {
+            let k = data[i].sort_key();
+            let mut j = i + 1;
+            while j < n && data[j].sort_key() == k {
+                j += 1;
+            }
+            if j - i > 1 {
+                data[i..j].sort_unstable();
+                comparisons += incore_sort_comparisons((j - i) as u64);
+            }
+            i = j;
+        }
+    }
+    KernelWork {
+        comparisons,
+        key_ops,
+    }
+}
+
+fn distribute<R: Record>(src: &[R], dst: &mut [R], digit: usize, offs: &mut [usize; 256]) {
+    let shift = 8 * digit;
+    for &r in src {
+        let b = (r.sort_key() >> shift) as u8 as usize;
+        dst[offs[b]] = r;
+        offs[b] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::record::KeyPayload;
+    use sim::rng::{Pcg64, Rng};
+
+    fn check_matches_reference<R: Record>(mut data: Vec<R>) -> KernelWork {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let work = sort_chunk(&mut data, SortKernel::Radix);
+        assert_eq!(data, expect, "radix kernel must match sort_unstable");
+        work
+    }
+
+    #[test]
+    fn radix_sorts_u32_u64() {
+        let mut rng = Pcg64::new(7);
+        check_matches_reference((0..5000).map(|_| rng.next_u32()).collect::<Vec<_>>());
+        check_matches_reference((0..5000).map(|_| rng.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radix_sorts_signed() {
+        let mut rng = Pcg64::new(8);
+        check_matches_reference((0..3000).map(|_| rng.next_u32() as i32).collect::<Vec<_>>());
+        check_matches_reference((0..3000).map(|_| rng.next_u64() as i64).collect::<Vec<_>>());
+        check_matches_reference(vec![i32::MIN, i32::MAX, -1, 0, 1]);
+    }
+
+    #[test]
+    fn radix_sorts_keypayload_with_duplicate_keys() {
+        // Non-total key: payload ties must still come out in full-Ord order.
+        let mut rng = Pcg64::new(9);
+        let data: Vec<KeyPayload> = (0..4000)
+            .map(|_| KeyPayload::new(rng.next_u64() % 16, rng.next_u64()))
+            .collect();
+        let work = check_matches_reference(data);
+        assert!(work.comparisons > 0, "cleanup pass must have sorted ties");
+    }
+
+    #[test]
+    fn small_chunks_use_insertion_sort() {
+        let mut rng = Pcg64::new(10);
+        for n in [0usize, 1, 2, 3, RADIX_INSERTION_CUTOFF] {
+            let work = check_matches_reference((0..n).map(|_| rng.next_u32()).collect::<Vec<_>>());
+            assert_eq!(work.key_ops, 0, "n = {n} should not radix");
+        }
+    }
+
+    #[test]
+    fn trivial_passes_skipped_for_narrow_keys() {
+        // u32 keys: the top four digit passes are trivial, u16 the top six.
+        let mut rng = Pcg64::new(11);
+        let n = 1000u64;
+        let w32 = check_matches_reference((0..n).map(|_| rng.next_u32()).collect::<Vec<_>>());
+        assert!(w32.key_ops <= 5 * n, "u32: {} key ops", w32.key_ops);
+        let w16 =
+            check_matches_reference((0..n).map(|_| rng.next_u32() as u16).collect::<Vec<_>>());
+        assert!(w16.key_ops <= 3 * n, "u16: {} key ops", w16.key_ops);
+    }
+
+    #[test]
+    fn duplicate_heavy_input_is_cheap() {
+        // All-equal keys: every digit pass is trivial — only the histogram
+        // pass remains.
+        let work = check_matches_reference(vec![42u32; 1000]);
+        assert_eq!(work.key_ops, 1000);
+        assert_eq!(work.comparisons, 0);
+    }
+
+    #[test]
+    fn comparison_kernel_counts_estimate() {
+        let mut data: Vec<u32> = (0..1024).rev().collect();
+        let work = sort_chunk(&mut data, SortKernel::Comparison);
+        assert_eq!(work.comparisons, incore_sort_comparisons(1024));
+        assert_eq!(work.key_ops, 0);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn kernel_parse_roundtrip() {
+        for k in [SortKernel::Comparison, SortKernel::Radix] {
+            assert_eq!(SortKernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(SortKernel::parse("bogus"), None);
+        assert_eq!(SortKernel::default(), SortKernel::Radix);
+        assert!(SortKernel::Radix.key_based::<u32>());
+        assert!(!SortKernel::Comparison.key_based::<u32>());
+    }
+
+    #[test]
+    fn work_is_deterministic() {
+        let mut rng = Pcg64::new(12);
+        let data: Vec<u64> = (0..2000).map(|_| rng.next_u64()).collect();
+        let (mut a, mut b) = (data.clone(), data);
+        assert_eq!(
+            sort_chunk(&mut a, SortKernel::Radix),
+            sort_chunk(&mut b, SortKernel::Radix)
+        );
+    }
+}

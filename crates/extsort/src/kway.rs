@@ -13,6 +13,7 @@
 use pdm::{BufferPool, Disk, PdmResult, Record};
 
 use crate::config::{ExtSortConfig, PipelineConfig};
+use crate::kernel::SortKernel;
 use crate::loser_tree::LoserTree;
 use crate::report::{MergeReport, SortReport};
 use crate::run_formation::{form_runs, FormedRuns};
@@ -42,6 +43,7 @@ pub fn balanced_kway_sort<R: Record>(
         initial_runs: formed.total_runs,
         merge_phases: 0,
         comparisons: formed.comparisons,
+        key_ops: formed.key_ops,
         io: Default::default(),
     };
 
@@ -81,6 +83,7 @@ pub fn balanced_kway_sort<R: Record>(
             let name = format!("{job}.gen{generation}.{g}");
             let merged = merge_run_group::<R>(disk, &files, group, &name, cfg, &pool)?;
             report.comparisons += merged.comparisons;
+            report.key_ops += merged.key_ops;
             next_runs.push(RunRef {
                 file: next_files.len(),
                 offset: 0,
@@ -158,10 +161,12 @@ fn merge_run_group<R: Record>(
         comparisons = tree.comparisons();
         writer.finish()?;
     }
+    let key_based = cfg.kernel.key_based::<R>();
     Ok(MergeReport {
         records: produced,
         fan_in: group.len(),
-        comparisons,
+        comparisons: if key_based { 0 } else { comparisons },
+        key_ops: if key_based { comparisons } else { 0 },
         io: Default::default(),
     })
 }
@@ -179,11 +184,27 @@ pub fn merge_sorted_files<R: Record>(
 /// [`merge_sorted_files`] with explicit pipeline knobs: when enabled, every
 /// input is prefetched by a background reader and the output is written
 /// behind, so the p-way merge computation overlaps all its transfers.
+/// Selects are priced with the default kernel; use
+/// [`merge_sorted_files_kernel`] to pin it.
 pub fn merge_sorted_files_with<R: Record>(
     disk: &Disk,
     inputs: &[String],
     output: &str,
     pipeline: &PipelineConfig,
+) -> PdmResult<MergeReport> {
+    merge_sorted_files_kernel::<R>(disk, inputs, output, pipeline, SortKernel::default())
+}
+
+/// [`merge_sorted_files_with`] with an explicit kernel choice, which only
+/// affects how the tournament selects are *billed* (`key_ops` under a
+/// key-based kernel, `comparisons` otherwise) — the merge itself is
+/// identical either way.
+pub fn merge_sorted_files_kernel<R: Record>(
+    disk: &Disk,
+    inputs: &[String],
+    output: &str,
+    pipeline: &PipelineConfig,
+    kernel: SortKernel,
 ) -> PdmResult<MergeReport> {
     let io_before = disk.stats().snapshot();
     let produced;
@@ -220,10 +241,12 @@ pub fn merge_sorted_files_with<R: Record>(
         comparisons = tree.comparisons();
         writer.finish()?;
     }
+    let key_based = kernel.key_based::<R>();
     Ok(MergeReport {
         records: produced,
         fan_in: inputs.len(),
-        comparisons,
+        comparisons: if key_based { 0 } else { comparisons },
+        key_ops: if key_based { comparisons } else { 0 },
         io: disk.stats().snapshot().delta(&io_before),
     })
 }

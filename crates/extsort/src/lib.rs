@@ -8,8 +8,11 @@
 //!
 //! * [`stream::RecordStream`] — a fallible record source (block files,
 //!   in-memory vectors, bounded run views).
-//! * [`loser_tree::LoserTree`] — tournament-tree k-way merge with exact
-//!   comparison counting.
+//! * [`kernel`] — pluggable in-core sort kernels: the radix fast path on
+//!   order-preserving `sort_key()`s (the default) and the comparison-based
+//!   reference path, byte-identical by construction.
+//! * [`loser_tree::LoserTree`] — tournament-tree k-way merge with cached
+//!   winner keys, branch-free replay and exact select counting.
 //! * [`run_formation`] — initial sorted-run creation, by memory-load chunk
 //!   sorting or by replacement selection (runs of expected length `2M`).
 //! * [`polyphase`] — polyphase merge sort with ideal (generalized-Fibonacci)
@@ -32,6 +35,7 @@
 
 pub mod config;
 pub mod distribution;
+pub mod kernel;
 pub mod kway;
 pub mod loser_tree;
 pub mod polyphase;
@@ -43,7 +47,10 @@ pub mod verify;
 
 pub use config::{ExtSortConfig, PipelineConfig, RunFormation};
 pub use distribution::distribution_sort;
-pub use kway::{balanced_kway_sort, merge_sorted_files, merge_sorted_files_with};
+pub use kernel::{sort_chunk, KernelWork, SortKernel};
+pub use kway::{
+    balanced_kway_sort, merge_sorted_files, merge_sorted_files_kernel, merge_sorted_files_with,
+};
 pub use loser_tree::LoserTree;
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};

@@ -7,8 +7,27 @@
 //! broken by stream index, which makes the merge **stable** with respect to
 //! input order and therefore deterministic.
 //!
-//! The tree counts its comparisons; the cost models charge CPU time from
-//! that count.
+//! Two implementation choices keep the inner loop fast without changing any
+//! observable behavior:
+//!
+//! * **Cached keys.** Each head's order-preserving [`Record::sort_key`] is
+//!   cached in a flat `Vec<u64>` beside the heads (`u64::MAX` when the
+//!   stream is exhausted). Most selects resolve on a single integer
+//!   compare; only key ties (always, for records without a usable key —
+//!   their cached key is 0) fall back to the full `(record, index)`
+//!   comparison. Because `u64::MAX` is also a *valid* live key, the
+//!   sentinel is disambiguated by that same fallback: equal cached keys
+//!   consult `heads`, where `None` loses to everything.
+//! * **Branch-free replay.** The tree is built iteratively bottom-up (a
+//!   `winners` scratch array, no recursion — fan-ins of tens of thousands
+//!   of streams cannot overflow the stack), which fills *every* internal
+//!   node. Replay therefore needs no "empty node" guard and updates each
+//!   node with two cmov-friendly selects instead of a data-dependent
+//!   branch.
+//!
+//! The tree counts its selects in `comparisons`; the count is identical to
+//! the classic implementation's, and the cost models charge CPU time from
+//! it (as key ops when a key-based kernel drives the merge).
 
 use pdm::{PdmResult, Record};
 
@@ -20,6 +39,10 @@ pub struct LoserTree<R: Record, S: RecordStream<R>> {
     sources: Vec<S>,
     /// Current head record of each source (`None` = exhausted).
     heads: Vec<Option<R>>,
+    /// Cached `sort_key()` of each head: `u64::MAX` when exhausted, 0 when
+    /// the record type has no usable key (every select then falls through
+    /// to the full comparison).
+    keys: Vec<u64>,
     /// Internal nodes: `tree[j]` holds the *loser* source index at node `j`;
     /// `tree[0]` holds the overall winner.
     tree: Vec<usize>,
@@ -39,9 +62,11 @@ impl<R: Record, S: RecordStream<R>> LoserTree<R, S> {
             heads.push(s.next_record()?);
         }
         heads.resize(k, None);
+        let keys = heads.iter().map(Self::cached_key).collect();
         let mut lt = LoserTree {
             sources,
             heads,
+            keys,
             tree: vec![usize::MAX; k],
             k,
             comparisons: 0,
@@ -51,37 +76,55 @@ impl<R: Record, S: RecordStream<R>> LoserTree<R, S> {
         Ok(lt)
     }
 
-    /// Initial tournament: fills every internal node with its loser and
-    /// `tree[0]` with the overall winner. O(k) comparisons.
-    fn build(&mut self) {
-        self.tree = vec![usize::MAX; self.k];
-        let root_winner = self.init_node(1);
-        self.tree[0] = root_winner;
+    /// The cached key for a head slot. Live heads without a usable key all
+    /// cache 0, degrading every select to the full comparison.
+    fn cached_key(head: &Option<R>) -> u64 {
+        match head {
+            Some(r) if R::HAS_SORT_KEY => r.sort_key(),
+            Some(_) => 0,
+            None => u64::MAX,
+        }
     }
 
-    /// Recursively plays the sub-tournament rooted at implicit tree node
-    /// `node` (children `2·node`, `2·node+1`; nodes `>= k` are the leaves,
-    /// leaf `j` holding source `j − k`). Stores the loser at `node` and
-    /// returns the winner.
-    fn init_node(&mut self, node: usize) -> usize {
-        if node >= self.k {
-            return node - self.k;
+    /// Initial tournament, bottom-up and iterative: `winners[j]` holds the
+    /// winner of the subtree rooted at implicit node `j` (leaves `k..2k`
+    /// hold the sources); each internal node stores its loser. O(k)
+    /// comparisons, O(1) stack regardless of fan-in.
+    fn build(&mut self) {
+        self.tree = vec![usize::MAX; self.k];
+        if self.k == 1 {
+            self.tree[0] = 0;
+            return;
         }
-        let left = self.init_node(2 * node);
-        let right = self.init_node(2 * node + 1);
-        let (winner, loser) = if self.beats(left, right) {
-            (left, right)
-        } else {
-            (right, left)
-        };
-        self.tree[node] = loser;
-        winner
+        let mut winners = vec![usize::MAX; 2 * self.k];
+        for (j, w) in winners[self.k..].iter_mut().enumerate() {
+            *w = j;
+        }
+        for node in (1..self.k).rev() {
+            let left = winners[2 * node];
+            let right = winners[2 * node + 1];
+            let (winner, loser) = if self.beats(left, right) {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            self.tree[node] = loser;
+            winners[node] = winner;
+        }
+        self.tree[0] = winners[1];
     }
 
     /// Does source `a`'s head beat (sort before) source `b`'s head?
-    /// `None` (exhausted) loses to everything; ties break by index.
+    /// Resolved by the cached keys when they differ; ties (and keyless
+    /// records, and the `u64::MAX`-key-vs-exhausted collision) fall back to
+    /// the full comparison, where `None` loses to everything and record
+    /// ties break by index.
     fn beats(&mut self, a: usize, b: usize) -> bool {
         self.comparisons += 1;
+        let (ka, kb) = (self.keys[a], self.keys[b]);
+        if ka != kb {
+            return ka < kb;
+        }
         match (&self.heads[a], &self.heads[b]) {
             (Some(x), Some(y)) => (x, a) < (y, b),
             (Some(_), None) => true,
@@ -103,14 +146,16 @@ impl<R: Record, S: RecordStream<R>> LoserTree<R, S> {
         } else {
             None
         };
+        self.keys[winner] = Self::cached_key(&self.heads[winner]);
         let mut cand = winner;
         let mut node = (winner + self.k) / 2;
         while node >= 1 {
+            // Every internal node is filled after build(), so no empty-node
+            // guard: two selects the optimizer can lower branch-free.
             let stored = self.tree[node];
-            if stored != usize::MAX && self.beats(stored, cand) {
-                self.tree[node] = cand;
-                cand = stored;
-            }
+            let stored_wins = self.beats(stored, cand);
+            self.tree[node] = if stored_wins { cand } else { stored };
+            cand = if stored_wins { stored } else { cand };
             if node == 1 {
                 break;
             }
@@ -121,7 +166,8 @@ impl<R: Record, S: RecordStream<R>> LoserTree<R, S> {
         Ok(Some(out))
     }
 
-    /// Comparisons performed so far.
+    /// Comparisons performed so far (tournament selects; each is one cached
+    /// u64 key compare plus, on ties only, one full record comparison).
     pub fn comparisons(&self) -> u64 {
         self.comparisons
     }
@@ -238,5 +284,43 @@ mod tests {
             let expect: Vec<u32> = (0..(50 * k) as u32).collect();
             assert_eq!(merged, expect, "fan-in {k}");
         }
+    }
+
+    #[test]
+    fn max_key_records_not_confused_with_exhaustion() {
+        // u64::MAX is a *valid* live key and collides with the exhausted
+        // sentinel; the full-comparison fallback must disambiguate.
+        let inputs = vec![
+            vec![1u64, u64::MAX, u64::MAX],
+            vec![u64::MAX],
+            vec![0, 2, u64::MAX - 1],
+        ];
+        let sources: Vec<_> = inputs.clone().into_iter().map(SliceStream::new).collect();
+        let mut lt = LoserTree::new(sources).unwrap();
+        let mut out = Vec::new();
+        while let Some(x) = lt.next_record().unwrap() {
+            out.push(x);
+        }
+        let mut expect: Vec<u64> = inputs.concat();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn huge_fanin_64ki_streams() {
+        // Regression for the recursive tournament build: 64 Ki streams must
+        // build and merge without blowing the stack.
+        let k = 1usize << 16;
+        let sources: Vec<_> = (0..k).map(|s| SliceStream::new(vec![s as u32])).collect();
+        let mut lt = LoserTree::new(sources).unwrap();
+        let mut prev = None;
+        let mut n = 0u64;
+        while let Some(x) = lt.next_record().unwrap() {
+            assert!(prev <= Some(x), "out of order at record {n}");
+            prev = Some(x);
+            n += 1;
+        }
+        assert_eq!(n, k as u64);
+        assert_eq!(lt.produced(), k as u64);
     }
 }

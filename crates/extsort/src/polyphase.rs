@@ -55,6 +55,7 @@ pub fn polyphase_sort<R: Record>(
         initial_runs: formed.total_runs,
         merge_phases: 0,
         comparisons: formed.comparisons,
+        key_ops: formed.key_ops,
         io: Default::default(),
     };
 
@@ -235,7 +236,13 @@ fn merge_phases<R: Record>(
                 while let Some(x) = tree.next_record()? {
                     writer.push(x)?;
                 }
-                report.comparisons += tree.comparisons();
+                // Cached-key selects are key ops under a key-based kernel,
+                // full comparisons under the reference kernel.
+                if cfg.kernel.key_based::<R>() {
+                    report.key_ops += tree.comparisons();
+                } else {
+                    report.comparisons += tree.comparisons();
+                }
                 debug_assert_eq!(tree.produced(), merged_len);
                 for (i, r) in taken {
                     tapes[i].reader = Some(r);
@@ -417,6 +424,7 @@ mod tests {
         assert_eq!(seq.io, pipe.io, "pipelining must not change metered I/O");
         assert_eq!(seq.initial_runs, pipe.initial_runs);
         assert_eq!(seq.comparisons, pipe.comparisons);
+        assert_eq!(seq.key_ops, pipe.key_ops);
         assert_eq!(
             d1.read_file::<u32>("out").unwrap(),
             d2.read_file::<u32>("out").unwrap()

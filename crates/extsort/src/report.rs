@@ -19,8 +19,14 @@ pub struct SortReport {
     /// balanced-merge passes).
     pub merge_phases: u32,
     /// Comparisons performed (exact for merges, `n·⌈log₂ n⌉` estimate for
-    /// the in-core chunk sorts).
+    /// the in-core chunk sorts). With the radix kernel this counts only the
+    /// full-record comparisons that remain (equal-key cleanup, small-chunk
+    /// insertion sorts).
     pub comparisons: u64,
+    /// Key operations performed by the radix kernel (one per record per
+    /// radix pass) and by key-cached tournament selects. Zero on the
+    /// comparison kernel.
+    pub key_ops: u64,
     /// Block-I/O delta attributable to this sort.
     pub io: IoSnapshot,
 }
@@ -32,8 +38,12 @@ pub struct MergeReport {
     pub records: u64,
     /// Number of input files.
     pub fan_in: usize,
-    /// Comparisons performed (exact).
+    /// Comparisons performed (exact). Tournament selects resolved through
+    /// cached keys are counted here on the comparison kernel, and in
+    /// `key_ops` on the radix kernel.
     pub comparisons: u64,
+    /// Key-cached tournament selects (radix kernel only; zero otherwise).
+    pub key_ops: u64,
     /// Block-I/O delta attributable to this merge.
     pub io: IoSnapshot,
 }
@@ -45,6 +55,7 @@ impl SortReport {
         self.initial_runs += other.initial_runs;
         self.merge_phases += other.merge_phases;
         self.comparisons += other.comparisons;
+        self.key_ops += other.key_ops;
         self.io = self.io.plus(&other.io);
     }
 }
@@ -78,6 +89,7 @@ mod tests {
             initial_runs: 4,
             merge_phases: 1,
             comparisons: 500,
+            key_ops: 40,
             io: IoSnapshot {
                 blocks_read: 10,
                 ..Default::default()
@@ -88,6 +100,7 @@ mod tests {
             initial_runs: 0,
             merge_phases: 2,
             comparisons: 700,
+            key_ops: 60,
             io: IoSnapshot {
                 blocks_read: 5,
                 blocks_written: 3,
@@ -99,6 +112,7 @@ mod tests {
         assert_eq!(a.initial_runs, 4);
         assert_eq!(a.merge_phases, 3);
         assert_eq!(a.comparisons, 1200);
+        assert_eq!(a.key_ops, 100);
         assert_eq!(a.io.blocks_read, 15);
         assert_eq!(a.io.blocks_written, 3);
     }

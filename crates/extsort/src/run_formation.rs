@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use pdm::{BlockReader, BufferPool, Disk, PdmResult, Record, WriteBehindWriter};
 
 use crate::config::{ExtSortConfig, RunFormation};
-use crate::report::incore_sort_comparisons;
+use crate::kernel::{sort_chunk, KernelWork};
 
 /// Where the runs of one tape ended up.
 #[derive(Debug)]
@@ -50,8 +50,12 @@ pub struct FormedRuns {
     pub total_runs: u64,
     /// Records read from the input.
     pub records: u64,
-    /// In-core comparison estimate for sorting the runs.
+    /// Full-record comparisons spent sorting the runs (the `n·⌈log₂ n⌉`
+    /// estimate on the comparison kernel; cleanup/insertion-sort residue on
+    /// the radix kernel).
     pub comparisons: u64,
+    /// Key operations spent by the radix kernel (zero otherwise).
+    pub key_ops: u64,
 }
 
 /// Chooses a destination tape for each new run so that the final layout
@@ -164,24 +168,18 @@ pub fn form_runs<R: Record>(
     let mut runs: Vec<VecDeque<u64>> = vec![VecDeque::new(); k];
     let mut total_runs = 0u64;
     let mut records = 0u64;
-    let mut comparisons = 0u64;
+    let mut work = KernelWork::default();
 
     match cfg.run_formation {
         RunFormation::ChunkSort => {
             let mut chunk: Vec<R> = Vec::with_capacity(cfg.mem_records);
             loop {
                 chunk.clear();
-                while chunk.len() < cfg.mem_records {
-                    match reader.next_record()? {
-                        Some(x) => chunk.push(x),
-                        None => break,
-                    }
-                }
+                reader.read_into(&mut chunk, cfg.mem_records)?;
                 if chunk.is_empty() {
                     break;
                 }
-                chunk.sort_unstable();
-                comparisons += incore_sort_comparisons(chunk.len() as u64);
+                work = work.plus(sort_chunk(&mut chunk, cfg.kernel));
                 let t = dist.next_tape();
                 writers[t].push_all(&chunk)?;
                 runs[t].push_back(chunk.len() as u64);
@@ -193,7 +191,7 @@ pub fn form_runs<R: Record>(
             let (r, c, t) =
                 replacement_selection(&mut reader, &mut writers, &mut runs, &mut dist, cfg)?;
             records = r;
-            comparisons = c;
+            work.comparisons = c;
             total_runs = t;
         }
     }
@@ -201,14 +199,7 @@ pub fn form_runs<R: Record>(
     for w in writers {
         w.finish()?;
     }
-    Ok(assemble(
-        names,
-        runs,
-        &dist,
-        total_runs,
-        records,
-        comparisons,
-    ))
+    Ok(assemble(names, runs, &dist, total_runs, records, work))
 }
 
 /// Packs per-tape results into a [`FormedRuns`].
@@ -218,7 +209,7 @@ fn assemble(
     dist: &Distributor,
     total_runs: u64,
     records: u64,
-    comparisons: u64,
+    work: KernelWork,
 ) -> FormedRuns {
     let dummies = dist.dummies();
     let tapes = names
@@ -235,7 +226,8 @@ fn assemble(
         tapes,
         total_runs,
         records,
-        comparisons,
+        comparisons: work.comparisons,
+        key_ops: work.key_ops,
     }
 }
 
@@ -266,14 +258,17 @@ fn form_runs_pipelined<R: Record>(
     let mut runs: Vec<VecDeque<u64>> = vec![VecDeque::new(); k];
     let mut total_runs = 0u64;
     let mut records = 0u64;
-    let mut comparisons = 0u64;
+    let mut work = KernelWork::default();
+    let kernel = cfg.kernel;
 
     // Unsorted chunks flow to the workers through a bounded queue (so at
     // most `workers + 1` chunks queue up beyond the ones being sorted);
-    // sorted chunks come back tagged with their sequence number.
+    // sorted chunks come back tagged with their sequence number and the
+    // kernel work they cost (deterministic in the chunk contents, so the
+    // totals match the sequential path exactly).
     let (work_tx, work_rx) = sync_channel::<(u64, Vec<R>)>(workers + 1);
     let work_rx = Arc::new(Mutex::new(work_rx));
-    let (done_tx, done_rx) = channel::<(u64, Vec<R>)>();
+    let (done_tx, done_rx) = channel::<(u64, Vec<R>, KernelWork)>();
 
     std::thread::scope(|scope| -> PdmResult<()> {
         for w in 0..workers {
@@ -286,8 +281,8 @@ fn form_runs_pipelined<R: Record>(
                     let job = work_rx.lock().unwrap().recv();
                     match job {
                         Ok((seq, mut chunk)) => {
-                            chunk.sort_unstable();
-                            if done_tx.send((seq, chunk)).is_err() {
+                            let kw = sort_chunk(&mut chunk, kernel);
+                            if done_tx.send((seq, chunk, kw)).is_err() {
                                 return; // consumer bailed on an I/O error
                             }
                         }
@@ -301,14 +296,14 @@ fn form_runs_pipelined<R: Record>(
         // Reorder buffer: sorted chunks arrive in any order, leave in input
         // order. Its size is bounded by the number of chunks in flight
         // (workers + queue), not by the input.
-        let mut ready: BTreeMap<u64, Vec<R>> = BTreeMap::new();
+        let mut ready: BTreeMap<u64, (Vec<R>, KernelWork)> = BTreeMap::new();
         let mut next_out = 0u64;
         let mut spare: Vec<Vec<R>> = Vec::new();
-        let mut emit = |chunk: Vec<R>,
+        let mut emit = |(chunk, kw): (Vec<R>, KernelWork),
                         writers: &mut [WriteBehindWriter<R>],
                         spare: &mut Vec<Vec<R>>|
          -> PdmResult<()> {
-            comparisons += incore_sort_comparisons(chunk.len() as u64);
+            work = work.plus(kw);
             let t = dist.next_tape();
             writers[t].push_all(&chunk)?;
             runs[t].push_back(chunk.len() as u64);
@@ -324,12 +319,7 @@ fn form_runs_pipelined<R: Record>(
         loop {
             let mut chunk = spare.pop().unwrap_or_default();
             chunk.reserve(cfg.mem_records);
-            while chunk.len() < cfg.mem_records {
-                match reader.next_record()? {
-                    Some(x) => chunk.push(x),
-                    None => break,
-                }
-            }
+            reader.read_into(&mut chunk, cfg.mem_records)?;
             if chunk.is_empty() {
                 break;
             }
@@ -339,8 +329,8 @@ fn form_runs_pipelined<R: Record>(
             seq += 1;
             // Opportunistically drain finished chunks in order, without
             // blocking the read side.
-            while let Ok((s, sorted)) = done_rx.try_recv() {
-                ready.insert(s, sorted);
+            while let Ok((s, sorted, kw)) = done_rx.try_recv() {
+                ready.insert(s, (sorted, kw));
             }
             while let Some(sorted) = ready.remove(&next_out) {
                 emit(sorted, &mut writers, &mut spare)?;
@@ -349,8 +339,8 @@ fn form_runs_pipelined<R: Record>(
         }
         drop(work_tx); // input done: workers drain the queue and exit
 
-        for (s, sorted) in done_rx.iter() {
-            ready.insert(s, sorted);
+        for (s, sorted, kw) in done_rx.iter() {
+            ready.insert(s, (sorted, kw));
             while let Some(sorted) = ready.remove(&next_out) {
                 emit(sorted, &mut writers, &mut spare)?;
                 next_out += 1;
@@ -363,14 +353,7 @@ fn form_runs_pipelined<R: Record>(
     for w in writers {
         w.finish()?;
     }
-    Ok(assemble(
-        names,
-        runs,
-        &dist,
-        total_runs,
-        records,
-        comparisons,
-    ))
+    Ok(assemble(names, runs, &dist, total_runs, records, work))
 }
 
 /// Replacement selection: a min-heap of `(generation, record)` produces

@@ -16,8 +16,9 @@
 use pdm::stripe::StripedReader;
 use pdm::{DiskArray, PdmResult, Record};
 
+use crate::kernel::{sort_chunk, SortKernel};
 use crate::loser_tree::LoserTree;
-use crate::report::{incore_sort_comparisons, SortReport};
+use crate::report::SortReport;
 use crate::stream::RecordStream;
 
 impl<R: Record> RecordStream<R> for StripedReader<R> {
@@ -60,8 +61,9 @@ pub fn striped_two_phase_sort<R: Record>(
         if chunk.is_empty() {
             break;
         }
-        chunk.sort_unstable();
-        report.comparisons += incore_sort_comparisons(chunk.len() as u64);
+        let kw = sort_chunk(&mut chunk, SortKernel::default());
+        report.comparisons += kw.comparisons;
+        report.key_ops += kw.key_ops;
         let mut w = arr.striped_writer::<R>(&format!("{job}.run{runs}"))?;
         w.push_all(&chunk)?;
         w.finish()?;
@@ -90,7 +92,11 @@ pub fn striped_two_phase_sort<R: Record>(
     while let Some(x) = tree.next_record()? {
         out.push(x)?;
     }
-    report.comparisons += tree.comparisons();
+    if SortKernel::default().key_based::<R>() {
+        report.key_ops += tree.comparisons();
+    } else {
+        report.comparisons += tree.comparisons();
+    }
     report.merge_phases = 1;
     debug_assert_eq!(out.finish()?, n, "records lost in the striped merge");
     for i in 0..runs {

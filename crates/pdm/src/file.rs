@@ -154,13 +154,12 @@ impl Disk {
         Ok(())
     }
 
-    /// Convenience: reads an entire file into memory (metered).
+    /// Convenience: reads an entire file into memory (metered, bulk-decoded).
     pub fn read_file<R: Record>(&self, name: &str) -> PdmResult<Vec<R>> {
         let mut r = self.open_reader::<R>(name)?;
-        let mut out = Vec::with_capacity(r.len() as usize);
-        while let Some(x) = r.next_record()? {
-            out.push(x);
-        }
+        let n = r.len() as usize;
+        let mut out = Vec::with_capacity(n);
+        r.read_into(&mut out, n)?;
         Ok(out)
     }
 }
@@ -179,10 +178,25 @@ impl<R: Record> BlockWriter<R> {
         Ok(())
     }
 
-    /// Appends every record in the slice.
+    /// Appends every record in the slice, bulk-encoding one block segment
+    /// at a time ([`Record::write_slice_to`]) instead of `rs.len()` virtual
+    /// calls. Flush boundaries — and therefore metering — are identical to
+    /// a [`BlockWriter::push`] loop.
     pub fn push_all(&mut self, rs: &[R]) -> PdmResult<()> {
-        for &r in rs {
-            self.push(r)?;
+        debug_assert!(!self.finished, "push after finish");
+        let cap = self.records_per_block * R::SIZE;
+        let mut rest = rs;
+        while !rest.is_empty() {
+            let room = (cap - self.buf.len()) / R::SIZE;
+            let take = rest.len().min(room);
+            let old = self.buf.len();
+            self.buf.resize(old + take * R::SIZE, 0);
+            R::write_slice_to(&rest[..take], &mut self.buf[old..]);
+            self.written += take as u64;
+            rest = &rest[take..];
+            if self.buf.len() >= cap {
+                self.flush_block()?;
+            }
         }
         Ok(())
     }
@@ -278,9 +292,50 @@ impl<R: Record> BlockReader<R> {
             self.fill_block(self.pos, false)?;
         }
         let off = ((self.pos - self.buf_start) as usize) * R::SIZE;
-        let rec = R::read_from(&self.buf[off..off + R::SIZE]);
+        let rec = self.decode_at(off)?;
         self.pos += 1;
         Ok(Some(rec))
+    }
+
+    /// Streams up to `max` records into `out`, bulk-decoding whole buffered
+    /// block segments ([`Record::read_slice_from`]) instead of one virtual
+    /// call per record. Metering is identical to a
+    /// [`BlockReader::next_record`] loop. Returns the record count appended.
+    pub fn read_into(&mut self, out: &mut Vec<R>, max: usize) -> PdmResult<usize> {
+        let mut got = 0usize;
+        while got < max && self.pos < self.len {
+            if self.pos < self.buf_start || self.pos >= self.buf_end {
+                self.fill_block(self.pos, false)?;
+            }
+            let take = ((self.buf_end - self.pos) as usize).min(max - got);
+            let off = ((self.pos - self.buf_start) as usize) * R::SIZE;
+            let slice = self
+                .buf
+                .get(off..off + take * R::SIZE)
+                .ok_or_else(|| self.short_buffer())?;
+            R::read_slice_from(slice, out);
+            self.pos += take as u64;
+            got += take;
+        }
+        Ok(got)
+    }
+
+    /// Decodes the record at byte offset `off` of the buffered block,
+    /// surfacing a short buffer (truncated tail) as a typed error instead
+    /// of an index/`read_from` panic.
+    fn decode_at(&self, off: usize) -> PdmResult<R> {
+        self.buf
+            .get(off..off + R::SIZE)
+            .and_then(R::try_read_from)
+            .ok_or_else(|| self.short_buffer())
+    }
+
+    fn short_buffer(&self) -> PdmError {
+        PdmError::Corrupt {
+            name: self.name.clone(),
+            bytes: self.buf_start * R::SIZE as u64 + self.buf.len() as u64,
+            record_size: R::SIZE,
+        }
     }
 
     /// Repositions the streaming cursor (no I/O until the next read).
@@ -306,7 +361,7 @@ impl<R: Record> BlockReader<R> {
             self.fill_block(idx, true)?;
         }
         let off = ((idx - self.buf_start) as usize) * R::SIZE;
-        Ok(R::read_from(&self.buf[off..off + R::SIZE]))
+        self.decode_at(off)
     }
 
     /// Loads the block containing record `idx` into the buffer.
@@ -459,6 +514,47 @@ mod tests {
             disk.truncate("t", 16).unwrap(); // drop the tail blocks
             r.seek(8);
             assert!(matches!(r.next_record(), Err(PdmError::Corrupt { .. })));
+        }
+    }
+
+    #[test]
+    fn read_into_bulk_matches_streaming() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..23).map(|i| i * 3).collect();
+            disk.write_file("b", &data).unwrap();
+            let before = disk.stats().snapshot();
+            let mut r = disk.open_reader::<u32>("b").unwrap();
+            let mut out = Vec::new();
+            // Odd chunk sizes cross block boundaries mid-chunk.
+            assert_eq!(r.read_into(&mut out, 5).unwrap(), 5);
+            assert_eq!(r.read_into(&mut out, 7).unwrap(), 7);
+            assert_eq!(r.read_into(&mut out, 100).unwrap(), 11);
+            assert_eq!(r.read_into(&mut out, 100).unwrap(), 0);
+            assert_eq!(out, data);
+            let delta = disk.stats().snapshot().delta(&before);
+            assert_eq!(delta.blocks_read, 6, "one metered read per block");
+        }
+    }
+
+    #[test]
+    fn short_buffer_is_typed_error_not_panic() {
+        // A file whose byte length is a whole number of records but whose
+        // tail block is torn mid-record: the decode must surface
+        // `PdmError::Corrupt`, never an index or `read_from` panic.
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..8).collect();
+            disk.write_file("torn", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("torn").unwrap();
+            assert_eq!(r.next_record().unwrap(), Some(0));
+            disk.truncate("torn", 18).unwrap(); // mid-record within block 2
+            r.seek(4);
+            assert!(matches!(r.next_record(), Err(PdmError::Corrupt { .. })));
+            let mut out = Vec::new();
+            r.seek(4);
+            assert!(matches!(
+                r.read_into(&mut out, 4),
+                Err(PdmError::Corrupt { .. })
+            ));
         }
     }
 

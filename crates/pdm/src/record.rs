@@ -14,6 +14,23 @@ pub trait Record: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
     /// Encoded size in bytes.
     const SIZE: usize;
 
+    /// Whether [`Record::sort_key`] is meaningful: `a.sort_key() <
+    /// b.sort_key()` implies `a < b`, and `a < b` implies `a.sort_key() <=
+    /// b.sort_key()`. Kernels that sort by key (radix run formation, the
+    /// cached-key loser tree) only engage when this is `true`.
+    const HAS_SORT_KEY: bool = false;
+
+    /// Whether the key is a *total* order: equal keys imply equal records.
+    /// When `false` (e.g. [`KeyPayload`]: payloads tie-break), key-based
+    /// kernels must finish equal-key groups with the full `Ord`.
+    const KEY_IS_TOTAL: bool = false;
+
+    /// An order-preserving fixed-width key (see [`Record::HAS_SORT_KEY`]).
+    /// The default is a constant, which satisfies the contract vacuously.
+    fn sort_key(&self) -> u64 {
+        0
+    }
+
     /// Serializes into `buf` (exactly `SIZE` bytes).
     ///
     /// # Panics
@@ -25,12 +42,64 @@ pub trait Record: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
     /// # Panics
     /// Panics if `buf.len() != SIZE`.
     fn read_from(buf: &[u8]) -> Self;
+
+    /// Length-checked deserialization: `None` when `buf` is not exactly
+    /// `SIZE` bytes (e.g. a truncated tail block). The block layer turns
+    /// this into a typed [`crate::PdmError`] instead of a panic.
+    fn try_read_from(buf: &[u8]) -> Option<Self> {
+        if buf.len() == Self::SIZE {
+            Some(Self::read_from(buf))
+        } else {
+            None
+        }
+    }
+
+    /// Bulk-encodes `records` into `buf` in one pass. The default loops
+    /// over [`Record::write_to`]; POD implementations specialize to a
+    /// single `copy_from_slice`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != records.len() * SIZE`.
+    fn write_slice_to(records: &[Self], buf: &mut [u8]) {
+        assert_eq!(
+            buf.len(),
+            records.len() * Self::SIZE,
+            "buffer length does not match record count"
+        );
+        for (r, chunk) in records.iter().zip(buf.chunks_exact_mut(Self::SIZE)) {
+            r.write_to(chunk);
+        }
+    }
+
+    /// Bulk-decodes `buf` and appends to `out` in one pass. The default
+    /// loops over [`Record::read_from`]; POD implementations specialize to
+    /// a single `copy_from_slice`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of `SIZE`.
+    fn read_slice_from(buf: &[u8], out: &mut Vec<Self>) {
+        assert_eq!(
+            buf.len() % Self::SIZE,
+            0,
+            "byte length {} not a multiple of record size {}",
+            buf.len(),
+            Self::SIZE
+        );
+        out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
+    }
 }
 
 macro_rules! int_record {
-    ($t:ty) => {
+    ($t:ty, |$s:ident| $key:expr) => {
         impl Record for $t {
             const SIZE: usize = std::mem::size_of::<$t>();
+            const HAS_SORT_KEY: bool = true;
+            const KEY_IS_TOTAL: bool = true;
+
+            fn sort_key(&self) -> u64 {
+                let $s = *self;
+                $key
+            }
 
             fn write_to(&self, buf: &mut [u8]) {
                 buf.copy_from_slice(&self.to_le_bytes());
@@ -39,21 +108,75 @@ macro_rules! int_record {
             fn read_from(buf: &[u8]) -> Self {
                 <$t>::from_le_bytes(buf.try_into().expect("record size mismatch"))
             }
+
+            fn write_slice_to(records: &[Self], buf: &mut [u8]) {
+                assert_eq!(
+                    buf.len(),
+                    records.len() * Self::SIZE,
+                    "buffer length does not match record count"
+                );
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: a plain integer slice is valid to view as
+                    // bytes, and its little-endian in-memory layout is
+                    // exactly the file encoding.
+                    let bytes = unsafe {
+                        std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), buf.len())
+                    };
+                    buf.copy_from_slice(bytes);
+                }
+                #[cfg(not(target_endian = "little"))]
+                for (r, chunk) in records.iter().zip(buf.chunks_exact_mut(Self::SIZE)) {
+                    r.write_to(chunk);
+                }
+            }
+
+            fn read_slice_from(buf: &[u8], out: &mut Vec<Self>) {
+                assert_eq!(
+                    buf.len() % Self::SIZE,
+                    0,
+                    "byte length {} not a multiple of record size {}",
+                    buf.len(),
+                    Self::SIZE
+                );
+                let n = buf.len() / Self::SIZE;
+                #[cfg(target_endian = "little")]
+                {
+                    let start = out.len();
+                    out.resize(start + n, 0 as $t);
+                    // SAFETY: the Vec's buffer is properly aligned for the
+                    // integer type; viewing the freshly resized tail as
+                    // bytes is valid, and any byte pattern is a valid
+                    // integer. File encoding == little-endian layout.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            out.as_mut_ptr().add(start).cast::<u8>(),
+                            buf.len(),
+                        )
+                    };
+                    dst.copy_from_slice(buf);
+                }
+                #[cfg(not(target_endian = "little"))]
+                out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
+            }
         }
     };
 }
 
-int_record!(u32);
-int_record!(u64);
-int_record!(i32);
-int_record!(i64);
-int_record!(u16);
+// Unsigned keys zero-extend; signed keys flip the sign bit so that the
+// unsigned key order matches the signed record order.
+int_record!(u32, |s| s as u64);
+int_record!(u64, |s| s);
+int_record!(i32, |s| (s as u32 ^ 0x8000_0000) as u64);
+int_record!(i64, |s| s as u64 ^ 0x8000_0000_0000_0000);
+int_record!(u16, |s| s as u64);
 
 /// A 16-byte record with a 64-bit sort key and a 64-bit opaque payload, for
 /// workloads where records are wider than their keys (e.g. database rows).
 /// Ordering is by `key` first, then `payload` (total order keeps sorts
 /// deterministic under duplicate keys).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(C)] // field order is the file layout (enables the bulk byte-view codec)
 pub struct KeyPayload {
     /// The sort key.
     pub key: u64,
@@ -70,6 +193,14 @@ impl KeyPayload {
 
 impl Record for KeyPayload {
     const SIZE: usize = 16;
+    const HAS_SORT_KEY: bool = true;
+    // Equal keys do NOT imply equal records — payloads tie-break — so
+    // key-based kernels must finish equal-key groups with the full `Ord`.
+    const KEY_IS_TOTAL: bool = false;
+
+    fn sort_key(&self) -> u64 {
+        self.key
+    }
 
     fn write_to(&self, buf: &mut [u8]) {
         assert_eq!(buf.len(), Self::SIZE, "record size mismatch");
@@ -84,30 +215,69 @@ impl Record for KeyPayload {
             payload: u64::from_le_bytes(buf[8..].try_into().unwrap()),
         }
     }
+
+    fn write_slice_to(records: &[Self], buf: &mut [u8]) {
+        assert_eq!(
+            buf.len(),
+            records.len() * Self::SIZE,
+            "buffer length does not match record count"
+        );
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `KeyPayload` is `repr(C)` with two `u64` fields and
+            // no padding, so its little-endian in-memory layout is exactly
+            // the file encoding and a byte view of the slice is valid.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), buf.len()) };
+            buf.copy_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for (r, chunk) in records.iter().zip(buf.chunks_exact_mut(Self::SIZE)) {
+            r.write_to(chunk);
+        }
+    }
+
+    fn read_slice_from(buf: &[u8], out: &mut Vec<Self>) {
+        assert_eq!(
+            buf.len() % Self::SIZE,
+            0,
+            "byte length {} not a multiple of record size {}",
+            buf.len(),
+            Self::SIZE
+        );
+        let n = buf.len() / Self::SIZE;
+        #[cfg(target_endian = "little")]
+        {
+            let start = out.len();
+            out.resize(start + n, KeyPayload::new(0, 0));
+            // SAFETY: the Vec's buffer is aligned for `KeyPayload`
+            // (`repr(C)`, padding-free, any byte pattern valid); the byte
+            // view of the freshly resized tail matches the file encoding.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(out.as_mut_ptr().add(start).cast::<u8>(), buf.len())
+            };
+            dst.copy_from_slice(buf);
+        }
+        #[cfg(not(target_endian = "little"))]
+        out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
+    }
 }
 
-/// Encodes a slice of records into a packed byte vector.
+/// Encodes a slice of records into a packed byte vector (one bulk pass).
 pub fn encode_all<R: Record>(records: &[R]) -> Vec<u8> {
     let mut out = vec![0u8; records.len() * R::SIZE];
-    for (r, chunk) in records.iter().zip(out.chunks_exact_mut(R::SIZE)) {
-        r.write_to(chunk);
-    }
+    R::write_slice_to(records, &mut out);
     out
 }
 
-/// Decodes a packed byte slice into records.
+/// Decodes a packed byte slice into records (one bulk pass).
 ///
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of `R::SIZE`.
 pub fn decode_all<R: Record>(bytes: &[u8]) -> Vec<R> {
-    assert_eq!(
-        bytes.len() % R::SIZE,
-        0,
-        "byte length {} not a multiple of record size {}",
-        bytes.len(),
-        R::SIZE
-    );
-    bytes.chunks_exact(R::SIZE).map(R::read_from).collect()
+    let mut out = Vec::with_capacity(bytes.len() / R::SIZE);
+    R::read_slice_from(bytes, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -177,5 +347,91 @@ mod tests {
         let mut buf = [0u8; 4];
         0x0102_0304u32.write_to(&mut buf);
         assert_eq!(buf, [4, 3, 2, 1]);
+    }
+
+    fn key_order_matches<R: Record>(mut xs: Vec<R>) {
+        assert!(R::HAS_SORT_KEY);
+        xs.sort_unstable();
+        for w in xs.windows(2) {
+            assert!(
+                w[0].sort_key() <= w[1].sort_key(),
+                "{:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+            if w[0].sort_key() < w[1].sort_key() {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_keys_preserve_order() {
+        key_order_matches(vec![0u32, 1, 7, u32::MAX, 0x8000_0000]);
+        key_order_matches(vec![0u64, u64::MAX, 42, 1 << 63]);
+        key_order_matches(vec![i32::MIN, -1, 0, 1, i32::MAX]);
+        key_order_matches(vec![i64::MIN, -5, 0, 3, i64::MAX]);
+        key_order_matches(vec![0u16, 9, u16::MAX]);
+        key_order_matches(vec![
+            KeyPayload::new(0, 9),
+            KeyPayload::new(1, 0),
+            KeyPayload::new(1, 1),
+            KeyPayload::new(u64::MAX, 0),
+        ]);
+    }
+
+    #[test]
+    fn keypayload_key_not_total() {
+        const { assert!(KeyPayload::HAS_SORT_KEY) };
+        const { assert!(!KeyPayload::KEY_IS_TOTAL) };
+        // The plain integer records all set KEY_IS_TOTAL (checked at compile
+        // time where the constants are defined via `int_record!`).
+    }
+
+    #[test]
+    fn try_read_from_checks_length() {
+        assert_eq!(u32::try_read_from(&[1, 0, 0, 0]), Some(1u32));
+        assert_eq!(u32::try_read_from(&[1, 0, 0]), None);
+        assert_eq!(u32::try_read_from(&[]), None);
+        assert_eq!(KeyPayload::try_read_from(&[0u8; 15]), None);
+    }
+
+    /// The bulk codec must produce exactly the bytes of the per-record loop
+    /// (the POD byte-view specialization is only an optimization).
+    fn bulk_matches_loop<R: Record>(xs: &[R]) {
+        let mut bulk = vec![0u8; xs.len() * R::SIZE];
+        R::write_slice_to(xs, &mut bulk);
+        let mut looped = vec![0u8; xs.len() * R::SIZE];
+        for (r, chunk) in xs.iter().zip(looped.chunks_exact_mut(R::SIZE)) {
+            r.write_to(chunk);
+        }
+        assert_eq!(bulk, looped);
+        let mut out = vec![xs[0]]; // non-empty: append semantics
+        R::read_slice_from(&bulk, &mut out);
+        assert_eq!(&out[1..], xs);
+    }
+
+    #[test]
+    fn bulk_codec_matches_per_record_loop() {
+        bulk_matches_loop(&[0x0102_0304u32, 7, u32::MAX, 0]);
+        bulk_matches_loop(&[u64::MAX, 1, 1 << 40]);
+        bulk_matches_loop(&[i32::MIN, -2, 5]);
+        bulk_matches_loop(&[i64::MIN, 0, i64::MAX]);
+        bulk_matches_loop(&[1u16, 0xBEEF]);
+        bulk_matches_loop(&[KeyPayload::new(3, 4), KeyPayload::new(u64::MAX, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bulk_read_misaligned_panics() {
+        let mut out = Vec::new();
+        u32::read_slice_from(&[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn bulk_write_wrong_size_panics() {
+        let mut buf = [0u8; 7];
+        u32::write_slice_to(&[1, 2], &mut buf);
     }
 }

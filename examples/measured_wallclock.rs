@@ -37,6 +37,7 @@ fn run(declared: PerfVector) -> f64 {
         output: "output".into(),
         fused_redistribution: false,
         pipeline: extsort::PipelineConfig::off(),
+        kernel: extsort::SortKernel::default(),
     };
     let report = cluster::run_cluster(&spec, move |ctx| {
         generate_to_disk(

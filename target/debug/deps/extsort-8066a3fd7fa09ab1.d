@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/extsort-8066a3fd7fa09ab1.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/extsort-8066a3fd7fa09ab1.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/libextsort-8066a3fd7fa09ab1.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/libextsort-8066a3fd7fa09ab1.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
 
 crates/extsort/src/lib.rs:
 crates/extsort/src/config.rs:
 crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
 crates/extsort/src/kway.rs:
 crates/extsort/src/loser_tree.rs:
 crates/extsort/src/polyphase.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/extsort-927fefb43dbb06cd.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/debug/deps/extsort-927fefb43dbb06cd.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
-/root/repo/target/debug/deps/libextsort-927fefb43dbb06cd.rlib: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/debug/deps/libextsort-927fefb43dbb06cd.rlib: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
-/root/repo/target/debug/deps/libextsort-927fefb43dbb06cd.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/debug/deps/libextsort-927fefb43dbb06cd.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
 crates/extsort/src/lib.rs:
 crates/extsort/src/config.rs:
 crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
 crates/extsort/src/kway.rs:
 crates/extsort/src/loser_tree.rs:
 crates/extsort/src/polyphase.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/extsort-c060cb25e31a9036.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/debug/deps/extsort-c060cb25e31a9036.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
-/root/repo/target/debug/deps/extsort-c060cb25e31a9036: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/debug/deps/extsort-c060cb25e31a9036: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
 crates/extsort/src/lib.rs:
 crates/extsort/src/config.rs:
 crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
 crates/extsort/src/kway.rs:
 crates/extsort/src/loser_tree.rs:
 crates/extsort/src/polyphase.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/extsort-c06d0ab94d5171ba.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+
+/root/repo/target/debug/deps/extsort-c06d0ab94d5171ba: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+
+crates/extsort/src/lib.rs:
+crates/extsort/src/config.rs:
+crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
+crates/extsort/src/kway.rs:
+crates/extsort/src/loser_tree.rs:
+crates/extsort/src/polyphase.rs:
+crates/extsort/src/report.rs:
+crates/extsort/src/run_formation.rs:
+crates/extsort/src/stream.rs:
+crates/extsort/src/striped.rs:
+crates/extsort/src/verify.rs:

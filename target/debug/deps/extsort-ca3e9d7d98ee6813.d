@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/extsort-ca3e9d7d98ee6813.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextsort-ca3e9d7d98ee6813.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs Cargo.toml
+
+crates/extsort/src/lib.rs:
+crates/extsort/src/config.rs:
+crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
+crates/extsort/src/kway.rs:
+crates/extsort/src/loser_tree.rs:
+crates/extsort/src/polyphase.rs:
+crates/extsort/src/report.rs:
+crates/extsort/src/run_formation.rs:
+crates/extsort/src/stream.rs:
+crates/extsort/src/striped.rs:
+crates/extsort/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

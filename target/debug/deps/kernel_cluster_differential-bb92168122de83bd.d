@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_cluster_differential-bb92168122de83bd.d: crates/core/tests/kernel_cluster_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_cluster_differential-bb92168122de83bd.rmeta: crates/core/tests/kernel_cluster_differential.rs Cargo.toml
+
+crates/core/tests/kernel_cluster_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

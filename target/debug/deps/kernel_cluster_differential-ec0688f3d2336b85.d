@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_cluster_differential-ec0688f3d2336b85.d: crates/core/tests/kernel_cluster_differential.rs
+
+/root/repo/target/debug/deps/kernel_cluster_differential-ec0688f3d2336b85: crates/core/tests/kernel_cluster_differential.rs
+
+crates/core/tests/kernel_cluster_differential.rs:

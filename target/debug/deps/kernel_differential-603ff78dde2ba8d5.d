@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_differential-603ff78dde2ba8d5.d: crates/extsort/tests/kernel_differential.rs
+
+/root/repo/target/debug/deps/kernel_differential-603ff78dde2ba8d5: crates/extsort/tests/kernel_differential.rs
+
+crates/extsort/tests/kernel_differential.rs:

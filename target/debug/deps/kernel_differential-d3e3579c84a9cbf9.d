@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_differential-d3e3579c84a9cbf9.d: crates/extsort/tests/kernel_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_differential-d3e3579c84a9cbf9.rmeta: crates/extsort/tests/kernel_differential.rs Cargo.toml
+
+crates/extsort/tests/kernel_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

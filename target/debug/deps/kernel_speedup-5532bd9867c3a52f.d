@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_speedup-5532bd9867c3a52f.d: crates/bench/src/bin/kernel_speedup.rs
+
+/root/repo/target/debug/deps/kernel_speedup-5532bd9867c3a52f: crates/bench/src/bin/kernel_speedup.rs
+
+crates/bench/src/bin/kernel_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_speedup-7a7237ea68107c95.d: crates/bench/src/bin/kernel_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_speedup-7a7237ea68107c95.rmeta: crates/bench/src/bin/kernel_speedup.rs Cargo.toml
+
+crates/bench/src/bin/kernel_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

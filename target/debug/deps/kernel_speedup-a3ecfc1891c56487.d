@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_speedup-a3ecfc1891c56487.d: crates/bench/src/bin/kernel_speedup.rs
+
+/root/repo/target/debug/deps/kernel_speedup-a3ecfc1891c56487: crates/bench/src/bin/kernel_speedup.rs
+
+crates/bench/src/bin/kernel_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_speedup-c73257839ce527a9.d: crates/bench/src/bin/kernel_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_speedup-c73257839ce527a9.rmeta: crates/bench/src/bin/kernel_speedup.rs Cargo.toml
+
+crates/bench/src/bin/kernel_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_differential-297e2b81066f3dd5.d: crates/extsort/tests/pipeline_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_differential-297e2b81066f3dd5.rmeta: crates/extsort/tests/pipeline_differential.rs Cargo.toml
+
+crates/extsort/tests/pipeline_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

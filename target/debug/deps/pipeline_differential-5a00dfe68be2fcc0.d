@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_differential-5a00dfe68be2fcc0.d: crates/extsort/tests/pipeline_differential.rs
+
+/root/repo/target/debug/deps/pipeline_differential-5a00dfe68be2fcc0: crates/extsort/tests/pipeline_differential.rs
+
+crates/extsort/tests/pipeline_differential.rs:

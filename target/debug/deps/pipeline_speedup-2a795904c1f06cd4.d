@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_speedup-2a795904c1f06cd4.d: crates/bench/src/bin/pipeline_speedup.rs
+
+/root/repo/target/debug/deps/pipeline_speedup-2a795904c1f06cd4: crates/bench/src/bin/pipeline_speedup.rs
+
+crates/bench/src/bin/pipeline_speedup.rs:

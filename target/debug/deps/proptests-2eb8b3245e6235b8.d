@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2eb8b3245e6235b8.d: crates/extsort/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2eb8b3245e6235b8.rmeta: crates/extsort/tests/proptests.rs Cargo.toml
+
+crates/extsort/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-38caf0fe2c347db5.d: crates/extsort/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-38caf0fe2c347db5: crates/extsort/tests/proptests.rs
+
+crates/extsort/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_duplicates-d071740e3ed066a6.d: crates/bench/src/bin/ablation_duplicates.rs
+
+/root/repo/target/release/deps/ablation_duplicates-d071740e3ed066a6: crates/bench/src/bin/ablation_duplicates.rs
+
+crates/bench/src/bin/ablation_duplicates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fused-aec1b3999845220a.d: crates/bench/src/bin/ablation_fused.rs
+
+/root/repo/target/release/deps/ablation_fused-aec1b3999845220a: crates/bench/src/bin/ablation_fused.rs
+
+crates/bench/src/bin/ablation_fused.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pivots-8753c0fa33a5135a.d: crates/bench/src/bin/ablation_pivots.rs
+
+/root/repo/target/release/deps/ablation_pivots-8753c0fa33a5135a: crates/bench/src/bin/ablation_pivots.rs
+
+crates/bench/src/bin/ablation_pivots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_seqsort-04a8fb3a287e8db4.d: crates/bench/src/bin/ablation_seqsort.rs
+
+/root/repo/target/release/deps/ablation_seqsort-04a8fb3a287e8db4: crates/bench/src/bin/ablation_seqsort.rs
+
+crates/bench/src/bin/ablation_seqsort.rs:

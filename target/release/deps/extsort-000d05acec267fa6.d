@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/extsort-000d05acec267fa6.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/release/deps/extsort-000d05acec267fa6.d: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
-/root/repo/target/release/deps/libextsort-000d05acec267fa6.rlib: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/release/deps/libextsort-000d05acec267fa6.rlib: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
-/root/repo/target/release/deps/libextsort-000d05acec267fa6.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
+/root/repo/target/release/deps/libextsort-000d05acec267fa6.rmeta: crates/extsort/src/lib.rs crates/extsort/src/config.rs crates/extsort/src/distribution.rs crates/extsort/src/kernel.rs crates/extsort/src/kway.rs crates/extsort/src/loser_tree.rs crates/extsort/src/polyphase.rs crates/extsort/src/report.rs crates/extsort/src/run_formation.rs crates/extsort/src/stream.rs crates/extsort/src/striped.rs crates/extsort/src/verify.rs
 
 crates/extsort/src/lib.rs:
 crates/extsort/src/config.rs:
 crates/extsort/src/distribution.rs:
+crates/extsort/src/kernel.rs:
 crates/extsort/src/kway.rs:
 crates/extsort/src/loser_tree.rs:
 crates/extsort/src/polyphase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_heterogeneity-830ce970ffccb654.d: crates/bench/src/bin/fig_heterogeneity.rs
+
+/root/repo/target/release/deps/fig_heterogeneity-830ce970ffccb654: crates/bench/src/bin/fig_heterogeneity.rs
+
+crates/bench/src/bin/fig_heterogeneity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_msgsize-3ba7c0ec8415d851.d: crates/bench/src/bin/fig_msgsize.rs
+
+/root/repo/target/release/deps/fig_msgsize-3ba7c0ec8415d851: crates/bench/src/bin/fig_msgsize.rs
+
+crates/bench/src/bin/fig_msgsize.rs:

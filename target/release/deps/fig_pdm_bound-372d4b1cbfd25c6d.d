@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_pdm_bound-372d4b1cbfd25c6d.d: crates/bench/src/bin/fig_pdm_bound.rs
+
+/root/repo/target/release/deps/fig_pdm_bound-372d4b1cbfd25c6d: crates/bench/src/bin/fig_pdm_bound.rs
+
+crates/bench/src/bin/fig_pdm_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_speedup-6ffca0eb44777863.d: crates/bench/src/bin/fig_speedup.rs
+
+/root/repo/target/release/deps/fig_speedup-6ffca0eb44777863: crates/bench/src/bin/fig_speedup.rs
+
+crates/bench/src/bin/fig_speedup.rs:

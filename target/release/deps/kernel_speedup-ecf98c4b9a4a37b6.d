@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_speedup-ecf98c4b9a4a37b6.d: crates/bench/src/bin/kernel_speedup.rs
+
+/root/repo/target/release/deps/kernel_speedup-ecf98c4b9a4a37b6: crates/bench/src/bin/kernel_speedup.rs
+
+crates/bench/src/bin/kernel_speedup.rs:

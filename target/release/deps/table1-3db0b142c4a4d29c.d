@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3db0b142c4a4d29c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3db0b142c4a4d29c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

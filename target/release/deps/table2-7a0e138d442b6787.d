@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-7a0e138d442b6787.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-7a0e138d442b6787: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-a51901ac9acbc3fb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-a51901ac9acbc3fb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-48206e9cc44c0d2b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-48206e9cc44c0d2b: examples/quickstart.rs
+
+examples/quickstart.rs:

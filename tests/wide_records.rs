@@ -61,6 +61,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
         output: "output".into(),
         fused_redistribution: false,
         pipeline: extsort::PipelineConfig::off(),
+        kernel: extsort::SortKernel::default(),
     };
     let report = run_cluster(&spec, move |ctx| {
         // Each node materializes its share of one deterministic stream.
