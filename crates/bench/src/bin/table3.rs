@@ -28,7 +28,9 @@ struct Row {
     mean_size: f64,
     max_size: u64,
     s_max: f64,
-    phase_ends: Vec<(String, f64)>,
+    /// Per-phase duration on the slowest node, straight from
+    /// `TrialResult::phase_breakdown` (no differencing of cumulative ends).
+    phase_durs: Vec<(String, f64)>,
 }
 
 fn run_config(args: &Args, declared: PerfVector, net: NetworkModel, label: &'static str) -> Row {
@@ -38,7 +40,7 @@ fn run_config(args: &Args, declared: PerfVector, net: NetworkModel, label: &'sta
     let mut max_size = 0u64;
     let mut s_max = 0.0;
     let mut n_actual = 0u64;
-    let mut phase_ends = Vec::new();
+    let mut phase_durs = Vec::new();
     let time = repeat(args.trials, args.seed, |seed| {
         let mut cfg = TrialConfig::new(hardware.clone(), declared.clone(), n_req);
         cfg.bench = Benchmark::Uniform;
@@ -66,7 +68,11 @@ fn run_config(args: &Args, declared: PerfVector, net: NetworkModel, label: &'sta
         mean_size = result.balance.mean_size_of(&fast);
         max_size = result.balance.max_size_of(&fast);
         s_max = result.balance.expansion_of(&fast);
-        phase_ends = result.phase_ends.clone();
+        phase_durs = result
+            .phase_breakdown
+            .iter()
+            .map(|pb| (pb.name.to_string(), pb.max().as_secs()))
+            .collect();
         result.time_secs
     });
     Row {
@@ -76,7 +82,7 @@ fn run_config(args: &Args, declared: PerfVector, net: NetworkModel, label: &'sta
         mean_size,
         max_size,
         s_max,
-        phase_ends,
+        phase_durs,
     }
 }
 
@@ -131,19 +137,19 @@ fn main() {
         &table,
     );
 
-    // Phase breakdown (cumulative per-phase completion, max across nodes).
+    // Phase breakdown (per-phase duration on the slowest node).
     let phase_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             let mut row = vec![r.label.to_string()];
-            for (name, end) in &r.phase_ends {
-                row.push(format!("{name} {end:.2}s"));
+            for (name, dur) in &r.phase_durs {
+                row.push(format!("{name} {dur:.2}s"));
             }
             row
         })
         .collect();
     print_table(
-        "Phase completion times (cumulative, slowest node)",
+        "Phase durations (slowest node per phase)",
         &["Configuration", "1", "2", "3", "4", "5"],
         &phase_rows,
     );

@@ -14,12 +14,23 @@
 //!                 [--net fe|myrinet] [--bench uniform] [--msg 8192]
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
 //!                 [--workers W] [--kernel radix|comparison]
+//!                 [--trace-out trace.json] [--metrics-out metrics.json]
+//!                 [--profile]
 //! ```
 //!
 //! `--workers W` (W >= 1) enables the pipelined execution engine: W
 //! in-core sort workers plus prefetch/write-behind I/O threads. Output
 //! and I/O counters are identical to the sequential default; only the
 //! charged time changes.
+//!
+//! `--trace-out`, `--metrics-out` and `--profile` enable the phase-span
+//! tracer for `cluster` runs: `--trace-out PATH` writes a Chrome
+//! `trace_event` JSON (load it at <https://ui.perfetto.dev>, one process
+//! per node on the virtual-time axis), `--metrics-out PATH` writes the
+//! unified metrics registry as JSON, and `--profile` (a bare flag, no
+//! value) prints a per-node phase Gantt chart plus the PSRS skew table to
+//! the terminal. Tracing never touches the virtual clocks: the reported
+//! times, outputs and I/O counters are identical with and without it.
 //!
 //! `--kernel` picks the in-core sort kernel: `radix` (the default fast
 //! path — LSD radix run formation plus cached-key merges, billed as cheap
@@ -48,17 +59,28 @@ impl Options {
     /// # Errors
     /// Returns a message when the command is missing or a flag is malformed.
     pub fn parse(args: &[String]) -> Result<Options, String> {
-        let mut it = args.iter();
+        /// Flags that may appear bare (no value): `--profile` alone means
+        /// `--profile true`. A following token that is itself a `--flag`
+        /// is not consumed as the value.
+        const BOOL_FLAGS: &[&str] = &["profile"];
+        let mut it = args.iter().peekable();
         let command = it.next().ok_or_else(usage)?.clone();
         let mut flags = HashMap::new();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {key:?}"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            flags.insert(key.to_string(), value.clone());
+            let value = if BOOL_FLAGS.contains(&key) {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "true".to_string(),
+                }
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?
+                    .clone()
+            };
+            flags.insert(key.to_string(), value);
         }
         Ok(Options { command, flags })
     }
@@ -74,6 +96,17 @@ impl Options {
     /// An optional string flag with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A boolean flag: absent means `false`, bare (`--profile`) means
+    /// `true`, and an explicit `true`/`false` value is honoured.
+    pub fn flag(&self, key: &str) -> Result<bool, String> {
+        match self.flags.get(key).map(String::as_str) {
+            None => Ok(false),
+            Some("true") | Some("1") | Some("yes") => Ok(true),
+            Some("false") | Some("0") | Some("no") => Ok(false),
+            Some(v) => Err(format!("flag --{key} expects true/false, got {v:?}")),
+        }
     }
 
     /// A numeric flag with a default.
@@ -241,8 +274,12 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
         "overpartition" => SortAlgo::OverpartitionExternal,
         other => return Err(format!("unknown --algo {other:?}")),
     };
+    let trace_out = opts.flags.get("trace-out").cloned();
+    let metrics_out = opts.flags.get("metrics-out").cloned();
+    let profile = opts.flag("profile")?;
+    cfg.trace = trace_out.is_some() || metrics_out.is_some() || profile;
     let result = run_trial(&cfg).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let mut out = format!(
         "sorted n = {} on {} nodes in {:.3} virtual seconds\n\
          partition sizes {:?}\n\
          sublist expansion S(max) = {:.5}\n\
@@ -254,7 +291,24 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
         result.balance.expansion(),
         result.sent_bytes as f64 / (1 << 20) as f64,
         result.total_io_blocks
-    ))
+    );
+    if let Some(obs) = &result.obs {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, obs::chrome_trace(obs))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            out.push_str(&format!("\nwrote chrome trace to {path:?}"));
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, obs::metrics_json(obs))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            out.push_str(&format!("\nwrote metrics to {path:?}"));
+        }
+        if profile {
+            out.push('\n');
+            out.push_str(&obs::render_profile(obs));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -407,6 +461,71 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("sublist expansion"), "{out}");
+    }
+
+    #[test]
+    fn bool_flag_parsing() {
+        // Bare --profile, followed by another flag: value not consumed.
+        let o = opts(&["cluster", "--profile", "--n", "100"]);
+        assert!(o.flag("profile").unwrap());
+        assert_eq!(o.num_or("n", 0).unwrap(), 100);
+        // Trailing bare --profile.
+        let o = opts(&["cluster", "--n", "100", "--profile"]);
+        assert!(o.flag("profile").unwrap());
+        // Explicit value forms.
+        assert!(opts(&["cluster", "--profile", "true"])
+            .flag("profile")
+            .unwrap());
+        assert!(!opts(&["cluster", "--profile", "false"])
+            .flag("profile")
+            .unwrap());
+        assert!(!opts(&["cluster"]).flag("profile").unwrap());
+        assert!(opts(&["cluster", "--profile", "maybe"])
+            .flag("profile")
+            .is_err());
+    }
+
+    #[test]
+    fn cluster_trace_flags_write_outputs() {
+        let scratch = pdm::ScratchDir::new("cli-trace").unwrap();
+        let trace = scratch.path().join("trace.json");
+        let metrics = scratch.path().join("metrics.json");
+        let out = run(&opts(&[
+            "cluster",
+            "--n",
+            "20000",
+            "--perf",
+            "1,1,4,4",
+            "--mem",
+            "4096",
+            "--tapes",
+            "4",
+            "--msg",
+            "512",
+            "--block",
+            "1024",
+            "--seed",
+            "3",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote chrome trace"), "{out}");
+        assert!(out.contains("wrote metrics"), "{out}");
+        // The Gantt + skew dashboard made it to the terminal output.
+        assert!(out.contains("node0"), "{out}");
+        assert!(out.contains("skew"), "{out}");
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        obs::json::validate(&trace_json).unwrap();
+        for phase in ["local-sort", "pivots", "partition", "redistribute", "merge"] {
+            assert!(trace_json.contains(phase), "trace missing {phase}");
+        }
+        let metrics_json = std::fs::read_to_string(&metrics).unwrap();
+        obs::json::validate(&metrics_json).unwrap();
+        assert!(metrics_json.contains("hetsort-metrics-v1"));
     }
 
     #[test]

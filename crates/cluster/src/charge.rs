@@ -495,6 +495,66 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_zero_work_zero_io_is_free() {
+        // Degenerate section: no counted work, no block deltas. The clock
+        // must not move and nothing may be recorded as saved.
+        let mut c = test_charger(3.0);
+        let delta = c.charge_overlapped_section(Work::default(), std::time::Duration::ZERO);
+        assert_eq!(delta.total_blocks(), 0);
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.cpu_time(), SimDuration::ZERO);
+        assert_eq!(c.io_time(), SimDuration::ZERO);
+        assert_eq!(c.overlap_saved(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overlapped_io_only_section_charges_like_sync_io() {
+        // I/O with zero counted work: the advance is exactly the sequential
+        // sync_io charge, and nothing is hidden (cpu component is zero).
+        let data: Vec<u32> = (0..2048).collect();
+        let mut seq = test_charger(2.0);
+        seq.disk().write_file("f", &data).unwrap();
+        seq.sync_io();
+
+        let mut over = test_charger(2.0);
+        over.disk().write_file("f", &data).unwrap();
+        over.charge_overlapped_section(Work::default(), std::time::Duration::ZERO);
+
+        assert_eq!(over.now(), seq.now());
+        assert_eq!(over.io_time(), seq.io_time());
+        assert_eq!(over.cpu_time(), SimDuration::ZERO);
+        assert_eq!(over.overlap_saved(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overlap_saved_never_exceeds_min_component() {
+        // Across a spread of cpu:io ratios, the hidden time is exactly
+        // min(cpu, io) per section and therefore can never exceed it.
+        for (cmps, recs) in [(0u64, 1usize), (1_000, 64), (500_000, 512), (50_000_000, 4)] {
+            let mut c = test_charger(1.5);
+            if recs > 0 {
+                c.disk()
+                    .write_file::<u32>("f", &(0..recs as u32).collect::<Vec<_>>())
+                    .unwrap();
+            }
+            c.charge_overlapped_section(Work::comparisons(cmps), std::time::Duration::ZERO);
+            let min = c.cpu_time().min(c.io_time());
+            assert!(
+                c.overlap_saved().as_secs() <= min.as_secs() + 1e-12,
+                "cmps {cmps} recs {recs}: saved {} > min {}",
+                c.overlap_saved(),
+                min
+            );
+            assert!((c.overlap_saved().as_secs() - min.as_secs()).abs() < 1e-12);
+            assert_eq!(
+                c.now().as_secs(),
+                c.cpu_time().max(c.io_time()).as_secs(),
+                "advance must be the max component"
+            );
+        }
+    }
+
+    #[test]
     fn reset_zeroes_overlap_saved() {
         let mut c = test_charger(1.0);
         c.disk().write_file::<u32>("f", &[1, 2, 3]).unwrap();

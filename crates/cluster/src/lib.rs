@@ -40,5 +40,5 @@ pub use clock::NodeClock;
 pub use comm::{Endpoint, Message, Tag};
 pub use cost::CpuModel;
 pub use net::NetworkModel;
-pub use runtime::{run_cluster, ClusterReport, NodeCtx, NodeOutcome, PhaseMark};
+pub use runtime::{run_cluster, ClusterReport, NodeCtx, NodeOutcome, PhaseBreakdown, PhaseMark};
 pub use spec::{ClusterSpec, StorageKind, TimePolicy};

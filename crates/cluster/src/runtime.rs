@@ -7,6 +7,7 @@
 //! clock reflects the full run) and reports per-node outcomes plus the
 //! makespan.
 
+use obs::{ClusterObs, NodeObs, Obs, SpanKind};
 use pdm::{Disk, IoSnapshot, ScratchDir};
 use sim::rng::Pcg64;
 use sim::{Jitter, SimDuration, SimTime, SplitMix64};
@@ -43,6 +44,10 @@ pub struct NodeCtx {
     pub rng: Pcg64,
     /// Time accounting for this node.
     pub charger: Charger,
+    /// Tracing handle (disabled unless [`ClusterSpec::tracing`] is set).
+    /// Recording only reads clocks — it never advances them — so traced
+    /// and untraced runs are observationally identical.
+    pub obs: Obs,
     endpoint: Endpoint,
     phases: Vec<PhaseMark>,
 }
@@ -58,8 +63,29 @@ impl NodeCtx {
         self.perf.iter().sum()
     }
 
+    /// Opens a collective span: `(wall, virtual)` at entry, or `None` when
+    /// tracing is disabled (skips even the clock reads).
+    fn span_open(&self) -> Option<(f64, f64)> {
+        if self.obs.is_enabled() {
+            Some((self.obs.elapsed(), self.charger.now().as_secs()))
+        } else {
+            None
+        }
+    }
+
+    /// Closes a collective span opened by [`Self::span_open`].
+    fn span_close(&self, name: &'static str, opened: Option<(f64, f64)>) {
+        if let Some((w0, v0)) = opened {
+            let w1 = self.obs.elapsed();
+            let v1 = self.charger.now().as_secs();
+            self.obs
+                .record_span(name, SpanKind::Collective, w0, w1, Some((v0, v1)));
+        }
+    }
+
     /// Sends `bytes` to `to`.
     pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>) {
+        self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
         self.endpoint.send(to, tag, bytes, &mut self.charger);
     }
 
@@ -70,6 +96,8 @@ impl NodeCtx {
 
     /// Typed record send.
     pub fn send_records<R: pdm::Record>(&mut self, to: usize, tag: Tag, records: &[R]) {
+        self.obs
+            .hist_record("net.msg_bytes", (records.len() * R::SIZE) as u64);
         self.endpoint
             .send_records(to, tag, records, &mut self.charger);
     }
@@ -81,22 +109,44 @@ impl NodeCtx {
 
     /// Barrier across all nodes.
     pub fn barrier(&mut self) {
+        let span = self.span_open();
         self.endpoint.barrier(&mut self.charger);
+        self.span_close("barrier", span);
     }
 
     /// Gather at `root`.
     pub fn gather(&mut self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
-        self.endpoint.gather(root, bytes, &mut self.charger)
+        let span = self.span_open();
+        self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
+        let out = self.endpoint.gather(root, bytes, &mut self.charger);
+        self.span_close("gather", span);
+        out
     }
 
     /// Broadcast from `root`.
     pub fn broadcast(&mut self, root: usize, bytes: Vec<u8>) -> Vec<u8> {
-        self.endpoint.broadcast(root, bytes, &mut self.charger)
+        let span = self.span_open();
+        if self.rank == root {
+            self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
+        }
+        let out = self.endpoint.broadcast(root, bytes, &mut self.charger);
+        self.span_close("broadcast", span);
+        out
     }
 
     /// Personalized all-to-all.
     pub fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        self.endpoint.all_to_all(outgoing, &mut self.charger)
+        let span = self.span_open();
+        if self.obs.is_enabled() {
+            for (peer, msg) in outgoing.iter().enumerate() {
+                if peer != self.rank {
+                    self.obs.hist_record("net.msg_bytes", msg.len() as u64);
+                }
+            }
+        }
+        let out = self.endpoint.all_to_all(outgoing, &mut self.charger);
+        self.span_close("all-to-all", span);
+        out
     }
 
     /// Records a phase boundary: prices outstanding I/O, then stamps
@@ -104,11 +154,15 @@ impl NodeCtx {
     /// times, so phase `k`'s duration is `stamp[k] − stamp[k−1]`.
     pub fn mark_phase(&mut self, name: &'static str) {
         self.charger.sync_io();
+        let at = self.charger.now();
         self.phases.push(PhaseMark {
             name,
-            at: self.charger.now(),
+            at,
             sent_bytes: self.endpoint.sent_bytes(),
         });
+        // Close the phase span on the tracer with the same stamp the mark
+        // reports (the tracer itself never touches the clock).
+        self.obs.phase_mark(name, at.as_secs());
     }
 
     /// Synchronizes all nodes, then zeroes this node's clock, counters and
@@ -119,6 +173,7 @@ impl NodeCtx {
         self.barrier();
         self.charger.reset();
         self.phases.clear();
+        self.obs.reset();
     }
 
     /// Network traffic sent by this node so far.
@@ -151,6 +206,29 @@ pub struct NodeOutcome<T> {
     pub wait_time: SimDuration,
     /// Bytes this node pushed into the network.
     pub sent_bytes: u64,
+    /// The node's finished observability data (empty unless
+    /// [`ClusterSpec::tracing`] was set).
+    pub obs: NodeObs,
+}
+
+/// One phase's per-node durations, derived from [`PhaseMark`] stamps.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// Phase name.
+    pub name: &'static str,
+    /// Duration of this phase on each node, indexed by rank.
+    pub per_node: Vec<SimDuration>,
+}
+
+impl PhaseBreakdown {
+    /// The slowest node's duration for this phase (what the makespan sees).
+    pub fn max(&self) -> SimDuration {
+        self.per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
 }
 
 /// Result of [`run_cluster`].
@@ -173,6 +251,50 @@ impl<T> ClusterReport<T> {
         self.nodes
             .iter()
             .fold(IoSnapshot::default(), |acc, n| acc.plus(&n.io))
+    }
+
+    /// Per-phase, per-node durations derived from the cumulative
+    /// [`PhaseMark`] stamps: phase `k` on a node lasted
+    /// `at[k] − at[k−1]` (phase 0 starts at the timing reset). Phase
+    /// order follows node 0; nodes that skipped a phase report zero.
+    /// Works with or without tracing — marks are always recorded.
+    pub fn phase_breakdown(&self) -> Vec<PhaseBreakdown> {
+        let Some(first) = self.nodes.first() else {
+            return Vec::new();
+        };
+        first
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(idx, mark)| PhaseBreakdown {
+                name: mark.name,
+                per_node: self
+                    .nodes
+                    .iter()
+                    .map(|n| match n.phases.get(idx) {
+                        Some(m) => {
+                            let prev = if idx == 0 {
+                                SimTime::ZERO
+                            } else {
+                                n.phases[idx - 1].at
+                            };
+                            m.at.since(prev)
+                        }
+                        None => SimDuration::ZERO,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Bundles every node's observability data (empty per-node records
+    /// unless the spec enabled tracing). Cluster-level metrics start
+    /// empty; trial runners inject cross-node gauges (e.g. skew) on top.
+    pub fn cluster_obs(&self) -> ClusterObs {
+        ClusterObs {
+            nodes: self.nodes.iter().map(|n| n.obs.clone()).collect(),
+            cluster: Default::default(),
+        }
     }
 }
 
@@ -252,6 +374,15 @@ where
                         disk.clone(),
                         spec.time_policy,
                     );
+                    let node_obs = if spec.tracing {
+                        Obs::enabled()
+                    } else {
+                        Obs::disabled()
+                    };
+                    // Install the handle in TLS so library code below this
+                    // frame (the external sorters) can record spans and
+                    // metrics without threading the handle through.
+                    let _obs_guard = obs::install(node_obs.clone());
                     let mut ctx = NodeCtx {
                         rank,
                         p,
@@ -259,21 +390,53 @@ where
                         disk,
                         rng: Pcg64::with_stream(spec.seed, rank as u64),
                         charger,
+                        obs: node_obs,
                         endpoint,
                         phases: Vec::new(),
                     };
                     let value = f(&mut ctx);
                     ctx.charger.sync_io();
                     ctx.barrier();
+                    let io = ctx.disk.stats().snapshot();
+                    if ctx.obs.is_enabled() {
+                        // Fold the classic report counters into the unified
+                        // registry so exporters see one coherent namespace.
+                        ctx.obs.counter_add("io.blocks_read", io.blocks_read);
+                        ctx.obs.counter_add("io.blocks_written", io.blocks_written);
+                        ctx.obs.counter_add("io.bytes_read", io.bytes_read);
+                        ctx.obs.counter_add("io.bytes_written", io.bytes_written);
+                        ctx.obs.counter_add("io.random_reads", io.random_reads);
+                        ctx.obs.counter_add("io.files_created", io.files_created);
+                        ctx.obs
+                            .counter_add("net.sent_bytes", ctx.endpoint.sent_bytes());
+                        ctx.obs
+                            .counter_add("net.sent_messages", ctx.endpoint.sent_messages());
+                        ctx.obs
+                            .gauge_set("time.cpu_secs", ctx.charger.cpu_time().as_secs());
+                        ctx.obs
+                            .gauge_set("time.io_secs", ctx.charger.io_time().as_secs());
+                        ctx.obs
+                            .gauge_set("time.wait_secs", ctx.charger.wait_time().as_secs());
+                        ctx.obs.gauge_set(
+                            "time.overlap_saved_secs",
+                            ctx.charger.overlap_saved().as_secs(),
+                        );
+                        ctx.obs
+                            .gauge_set("time.finish_secs", ctx.charger.now().as_secs());
+                    }
+                    let node_obs = ctx
+                        .obs
+                        .finish(rank, format!("node{rank} (perf {})", spec.perf[rank]));
                     NodeOutcome {
                         value,
                         finish: ctx.charger.now(),
-                        io: ctx.disk.stats().snapshot(),
+                        io,
                         phases: ctx.phases,
                         cpu_time: ctx.charger.cpu_time(),
                         io_time: ctx.charger.io_time(),
                         wait_time: ctx.charger.wait_time(),
                         sent_bytes: ctx.endpoint.sent_bytes(),
+                        obs: node_obs,
                     }
                 })
             })
@@ -399,6 +562,88 @@ mod tests {
         for (x, y) in a.nodes.iter().zip(&b.nodes) {
             assert_eq!(x.value, y.value);
         }
+    }
+
+    #[test]
+    fn tracing_records_phase_spans_and_metrics() {
+        let spec = ClusterSpec::new(vec![1, 2]).with_tracing(true);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.charge_work(Work::comparisons(1000));
+            ctx.mark_phase("first");
+            if ctx.rank == 0 {
+                ctx.send_records(1, Tag::user(9), &[1u32, 2, 3]);
+            } else {
+                let _: Vec<u32> = ctx.recv_records(0, Tag::user(9));
+            }
+            ctx.barrier();
+            ctx.mark_phase("second");
+        });
+        for node in &report.nodes {
+            let phases: Vec<_> = node.obs.phases().map(|s| s.name).collect();
+            assert_eq!(phases, vec!["first", "second"]);
+            // Phase stamps on the tracer agree with the classic marks.
+            for (span, mark) in node.obs.phases().zip(&node.phases) {
+                assert_eq!(span.virt_end, Some(mark.at.as_secs()));
+            }
+            // The barrier shows up as a collective span.
+            assert!(node
+                .obs
+                .spans
+                .iter()
+                .any(|s| s.kind == obs::SpanKind::Collective && s.name == "barrier"));
+            // Classic counters were folded into the registry.
+            assert_eq!(
+                node.obs.metrics.counters.get("io.blocks_read"),
+                Some(&node.io.blocks_read)
+            );
+            assert_eq!(
+                node.obs.metrics.counters.get("net.sent_bytes"),
+                Some(&node.sent_bytes)
+            );
+        }
+        // The sender's message-size histogram saw the 12-byte payload.
+        let hist = report.nodes[0]
+            .obs
+            .metrics
+            .histograms
+            .get("net.msg_bytes")
+            .expect("sender records message sizes");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 12);
+    }
+
+    #[test]
+    fn tracing_off_yields_empty_obs() {
+        let spec = ClusterSpec::homogeneous(2);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.mark_phase("only");
+        });
+        for node in &report.nodes {
+            assert!(node.obs.spans.is_empty());
+            assert!(node.obs.metrics.is_empty());
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_from_marks() {
+        let spec = ClusterSpec::new(vec![1, 4]);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.charge_work(Work::comparisons(1_000_000));
+            ctx.mark_phase("compute");
+            ctx.barrier();
+            ctx.mark_phase("sync");
+        });
+        let breakdown = report.phase_breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0].name, "compute");
+        assert_eq!(breakdown[0].per_node.len(), 2);
+        // Node 0 is 4x slower, so its compute phase takes 4x longer.
+        let slow = breakdown[0].per_node[0].as_secs();
+        let fast = breakdown[0].per_node[1].as_secs();
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+        assert_eq!(breakdown[0].max().as_secs(), slow);
+        // Durations are deltas: the sync phase excludes compute time.
+        assert!(breakdown[1].per_node[1].as_secs() < slow);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct ClusterSpec {
     pub jitter_sigma: f64,
     /// Compute-time policy.
     pub time_policy: TimePolicy,
+    /// Whether node threads record phase spans and metrics (`obs` crate).
+    /// Off by default: the disabled tracer is a no-op handle, and traced
+    /// runs are observationally identical to untraced ones.
+    pub tracing: bool,
 }
 
 impl ClusterSpec {
@@ -76,6 +80,7 @@ impl ClusterSpec {
             seed: 1,
             jitter_sigma: 0.0,
             time_policy: TimePolicy::Modeled,
+            tracing: false,
         }
     }
 
@@ -151,6 +156,13 @@ impl ClusterSpec {
         self.time_policy = p;
         self
     }
+
+    /// Enables or disables span/metric tracing (builder style).
+    #[must_use]
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,12 +193,14 @@ mod tests {
             .with_seed(99)
             .with_jitter(0.05)
             .with_storage(StorageKind::Files)
-            .with_time_policy(TimePolicy::Measured);
+            .with_time_policy(TimePolicy::Measured)
+            .with_tracing(true);
         assert_eq!(s.net.name, NetworkModel::myrinet().name);
         assert_eq!(s.block_bytes, 4096);
         assert_eq!(s.seed, 99);
         assert_eq!(s.storage, StorageKind::Files);
         assert_eq!(s.time_policy, TimePolicy::Measured);
+        assert!(s.tracing);
     }
 
     #[test]

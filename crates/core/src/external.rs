@@ -179,6 +179,14 @@ pub fn psrs_external<R: Record>(
     } else {
         ctx.charger.charge_section(sort_work, t0.elapsed());
     }
+    ctx.obs.counter_add("sort.records", local_sort.records);
+    ctx.obs
+        .counter_add("sort.initial_runs", local_sort.initial_runs);
+    ctx.obs
+        .counter_add("sort.merge_passes", local_sort.merge_phases as u64);
+    ctx.obs
+        .counter_add("sort.comparisons", local_sort.comparisons);
+    ctx.obs.counter_add("sort.key_ops", local_sort.key_ops);
     ctx.mark_phase("local-sort");
 
     // ---- Step 2: regular sampling and pivot selection. ----
@@ -213,6 +221,8 @@ pub fn psrs_external<R: Record>(
     } else {
         record::decode_all(&ctx.broadcast(0, Vec::new()))
     };
+    ctx.obs.counter_add("psrs.samples", samples_contributed);
+    ctx.obs.gauge_set("psrs.pivots", pivots.len() as f64);
     ctx.mark_phase("pivots");
 
     let sent_sizes = if cfg.fused_redistribution {
@@ -293,6 +303,9 @@ pub fn psrs_external<R: Record>(
         ctx.mark_phase("redistribute");
         sent_sizes
     };
+    for &s in &sent_sizes {
+        ctx.obs.hist_record("psrs.partition_records", s);
+    }
 
     // ---- Step 5: final k-way merge of the received partitions. ----
     let inputs: Vec<String> = (0..p).map(|i| format!("{recv_prefix}{i}")).collect();
@@ -313,6 +326,11 @@ pub fn psrs_external<R: Record>(
     for name in &inputs {
         ctx.disk.remove(name)?;
     }
+    ctx.obs.counter_add("merge.records", final_merge.records);
+    ctx.obs
+        .counter_add("merge.comparisons", final_merge.comparisons);
+    ctx.obs.counter_add("merge.key_ops", final_merge.key_ops);
+    ctx.obs.gauge_set("merge.fan_in", final_merge.fan_in as f64);
     ctx.mark_phase("merge");
 
     Ok(ExternalPsrsOutcome {

@@ -10,8 +10,9 @@
 //! paper-style row: execution time, partition sizes, sublist expansion,
 //! traffic and I/O totals, and the per-phase breakdown.
 
-use cluster::{run_cluster, ClusterSpec, NetworkModel, StorageKind};
+use cluster::{run_cluster, ClusterSpec, NetworkModel, PhaseBreakdown, StorageKind};
 use extsort::{fingerprint_file, is_sorted_file, Fingerprint, PipelineConfig, SortKernel};
+use obs::ClusterObs;
 use pdm::PdmResult;
 use workloads::{generate_to_disk, Benchmark, Layout};
 
@@ -72,6 +73,10 @@ pub struct TrialConfig {
     /// In-core sort kernel: radix fast path (default) or the
     /// comparison-based reference (the paper's calibrated sorter).
     pub kernel: SortKernel,
+    /// Record phase spans and metrics during the trial (the `obs` crate).
+    /// Off by default; a traced trial is observationally identical to an
+    /// untraced one (same output, same I/O counters, same virtual times).
+    pub trace: bool,
 }
 
 impl TrialConfig {
@@ -97,6 +102,7 @@ impl TrialConfig {
             fused: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            trace: false,
         }
     }
 }
@@ -113,6 +119,15 @@ pub struct TrialResult {
     /// Per-phase makespan contributions: for each phase name, the maximum
     /// across nodes of that node's time spent up to the end of the phase.
     pub phase_ends: Vec<(String, f64)>,
+    /// Per-phase, per-node durations derived from the phase marks (always
+    /// populated — no tracing needed). Phase `k`'s duration on a node is
+    /// the delta between its stamps, so examples and bench bins no longer
+    /// recompute it by hand.
+    pub phase_breakdown: Vec<PhaseBreakdown>,
+    /// Full span/metric data, `Some` only when [`TrialConfig::trace`] was
+    /// set. Includes the PSRS skew check as recorded cluster gauges
+    /// (`skew.expansion`, `skew.bound`, `skew.within_bound`).
+    pub obs: Option<ClusterObs>,
     /// Total block I/Os across all nodes.
     pub total_io_blocks: u64,
     /// Total bytes pushed into the network.
@@ -148,7 +163,8 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         .with_block_bytes(cfg.block_bytes)
         .with_storage(cfg.storage)
         .with_seed(cfg.seed)
-        .with_jitter(cfg.jitter);
+        .with_jitter(cfg.jitter)
+        .with_tracing(cfg.trace);
 
     let xcfg = ExternalPsrsConfig {
         perf: cfg.declared.clone(),
@@ -278,14 +294,48 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         }
     }
 
+    let obs = cfg.trace.then(|| {
+        let mut cluster_obs = report.cluster_obs();
+        // The PSRS skew check becomes recorded metrics. Regular sampling
+        // takes `p·perf_i` samples per node, so consecutive samples are
+        // `n / (p·Σperf)` records apart; each of the `p−1` pivots can
+        // misplace at most `p` sample gaps relative to the proportional
+        // target, giving the (loose) per-node expansion bound
+        // `1 + p·(p−1)·spacing / min_share` — the external analogue of the
+        // paper's `(1 + p·(p−1)/l)` factor.
+        let p_f = p as f64;
+        let spacing = n as f64 / (p_f * cfg.declared.total() as f64);
+        let min_share = shares.iter().copied().min().unwrap_or(1).max(1) as f64;
+        let bound = 1.0 + p_f * (p_f - 1.0) * spacing / min_share;
+        let expansion = balance.expansion();
+        cluster_obs.cluster.gauge_set("skew.expansion", expansion);
+        cluster_obs.cluster.gauge_set("skew.bound", bound);
+        cluster_obs.cluster.gauge_set(
+            "skew.within_bound",
+            if expansion <= bound { 1.0 } else { 0.0 },
+        );
+        cluster_obs
+            .cluster
+            .gauge_set("skew.spacing_records", spacing);
+        for (rank, node) in cluster_obs.nodes.iter_mut().enumerate() {
+            node.metrics
+                .gauge_set("psrs.received_records", balance.sizes[rank] as f64);
+            node.metrics
+                .gauge_set("psrs.expected_records", shares[rank] as f64);
+        }
+        cluster_obs
+    });
+
     Ok(TrialResult {
         n,
         time_secs: report.makespan.as_secs(),
         balance,
         phase_ends,
+        phase_breakdown: report.phase_breakdown(),
         total_io_blocks: report.total_io().total_blocks(),
         sent_bytes: report.nodes.iter().map(|nd| nd.sent_bytes).sum(),
         verified: cfg.verify,
+        obs,
     })
 }
 
@@ -312,6 +362,43 @@ mod tests {
         assert_eq!(result.phase_ends.len(), 5);
         assert!(result.total_io_blocks > 0);
         assert!(result.sent_bytes > 0);
+        // The breakdown mirrors the cumulative ends: deltas sum back up.
+        assert_eq!(result.phase_breakdown.len(), 5);
+        assert!(result.obs.is_none(), "tracing is off by default");
+        for (idx, phase) in result.phase_breakdown.iter().enumerate() {
+            assert_eq!(phase.name, result.phase_ends[idx].0);
+            assert_eq!(phase.per_node.len(), 4);
+        }
+    }
+
+    #[test]
+    fn traced_trial_records_phases_and_skew() {
+        let mut cfg = small_cfg();
+        cfg.trace = true;
+        let result = run_trial(&cfg).unwrap();
+        let obs_data = result.obs.as_ref().expect("tracing was requested");
+        assert_eq!(obs_data.nodes.len(), 4);
+        for node in &obs_data.nodes {
+            let names: Vec<&str> = node.phases().map(|s| s.name).collect();
+            assert_eq!(
+                names,
+                vec!["local-sort", "pivots", "partition", "redistribute", "merge"]
+            );
+            assert!(node.metrics.counters.contains_key("sort.records"));
+            assert!(node.metrics.counters.contains_key("io.blocks_read"));
+            assert!(node
+                .metrics
+                .histograms
+                .contains_key("psrs.partition_records"));
+            assert!(node.metrics.gauges.contains_key("psrs.received_records"));
+        }
+        // The skew check is a recorded metric now, and this trial obeys it.
+        let g = &obs_data.cluster.gauges;
+        assert!(g.get("skew.expansion").copied().unwrap() >= 1.0);
+        assert_eq!(g.get("skew.within_bound").copied(), Some(1.0));
+        // Both exporters emit valid JSON for a real trial.
+        obs::json::validate(&obs::chrome_trace(obs_data)).unwrap();
+        obs::json::validate(&obs::metrics_json(obs_data)).unwrap();
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub fn balanced_kway_sort<R: Record>(
     let mut generation = 0u32;
     while runs.len() > 1 {
         generation += 1;
+        let _span = obs::scoped("extsort.merge-pass");
         let mut next_runs: Vec<RunRef> = Vec::new();
         let mut next_files: Vec<String> = Vec::new();
         for (g, group) in runs.chunks(fan_in).enumerate() {
@@ -206,6 +207,7 @@ pub fn merge_sorted_files_kernel<R: Record>(
     pipeline: &PipelineConfig,
     kernel: SortKernel,
 ) -> PdmResult<MergeReport> {
+    let _span = obs::scoped("extsort.kway-merge");
     let io_before = disk.stats().snapshot();
     let produced;
     let comparisons;

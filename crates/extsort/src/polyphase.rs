@@ -171,6 +171,7 @@ fn merge_phases<R: Record>(
             phase_guard < 10_000,
             "polyphase failed to converge — distribution invariant broken"
         );
+        let _span = obs::scoped("extsort.merge-pass");
 
         // A phase merges as many steps as the thinnest input tape has runs.
         let steps = (0..tapes.len())

@@ -24,11 +24,29 @@
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::mpsc::{channel, sync_channel};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use pdm::{BlockReader, BufferPool, Disk, PdmResult, Record, WriteBehindWriter};
 
 use crate::config::{ExtSortConfig, RunFormation};
 use crate::kernel::{sort_chunk, KernelWork};
+
+/// Static span name for a pipeline worker (worker handles are `!Send`, so
+/// workers report wall offsets back to the node thread, which records the
+/// span under the worker's name).
+fn worker_span_name(w: usize) -> &'static str {
+    const NAMES: [&str; 8] = [
+        "chunk-sort-0",
+        "chunk-sort-1",
+        "chunk-sort-2",
+        "chunk-sort-3",
+        "chunk-sort-4",
+        "chunk-sort-5",
+        "chunk-sort-6",
+        "chunk-sort-7",
+    ];
+    NAMES.get(w).copied().unwrap_or("chunk-sort")
+}
 
 /// Where the runs of one tape ended up.
 #[derive(Debug)]
@@ -153,6 +171,7 @@ pub fn form_runs<R: Record>(
     k: usize,
     cfg: &ExtSortConfig,
 ) -> PdmResult<FormedRuns> {
+    let _span = obs::scoped("extsort.run-formation");
     let names: Vec<String> = (0..k).map(|j| format!("{job}.tape{j}")).collect();
     let mut dist = Distributor::new(k)?;
 
@@ -183,6 +202,7 @@ pub fn form_runs<R: Record>(
                 let t = dist.next_tape();
                 writers[t].push_all(&chunk)?;
                 runs[t].push_back(chunk.len() as u64);
+                obs::hist_record("extsort.run_records", chunk.len() as u64);
                 total_runs += 1;
                 records += chunk.len() as u64;
             }
@@ -268,7 +288,15 @@ fn form_runs_pipelined<R: Record>(
     // totals match the sequential path exactly).
     let (work_tx, work_rx) = sync_channel::<(u64, Vec<R>)>(workers + 1);
     let work_rx = Arc::new(Mutex::new(work_rx));
-    let (done_tx, done_rx) = channel::<(u64, Vec<R>, KernelWork)>();
+    // Each sorted chunk optionally carries `(worker, start, end)` wall
+    // offsets (seconds since `epoch`) so the node thread can record a span
+    // per worker sort — the tracing handle itself is `!Send`.
+    type SortStat = Option<(usize, f64, f64)>;
+    let (done_tx, done_rx) = channel::<(u64, Vec<R>, KernelWork, SortStat)>();
+    let node_obs = obs::current();
+    let traced = node_obs.is_enabled();
+    let wall_base = node_obs.elapsed();
+    let epoch = Instant::now();
 
     std::thread::scope(|scope| -> PdmResult<()> {
         for w in 0..workers {
@@ -281,8 +309,10 @@ fn form_runs_pipelined<R: Record>(
                     let job = work_rx.lock().unwrap().recv();
                     match job {
                         Ok((seq, mut chunk)) => {
+                            let t0 = traced.then(|| epoch.elapsed().as_secs_f64());
                             let kw = sort_chunk(&mut chunk, kernel);
-                            if done_tx.send((seq, chunk, kw)).is_err() {
+                            let stat = t0.map(|s| (w, s, epoch.elapsed().as_secs_f64()));
+                            if done_tx.send((seq, chunk, kw, stat)).is_err() {
                                 return; // consumer bailed on an I/O error
                             }
                         }
@@ -296,17 +326,28 @@ fn form_runs_pipelined<R: Record>(
         // Reorder buffer: sorted chunks arrive in any order, leave in input
         // order. Its size is bounded by the number of chunks in flight
         // (workers + queue), not by the input.
-        let mut ready: BTreeMap<u64, (Vec<R>, KernelWork)> = BTreeMap::new();
+        let mut ready: BTreeMap<u64, (Vec<R>, KernelWork, SortStat)> = BTreeMap::new();
         let mut next_out = 0u64;
         let mut spare: Vec<Vec<R>> = Vec::new();
-        let mut emit = |(chunk, kw): (Vec<R>, KernelWork),
+        let mut emit = |(chunk, kw, stat): (Vec<R>, KernelWork, SortStat),
                         writers: &mut [WriteBehindWriter<R>],
                         spare: &mut Vec<Vec<R>>|
          -> PdmResult<()> {
+            if let Some((wkr, s0, s1)) = stat {
+                node_obs.record_span(
+                    worker_span_name(wkr),
+                    obs::SpanKind::Task,
+                    wall_base + s0,
+                    wall_base + s1,
+                    None,
+                );
+                node_obs.hist_record("extsort.pipeline.sort_us", ((s1 - s0) * 1e6) as u64);
+            }
             work = work.plus(kw);
             let t = dist.next_tape();
             writers[t].push_all(&chunk)?;
             runs[t].push_back(chunk.len() as u64);
+            obs::hist_record("extsort.run_records", chunk.len() as u64);
             total_runs += 1;
             records += chunk.len() as u64;
             let mut chunk = chunk;
@@ -329,8 +370,8 @@ fn form_runs_pipelined<R: Record>(
             seq += 1;
             // Opportunistically drain finished chunks in order, without
             // blocking the read side.
-            while let Ok((s, sorted, kw)) = done_rx.try_recv() {
-                ready.insert(s, (sorted, kw));
+            while let Ok((s, sorted, kw, stat)) = done_rx.try_recv() {
+                ready.insert(s, (sorted, kw, stat));
             }
             while let Some(sorted) = ready.remove(&next_out) {
                 emit(sorted, &mut writers, &mut spare)?;
@@ -339,8 +380,8 @@ fn form_runs_pipelined<R: Record>(
         }
         drop(work_tx); // input done: workers drain the queue and exit
 
-        for (s, sorted, kw) in done_rx.iter() {
-            ready.insert(s, (sorted, kw));
+        for (s, sorted, kw, stat) in done_rx.iter() {
+            ready.insert(s, (sorted, kw, stat));
             while let Some(sorted) = ready.remove(&next_out) {
                 emit(sorted, &mut writers, &mut spare)?;
                 next_out += 1;
@@ -408,6 +449,7 @@ fn replacement_selection<R: Record>(
             }
         }
         runs[tape].push_back(run_len);
+        obs::hist_record("extsort.run_records", run_len);
     }
     Ok((records, comparisons, total_runs))
 }

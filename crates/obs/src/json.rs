@@ -1,0 +1,336 @@
+//! Hand-rolled JSON: a small writer and a strict recursive-descent
+//! validator. The workspace is deliberately dependency-free, so exporters
+//! build strings directly; the validator backs the differential and CI
+//! schema tests without pulling in a parser crate.
+
+use crate::report::ClusterObs;
+
+/// Escapes a string for embedding inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values degrade to `0` rather than emitting invalid output.
+pub fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    // `{:?}` for f64 is the shortest representation that round-trips and
+    // always contains a '.' or exponent, which keeps it a valid number.
+    format!("{v:?}")
+}
+
+/// Validates that `s` is a single well-formed JSON value. Returns a
+/// byte-offset error message on failure. Strict: trailing garbage,
+/// trailing commas, unquoted keys and non-finite numbers all fail.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("number missing digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("number missing fraction digits at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("number missing exponent digits at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+                skip_ws(b, pos);
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn snapshot_json(m: &crate::metrics::MetricsSnapshot, out: &mut String) {
+    out.push_str("{\"counters\":{");
+    for (i, (k, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), v));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), num(*v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in m.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+            escape(k),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            num(h.mean()),
+        ));
+        for (j, (le, c)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"le\":{le},\"count\":{c}}}"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+}
+
+/// Serialises a [`ClusterObs`] as the `hetsort-metrics-v1` document:
+/// per-node counters/gauges/histograms and phase durations plus the
+/// cluster-level registry (skew gauges). Validated in CI against
+/// `schemas/validate_metrics.py`.
+pub fn metrics_json(obs: &ClusterObs) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"hetsort-metrics-v1\",\"nodes\":[");
+    for (i, node) in obs.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"node\":{},\"label\":\"{}\",\"phases\":[",
+            node.node,
+            escape(&node.label)
+        ));
+        for (j, p) in node.phases().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"virt_secs\":{},\"wall_secs\":{}}}",
+                escape(p.name),
+                num(p.virt_secs()),
+                num(p.wall_secs()),
+            ));
+        }
+        out.push_str("],\"metrics\":");
+        snapshot_json(&node.metrics, &mut out);
+        out.push('}');
+    }
+    out.push_str("],\"cluster\":");
+    snapshot_json(&obs.cluster, &mut out);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::NodeObs;
+    use crate::span::Obs;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn num_is_always_valid_json() {
+        for v in [0.0, -1.5, 1e30, 123456.789, f64::NAN, f64::INFINITY] {
+            let n = num(v);
+            assert!(validate(&n).is_ok(), "{n}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate(r#"{"a":[1,2.5,-3e2],"b":"x\n","c":null,"d":true}"#).is_ok());
+        assert!(validate("").is_err());
+        assert!(validate("{").is_err());
+        assert!(validate("[1,]").is_err());
+        assert!(validate("{'a':1}").is_err());
+        assert!(validate("{\"a\":1} extra").is_err());
+        assert!(validate("1 2").is_err());
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_validator() {
+        let obs = Obs::enabled();
+        obs.phase_mark("local-sort", 2.0);
+        obs.phase_mark("merge", 5.0);
+        obs.counter_add("io.blocks_read", 12);
+        obs.gauge_set("time.cpu_secs", 1.5);
+        obs.hist_record("net.msg_bytes", 4096);
+        let node = obs.finish(0, "node0 (perf 1)".to_string());
+        let cluster = ClusterObs {
+            nodes: vec![node, NodeObs::default()],
+            cluster: {
+                let mut m = crate::metrics::MetricsSnapshot::default();
+                m.gauge_set("skew.expansion", 1.1);
+                m
+            },
+        };
+        let doc = metrics_json(&cluster);
+        validate(&doc).expect("metrics doc must be valid JSON");
+        assert!(doc.contains("\"schema\":\"hetsort-metrics-v1\""));
+        assert!(doc.contains("\"name\":\"local-sort\""));
+        assert!(doc.contains("\"skew.expansion\":1.1"));
+        assert!(doc.contains("\"io.blocks_read\":12"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The unified metrics registry: named counters, gauges and
+//! power-of-two-bucket histograms.
+//!
+//! Metric names are `&'static str` dotted paths (`io.blocks_read`,
+//! `extsort.run_records`, `net.msg_bytes`, `skew.expansion`, …) — see
+//! DESIGN.md §Observability for the naming scheme. Registries live on a
+//! node's [`crate::Obs`] handle; [`MetricsSnapshot`] is the `Send`,
+//! exporter-facing copy.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: one per possible bit width of a `u64`
+/// value, plus one for zero.
+const BUCKETS: usize = 65;
+
+/// A fixed-shape histogram over `u64` values with power-of-two buckets.
+///
+/// Value `v` lands in bucket `bit_width(v)` (0 for `v == 0`), i.e. the
+/// bucket whose inclusive upper bound is `2^idx − 1`. This keeps recording
+/// allocation-free and gives log-scale resolution, which is what run
+/// lengths, message sizes and partition sizes need.
+#[derive(Clone)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (meaningful when `count > 0`).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts, indexed by bit width.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: its bit width (zero maps to bucket 0).
+    fn bucket_idx(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket: `2^idx − 1` (saturating).
+    fn bucket_le(idx: usize) -> u64 {
+        if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_idx(v)] += 1;
+    }
+
+    /// Exporter-facing copy with only the occupied buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_le(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// `Send` copy of a [`Histogram`] with sparse `(le, count)` buckets, where
+/// `le` is the bucket's inclusive upper bound.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Occupied buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The live registry held by an enabled [`crate::Obs`].
+#[derive(Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Adds to a named counter (created at zero on first use).
+    pub fn counter_add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Sets a named gauge (last write wins).
+    pub fn gauge_set(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records a value into a named histogram.
+    pub fn hist_record(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// `Send` copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k, h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// `Send` copy of a registry; what exporters and reports consume. The
+/// cluster runtime also injects derived values (charger times, I/O
+/// snapshot counters, skew gauges) directly into snapshots via the
+/// mutation helpers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counts, keyed by dotted metric name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Point-in-time values, keyed by dotted metric name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Value distributions, keyed by dotted metric name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Adds to a counter in the snapshot (for post-run injection).
+    pub fn counter_add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Sets a gauge in the snapshot (for post-run injection).
+    pub fn gauge_set(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Whether nothing was recorded or injected.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 1025);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        // 0 → le 0; 1 → le 1; 2,3 → le 3; 4,7 → le 7; 8 → le 15; 1000 → le 1023.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (1023, 1)]
+        );
+        assert!((snap.mean() - 1025.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn huge_values_land_in_the_top_bucket() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().buckets, vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut m = Metrics::default();
+        m.counter_add("io.blocks_read", 3);
+        m.counter_add("io.blocks_read", 4);
+        m.gauge_set("skew.expansion", 1.25);
+        m.gauge_set("skew.expansion", 1.5);
+        m.hist_record("net.msg_bytes", 512);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("io.blocks_read"), Some(&7));
+        assert_eq!(snap.gauges.get("skew.expansion"), Some(&1.5));
+        assert_eq!(snap.histograms.get("net.msg_bytes").unwrap().count, 1);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_injection_helpers() {
+        let mut snap = MetricsSnapshot::default();
+        assert!(snap.is_empty());
+        snap.counter_add("net.sent_bytes", 100);
+        snap.counter_add("net.sent_bytes", 1);
+        snap.gauge_set("time.cpu_secs", 2.5);
+        assert_eq!(snap.counters.get("net.sent_bytes"), Some(&101));
+        assert_eq!(snap.gauges.get("time.cpu_secs"), Some(&2.5));
+    }
+}

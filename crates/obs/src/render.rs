@@ -1,0 +1,199 @@
+//! Terminal rendering: per-node phase Gantt chart + partition-skew table.
+
+use crate::report::ClusterObs;
+
+const GANTT_WIDTH: usize = 60;
+
+/// Letters used to draw a phase bar. Multi-word names take the first letter
+/// of each '+'/'-'-separated word ("local-sort" → "LS",
+/// "partition+redistribute" → "PR"); single words take their first two
+/// letters ("pivots" → "PI", "partition" → "PA") so the Algorithm 1 phase
+/// codes stay distinct.
+fn phase_code(name: &str) -> String {
+    let words: Vec<&str> = name.split(['-', '+', ' ']).collect();
+    if words.len() >= 2 {
+        words
+            .iter()
+            .filter_map(|w| w.chars().next())
+            .map(|c| c.to_ascii_uppercase())
+            .collect()
+    } else {
+        name.chars()
+            .take(2)
+            .map(|c| c.to_ascii_uppercase())
+            .collect()
+    }
+}
+
+/// Renders a per-node phase Gantt on the virtual-time axis plus, when the
+/// trial runner injected skew gauges, a per-node partition-size table and
+/// the PSRS expansion-vs-bound verdict. Pure formatting: no I/O.
+pub fn render_profile(obs: &ClusterObs) -> String {
+    let mut out = String::new();
+    let makespan = obs.virt_end();
+    out.push_str(&format!(
+        "phase timeline (virtual time, makespan {:.4}s)\n",
+        makespan
+    ));
+
+    // Legend from first-appearance order of phase names.
+    let mut legend: Vec<&'static str> = Vec::new();
+    for node in &obs.nodes {
+        for p in node.phases() {
+            if !legend.contains(&p.name) {
+                legend.push(p.name);
+            }
+        }
+    }
+    if legend.is_empty() {
+        out.push_str("  (no phase spans recorded)\n");
+        return out;
+    }
+    out.push_str("  legend: ");
+    for (i, name) in legend.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}={}", phase_code(name), name));
+    }
+    out.push('\n');
+
+    let scale = if makespan > 0.0 {
+        GANTT_WIDTH as f64 / makespan
+    } else {
+        0.0
+    };
+    for node in &obs.nodes {
+        let mut bar = vec![' '; GANTT_WIDTH];
+        for p in node.phases() {
+            let (Some(v0), Some(v1)) = (p.virt_start, p.virt_end) else {
+                continue;
+            };
+            let a = ((v0 * scale) as usize).min(GANTT_WIDTH);
+            let b = ((v1 * scale).ceil() as usize).clamp(a, GANTT_WIDTH);
+            let code = phase_code(p.name);
+            let code: Vec<char> = code.chars().collect();
+            for (k, slot) in bar[a..b].iter_mut().enumerate() {
+                *slot = code[k % code.len()];
+            }
+        }
+        let bar: String = bar.into_iter().collect();
+        out.push_str(&format!(
+            "  {:<18} |{}| {:.4}s\n",
+            node.label,
+            bar,
+            node.virt_end()
+        ));
+    }
+
+    // Per-phase duration table (slowest node per phase dominates makespan).
+    out.push_str("\nper-node phase durations (virtual seconds)\n");
+    out.push_str(&format!("  {:<24}", "phase"));
+    for node in &obs.nodes {
+        out.push_str(&format!(" {:>10}", format!("node{}", node.node)));
+    }
+    out.push('\n');
+    for name in &legend {
+        out.push_str(&format!("  {name:<24}"));
+        for node in &obs.nodes {
+            let d: f64 = node
+                .phases()
+                .filter(|p| p.name == *name)
+                .map(|p| p.virt_secs())
+                .sum();
+            out.push_str(&format!(" {d:>10.4}"));
+        }
+        out.push('\n');
+    }
+
+    // Skew table, present when the runner injected the PSRS gauges.
+    let expansion = obs.cluster.gauges.get("skew.expansion");
+    let bound = obs.cluster.gauges.get("skew.bound");
+    if let (Some(&expansion), Some(&bound)) = (expansion, bound) {
+        out.push_str("\npartition skew (PSRS bound check)\n");
+        out.push_str(&format!(
+            "  {:<8} {:>16} {:>16} {:>10}\n",
+            "node", "received", "expected", "ratio"
+        ));
+        for node in &obs.nodes {
+            let recv = node.metrics.gauges.get("psrs.received_records");
+            let exp = node.metrics.gauges.get("psrs.expected_records");
+            if let (Some(&recv), Some(&exp)) = (recv, exp) {
+                let ratio = if exp > 0.0 { recv / exp } else { 0.0 };
+                out.push_str(&format!(
+                    "  node{:<4} {:>16.0} {:>16.0} {:>10.4}\n",
+                    node.node, recv, exp, ratio
+                ));
+            }
+        }
+        let verdict = if expansion <= bound { "OK" } else { "VIOLATED" };
+        out.push_str(&format!(
+            "  max expansion {expansion:.4} vs bound {bound:.4} -> {verdict}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSnapshot;
+    use crate::report::NodeObs;
+    use crate::span::Obs;
+
+    fn node_with_phases(rank: usize, marks: &[(&'static str, f64)]) -> NodeObs {
+        let obs = Obs::enabled();
+        for &(name, at) in marks {
+            obs.phase_mark(name, at);
+        }
+        let mut node = obs.finish(rank, format!("node{rank}"));
+        node.metrics.gauge_set("psrs.received_records", 120.0);
+        node.metrics.gauge_set("psrs.expected_records", 100.0);
+        node
+    }
+
+    #[test]
+    fn renders_gantt_legend_and_skew() {
+        let mut cluster_metrics = MetricsSnapshot::default();
+        cluster_metrics.gauge_set("skew.expansion", 1.2);
+        cluster_metrics.gauge_set("skew.bound", 1.5);
+        let obs = ClusterObs {
+            nodes: vec![
+                node_with_phases(0, &[("local-sort", 1.0), ("merge", 2.0)]),
+                node_with_phases(1, &[("local-sort", 0.5), ("merge", 1.5)]),
+            ],
+            cluster: cluster_metrics,
+        };
+        let text = render_profile(&obs);
+        assert!(text.contains("legend: LS=local-sort, ME=merge"));
+        assert!(text.contains("node0"));
+        assert!(text.contains("per-node phase durations"));
+        assert!(text.contains("partition skew"));
+        assert!(text.contains("-> OK"));
+    }
+
+    #[test]
+    fn empty_cluster_does_not_panic() {
+        let text = render_profile(&ClusterObs::default());
+        assert!(text.contains("no phase spans recorded"));
+    }
+
+    #[test]
+    fn skew_section_absent_without_gauges() {
+        let obs = ClusterObs {
+            nodes: vec![node_with_phases(0, &[("local-sort", 1.0)])],
+            cluster: MetricsSnapshot::default(),
+        };
+        let text = render_profile(&obs);
+        assert!(!text.contains("partition skew"));
+    }
+
+    #[test]
+    fn phase_codes() {
+        assert_eq!(phase_code("local-sort"), "LS");
+        assert_eq!(phase_code("partition+redistribute"), "PR");
+        assert_eq!(phase_code("merge"), "ME");
+        // The two P-phases of Algorithm 1 must be distinguishable.
+        assert_ne!(phase_code("pivots"), phase_code("partition"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Finished, `Send` observability data: per-node and cluster-wide.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{SpanKind, SpanRecord};
+
+/// Everything one node recorded: its spans and its metrics registry
+/// snapshot. Plain data — safe to ship across the node-thread join.
+#[derive(Debug, Clone, Default)]
+pub struct NodeObs {
+    /// Node rank.
+    pub node: usize,
+    /// Human-readable label ("node2 (perf 4)"), used as the Chrome
+    /// process name.
+    pub label: String,
+    /// All finished spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// The node's metric registry at finish time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl NodeObs {
+    /// The node's phase spans, in recording order.
+    pub fn phases(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.kind == SpanKind::Phase)
+    }
+
+    /// Virtual end of the last phase span (0 when none).
+    pub fn virt_end(&self) -> f64 {
+        self.phases()
+            .filter_map(|s| s.virt_end)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// All nodes' observability data plus cluster-level metrics (skew gauges
+/// and other cross-node derivations injected by the trial runner).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterObs {
+    /// Per-node data, indexed by rank.
+    pub nodes: Vec<NodeObs>,
+    /// Cluster-wide metrics (e.g. `skew.expansion`, `skew.bound`).
+    pub cluster: MetricsSnapshot,
+}
+
+impl ClusterObs {
+    /// Largest virtual phase end across all nodes (the traced makespan).
+    pub fn virt_end(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.virt_end())
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Obs;
+
+    #[test]
+    fn phase_accessors() {
+        let obs = Obs::enabled();
+        obs.phase_mark("a", 2.0);
+        obs.record_span("t", SpanKind::Task, 0.0, 0.1, None);
+        obs.phase_mark("b", 5.0);
+        let node = obs.finish(1, "node1".to_string());
+        let names: Vec<_> = node.phases().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(node.virt_end(), 5.0);
+
+        let cluster = ClusterObs {
+            nodes: vec![NodeObs::default(), node],
+            cluster: Default::default(),
+        };
+        assert_eq!(cluster.virt_end(), 5.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! The tracer handle and its span records.
+//!
+//! An [`Obs`] is either *disabled* (every call is a branch on `None`) or
+//! *enabled*, in which case it owns a recorder behind `Rc<RefCell<…>>` —
+//! a handle is cheap to clone and deliberately **not** `Send`: each
+//! simulated node records on its own thread, and the finished, `Send`
+//! data is extracted with [`Obs::finish`].
+//!
+//! Recording only ever *reads* the virtual times it is handed; it never
+//! syncs I/O, draws jitter or otherwise perturbs the simulation. This is
+//! the invariant behind the tracing-on/off differential guarantee.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::metrics::Metrics;
+use crate::report::NodeObs;
+
+/// What a span represents; exported as the Chrome event category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An Algorithm-1 phase, delimited by consecutive phase marks. Carries
+    /// both virtual and wall time.
+    Phase,
+    /// A communication collective (gather, broadcast, all-to-all, barrier).
+    /// Carries both virtual and wall time.
+    Collective,
+    /// An inner library stage (run formation, a merge pass). Wall time
+    /// only; the Chrome exporter rescales it into the enclosing phase's
+    /// virtual window.
+    Task,
+}
+
+impl SpanKind {
+    /// Lower-case label used as the Chrome `cat` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Phase => "phase",
+            SpanKind::Collective => "collective",
+            SpanKind::Task => "task",
+        }
+    }
+}
+
+/// One finished span. Wall times are seconds since the handle's epoch;
+/// virtual times are simulated seconds (absent for [`SpanKind::Task`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (phase names match the paper's Algorithm 1 steps).
+    pub name: &'static str,
+    /// What the span represents.
+    pub kind: SpanKind,
+    /// Wall-clock start, seconds since the tracer epoch.
+    pub wall_start: f64,
+    /// Wall-clock end, seconds since the tracer epoch.
+    pub wall_end: f64,
+    /// Virtual start, simulated seconds (if known).
+    pub virt_start: Option<f64>,
+    /// Virtual end, simulated seconds (if known).
+    pub virt_end: Option<f64>,
+}
+
+impl SpanRecord {
+    /// Whether both virtual endpoints are known.
+    pub fn has_virtual(&self) -> bool {
+        self.virt_start.is_some() && self.virt_end.is_some()
+    }
+
+    /// Whether `other` falls entirely inside this span's wall window.
+    pub fn contains_wall(&self, other: &SpanRecord) -> bool {
+        self.wall_start <= other.wall_start && other.wall_end <= self.wall_end
+    }
+
+    /// Wall duration in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        (self.wall_end - self.wall_start).max(0.0)
+    }
+
+    /// Virtual duration in seconds (0 when unknown).
+    pub fn virt_secs(&self) -> f64 {
+        match (self.virt_start, self.virt_end) {
+            (Some(a), Some(b)) => (b - a).max(0.0),
+            _ => 0.0,
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    /// Phase cursor: the wall/virtual stamp of the previous phase mark (or
+    /// of the last reset). A mark records the span cursor → now.
+    cursor_wall: f64,
+    cursor_virt: f64,
+    spans: Vec<SpanRecord>,
+    metrics: Metrics,
+}
+
+/// A tracing handle: a no-op when disabled, a per-node recorder when
+/// enabled. Cheap to clone (shared recorder); not `Send` by design.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A no-op handle: every method is a branch and a return.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A recording handle whose wall epoch is *now*.
+    pub fn enabled() -> Obs {
+        Obs {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                epoch: Instant::now(),
+                cursor_wall: 0.0,
+                cursor_virt: 0.0,
+                spans: Vec::new(),
+                metrics: Metrics::default(),
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Wall seconds since the epoch (0 when disabled).
+    pub fn elapsed(&self) -> f64 {
+        match &self.inner {
+            Some(rc) => rc.borrow().epoch.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Records the phase that just ended: a [`SpanKind::Phase`] span from
+    /// the previous mark (or reset) to now, with `virt_now` as its virtual
+    /// end. Call *after* the caller has synced its clock for the boundary,
+    /// passing the same stamp it reports elsewhere.
+    pub fn phase_mark(&self, name: &'static str, virt_now: f64) {
+        if let Some(rc) = &self.inner {
+            let mut inner = rc.borrow_mut();
+            let wall_now = inner.epoch.elapsed().as_secs_f64();
+            let (w0, v0) = (inner.cursor_wall, inner.cursor_virt);
+            inner.spans.push(SpanRecord {
+                name,
+                kind: SpanKind::Phase,
+                wall_start: w0,
+                wall_end: wall_now,
+                virt_start: Some(v0),
+                virt_end: Some(virt_now),
+            });
+            inner.cursor_wall = wall_now;
+            inner.cursor_virt = virt_now;
+        }
+    }
+
+    /// Records a finished span with explicit wall endpoints and optional
+    /// virtual endpoints.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        kind: SpanKind,
+        wall_start: f64,
+        wall_end: f64,
+        virt: Option<(f64, f64)>,
+    ) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().spans.push(SpanRecord {
+                name,
+                kind,
+                wall_start,
+                wall_end,
+                virt_start: virt.map(|(a, _)| a),
+                virt_end: virt.map(|(_, b)| b),
+            });
+        }
+    }
+
+    /// Drops everything recorded so far and re-arms the phase cursor at the
+    /// current wall time and virtual time zero. Mirrors the cluster's
+    /// `reset_timing` (setup work is excluded from the traced region).
+    pub fn reset(&self) {
+        if let Some(rc) = &self.inner {
+            let mut inner = rc.borrow_mut();
+            inner.cursor_wall = inner.epoch.elapsed().as_secs_f64();
+            inner.cursor_virt = 0.0;
+            inner.spans.clear();
+            inner.metrics = Metrics::default();
+        }
+    }
+
+    /// Adds to a named counter.
+    pub fn counter_add(&self, name: &'static str, v: u64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().metrics.counter_add(name, v);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Records a value into a named histogram.
+    pub fn hist_record(&self, name: &'static str, v: u64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().metrics.hist_record(name, v);
+        }
+    }
+
+    /// Extracts the finished, `Send` per-node data. An empty [`NodeObs`]
+    /// when disabled.
+    pub fn finish(&self, node: usize, label: String) -> NodeObs {
+        match &self.inner {
+            None => NodeObs {
+                node,
+                label,
+                spans: Vec::new(),
+                metrics: Default::default(),
+            },
+            Some(rc) => {
+                let inner = rc.borrow();
+                NodeObs {
+                    node,
+                    label,
+                    spans: inner.spans.clone(),
+                    metrics: inner.metrics.snapshot(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.phase_mark("p", 1.0);
+        obs.record_span("s", SpanKind::Task, 0.0, 1.0, None);
+        obs.counter_add("c", 1);
+        obs.hist_record("h", 1);
+        obs.gauge_set("g", 1.0);
+        obs.reset();
+        assert_eq!(obs.elapsed(), 0.0);
+        let node = obs.finish(3, "label".to_string());
+        assert_eq!(node.node, 3);
+        assert!(node.spans.is_empty());
+        assert!(node.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn phase_marks_form_contiguous_spans() {
+        let obs = Obs::enabled();
+        obs.phase_mark("first", 2.0);
+        obs.phase_mark("second", 5.0);
+        let node = obs.finish(0, String::new());
+        assert_eq!(node.spans.len(), 2);
+        let (a, b) = (&node.spans[0], &node.spans[1]);
+        assert_eq!(a.name, "first");
+        assert_eq!(a.virt_start, Some(0.0));
+        assert_eq!(a.virt_end, Some(2.0));
+        assert_eq!(b.virt_start, Some(2.0));
+        assert_eq!(b.virt_end, Some(5.0));
+        assert_eq!(a.wall_end, b.wall_start, "phases tile the wall axis");
+        assert!(a.kind == SpanKind::Phase && b.kind == SpanKind::Phase);
+        assert!((a.virt_secs() - 2.0).abs() < 1e-12);
+        assert!((b.virt_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_drops_history_and_rebases() {
+        let obs = Obs::enabled();
+        obs.phase_mark("setup", 9.0);
+        obs.counter_add("c", 4);
+        obs.reset();
+        obs.phase_mark("real", 1.5);
+        let node = obs.finish(0, String::new());
+        assert_eq!(node.spans.len(), 1);
+        assert_eq!(node.spans[0].name, "real");
+        assert_eq!(node.spans[0].virt_start, Some(0.0), "virtual axis rebased");
+        assert!(node.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn span_geometry_helpers() {
+        let outer = SpanRecord {
+            name: "outer",
+            kind: SpanKind::Phase,
+            wall_start: 0.0,
+            wall_end: 10.0,
+            virt_start: Some(0.0),
+            virt_end: Some(100.0),
+        };
+        let inner = SpanRecord {
+            name: "inner",
+            kind: SpanKind::Task,
+            wall_start: 2.0,
+            wall_end: 3.0,
+            virt_start: None,
+            virt_end: None,
+        };
+        assert!(outer.has_virtual() && !inner.has_virtual());
+        assert!(outer.contains_wall(&inner) && !inner.contains_wall(&outer));
+        assert_eq!(inner.wall_secs(), 1.0);
+        assert_eq!(inner.virt_secs(), 0.0);
+        assert_eq!(outer.virt_secs(), 100.0);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        b.counter_add("shared", 7);
+        assert_eq!(
+            a.finish(0, String::new()).metrics.counters.get("shared"),
+            Some(&7)
+        );
+    }
+}

@@ -374,6 +374,14 @@ impl<R: Record> BlockReader<R> {
         let want = ((end - start) as usize) * R::SIZE;
         self.buf.resize(want, 0);
         let got = self.raw.read_at(byte_off, &mut self.buf)?;
+        // Meter whatever actually transferred *before* bailing on a short
+        // read: the seek and the partial transfer happened either way, and
+        // callers audit `random_reads` even on the error path.
+        if random {
+            self.disk.stats().on_random_read(got as u64);
+        } else {
+            self.disk.stats().on_read(got as u64);
+        }
         if got != want {
             // The file shrank under us (torn write / concurrent truncate).
             return Err(PdmError::Corrupt {
@@ -381,11 +389,6 @@ impl<R: Record> BlockReader<R> {
                 bytes: byte_off + got as u64,
                 record_size: R::SIZE,
             });
-        }
-        if random {
-            self.disk.stats().on_random_read(want as u64);
-        } else {
-            self.disk.stats().on_read(want as u64);
         }
         self.buf_start = start;
         self.buf_end = end;
@@ -514,6 +517,38 @@ mod tests {
             disk.truncate("t", 16).unwrap(); // drop the tail blocks
             r.seek(8);
             assert!(matches!(r.next_record(), Err(PdmError::Corrupt { .. })));
+        }
+    }
+
+    #[test]
+    fn short_read_is_metered_before_erroring() {
+        // Regression: a read that surfaces `Corrupt` still did a seek and a
+        // (partial) transfer — the counters must reflect it.
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..16).collect();
+            disk.write_file("sr", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("sr").unwrap();
+            // Leave 1 of block 1's 4 records: read_at(4) gets 4 of 16 bytes.
+            disk.truncate("sr", 20).unwrap();
+            let before = disk.stats().snapshot();
+            assert!(matches!(r.read_at(4), Err(PdmError::Corrupt { .. })));
+            let after = disk.stats().snapshot();
+            assert_eq!(
+                after.random_reads,
+                before.random_reads + 1,
+                "random read must count even on the Corrupt path"
+            );
+            assert_eq!(after.blocks_read, before.blocks_read + 1);
+            assert_eq!(after.bytes_read, before.bytes_read + 4);
+
+            // Same on the streaming (sequential) path.
+            let before = after;
+            r.seek(4);
+            assert!(matches!(r.next_record(), Err(PdmError::Corrupt { .. })));
+            let after = disk.stats().snapshot();
+            assert_eq!(after.blocks_read, before.blocks_read + 1);
+            assert_eq!(after.random_reads, before.random_reads);
+            assert_eq!(after.bytes_read, before.bytes_read + 4);
         }
     }
 

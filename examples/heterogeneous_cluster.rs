@@ -35,8 +35,18 @@ fn run(declared: PerfVector, label: &str) -> f64 {
         "  sublist expansion S(max) = {:.4}",
         result.balance.expansion()
     );
-    for (phase, end) in &result.phase_ends {
-        println!("  phase {phase:<12} done by t = {end:.3}s");
+    for pb in &result.phase_breakdown {
+        let per_node: Vec<String> = pb
+            .per_node
+            .iter()
+            .map(|d| format!("{:.3}", d.as_secs()))
+            .collect();
+        println!(
+            "  phase {:<12} {:.3}s on the slowest node (per node: {}s)",
+            pb.name,
+            pb.max().as_secs(),
+            per_node.join("/")
+        );
     }
     println!(
         "  traffic: {:.1} MiB over the network, {} block I/Os total\n",

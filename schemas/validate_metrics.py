@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a hetsort metrics.json file (stdlib only).
+
+Usage: python3 schemas/validate_metrics.py metrics.json
+
+Checks the `hetsort-metrics-v1` schema emitted by `obs::metrics_json`:
+per-node phase durations, counters/gauges/histograms with the dotted
+naming scheme, power-of-two histogram buckets, and the cluster-level
+PSRS skew gauges.
+"""
+
+import json
+import sys
+
+PHASES = {"local-sort", "pivots", "partition", "redistribute", "merge",
+          "partition+redistribute"}
+REQUIRED_NODE_COUNTERS = ["io.blocks_read", "io.blocks_written", "net.sent_bytes"]
+REQUIRED_CLUSTER_GAUGES = ["skew.expansion", "skew.bound", "skew.within_bound"]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(m, where):
+    if not isinstance(m, dict):
+        fail(f"{where}: metrics must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in m or not isinstance(m[section], dict):
+            fail(f"{where}: missing {section!r} object")
+    for name, v in m["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: counter {name!r} must be a non-negative integer")
+    for name, v in m["gauges"].items():
+        if not isinstance(v, (int, float)):
+            fail(f"{where}: gauge {name!r} must be a number")
+    for name, h in m["histograms"].items():
+        if not isinstance(h, dict):
+            fail(f"{where}: histogram {name!r} must be an object")
+        for key in ("count", "sum", "min", "max", "mean", "buckets"):
+            if key not in h:
+                fail(f"{where}: histogram {name!r} missing {key!r}")
+        total = 0
+        for b in h["buckets"]:
+            if "le" not in b or "count" not in b:
+                fail(f"{where}: histogram {name!r} bucket missing le/count")
+            # Power-of-two upper bounds: le is 2^k - 1.
+            le = b["le"]
+            if not isinstance(le, int) or (le & (le + 1)) != 0:
+                fail(f"{where}: histogram {name!r} bucket le {le} is not 2^k-1")
+            total += b["count"]
+        if total != h["count"]:
+            fail(f"{where}: histogram {name!r} bucket counts {total} != count {h['count']}")
+    for section in ("counters", "gauges", "histograms"):
+        for name in m[section]:
+            if "." not in name:
+                fail(f"{where}: metric {name!r} lacks a dotted subsystem prefix")
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "hetsort-metrics-v1":
+        fail(f"schema must be 'hetsort-metrics-v1', got {doc.get('schema')!r}")
+    nodes = doc.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        fail("nodes must be a non-empty array")
+    for node in nodes:
+        rank = node.get("node")
+        if not isinstance(rank, int):
+            fail("node entry missing integer 'node' rank")
+        where = f"node {rank}"
+        if not isinstance(node.get("label"), str):
+            fail(f"{where}: missing string label")
+        phases = node.get("phases")
+        if not isinstance(phases, list) or not phases:
+            fail(f"{where}: phases must be a non-empty array")
+        for p in phases:
+            if p.get("name") not in PHASES:
+                fail(f"{where}: unknown phase {p.get('name')!r}")
+            for key in ("virt_secs", "wall_secs"):
+                if not isinstance(p.get(key), (int, float)) or p[key] < 0:
+                    fail(f"{where}: phase {p['name']!r} bad {key}")
+        check_metrics(node.get("metrics"), where)
+        for name in REQUIRED_NODE_COUNTERS:
+            if name not in node["metrics"]["counters"]:
+                fail(f"{where}: required counter {name!r} missing")
+    cluster = doc.get("cluster")
+    check_metrics(cluster, "cluster")
+    for name in REQUIRED_CLUSTER_GAUGES:
+        if name not in cluster["gauges"]:
+            fail(f"cluster: required skew gauge {name!r} missing")
+
+    print(
+        f"metrics ok: {len(nodes)} nodes, skew expansion "
+        f"{cluster['gauges']['skew.expansion']:.4f} "
+        f"(bound {cluster['gauges']['skew.bound']:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

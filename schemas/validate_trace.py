@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a hetsort Chrome trace_event JSON file (stdlib only).
+
+Usage: python3 schemas/validate_trace.py trace.json
+
+Checks the structural contract the `obs::chrome_trace` exporter promises:
+a `traceEvents` array of "X" (complete) and "M" (metadata) events, one
+process per node, spans on the virtual-time axis in microseconds, and the
+paper's five Algorithm 1 phases present as distinct spans on every node.
+"""
+
+import json
+import sys
+
+PHASES = ["local-sort", "pivots", "partition", "redistribute", "merge"]
+FUSED = "partition+redistribute"
+KINDS = {"phase", "collective", "task"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    pids = set()
+    phase_names = {}  # pid -> set of phase span names
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"event {i}: unexpected ph {ph!r}")
+        if not isinstance(ev.get("pid"), int):
+            fail(f"event {i}: pid must be an integer node rank")
+        pids.add(ev["pid"])
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                fail(f"event {i}: unknown metadata {ev.get('name')!r}")
+            continue
+        # "X" complete event.
+        for key in ("name", "cat", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"event {i}: X event missing {key!r}")
+        if ev["cat"] not in KINDS:
+            fail(f"event {i}: unknown span kind {ev['cat']!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event {i}: ts must be a non-negative number (µs)")
+        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+            fail(f"event {i}: dur must be a non-negative number (µs)")
+        if ev["cat"] == "phase":
+            phase_names.setdefault(ev["pid"], set()).add(ev["name"])
+
+    if not pids:
+        fail("no events")
+    for pid in sorted(pids):
+        names = phase_names.get(pid, set())
+        for phase in PHASES:
+            # The fused path stamps partition+redistribute as one span.
+            if phase in ("partition", "redistribute") and FUSED in names:
+                continue
+            if phase not in names:
+                fail(f"node {pid}: phase span {phase!r} missing (has {sorted(names)})")
+
+    print(
+        f"trace ok: {len(events)} events, {len(pids)} nodes, "
+        f"all five Algorithm 1 phases present per node"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

@@ -1,0 +1,109 @@
+//! Differential test: the phase-span tracer must be a pure observer.
+//!
+//! Runs the full external PSRS pipeline on the paper's loaded 4-node
+//! cluster twice — tracing off and tracing on — and asserts the two runs
+//! are observationally identical: byte-identical sorted outputs, identical
+//! per-node I/O counters, identical virtual finish times and network
+//! traffic. The tracer only *reads* the virtual clock; if it ever charged
+//! time or drew jitter, the clocks (and therefore the deterministic
+//! per-node RNG streams) would diverge and this test would catch it.
+
+use cluster::{ClusterReport, ClusterSpec, StorageKind};
+use hetsort::{psrs_external, ExternalPsrsConfig, PerfVector};
+use workloads::{generate_to_disk, Benchmark, Layout};
+
+const PHASES: [&str; 5] = ["local-sort", "pivots", "partition", "redistribute", "merge"];
+
+fn run(tracing: bool) -> ClusterReport<Vec<u32>> {
+    let declared = PerfVector::paper_1144();
+    let hardware = vec![1u64, 1, 4, 4];
+    let n = declared.padded_size(20_000);
+    let shares = declared.shares(n);
+    let layouts = Layout::cluster(&shares);
+    let spec = ClusterSpec::new(hardware)
+        .with_storage(StorageKind::Memory)
+        .with_block_bytes(1024)
+        .with_seed(42)
+        .with_jitter(0.03) // non-zero so an extra RNG draw would be visible
+        .with_tracing(tracing);
+    let cfg = ExternalPsrsConfig {
+        perf: declared,
+        mem_records: 1 << 12,
+        tapes: 6,
+        msg_records: 512,
+        input: "input".into(),
+        output: "output".into(),
+        fused_redistribution: false,
+        pipeline: extsort::PipelineConfig::off(),
+        kernel: extsort::SortKernel::default(),
+    };
+    cluster::run_cluster(&spec, move |ctx| {
+        generate_to_disk(
+            &ctx.disk,
+            "input",
+            Benchmark::Uniform,
+            42,
+            layouts[ctx.rank],
+        )
+        .unwrap();
+        ctx.reset_timing();
+        psrs_external::<u32>(ctx, &cfg).unwrap();
+        // Return the node's full sorted output so the byte-level
+        // comparison happens outside the cluster.
+        ctx.disk.read_file::<u32>("output").unwrap()
+    })
+}
+
+#[test]
+fn tracing_is_observationally_invisible() {
+    let off = run(false);
+    let on = run(true);
+
+    assert_eq!(off.makespan, on.makespan, "makespan changed under tracing");
+    assert_eq!(off.nodes.len(), on.nodes.len());
+    for (a, b) in off.nodes.iter().zip(&on.nodes) {
+        assert_eq!(a.value, b.value, "sorted output differs under tracing");
+        assert_eq!(a.io, b.io, "I/O counters differ under tracing");
+        assert_eq!(a.finish, b.finish, "finish time differs under tracing");
+        assert_eq!(a.sent_bytes, b.sent_bytes, "traffic differs under tracing");
+        assert_eq!(a.cpu_time, b.cpu_time);
+        assert_eq!(a.io_time, b.io_time);
+        assert_eq!(a.wait_time, b.wait_time);
+        assert_eq!(a.phases.len(), b.phases.len());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.name, pb.name);
+            assert_eq!(pa.at, pb.at, "phase stamp {} moved under tracing", pa.name);
+        }
+    }
+
+    // The untraced run must carry no observability data at all.
+    for node in &off.nodes {
+        assert!(node.obs.spans.is_empty());
+        assert!(node.obs.metrics.is_empty());
+    }
+
+    // The traced run must show all five Algorithm 1 phases per node, and
+    // both exporters must produce valid JSON containing them.
+    let obs = on.cluster_obs();
+    for node in &obs.nodes {
+        let names: Vec<&str> = node.phases().map(|s| s.name).collect();
+        for phase in PHASES {
+            assert!(
+                names.contains(&phase),
+                "node {}: phase span {phase:?} missing (has {names:?})",
+                node.node
+            );
+        }
+        // Phase spans carry virtual time matching the recorded marks.
+        let virt_end = node.virt_end();
+        assert!(virt_end > 0.0);
+    }
+    let trace = obs::chrome_trace(&obs);
+    obs::validate(&trace).expect("chrome trace must be valid JSON");
+    let metrics = obs::metrics_json(&obs);
+    obs::validate(&metrics).expect("metrics must be valid JSON");
+    for phase in PHASES {
+        assert!(trace.contains(phase), "trace missing {phase}");
+        assert!(metrics.contains(phase), "metrics missing {phase}");
+    }
+}
