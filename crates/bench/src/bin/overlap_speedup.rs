@@ -1,0 +1,144 @@
+//! Overlap bench: staged redistribution+merge vs the streaming
+//! exchange-merge.
+//!
+//! Algorithm 1 stages the exchange on disk: step 4 writes `p` receive
+//! files, step 5 reads them back into the final merge — `2·Q/B` block
+//! I/Os per node on each side of the barrier between the phases. The
+//! streaming path fuses steps 3–5: partition chunks feed per-source
+//! buffers backing an incremental loser tree, output goes straight to
+//! the sorted file, and credit-based flow control bounds memory. Merge
+//! CPU and output I/O overlap the network transfer under the
+//! `max(cpu, io)` charging rule.
+//!
+//! This binary quantifies the saving across the paper's message-size
+//! knob (8 … 8 Ki records) on both the homogeneous and the 1-1-4-4
+//! heterogeneous configurations, with jitter off so both runs are
+//! exactly deterministic. Emits `BENCH_overlap.json`:
+//!
+//! ```sh
+//! cargo run --release -p hetsort-bench --bin overlap_speedup -- --quick --selftest
+//! ```
+
+use hetsort::{run_trial, PerfVector, TrialConfig};
+use hetsort_bench::{default_mem, fmt_ratio, fmt_secs, print_table, Args};
+use workloads::Benchmark;
+
+const MSG_LADDER: [usize; 4] = [8, 64, 1024, 8192];
+
+struct Cell {
+    staged_secs: f64,
+    streamed_secs: f64,
+    staged_io: u64,
+    streamed_io: u64,
+}
+
+fn run_pair(args: &Args, n: u64, hardware: &[u64], perf: &PerfVector, msg: usize) -> Cell {
+    let make = |streaming: bool| {
+        let mut cfg = TrialConfig::new(hardware.to_vec(), perf.clone(), n);
+        cfg.bench = Benchmark::Uniform;
+        cfg.mem_records = default_mem(n / hardware.len() as u64);
+        cfg.tapes = 16;
+        cfg.msg_records = msg;
+        cfg.seed = args.seed;
+        cfg.jitter = 0.0;
+        cfg.streaming = streaming;
+        run_trial(&cfg).expect("trial")
+    };
+    let staged = make(false);
+    let streamed = make(true);
+    assert_eq!(
+        staged.balance.sizes, streamed.balance.sizes,
+        "same pivots, same data: partition sizes must match"
+    );
+    Cell {
+        staged_secs: staged.time_secs,
+        streamed_secs: streamed.time_secs,
+        staged_io: staged.total_io_blocks,
+        streamed_io: streamed.total_io_blocks,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: u64 = if args.paper {
+        1 << 23
+    } else if args.quick {
+        1 << 16
+    } else {
+        1 << 20
+    };
+    let configs: [(&str, Vec<u64>, PerfVector); 2] = [
+        ("homogeneous", vec![1, 1, 1, 1], PerfVector::homogeneous(4)),
+        ("1-1-4-4", vec![1, 1, 4, 4], PerfVector::paper_1144()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut speedup_1144_1ki = 0.0f64;
+    let mut all_io_saved = true;
+    for (name, hardware, perf) in &configs {
+        for &msg in &MSG_LADDER {
+            let cell = run_pair(&args, n, hardware, perf, msg);
+            let speedup = cell.staged_secs / cell.streamed_secs;
+            let io_save = 100.0 * (1.0 - cell.streamed_io as f64 / cell.staged_io as f64);
+            all_io_saved &= cell.streamed_io < cell.staged_io;
+            if *name == "1-1-4-4" && msg == 1024 {
+                speedup_1144_1ki = speedup;
+            }
+            rows.push(vec![
+                (*name).to_string(),
+                msg.to_string(),
+                fmt_secs(cell.staged_secs),
+                fmt_secs(cell.streamed_secs),
+                fmt_ratio(speedup),
+                cell.staged_io.to_string(),
+                cell.streamed_io.to_string(),
+                format!("{io_save:.1}%"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"perf\": \"{name}\", \"msg_records\": {msg}, \
+                 \"staged_secs\": {:.6}, \"streamed_secs\": {:.6}, \
+                 \"speedup\": {speedup:.4}, \"staged_io_blocks\": {}, \
+                 \"streamed_io_blocks\": {}, \"io_saving_pct\": {io_save:.2}}}",
+                cell.staged_secs, cell.streamed_secs, cell.staged_io, cell.streamed_io
+            ));
+        }
+    }
+
+    print_table(
+        &format!("Streaming exchange-merge vs staged (n = {n}, jitter off)"),
+        &[
+            "perf",
+            "msg",
+            "staged s",
+            "streamed s",
+            "speedup",
+            "staged IO",
+            "streamed IO",
+            "IO saved",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"overlap_speedup\",\n  \"n\": {n},\n  \"record_bytes\": 4,\n  \
+         \"msg_ladder\": [8, 64, 1024, 8192],\n  \
+         \"speedup_1144_1ki\": {speedup_1144_1ki:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
+    println!("wrote BENCH_overlap.json (1-1-4-4 speedup at 1 Ki msgs: {speedup_1144_1ki:.2}x)");
+
+    if args.selftest {
+        assert!(
+            all_io_saved,
+            "streamed path must use strictly fewer block I/Os in every configuration"
+        );
+        assert!(
+            speedup_1144_1ki > 1.0,
+            "streaming must beat staged on the 1-1-4-4 cluster at 1 Ki messages, \
+             got {speedup_1144_1ki:.3}x"
+        );
+        println!("selftest ok");
+    }
+}

@@ -15,7 +15,7 @@
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
 //!                 [--workers W] [--kernel radix|comparison]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
-//!                 [--profile]
+//!                 [--profile] [--streaming-merge]
 //! ```
 //!
 //! `--workers W` (W >= 1) enables the pipelined execution engine: W
@@ -31,6 +31,12 @@
 //! value) prints a per-node phase Gantt chart plus the PSRS skew table to
 //! the terminal. Tracing never touches the virtual clocks: the reported
 //! times, outputs and I/O counters are identical with and without it.
+//!
+//! `--streaming-merge` (a bare flag) fuses PSRS steps 3-5 into one
+//! streaming exchange-merge: partition chunks feed the final merge
+//! directly, with no staging files and credit-based flow control, so
+//! the run reports three phases (`local-sort`, `pivots`,
+//! `exchange-merge`) and ~`4·Q/B` fewer block I/Os per node.
 //!
 //! `--kernel` picks the in-core sort kernel: `radix` (the default fast
 //! path — LSD radix run formation plus cached-key merges, billed as cheap
@@ -62,7 +68,7 @@ impl Options {
         /// Flags that may appear bare (no value): `--profile` alone means
         /// `--profile true`. A following token that is itself a `--flag`
         /// is not consumed as the value.
-        const BOOL_FLAGS: &[&str] = &["profile"];
+        const BOOL_FLAGS: &[&str] = &["profile", "streaming-merge"];
         let mut it = args.iter().peekable();
         let command = it.next().ok_or_else(usage)?.clone();
         let mut flags = HashMap::new();
@@ -263,6 +269,7 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
         cfg.pipeline = PipelineConfig::with_workers(workers);
     }
     cfg.kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
+    cfg.streaming = opts.flag("streaming-merge")?;
     cfg.net = match opts.get_or("net", "fe") {
         "fe" | "fast-ethernet" => cluster::NetworkModel::fast_ethernet(),
         "myrinet" => cluster::NetworkModel::myrinet(),
@@ -448,6 +455,28 @@ mod tests {
             "1024",
             "--kernel",
             "comparison",
+        ]))
+        .unwrap();
+        assert!(out.contains("sublist expansion"), "{out}");
+    }
+
+    #[test]
+    fn cluster_streaming_merge_flag() {
+        let out = run(&opts(&[
+            "cluster",
+            "--n",
+            "8000",
+            "--perf",
+            "1,1,4,4",
+            "--mem",
+            "4096",
+            "--tapes",
+            "4",
+            "--msg",
+            "256",
+            "--block",
+            "1024",
+            "--streaming-merge",
         ]))
         .unwrap();
         assert!(out.contains("sublist expansion"), "{out}");

@@ -198,6 +198,82 @@ impl Endpoint {
         charger.merge_arrival(msg.arrival);
     }
 
+    /// Moves everything sitting in the inbound channel onto the pending
+    /// list without blocking.
+    fn drain_channel(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            self.pending.push(msg);
+        }
+    }
+
+    /// Index of the pending message with the earliest arrival among those
+    /// matching any of `tags` (ties broken by sender rank, then FIFO
+    /// position — a total, scheduling-independent order).
+    fn earliest_pending(&self, tags: &[Tag]) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| tags.contains(&m.tag))
+            .min_by_key(|(i, m)| (m.arrival, m.from, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Non-blocking arrival-ordered receive from **any** source: returns
+    /// the earliest-arriving message matching one of `tags` that has
+    /// *virtually* arrived (`arrival <= charger.now()`), or `None`. Never
+    /// advances the clock — a poll must not cost virtual time, and a
+    /// message from the virtual future must stay invisible until the
+    /// receiver's own work catches up to it.
+    ///
+    /// No per-message CPU overhead is charged here (nor by
+    /// [`Self::recv_any`]): batch receivers charge `recv_overhead` in
+    /// aggregate once the batch completes, which keeps the virtual clock
+    /// independent of the real-thread interleaving (the arrival merge is a
+    /// pure `max`, so *it* commutes; interleaved additive charges would
+    /// not).
+    pub fn try_recv_any(&mut self, tags: &[Tag], charger: &Charger) -> Option<Message> {
+        self.drain_channel();
+        let now = charger.now();
+        let idx = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| tags.contains(&m.tag) && m.arrival <= now)
+            .min_by_key(|(i, m)| (m.arrival, m.from, *i))
+            .map(|(i, _)| i)?;
+        Some(self.pending.remove(idx))
+    }
+
+    /// Blocking arrival-ordered receive from **any** source: the earliest-
+    /// arriving message matching one of `tags`, waiting for one to exist if
+    /// necessary. Merges the arrival timestamp into the clock (the wait);
+    /// per-message CPU overhead is deliberately *not* charged — see
+    /// [`Self::try_recv_any`].
+    ///
+    /// # Panics
+    /// Panics after 60 s of wall-clock inactivity (deadlock guard).
+    pub fn recv_any(&mut self, tags: &[Tag], charger: &mut Charger) -> Message {
+        loop {
+            self.drain_channel();
+            if let Some(i) = self.earliest_pending(tags) {
+                let msg = self.pending.remove(i);
+                charger.merge_arrival(msg.arrival);
+                return msg;
+            }
+            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
+                Ok(msg) => self.pending.push(msg),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "node {} deadlocked waiting for any of {tags:?}; {} messages pending",
+                    self.rank,
+                    self.pending.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("cluster torn down while node {} was receiving", self.rank)
+                }
+            }
+        }
+    }
+
     /// Typed send: encodes records as their fixed-size little-endian bytes.
     pub fn send_records<R: Record>(
         &mut self,
@@ -218,6 +294,20 @@ impl Endpoint {
     ) -> Vec<R> {
         let msg = self.recv_from(from, tag, charger);
         record::decode_all(&msg.bytes)
+    }
+
+    /// Typed receive into a caller-owned scratch buffer (cleared first).
+    /// Receive loops that drain thousands of small chunks reuse one
+    /// allocation instead of building a fresh `Vec<R>` per message.
+    pub fn recv_records_into<R: Record>(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        out: &mut Vec<R>,
+        charger: &mut Charger,
+    ) {
+        let msg = self.recv_from(from, tag, charger);
+        record::decode_all_into(&msg.bytes, out);
     }
 }
 
@@ -336,5 +426,77 @@ mod tests {
     #[should_panic(expected = "user tags must be below")]
     fn user_tag_range_enforced() {
         let _ = Tag::user(0x8000);
+    }
+
+    #[test]
+    fn recv_any_orders_by_arrival_not_rank() {
+        // Both senders transmit before the receiver looks; the bigger
+        // payload from the lower rank arrives later, so arrival order and
+        // rank order disagree. recv_any must follow arrivals.
+        let mut eps = Endpoint::mesh(3, NetworkModel::fast_ethernet());
+        let mut e2 = eps.pop().unwrap();
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        let mut ch1 = charger();
+        e0.send(2, Tag::user(1), vec![0u8; 500_000], &mut ch0); // slow: 40 ms wire
+        e1.send(2, Tag::user(1), vec![7u8; 100], &mut ch1); // fast
+        let mut ch2 = charger();
+        let first = e2.recv_any(&[Tag::user(1)], &mut ch2);
+        let second = e2.recv_any(&[Tag::user(1)], &mut ch2);
+        assert_eq!(first.from, 1, "earlier arrival must win");
+        assert_eq!(second.from, 0);
+        assert!(first.arrival <= second.arrival);
+        // The clock merged both arrivals (pure max — no additive charge).
+        assert_eq!(ch2.now(), second.arrival.merge(first.arrival));
+    }
+
+    #[test]
+    fn recv_any_matches_tag_filter() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::infinite());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        e0.send(1, Tag::user(9), vec![9], &mut ch0);
+        e0.send(1, Tag::user(1), vec![1], &mut ch0);
+        let mut ch1 = charger();
+        // Only tag 1 qualifies; tag 9 stays pending for a later selective
+        // receive.
+        let msg = e1.recv_any(&[Tag::user(1)], &mut ch1);
+        assert_eq!(msg.bytes, vec![1]);
+        let parked = e1.recv_from(0, Tag::user(9), &mut ch1);
+        assert_eq!(parked.bytes, vec![9]);
+    }
+
+    #[test]
+    fn try_recv_any_respects_virtual_time() {
+        let mut eps = Endpoint::mesh(2, NetworkModel::fast_ethernet());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        e0.send(1, Tag::user(1), vec![0u8; 125_000], &mut ch0); // ~10 ms wire
+        let mut ch1 = charger();
+        // Wait until the message is physically in the channel, then poll: at
+        // virtual time 0 the bytes are still on the wire, so the poll must
+        // come up empty without advancing the clock.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(
+                e1.try_recv_any(&[Tag::user(1)], &ch1).is_none(),
+                "message from the virtual future leaked into a poll"
+            );
+            if !e1.pending.is_empty() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "send never landed");
+            std::thread::yield_now();
+        }
+        assert_eq!(ch1.now().as_secs(), 0.0);
+        // Once the receiver's own work passes the arrival stamp, the poll
+        // delivers.
+        ch1.charge_cpu_raw(sim::SimDuration::from_secs(1.0));
+        let msg = e1.try_recv_any(&[Tag::user(1)], &ch1).expect("arrived");
+        assert_eq!(msg.from, 0);
+        assert!(e1.try_recv_any(&[Tag::user(1)], &ch1).is_none());
     }
 }

@@ -107,6 +107,40 @@ impl NodeCtx {
         self.endpoint.recv_records(from, tag, &mut self.charger)
     }
 
+    /// Typed record receive into a reused scratch buffer (cleared first).
+    pub fn recv_records_into<R: pdm::Record>(&mut self, from: usize, tag: Tag, out: &mut Vec<R>) {
+        self.endpoint
+            .recv_records_into(from, tag, out, &mut self.charger)
+    }
+
+    /// Blocking arrival-ordered receive from any source (see
+    /// [`Endpoint::recv_any`]): delivers whichever matching message lands
+    /// first instead of polling ranks in a fixed order. Merges the arrival
+    /// into the clock; per-message CPU overhead is charged separately in
+    /// aggregate via [`Self::charge_recv_overheads`].
+    pub fn recv_any(&mut self, tags: &[Tag]) -> Message {
+        self.endpoint.recv_any(tags, &mut self.charger)
+    }
+
+    /// Non-blocking arrival-ordered receive: only messages that have
+    /// virtually arrived (`arrival <= now`) are visible; never advances
+    /// the clock (see [`Endpoint::try_recv_any`]).
+    pub fn try_recv_any(&mut self, tags: &[Tag]) -> Option<Message> {
+        self.endpoint.try_recv_any(tags, &self.charger)
+    }
+
+    /// Charges the per-message receive CPU overhead for `msgs` deliveries
+    /// in one aggregate shot. Paired with [`Self::recv_any`] /
+    /// [`Self::try_recv_any`], which deliberately skip the per-message
+    /// charge: one summed charge is order-independent, so the virtual
+    /// clock stays deterministic however the arrivals interleave.
+    pub fn charge_recv_overheads(&mut self, msgs: u64) {
+        if msgs > 0 {
+            self.charger
+                .charge_cpu_raw(self.endpoint.net().recv_overhead.scale(msgs as f64));
+        }
+    }
+
     /// Barrier across all nodes.
     pub fn barrier(&mut self) {
         let span = self.span_open();

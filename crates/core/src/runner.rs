@@ -67,6 +67,10 @@ pub struct TrialConfig {
     /// Use the fused partition+redistribution path (extension; `false`
     /// reproduces the paper's Algorithm 1 literally).
     pub fused: bool,
+    /// Use the streaming exchange-merge path (extension): steps 3-5 fuse
+    /// end to end, no staging files, credit-based flow control. Takes
+    /// precedence over `fused`.
+    pub streaming: bool,
     /// Pipelined-execution knobs for the per-node sort and merge phases
     /// (off = the paper's sequential execution).
     pub pipeline: PipelineConfig,
@@ -100,6 +104,7 @@ impl TrialConfig {
             oversampling: 4,
             verify: true,
             fused: false,
+            streaming: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
             trace: false,
@@ -174,6 +179,7 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: cfg.fused,
+        streaming_merge: cfg.streaming,
         pipeline: cfg.pipeline,
         kernel: cfg.kernel,
     };
@@ -462,6 +468,27 @@ mod tests {
             "pipelined {} vs sequential {}",
             pipe.time_secs,
             seq.time_secs
+        );
+    }
+
+    #[test]
+    fn streamed_trial_verifies_and_saves_io() {
+        // The streamed exchange-merge sorts the same data with strictly
+        // fewer block transfers (no partition or receive staging files)
+        // and three phases instead of five.
+        let staged = run_trial(&small_cfg()).unwrap();
+        let mut scfg = small_cfg();
+        scfg.streaming = true;
+        let streamed = run_trial(&scfg).unwrap();
+        assert!(streamed.verified);
+        assert_eq!(streamed.balance.sizes, staged.balance.sizes);
+        assert_eq!(streamed.phase_ends.len(), 3);
+        assert_eq!(streamed.phase_ends[2].0, "exchange-merge");
+        assert!(
+            streamed.total_io_blocks < staged.total_io_blocks,
+            "streamed {} vs staged {}",
+            streamed.total_io_blocks,
+            staged.total_io_blocks
         );
     }
 

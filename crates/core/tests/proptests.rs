@@ -7,14 +7,16 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use cluster::{run_cluster, ClusterSpec};
 use hetsort::overpartition::assign_sublists;
 use hetsort::partition::{partition_file_streaming, partition_ranges};
 use hetsort::pivots::select_pivots;
 use hetsort::sampling::{
     quantile_positions, random_positions, regular_positions, regular_sample_count,
 };
-use hetsort::PerfVector;
+use hetsort::{psrs_external, ExternalPsrsConfig, PerfVector};
 use pdm::Disk;
+use workloads::{generate_to_disk, Benchmark, Layout};
 
 fn perf_vector() -> impl Strategy<Value = PerfVector> {
     vec(1u64..6, 1..6).prop_map(PerfVector::new)
@@ -165,5 +167,51 @@ proptest! {
             let last = *owners.last().unwrap();
             prop_assert_eq!(last, perf.p() - 1, "last node starved");
         }
+    }
+}
+
+proptest! {
+    // Full-cluster runs are costly; a couple dozen random shapes still
+    // exercises the credit protocol well beyond the fixed unit tests.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streamed_exchange_merge_sorts_within_memory_bound(
+        perf in perf_vector(),
+        n_per_node in 64u64..1500,
+        msg_records in 1usize..96,
+        bench_ix in 0usize..Benchmark::ALL.len(),
+        seed in any::<u64>(),
+    ) {
+        // Any perf vector, message size and distribution: the streamed
+        // exchange-merge must terminate (the runtime's deadlock watchdog
+        // backs this), produce the globally sorted permutation, and never
+        // buffer more than `p · CHUNK_CREDITS · msg_records` records.
+        let bench = Benchmark::ALL[bench_ix];
+        let p = perf.p();
+        let n = perf.padded_size(n_per_node * p as u64);
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let spec = ClusterSpec::homogeneous(p).with_block_bytes(64);
+        let cfg = ExternalPsrsConfig::new(perf.clone(), 256)
+            .with_tapes(4)
+            .with_msg_records(msg_records)
+            .with_streaming_merge(true);
+        let report = run_cluster(&spec, move |ctx| {
+            generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
+            let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+            (ctx.disk.read_file::<u32>("output").unwrap(), outcome)
+        });
+        let bound = p as u64 * 2 * msg_records as u64; // CHUNK_CREDITS = 2
+        let mut flat = Vec::new();
+        for nd in &report.nodes {
+            prop_assert!(
+                nd.value.1.peak_buffered_records <= bound,
+                "peak {} exceeds credit bound {}", nd.value.1.peak_buffered_records, bound
+            );
+            flat.extend_from_slice(&nd.value.0);
+        }
+        prop_assert_eq!(flat.len() as u64, n);
+        prop_assert!(flat.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
     }
 }

@@ -13,6 +13,10 @@
 //!   reference path, byte-identical by construction.
 //! * [`loser_tree::LoserTree`] — tournament-tree k-way merge with cached
 //!   winner keys, branch-free replay and exact select counting.
+//! * [`streaming::StreamingLoserTree`] — the push-model variant: the
+//!   caller feeds head records as they become available (e.g. network
+//!   chunks mid-flight), enabling the cluster layer's fused
+//!   exchange-merge.
 //! * [`run_formation`] — initial sorted-run creation, by memory-load chunk
 //!   sorting or by replacement selection (runs of expected length `2M`).
 //! * [`polyphase`] — polyphase merge sort with ideal (generalized-Fibonacci)
@@ -42,6 +46,7 @@ pub mod polyphase;
 pub mod report;
 pub mod run_formation;
 pub mod stream;
+pub mod streaming;
 pub mod striped;
 pub mod verify;
 
@@ -55,5 +60,6 @@ pub use loser_tree::LoserTree;
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};
 pub use stream::{RecordStream, SliceStream};
+pub use streaming::{MergeStep, StreamingLoserTree};
 pub use striped::striped_two_phase_sort;
 pub use verify::{fingerprint_file, fingerprint_slice, is_sorted_file, Fingerprint};

@@ -1,0 +1,469 @@
+//! Incremental loser tree for merging streams that arrive over time.
+//!
+//! [`crate::loser_tree::LoserTree`] pulls from its sources itself, which
+//! forces every input to be fully available (a file, a slice) before the
+//! merge starts. The streaming exchange-merge of external PSRS has the
+//! opposite shape: records for each source *trickle in* from the network
+//! while the merge runs, and the merge must park — without busy-waiting or
+//! buffering unboundedly — whenever the next winner's source has no data
+//! yet. [`StreamingLoserTree`] inverts control: the caller feeds head
+//! records in with [`StreamingLoserTree::feed`], closes exhausted sources
+//! with [`StreamingLoserTree::close`], and drives output with
+//! [`StreamingLoserTree::step`], which either emits the global minimum,
+//! names the one source it needs a record from ([`MergeStep::Need`]), or
+//! reports completion.
+//!
+//! The selection machinery is the same as the pull-based tree — cached
+//! `sort_key()`s with the `u64::MAX` exhausted sentinel disambiguated by a
+//! full-comparison fallback, iterative bottom-up build, branch-free replay,
+//! ties broken by source index. Because ties break by index, the output
+//! sequence depends only on the per-source record sequences, **not** on the
+//! order in which chunks happened to arrive — the property the streamed
+//! redistribution path relies on for byte-identical output vs the staged
+//! reference.
+
+use pdm::Record;
+
+/// One step of an incremental merge (see [`StreamingLoserTree::step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStep<R> {
+    /// The next record of the merged output, in order.
+    Emit(R),
+    /// The merge cannot decide a winner until source `s` is either fed a
+    /// record or closed. At most one source is ever awaited at a time.
+    Need(usize),
+    /// Every source is closed and drained; no more output will come.
+    Done,
+}
+
+/// A k-way merge whose sources are fed by the caller (push model).
+///
+/// Protocol: after `new(k)`, [`Self::step`] returns [`MergeStep::Need`] for
+/// each source in turn until every slot has been fed or closed; from then
+/// on it emits records, pausing with `Need(s)` whenever the slot that just
+/// won needs a refill. Feeding a slot that is not awaited panics — the
+/// caller's buffers hold surplus records, never the tree.
+#[derive(Debug)]
+pub struct StreamingLoserTree<R: Record> {
+    /// Current head record of each source (`None` = awaiting or closed).
+    heads: Vec<Option<R>>,
+    /// Cached `sort_key()` per head: `u64::MAX` when closed, 0 when the
+    /// record type has no usable key.
+    keys: Vec<u64>,
+    /// `tree[j]` holds the loser at internal node `j`; `tree[0]` the winner.
+    tree: Vec<usize>,
+    /// Sources that will never be fed again.
+    closed: Vec<bool>,
+    /// Before the first build: which slots have been fed or closed.
+    known: Vec<bool>,
+    /// After the build: the one slot whose head was consumed and not yet
+    /// refilled (`None` when the tree is ready to select).
+    pending: Option<usize>,
+    k: usize,
+    built: bool,
+    comparisons: u64,
+    produced: u64,
+}
+
+impl<R: Record> StreamingLoserTree<R> {
+    /// A tree over `k` sources, all initially awaiting their first record.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "a merge needs at least one source");
+        StreamingLoserTree {
+            heads: vec![None; k],
+            keys: vec![u64::MAX; k],
+            tree: vec![usize::MAX; k],
+            closed: vec![false; k],
+            known: vec![false; k],
+            pending: None,
+            k,
+            built: false,
+            comparisons: 0,
+            produced: 0,
+        }
+    }
+
+    fn cached_key(head: &Option<R>) -> u64 {
+        match head {
+            Some(r) if R::HAS_SORT_KEY => r.sort_key(),
+            Some(_) => 0,
+            None => u64::MAX,
+        }
+    }
+
+    /// Is source `s` currently awaited (a [`feed`](Self::feed) or
+    /// [`close`](Self::close) for it is legal)?
+    pub fn awaiting(&self, s: usize) -> bool {
+        if self.built {
+            self.pending == Some(s)
+        } else {
+            !self.known[s]
+        }
+    }
+
+    /// Supplies the next record of source `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is not the awaited slot (see [`Self::awaiting`]) —
+    /// records the merge has not asked for belong in the caller's buffers.
+    pub fn feed(&mut self, s: usize, r: R) {
+        assert!(self.awaiting(s), "source {s} was not awaited");
+        assert!(!self.closed[s], "source {s} is closed");
+        self.heads[s] = Some(r);
+        self.keys[s] = Self::cached_key(&self.heads[s]);
+        if self.built {
+            self.pending = None;
+            self.replay(s);
+        } else {
+            self.known[s] = true;
+        }
+    }
+
+    /// Declares source `s` exhausted: it will never be fed again.
+    ///
+    /// # Panics
+    /// Panics if `s` is not the awaited slot, or already closed.
+    pub fn close(&mut self, s: usize) {
+        assert!(self.awaiting(s), "source {s} was not awaited");
+        assert!(!self.closed[s], "source {s} is already closed");
+        self.closed[s] = true;
+        self.heads[s] = None;
+        self.keys[s] = u64::MAX;
+        if self.built {
+            self.pending = None;
+            self.replay(s);
+        } else {
+            self.known[s] = true;
+        }
+    }
+
+    /// Advances the merge one step. Never blocks: when the deciding source
+    /// has no head yet, returns [`MergeStep::Need`] and changes nothing.
+    pub fn step(&mut self) -> MergeStep<R> {
+        if !self.built {
+            if let Some(s) = (0..self.k).find(|&s| !self.known[s]) {
+                return MergeStep::Need(s);
+            }
+            self.build();
+            self.built = true;
+        }
+        if let Some(s) = self.pending {
+            return MergeStep::Need(s);
+        }
+        let winner = self.tree[0];
+        match self.heads[winner].take() {
+            None => MergeStep::Done, // winner closed ⇒ every source is
+            Some(r) => {
+                self.produced += 1;
+                if self.closed[winner] {
+                    // Cannot happen (closed heads are None), but keep the
+                    // invariant explicit for the optimizer-free reader.
+                    unreachable!("closed source won with a live head");
+                }
+                self.keys[winner] = u64::MAX;
+                self.pending = Some(winner);
+                MergeStep::Emit(r)
+            }
+        }
+    }
+
+    /// Initial tournament: identical to the pull-based tree's bottom-up
+    /// iterative build (O(k) comparisons, O(1) stack).
+    fn build(&mut self) {
+        if self.k == 1 {
+            self.tree[0] = 0;
+            return;
+        }
+        let mut winners = vec![usize::MAX; 2 * self.k];
+        for (j, w) in winners[self.k..].iter_mut().enumerate() {
+            *w = j;
+        }
+        for node in (1..self.k).rev() {
+            let left = winners[2 * node];
+            let right = winners[2 * node + 1];
+            let (winner, loser) = if self.beats(left, right) {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            self.tree[node] = loser;
+            winners[node] = winner;
+        }
+        self.tree[0] = winners[1];
+    }
+
+    /// Replays source `s`'s path to the root after its head changed.
+    fn replay(&mut self, s: usize) {
+        if self.k == 1 {
+            self.tree[0] = 0;
+            return;
+        }
+        let mut cand = s;
+        let mut node = (s + self.k) / 2;
+        while node >= 1 {
+            let stored = self.tree[node];
+            let stored_wins = self.beats(stored, cand);
+            self.tree[node] = if stored_wins { cand } else { stored };
+            cand = if stored_wins { stored } else { cand };
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        self.tree[0] = cand;
+    }
+
+    /// Does source `a`'s head sort before source `b`'s? Cached keys first;
+    /// ties (and the `u64::MAX` live-key collision) fall back to the full
+    /// `(record, index)` comparison where `None` loses to everything.
+    fn beats(&mut self, a: usize, b: usize) -> bool {
+        self.comparisons += 1;
+        let (ka, kb) = (self.keys[a], self.keys[b]);
+        if ka != kb {
+            return ka < kb;
+        }
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(x), Some(y)) => (x, a) < (y, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Tournament selects performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Records emitted so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Number of sources.
+    pub fn fan_in(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drives the tree from per-source queues, refilling on demand — the
+    /// shape of the real exchange-merge driver, minus the network.
+    fn merge_queues(inputs: Vec<Vec<u32>>) -> Vec<u32> {
+        let k = inputs.len().max(1);
+        let mut queues: Vec<VecDeque<u32>> = inputs.into_iter().map(VecDeque::from).collect();
+        queues.resize(k, VecDeque::new());
+        let mut tree = StreamingLoserTree::<u32>::new(k);
+        let mut out = Vec::new();
+        loop {
+            match tree.step() {
+                MergeStep::Emit(x) => out.push(x),
+                MergeStep::Need(s) => match queues[s].pop_front() {
+                    Some(x) => tree.feed(s, x),
+                    None => tree.close(s),
+                },
+                MergeStep::Done => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn merges_sorted_queues() {
+        assert_eq!(
+            merge_queues(vec![vec![1, 3, 5], vec![2, 4, 6]]),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(
+            merge_queues(vec![
+                vec![1, 1, 8],
+                vec![1, 5, 5],
+                vec![0, 9],
+                vec![],
+                vec![5]
+            ]),
+            vec![0, 1, 1, 1, 5, 5, 5, 8, 9]
+        );
+    }
+
+    #[test]
+    fn single_source_and_empty() {
+        assert_eq!(merge_queues(vec![vec![2, 4, 9]]), vec![2, 4, 9]);
+        assert_eq!(
+            merge_queues(vec![vec![], vec![], vec![]]),
+            Vec::<u32>::new()
+        );
+        assert_eq!(merge_queues(vec![]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn need_points_at_one_source_at_a_time() {
+        let mut tree = StreamingLoserTree::<u32>::new(3);
+        // Before the build, every slot is asked for exactly once.
+        let mut asked = Vec::new();
+        for _ in 0..3 {
+            match tree.step() {
+                MergeStep::Need(s) => {
+                    asked.push(s);
+                    tree.feed(s, 10 * (s as u32 + 1));
+                }
+                other => panic!("expected Need, got {other:?}"),
+            }
+        }
+        asked.sort_unstable();
+        assert_eq!(asked, vec![0, 1, 2]);
+        // After an emit, only the winner is awaited.
+        assert_eq!(tree.step(), MergeStep::Emit(10));
+        assert!(tree.awaiting(0));
+        assert!(!tree.awaiting(1));
+        assert_eq!(tree.step(), MergeStep::Need(0));
+        // step() without a feed is idempotent.
+        assert_eq!(tree.step(), MergeStep::Need(0));
+        tree.close(0);
+        assert_eq!(tree.step(), MergeStep::Emit(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not awaited")]
+    fn feeding_unawaited_source_panics() {
+        let mut tree = StreamingLoserTree::<u32>::new(2);
+        tree.feed(0, 1);
+        tree.feed(0, 2); // slot 0 already known, slot 1 is the awaited one
+    }
+
+    #[test]
+    fn close_before_first_record() {
+        // Sources may close without ever producing: the all-empty-partition
+        // case of a skewed redistribution.
+        let mut tree = StreamingLoserTree::<u32>::new(2);
+        tree.close(0);
+        tree.feed(1, 7);
+        assert_eq!(tree.step(), MergeStep::Emit(7));
+        assert_eq!(tree.step(), MergeStep::Need(1));
+        tree.close(1);
+        assert_eq!(tree.step(), MergeStep::Done);
+        assert_eq!(tree.produced(), 1);
+    }
+
+    #[test]
+    fn output_independent_of_feed_timing() {
+        // Same per-source sequences, different interleavings of availability
+        // (simulated by how many records are queued when asked) must give
+        // identical output — the determinism the differential test rests on.
+        let inputs = vec![vec![7u32; 10], vec![7; 10], vec![5, 7, 9]];
+        let a = merge_queues(inputs.clone());
+        // Second run: drain via a driver that feeds eagerly where possible.
+        let k = inputs.len();
+        let mut queues: Vec<VecDeque<u32>> =
+            inputs.clone().into_iter().map(VecDeque::from).collect();
+        let mut tree = StreamingLoserTree::<u32>::new(k);
+        let mut out = Vec::new();
+        loop {
+            match tree.step() {
+                MergeStep::Emit(x) => out.push(x),
+                MergeStep::Need(s) => match queues[s].pop_front() {
+                    Some(x) => tree.feed(s, x),
+                    None => tree.close(s),
+                },
+                MergeStep::Done => break,
+            }
+        }
+        assert_eq!(a, out);
+        let mut expect: Vec<u32> = inputs.concat();
+        expect.sort_unstable();
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn max_key_not_confused_with_closed() {
+        // u64::MAX is a valid live key; the sentinel collision must resolve
+        // through the full comparison, exactly like the pull-based tree.
+        let out = merge_queues_u64(vec![
+            vec![1u64, u64::MAX, u64::MAX],
+            vec![u64::MAX],
+            vec![0, 2, u64::MAX - 1],
+        ]);
+        let mut expect = vec![1u64, u64::MAX, u64::MAX, u64::MAX, 0, 2, u64::MAX - 1];
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    fn merge_queues_u64(inputs: Vec<Vec<u64>>) -> Vec<u64> {
+        let k = inputs.len();
+        let mut queues: Vec<VecDeque<u64>> = inputs.into_iter().map(VecDeque::from).collect();
+        let mut tree = StreamingLoserTree::<u64>::new(k);
+        let mut out = Vec::new();
+        loop {
+            match tree.step() {
+                MergeStep::Emit(x) => out.push(x),
+                MergeStep::Need(s) => match queues[s].pop_front() {
+                    Some(x) => tree.feed(s, x),
+                    None => tree.close(s),
+                },
+                MergeStep::Done => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn matches_pull_based_tree_on_random_runs() {
+        use crate::stream::SliceStream;
+        use crate::LoserTree;
+        // A cheap LCG builds k sorted runs; both trees must agree exactly.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in [2usize, 3, 5, 8] {
+            let inputs: Vec<Vec<u32>> = (0..k)
+                .map(|_| {
+                    let len = (rand() % 40) as usize;
+                    let mut v: Vec<u32> = (0..len).map(|_| (rand() % 50) as u32).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let sources: Vec<_> = inputs.clone().into_iter().map(SliceStream::new).collect();
+            let mut pull = LoserTree::new(sources).unwrap();
+            let mut expect = Vec::new();
+            while let Some(x) = pull.next_record().unwrap() {
+                expect.push(x);
+            }
+            assert_eq!(merge_queues(inputs), expect, "fan-in {k}");
+        }
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic() {
+        let k = 16usize;
+        let inputs: Vec<Vec<u32>> = (0..k)
+            .map(|s| (0..64).map(|i| (i * k + s) as u32).collect())
+            .collect();
+        let mut queues: Vec<VecDeque<u32>> = inputs.into_iter().map(VecDeque::from).collect();
+        let mut tree = StreamingLoserTree::<u32>::new(k);
+        let mut n = 0u64;
+        loop {
+            match tree.step() {
+                MergeStep::Emit(_) => n += 1,
+                MergeStep::Need(s) => match queues[s].pop_front() {
+                    Some(x) => tree.feed(s, x),
+                    None => tree.close(s),
+                },
+                MergeStep::Done => break,
+            }
+        }
+        assert_eq!(n, 1024);
+        assert_eq!(tree.produced(), 1024);
+        let per_record = tree.comparisons() as f64 / n as f64;
+        assert!(
+            per_record <= 5.5,
+            "expected ~log2(16) selects, got {per_record}"
+        );
+    }
+}

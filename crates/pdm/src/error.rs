@@ -34,6 +34,18 @@ pub enum PdmError {
     /// A configuration that can never perform I/O correctly (e.g. a block
     /// size smaller than one record, or a merge order below the minimum).
     InvalidConfig(String),
+    /// A transfer delivered a different record count than its sender
+    /// announced (e.g. a truncated redistribution partition). Unlike
+    /// [`PdmError::Corrupt`] — a malformed byte length — the bytes here are
+    /// well-formed; the *count* disagrees with the declared size.
+    SizeMismatch {
+        /// What was being transferred (file or stream description).
+        what: String,
+        /// Records the sender declared.
+        expect: u64,
+        /// Records that actually arrived.
+        got: u64,
+    },
 }
 
 /// Result alias for storage operations.
@@ -59,6 +71,10 @@ impl fmt::Display for PdmError {
                 "record index {index} out of range for file {name:?} of length {len}"
             ),
             PdmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PdmError::SizeMismatch { what, expect, got } => write!(
+                f,
+                "size mismatch in {what}: sender declared {expect} records, received {got}"
+            ),
         }
     }
 }
@@ -100,6 +116,14 @@ mod tests {
         assert!(e.to_string().contains("out of range"));
         let e = PdmError::InvalidConfig("block size 8 smaller than record size 16".into());
         assert!(e.to_string().contains("invalid configuration"));
+        let e = PdmError::SizeMismatch {
+            what: "partition from node 2".into(),
+            expect: 100,
+            got: 97,
+        };
+        let s = e.to_string();
+        assert!(s.contains("size mismatch"), "{s}");
+        assert!(s.contains("100") && s.contains("97"), "{s}");
     }
 
     #[test]

@@ -265,9 +265,21 @@ impl Record for KeyPayload {
 
 /// Encodes a slice of records into a packed byte vector (one bulk pass).
 pub fn encode_all<R: Record>(records: &[R]) -> Vec<u8> {
-    let mut out = vec![0u8; records.len() * R::SIZE];
-    R::write_slice_to(records, &mut out);
+    let mut out = Vec::new();
+    encode_all_into(records, &mut out);
     out
+}
+
+/// Encodes into a caller-owned buffer: clears `out`, then appends the
+/// packed encoding, reusing whatever capacity `out` already holds. Message
+/// loops that encode thousands of small chunks (`msg_records = 8` is the
+/// paper's pathological packet size) call this with a scratch buffer so
+/// each encode reuses one buffer instead of hitting the allocator per
+/// message.
+pub fn encode_all_into<R: Record>(records: &[R], out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(records.len() * R::SIZE, 0);
+    R::write_slice_to(records, out);
 }
 
 /// Decodes a packed byte slice into records (one bulk pass).
@@ -278,6 +290,17 @@ pub fn decode_all<R: Record>(bytes: &[u8]) -> Vec<R> {
     let mut out = Vec::with_capacity(bytes.len() / R::SIZE);
     R::read_slice_from(bytes, &mut out);
     out
+}
+
+/// Decodes into a caller-owned buffer: clears `out`, then appends the
+/// decoded records, reusing capacity. The receive-side counterpart of
+/// [`encode_all_into`] for per-message scratch reuse.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of `R::SIZE`.
+pub fn decode_all_into<R: Record>(bytes: &[u8], out: &mut Vec<R>) {
+    out.clear();
+    R::read_slice_from(bytes, out);
 }
 
 #[cfg(test)]
@@ -327,6 +350,25 @@ mod tests {
         let bytes = encode_all(&v);
         assert_eq!(bytes.len(), 400);
         assert_eq!(decode_all::<u32>(&bytes), v);
+    }
+
+    #[test]
+    fn encode_decode_into_reuse_capacity() {
+        let v: Vec<u32> = (0..50).collect();
+        let mut bytes = Vec::with_capacity(1024);
+        encode_all_into(&v, &mut bytes);
+        let cap = bytes.capacity();
+        assert_eq!(bytes, encode_all(&v));
+        // A second (smaller) encode reuses the same allocation.
+        encode_all_into(&v[..10], &mut bytes);
+        assert_eq!(bytes.capacity(), cap);
+        assert_eq!(bytes, encode_all(&v[..10]));
+        // Decode side: scratch is cleared, not appended to.
+        let mut out: Vec<u32> = vec![999; 64];
+        let out_cap = out.capacity();
+        decode_all_into(&bytes, &mut out);
+        assert_eq!(out, &v[..10]);
+        assert_eq!(out.capacity(), out_cap);
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn run(declared: PerfVector) -> f64 {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: false,
+        streaming_merge: false,
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
     };

@@ -13,7 +13,7 @@ import json
 import sys
 
 PHASES = {"local-sort", "pivots", "partition", "redistribute", "merge",
-          "partition+redistribute"}
+          "partition+redistribute", "exchange-merge"}
 REQUIRED_NODE_COUNTERS = ["io.blocks_read", "io.blocks_written", "net.sent_bytes"]
 REQUIRED_CLUSTER_GAUGES = ["skew.expansion", "skew.bound", "skew.within_bound"]
 

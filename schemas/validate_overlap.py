@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_overlap.json file (stdlib only).
+
+Usage: python3 schemas/validate_overlap.py BENCH_overlap.json
+
+Checks the output of the `overlap_speedup` bench binary: staged vs
+streamed exchange-merge rows across the message-size ladder on both
+perf configurations, strict receiver-side I/O savings, and the
+headline 1-1-4-4 speedup at 1 Ki-record messages.
+"""
+
+import json
+import sys
+
+MSG_LADDER = [8, 64, 1024, 8192]
+PERFS = {"homogeneous", "1-1-4-4"}
+ROW_KEYS = {
+    "perf", "msg_records", "staged_secs", "streamed_secs", "speedup",
+    "staged_io_blocks", "streamed_io_blocks", "io_saving_pct",
+}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "overlap_speedup":
+        fail(f"bench must be 'overlap_speedup', got {doc.get('bench')!r}")
+    if not isinstance(doc.get("n"), int) or doc["n"] <= 0:
+        fail("n must be a positive integer")
+    if doc.get("msg_ladder") != MSG_LADDER:
+        fail(f"msg_ladder must be {MSG_LADDER}, got {doc.get('msg_ladder')!r}")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != len(PERFS) * len(MSG_LADDER):
+        fail(f"expected {len(PERFS) * len(MSG_LADDER)} rows, got "
+             f"{len(rows) if isinstance(rows, list) else rows!r}")
+
+    seen = set()
+    for row in rows:
+        if set(row) != ROW_KEYS:
+            fail(f"row keys {sorted(row)} != expected {sorted(ROW_KEYS)}")
+        perf, msg = row["perf"], row["msg_records"]
+        if perf not in PERFS:
+            fail(f"unknown perf {perf!r}")
+        if msg not in MSG_LADDER:
+            fail(f"unknown msg_records {msg}")
+        if (perf, msg) in seen:
+            fail(f"duplicate row ({perf}, {msg})")
+        seen.add((perf, msg))
+        for key in ("staged_secs", "streamed_secs", "speedup"):
+            if not isinstance(row[key], (int, float)) or row[key] <= 0:
+                fail(f"({perf}, {msg}): {key} must be positive")
+        for key in ("staged_io_blocks", "streamed_io_blocks"):
+            if not isinstance(row[key], int) or row[key] <= 0:
+                fail(f"({perf}, {msg}): {key} must be a positive integer")
+        if row["streamed_io_blocks"] >= row["staged_io_blocks"]:
+            fail(f"({perf}, {msg}): streamed must move strictly fewer blocks "
+                 f"({row['streamed_io_blocks']} vs {row['staged_io_blocks']})")
+
+    headline = doc.get("speedup_1144_1ki")
+    if not isinstance(headline, (int, float)):
+        fail("speedup_1144_1ki must be a number")
+    if headline <= 1.0:
+        fail(f"1-1-4-4 speedup at 1 Ki messages must exceed 1.0, got {headline}")
+    ref = next(r for r in rows if r["perf"] == "1-1-4-4" and r["msg_records"] == 1024)
+    if abs(ref["speedup"] - headline) > 1e-3:
+        fail(f"speedup_1144_1ki {headline} disagrees with its row {ref['speedup']}")
+
+    print(f"overlap ok: {len(rows)} rows, 1-1-4-4 speedup at 1 Ki msgs "
+          f"{headline:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

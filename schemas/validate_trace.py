@@ -14,6 +14,7 @@ import sys
 
 PHASES = ["local-sort", "pivots", "partition", "redistribute", "merge"]
 FUSED = "partition+redistribute"
+STREAMED = "exchange-merge"
 KINDS = {"phase", "collective", "task"}
 
 
@@ -65,8 +66,11 @@ def main(path):
     for pid in sorted(pids):
         names = phase_names.get(pid, set())
         for phase in PHASES:
-            # The fused path stamps partition+redistribute as one span.
+            # The fused path stamps partition+redistribute as one span; the
+            # streaming path fuses steps 3-5 into a single exchange-merge.
             if phase in ("partition", "redistribute") and FUSED in names:
+                continue
+            if phase in ("partition", "redistribute", "merge") and STREAMED in names:
                 continue
             if phase not in names:
                 fail(f"node {pid}: phase span {phase!r} missing (has {sorted(names)})")

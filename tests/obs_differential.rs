@@ -34,6 +34,7 @@ fn run(tracing: bool) -> ClusterReport<Vec<u32>> {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: false,
+        streaming_merge: false,
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
     };

@@ -60,6 +60,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
         input: "input".into(),
         output: "output".into(),
         fused_redistribution: false,
+        streaming_merge: false,
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
     };
