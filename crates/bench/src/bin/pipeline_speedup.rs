@@ -16,6 +16,16 @@
 //! has a single core; wall-clock parallel speedup would measure the host,
 //! not the engine).
 //!
+//! A second ladder adds range-partitioned merge workers on top
+//! (`combined` rows): the merge-phase selects divide by the merge worker
+//! count too, while output moves stay serial and every probe seek the
+//! parallel merge issues is paid through the run's own metered I/O. On
+//! the year-2000 SCSI model those 8 ms probe seeks can eat the merge-CPU
+//! win, so the combined rows are also priced on the modern-NVMe model
+//! (`virtual_secs_nvme`), where the engine is CPU-bound and the full
+//! benefit shows; the headline `speedup_combined_4` uses the NVMe
+//! pricing for both the baseline and the combined run.
+//!
 //! Emits `BENCH_pipeline.json` in the working directory:
 //!
 //! ```sh
@@ -77,21 +87,48 @@ fn formation_comparisons(n: u64, mem_records: usize) -> u64 {
     full * incore_sort_comparisons(m) + incore_sort_comparisons(tail)
 }
 
+/// The I/O net of seeking reads: parallel merging adds splitter probes and
+/// boundary prefills (metered as `random_reads`/`seek_bytes`); all other
+/// traffic must match the sequential oracle exactly.
+fn non_seek(io: &IoSnapshot) -> (u64, u64, u64, u64, u64) {
+    (
+        io.blocks_read - io.random_reads,
+        io.bytes_read - io.seek_bytes,
+        io.blocks_written,
+        io.bytes_written,
+        io.files_created,
+    )
+}
+
 /// Virtual seconds for one run: sequential adds CPU and I/O; pipelined
-/// overlaps them (`max`) and spreads the chunk sorting over `workers`.
-fn virtual_secs(run: &Run, mem_records: usize, workers: Option<usize>) -> f64 {
+/// overlaps them (`max`) and spreads the chunk sorting over `workers`;
+/// merge workers additionally divide the merge-phase selects (counted on
+/// the *baseline* report — per-worker trees count differently) while
+/// output moves stay serial. I/O is always the run's own metered counters,
+/// so parallel rows pay for their probe seeks.
+fn virtual_secs(
+    baseline: &SortReport,
+    run: &Run,
+    mem_records: usize,
+    workers: Option<usize>,
+    merge_workers: usize,
+    disk_model: &DiskModel,
+) -> f64 {
     let cpu = CpuModel::alpha_533();
-    let disk_model = DiskModel::scsi_2000();
-    let r = &run.report;
+    let r = baseline;
     let form = formation_comparisons(r.records, mem_records).min(r.comparisons);
     let merge = r.comparisons - form;
     let moves = r.records * (r.merge_phases as u64 + 1);
     let t_form = cpu.comparisons(form).as_secs();
-    let t_serial = cpu.comparisons(merge).as_secs() + cpu.record_moves(moves).as_secs();
+    let t_merge = cpu.comparisons(merge).as_secs();
+    let t_moves = cpu.record_moves(moves).as_secs();
     let t_io = disk_model.service_time(&run.io).as_secs();
     match workers {
-        None => t_form + t_serial + t_io,
-        Some(w) => (t_form / w.max(1) as f64 + t_serial).max(t_io),
+        None => t_form + t_merge + t_moves + t_io,
+        Some(w) => {
+            let t_cpu = t_form / w.max(1) as f64 + t_merge / merge_workers.max(1) as f64 + t_moves;
+            t_cpu.max(t_io)
+        }
     }
 }
 
@@ -117,27 +154,40 @@ fn main() {
         .with_tapes(tapes)
         .with_kernel(SortKernel::Comparison);
 
+    let scsi = DiskModel::scsi_2000();
+    let nvme = DiskModel::nvme_modern();
+
     let seq = run_once(n, &cfg_seq, args.seed, args.files);
-    let t_seq = virtual_secs(&seq, mem_records, None);
+    let t_seq = virtual_secs(&seq.report, &seq, mem_records, None, 1, &scsi);
+    let t_seq_nvme = virtual_secs(&seq.report, &seq, mem_records, None, 1, &nvme);
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
-    rows.push(vec![
-        "sequential".to_string(),
-        "-".to_string(),
-        fmt_secs(t_seq),
-        format!("{:.0}", n as f64 / t_seq),
-        fmt_ratio(1.0),
-        format!("{:.3}", seq.wall_secs),
-    ]);
-    json_rows.push(format!(
-        "    {{\"mode\": \"sequential\", \"workers\": 0, \"virtual_secs\": {t_seq:.6}, \
-         \"records_per_sec\": {:.1}, \"wall_secs\": {:.4}}}",
-        n as f64 / t_seq,
-        seq.wall_secs
-    ));
+    let mut push_row = |mode: &str, w: usize, mw: usize, t: f64, t_nvme: f64, wall: f64| {
+        rows.push(vec![
+            mode.to_string(),
+            if w == 0 { "-".into() } else { w.to_string() },
+            if mw == 0 { "-".into() } else { mw.to_string() },
+            fmt_secs(t),
+            fmt_ratio(t_seq / t),
+            fmt_secs(t_nvme),
+            fmt_ratio(t_seq_nvme / t_nvme),
+            format!("{wall:.3}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"workers\": {w}, \"merge_workers\": {mw}, \
+             \"virtual_secs\": {t:.6}, \"speedup\": {:.4}, \
+             \"virtual_secs_nvme\": {t_nvme:.6}, \"speedup_nvme\": {:.4}, \
+             \"records_per_sec\": {:.1}, \"wall_secs\": {wall:.4}}}",
+            t_seq / t,
+            t_seq_nvme / t_nvme,
+            n as f64 / t,
+        ));
+    };
+    push_row("sequential", 0, 0, t_seq, t_seq_nvme, seq.wall_secs);
 
     let mut speedup_at_4 = 0.0;
+    let mut speedup_nvme_at_4 = 0.0;
     for &w in &WORKER_LADDER {
         let cfg = cfg_seq
             .clone()
@@ -151,36 +201,47 @@ fn main() {
         );
         assert_eq!(run.report.comparisons, seq.report.comparisons);
         assert_eq!(run.report.initial_runs, seq.report.initial_runs);
-        let t = virtual_secs(&run, mem_records, Some(w));
-        let speedup = t_seq / t;
+        let t = virtual_secs(&seq.report, &run, mem_records, Some(w), 1, &scsi);
+        let t_nvme = virtual_secs(&seq.report, &run, mem_records, Some(w), 1, &nvme);
         if w == 4 {
-            speedup_at_4 = speedup;
+            speedup_at_4 = t_seq / t;
+            speedup_nvme_at_4 = t_seq_nvme / t_nvme;
         }
-        rows.push(vec![
-            "pipelined".to_string(),
-            w.to_string(),
-            fmt_secs(t),
-            format!("{:.0}", n as f64 / t),
-            fmt_ratio(speedup),
-            format!("{:.3}", run.wall_secs),
-        ]);
-        json_rows.push(format!(
-            "    {{\"mode\": \"pipelined\", \"workers\": {w}, \"virtual_secs\": {t:.6}, \
-             \"records_per_sec\": {:.1}, \"wall_secs\": {:.4}}}",
-            n as f64 / t,
-            run.wall_secs
-        ));
+        push_row("pipelined", w, 0, t, t_nvme, run.wall_secs);
+    }
+
+    // Combined ladder: sort workers *and* range-partitioned merge workers.
+    // The merge-phase selects now divide too; the probe seeks the parallel
+    // merge issues show up in this run's own metered I/O and are priced
+    // under both disk models.
+    let mut speedup_combined_4 = 0.0;
+    for &w in &WORKER_LADDER {
+        let cfg = cfg_seq
+            .clone()
+            .with_pipeline(PipelineConfig::with_workers(w).with_merge_workers(w));
+        let run = run_once(n, &cfg, args.seed, args.files);
+        assert_eq!(
+            run.out_bytes, seq.out_bytes,
+            "combined {w}+{w}: output bytes diverged"
+        );
+        assert_eq!(
+            non_seek(&run.io),
+            non_seek(&seq.io),
+            "combined {w}+{w}: non-seek I/O diverged"
+        );
+        assert_eq!(run.report.initial_runs, seq.report.initial_runs);
+        let t = virtual_secs(&seq.report, &run, mem_records, Some(w), w, &scsi);
+        let t_nvme = virtual_secs(&seq.report, &run, mem_records, Some(w), w, &nvme);
+        if w == 4 {
+            speedup_combined_4 = t_seq_nvme / t_nvme;
+        }
+        push_row("combined", w, w, t, t_nvme, run.wall_secs);
     }
 
     print_table(
         &format!("Pipeline speedup (n = {n}, M = {mem_records}, T = {tapes})"),
         &[
-            "mode",
-            "workers",
-            "virtual s",
-            "records/s",
-            "speedup",
-            "wall s",
+            "mode", "workers", "merge w", "scsi s", "speedup", "nvme s", "speedup", "wall s",
         ],
         &rows,
     );
@@ -189,16 +250,26 @@ fn main() {
         "{{\n  \"bench\": \"pipeline_speedup\",\n  \"n\": {n},\n  \"record_bytes\": 4,\n  \
          \"mem_records\": {mem_records},\n  \"tapes\": {tapes},\n  \"block_bytes\": {BLOCK_BYTES},\n  \
          \"cpu_model\": \"alpha_533\",\n  \"disk_model\": \"scsi_2000\",\n  \
-         \"speedup_4_workers\": {speedup_at_4:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"nvme_disk_model\": \"nvme_modern\",\n  \
+         \"speedup_4_workers\": {speedup_at_4:.4},\n  \
+         \"speedup_combined_4\": {speedup_combined_4:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json (speedup at 4 workers: {speedup_at_4:.2}x)");
+    println!(
+        "wrote BENCH_pipeline.json (speedup at 4 workers: {speedup_at_4:.2}x, \
+         combined 4+4 on nvme: {speedup_combined_4:.2}x)"
+    );
 
     if args.selftest {
         assert!(
             speedup_at_4 >= 1.5,
             "pipelined at 4 workers must be >= 1.5x sequential, got {speedup_at_4:.2}x"
+        );
+        assert!(
+            speedup_combined_4 > speedup_nvme_at_4,
+            "combined 4+4 must beat pipeline-only 4 under the same pricing: \
+             {speedup_combined_4:.2}x vs {speedup_nvme_at_4:.2}x"
         );
         println!("selftest ok");
     }

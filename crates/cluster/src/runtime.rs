@@ -440,6 +440,7 @@ where
                         ctx.obs.counter_add("io.bytes_read", io.bytes_read);
                         ctx.obs.counter_add("io.bytes_written", io.bytes_written);
                         ctx.obs.counter_add("io.random_reads", io.random_reads);
+                        ctx.obs.counter_add("io.seek_bytes", io.seek_bytes);
                         ctx.obs.counter_add("io.files_created", io.files_created);
                         ctx.obs
                             .counter_add("net.sent_bytes", ctx.endpoint.sent_bytes());

@@ -134,6 +134,17 @@ impl ExternalPsrsConfig {
         self
     }
 
+    /// Sets the parallel-merge worker count (builder style, forwarded to
+    /// the pipeline knobs; clamped to ≥ 1). Applies to step 1's polyphase
+    /// merge phases and step 5's final k-way merge; the streamed
+    /// exchange-merge is unaffected (its inputs arrive incrementally, so
+    /// ranges cannot be cut up front).
+    #[must_use]
+    pub fn with_merge_workers(mut self, workers: usize) -> Self {
+        self.pipeline = self.pipeline.with_merge_workers(workers);
+        self
+    }
+
     /// Enables the fused partition+redistribution path (builder style).
     #[must_use]
     pub fn with_fused_redistribution(mut self, fused: bool) -> Self {
@@ -217,7 +228,10 @@ pub fn psrs_external<R: Record>(
         key_ops: local_sort.key_ops,
         moves: local_sort.records * (local_sort.merge_phases as u64 + 1),
     };
-    if cfg.pipeline.enabled {
+    // With parallel merge workers the polyphase merge phases overlap
+    // tree-select CPU (worker threads) with tape I/O (main thread), so the
+    // overlapped rule applies even when the prefetch pipeline is off.
+    if cfg.pipeline.enabled || cfg.pipeline.effective_merge_workers() > 1 {
         ctx.charger
             .charge_overlapped_section(sort_work, t0.elapsed());
     } else {
@@ -410,17 +424,25 @@ pub fn psrs_external<R: Record>(
     let t0 = Instant::now();
     let final_merge =
         merge_sorted_files_kernel::<R>(&ctx.disk, &inputs, &cfg.output, &cfg.pipeline, cfg.kernel)?;
+    // Tree selects run on the range-partitioned merge workers, so only the
+    // slowest worker's share lands on the critical path; the record moves
+    // (one output stream) stay serial.
+    let merge_workers =
+        extsort::planned_workers::<R>(&cfg.pipeline, inputs.len(), final_merge.records);
     let merge_work = Work {
         comparisons: final_merge.comparisons,
         key_ops: final_merge.key_ops,
-        moves: final_merge.records,
-    };
-    if cfg.pipeline.enabled {
+        moves: 0,
+    }
+    .across_workers(merge_workers)
+    .plus(Work::moves(final_merge.records));
+    if cfg.pipeline.enabled || merge_workers > 1 {
         ctx.charger
             .charge_overlapped_section(merge_work, t0.elapsed());
     } else {
         ctx.charger.charge_section(merge_work, t0.elapsed());
     }
+    ctx.obs.gauge_set("merge.workers", merge_workers as f64);
     for name in &inputs {
         ctx.disk.remove(name)?;
     }

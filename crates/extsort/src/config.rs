@@ -34,6 +34,11 @@ pub struct PipelineConfig {
     /// Blocks each pipelined reader/writer keeps in flight (queue depth).
     /// Clamped to ≥ 1; the default is double buffering.
     pub prefetch_blocks: usize,
+    /// Worker threads for range-partitioned parallel merging. `1` (the
+    /// default) keeps every merge on the sequential loser tree; larger
+    /// values split each merge into disjoint key ranges. Works with or
+    /// without `enabled` (it parallelizes CPU, not I/O). Clamped to ≥ 1.
+    pub merge_workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +54,7 @@ impl PipelineConfig {
             enabled: false,
             workers: 1,
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
+            merge_workers: 1,
         }
     }
 
@@ -59,6 +65,7 @@ impl PipelineConfig {
             enabled: true,
             workers: workers.max(1),
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
+            merge_workers: 1,
         }
     }
 
@@ -69,9 +76,21 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the parallel-merge worker count (builder style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_merge_workers(mut self, workers: usize) -> Self {
+        self.merge_workers = workers.max(1);
+        self
+    }
+
     /// Effective sort-worker count (≥ 1).
     pub fn effective_workers(&self) -> usize {
         self.workers.max(1)
+    }
+
+    /// Effective merge-worker count (≥ 1).
+    pub fn effective_merge_workers(&self) -> usize {
+        self.merge_workers.max(1)
     }
 
     /// Effective I/O queue depth (≥ 1).
@@ -139,6 +158,14 @@ impl ExtSortConfig {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the parallel-merge worker count (builder style, forwarded to the
+    /// pipeline knobs; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_merge_workers(mut self, workers: usize) -> Self {
+        self.pipeline = self.pipeline.with_merge_workers(workers);
         self
     }
 
@@ -212,10 +239,27 @@ mod tests {
     }
 
     #[test]
+    fn merge_worker_builders() {
+        let c = ExtSortConfig::new(4096).with_merge_workers(4);
+        assert!(!c.pipeline.enabled, "merge workers do not imply pipelining");
+        assert_eq!(c.pipeline.effective_merge_workers(), 4);
+        let p = PipelineConfig::with_workers(2).with_merge_workers(2);
+        assert_eq!(p.effective_merge_workers(), 2);
+        assert_eq!(
+            PipelineConfig::off().effective_merge_workers(),
+            1,
+            "sequential merge by default"
+        );
+    }
+
+    #[test]
     fn pipeline_clamps_degenerate_knobs() {
-        let p = PipelineConfig::with_workers(0).with_prefetch_blocks(0);
+        let p = PipelineConfig::with_workers(0)
+            .with_prefetch_blocks(0)
+            .with_merge_workers(0);
         assert_eq!(p.effective_workers(), 1);
         assert_eq!(p.depth(), 1);
+        assert_eq!(p.effective_merge_workers(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use pdm::{BufferPool, Disk, PdmResult, Record};
 use crate::config::{ExtSortConfig, PipelineConfig};
 use crate::kernel::SortKernel;
 use crate::loser_tree::LoserTree;
+use crate::parallel_merge::{parallel_merge_segments, planned_workers, MergeSegment};
 use crate::report::{MergeReport, SortReport};
 use crate::run_formation::{form_runs, FormedRuns};
 use crate::stream::Bounded;
@@ -131,6 +132,38 @@ fn merge_run_group<R: Record>(
     cfg: &ExtSortConfig,
     pool: &BufferPool,
 ) -> PdmResult<MergeReport> {
+    let records: u64 = group.iter().map(|r| r.len).sum();
+    let workers = planned_workers::<R>(&cfg.pipeline, group.len(), records);
+    if workers > 1 {
+        let segments: Vec<MergeSegment> = group
+            .iter()
+            .map(|r| MergeSegment::new(files[r.file].clone(), r.offset, r.len))
+            .collect();
+        let (produced, comparisons) = if cfg.pipeline.enabled {
+            let mut writer =
+                disk.create_write_behind::<R>(output, cfg.pipeline.depth(), pool.clone())?;
+            let out = parallel_merge_segments::<R, _>(disk, &segments, workers, pool, |batch| {
+                writer.push_all(batch)
+            })?;
+            writer.finish()?;
+            (out.records, out.comparisons)
+        } else {
+            let mut writer = disk.create_writer_pooled::<R>(output, Some(pool.clone()))?;
+            let out = parallel_merge_segments::<R, _>(disk, &segments, workers, pool, |batch| {
+                writer.push_all(batch)
+            })?;
+            writer.finish()?;
+            (out.records, out.comparisons)
+        };
+        let key_based = cfg.kernel.key_based::<R>();
+        return Ok(MergeReport {
+            records: produced,
+            fan_in: group.len(),
+            comparisons: if key_based { 0 } else { comparisons },
+            key_ops: if key_based { comparisons } else { 0 },
+            io: Default::default(),
+        });
+    }
     let mut readers = Vec::with_capacity(group.len());
     for r in group {
         let mut rd = disk.open_reader_pooled::<R>(&files[r.file], Some(pool.clone()))?;
@@ -209,10 +242,44 @@ pub fn merge_sorted_files_kernel<R: Record>(
 ) -> PdmResult<MergeReport> {
     let _span = obs::scoped("extsort.kway-merge");
     let io_before = disk.stats().snapshot();
+    // One pool for the whole merge: readers and the writer recycle each
+    // other's block buffers instead of allocating per file (and per block).
+    let pool = BufferPool::default();
+    let mut total = 0u64;
+    for name in inputs {
+        total += disk.len_records::<R>(name)?;
+    }
+    let workers = planned_workers::<R>(pipeline, inputs.len(), total);
     let produced;
     let comparisons;
-    if pipeline.enabled {
-        let pool = BufferPool::default();
+    if workers > 1 {
+        let mut segments = Vec::with_capacity(inputs.len());
+        for name in inputs {
+            segments.push(MergeSegment::new(
+                name.clone(),
+                0,
+                disk.len_records::<R>(name)?,
+            ));
+        }
+        let out = if pipeline.enabled {
+            let mut writer =
+                disk.create_write_behind::<R>(output, pipeline.depth(), pool.clone())?;
+            let out = parallel_merge_segments::<R, _>(disk, &segments, workers, &pool, |batch| {
+                writer.push_all(batch)
+            })?;
+            writer.finish()?;
+            out
+        } else {
+            let mut writer = disk.create_writer_pooled::<R>(output, Some(pool.clone()))?;
+            let out = parallel_merge_segments::<R, _>(disk, &segments, workers, &pool, |batch| {
+                writer.push_all(batch)
+            })?;
+            writer.finish()?;
+            out
+        };
+        produced = out.records;
+        comparisons = out.comparisons;
+    } else if pipeline.enabled {
         let mut readers = Vec::with_capacity(inputs.len());
         for name in inputs {
             readers.push(disk.open_prefetch_reader::<R>(name, pipeline.depth(), pool.clone())?);
@@ -230,9 +297,9 @@ pub fn merge_sorted_files_kernel<R: Record>(
     } else {
         let mut readers = Vec::with_capacity(inputs.len());
         for name in inputs {
-            readers.push(disk.open_reader::<R>(name)?);
+            readers.push(disk.open_reader_pooled::<R>(name, Some(pool.clone()))?);
         }
-        let mut writer = disk.create_writer::<R>(output)?;
+        let mut writer = disk.create_writer_pooled::<R>(output, Some(pool.clone()))?;
         let mut tree = LoserTree::new(readers)?;
         let mut n = 0u64;
         while let Some(x) = tree.next_record()? {
@@ -346,6 +413,39 @@ mod tests {
         // Single pass: reads everything once, writes everything once.
         assert_eq!(report.io.bytes_read, 600);
         assert_eq!(report.io.bytes_written, 600);
+    }
+
+    #[test]
+    fn merge_sorted_files_parallel_matches_sequential() {
+        let disk = Disk::in_memory(16);
+        let a: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..500).map(|i| i * 2 + 1).collect();
+        disk.write_file("a", &a).unwrap();
+        disk.write_file("b", &b).unwrap();
+        merge_sorted_files::<u32>(&disk, &["a".into(), "b".into()], "seq").unwrap();
+        let par = PipelineConfig::off().with_merge_workers(4);
+        let report =
+            merge_sorted_files_with::<u32>(&disk, &["a".into(), "b".into()], "par", &par).unwrap();
+        assert_eq!(report.records, 1000);
+        assert_eq!(
+            disk.read_file::<u32>("par").unwrap(),
+            disk.read_file::<u32>("seq").unwrap()
+        );
+    }
+
+    #[test]
+    fn balanced_parallel_merge_matches_sequential() {
+        let data = random_data(3000, 9);
+        let d1 = Disk::in_memory(64);
+        let cfg = ExtSortConfig::new(160).with_tapes(8);
+        check_balanced(&d1, &data, &cfg);
+        let d2 = Disk::in_memory(64);
+        let par = cfg.clone().with_merge_workers(4);
+        check_balanced(&d2, &data, &par);
+        assert_eq!(
+            d1.read_file::<u32>("out").unwrap(),
+            d2.read_file::<u32>("out").unwrap()
+        );
     }
 
     #[test]

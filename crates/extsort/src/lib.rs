@@ -42,6 +42,7 @@ pub mod distribution;
 pub mod kernel;
 pub mod kway;
 pub mod loser_tree;
+pub mod parallel_merge;
 pub mod polyphase;
 pub mod report;
 pub mod run_formation;
@@ -57,6 +58,10 @@ pub use kway::{
     balanced_kway_sort, merge_sorted_files, merge_sorted_files_kernel, merge_sorted_files_with,
 };
 pub use loser_tree::LoserTree;
+pub use parallel_merge::{
+    parallel_merge_segments, plan_cuts, planned_workers, MergePlan, MergeSegment,
+    ParallelMergeOutcome, MAX_MERGE_WORKERS,
+};
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};
 pub use stream::{RecordStream, SliceStream};

@@ -540,6 +540,11 @@ mod tests {
             );
             assert_eq!(after.blocks_read, before.blocks_read + 1);
             assert_eq!(after.bytes_read, before.bytes_read + 4);
+            assert_eq!(
+                after.seek_bytes,
+                before.seek_bytes + 4,
+                "partial transfer must show up in seek_bytes too"
+            );
 
             // Same on the streaming (sequential) path.
             let before = after;
@@ -549,6 +554,28 @@ mod tests {
             assert_eq!(after.blocks_read, before.blocks_read + 1);
             assert_eq!(after.random_reads, before.random_reads);
             assert_eq!(after.bytes_read, before.bytes_read + 4);
+        }
+    }
+
+    #[test]
+    fn probe_read_of_eof_partial_block_meters_actual_bytes() {
+        // A splitter probe landing in the legitimate partial block at EOF
+        // meters the bytes that actually transferred — same rule the short
+        // read above documents for streams — and books them as seek bytes.
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..10).collect(); // last block holds 2 records
+            disk.write_file("pp", &data).unwrap();
+            let mut r = disk.open_reader::<u32>("pp").unwrap();
+            let before = disk.stats().snapshot();
+            assert_eq!(r.read_at(9).unwrap(), 9);
+            let after = disk.stats().snapshot();
+            assert_eq!(after.random_reads, before.random_reads + 1);
+            assert_eq!(after.bytes_read, before.bytes_read + 8);
+            assert_eq!(after.seek_bytes, before.seek_bytes + 8);
+            // A sequential refill elsewhere leaves seek_bytes alone.
+            r.seek(0);
+            assert_eq!(r.next_record().unwrap(), Some(0));
+            assert_eq!(disk.stats().snapshot().seek_bytes, after.seek_bytes);
         }
     }
 

@@ -137,6 +137,7 @@ mod tests {
             bytes_read: 3_000_000,
             bytes_written: 1_000_000,
             random_reads: 1,
+            seek_bytes: 0,
             files_created: 0,
         };
         // 3 sequential blocks * 1ms + 1 random * 10ms + 4s transfer.
@@ -152,6 +153,7 @@ mod tests {
             bytes_read: 100 << 15,
             bytes_written: 100 << 15,
             random_reads: 0,
+            seek_bytes: 0,
             files_created: 0,
         };
         assert!(

@@ -22,6 +22,7 @@ struct Counters {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     random_reads: AtomicU64,
+    seek_bytes: AtomicU64,
     files_created: AtomicU64,
 }
 
@@ -36,8 +37,12 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     /// Bytes actually transferred by writes.
     pub bytes_written: u64,
-    /// Reads that required a seek (random access, e.g. pivot sampling).
+    /// Reads that required a seek (random access, e.g. pivot sampling or
+    /// splitter probes).
     pub random_reads: u64,
+    /// Bytes transferred by those seeking reads (already included in
+    /// `bytes_read`; broken out so probe I/O is separately auditable).
+    pub seek_bytes: u64,
     /// Files created on the disk.
     pub files_created: u64,
 }
@@ -63,6 +68,7 @@ impl IoStats {
     /// Records a random (seeking) block read of `bytes` payload bytes.
     pub fn on_random_read(&self, bytes: u64) {
         self.inner.random_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.seek_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.on_read(bytes);
     }
 
@@ -79,6 +85,7 @@ impl IoStats {
             bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
             random_reads: self.inner.random_reads.load(Ordering::Relaxed),
+            seek_bytes: self.inner.seek_bytes.load(Ordering::Relaxed),
             files_created: self.inner.files_created.load(Ordering::Relaxed),
         }
     }
@@ -104,6 +111,7 @@ impl IoSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             random_reads: self.random_reads.saturating_sub(earlier.random_reads),
+            seek_bytes: self.seek_bytes.saturating_sub(earlier.seek_bytes),
             files_created: self.files_created.saturating_sub(earlier.files_created),
         }
     }
@@ -117,6 +125,7 @@ impl IoSnapshot {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             random_reads: self.random_reads + other.random_reads,
+            seek_bytes: self.seek_bytes + other.seek_bytes,
             files_created: self.files_created + other.files_created,
         }
     }
@@ -140,6 +149,7 @@ mod tests {
         assert_eq!(snap.bytes_read, 225);
         assert_eq!(snap.bytes_written, 50);
         assert_eq!(snap.random_reads, 1);
+        assert_eq!(snap.seek_bytes, 25);
         assert_eq!(snap.files_created, 1);
         assert_eq!(snap.total_blocks(), 4);
         assert_eq!(snap.total_bytes(), 275);

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_parmerge.json file (stdlib only).
+
+Usage: python3 schemas/validate_parmerge.py BENCH_parmerge.json
+
+Checks the output of the `parmerge_speedup` bench binary: both kernels
+across the merge-worker ladder, positive virtual times under both disk
+models, probe reads only on the parallel rows, and the headline
+4-worker speedup on the comparison kernel.
+"""
+
+import json
+import sys
+
+WORKER_LADDER = [1, 2, 4]
+KERNELS = {"comparison", "radix"}
+ROW_KEYS = {
+    "kernel", "workers", "virtual_secs", "virtual_secs_scsi", "speedup",
+    "probe_random_reads", "wall_secs",
+}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "parmerge_speedup":
+        fail(f"bench must be 'parmerge_speedup', got {doc.get('bench')!r}")
+    if not isinstance(doc.get("n"), int) or doc["n"] <= 0:
+        fail("n must be a positive integer")
+    if doc.get("worker_ladder") != WORKER_LADDER:
+        fail(f"worker_ladder must be {WORKER_LADDER}, "
+             f"got {doc.get('worker_ladder')!r}")
+    if not isinstance(doc.get("runs"), int) or doc["runs"] < 2:
+        fail("runs must be an integer >= 2")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or len(rows) != len(KERNELS) * len(WORKER_LADDER):
+        fail(f"expected {len(KERNELS) * len(WORKER_LADDER)} rows, got "
+             f"{len(rows) if isinstance(rows, list) else rows!r}")
+
+    seen = set()
+    for row in rows:
+        if set(row) != ROW_KEYS:
+            fail(f"row keys {sorted(row)} != expected {sorted(ROW_KEYS)}")
+        kernel, workers = row["kernel"], row["workers"]
+        if kernel not in KERNELS:
+            fail(f"unknown kernel {kernel!r}")
+        if workers not in WORKER_LADDER:
+            fail(f"unknown workers {workers}")
+        if (kernel, workers) in seen:
+            fail(f"duplicate row ({kernel}, {workers})")
+        seen.add((kernel, workers))
+        for key in ("virtual_secs", "virtual_secs_scsi", "speedup"):
+            if not isinstance(row[key], (int, float)) or row[key] <= 0:
+                fail(f"({kernel}, {workers}): {key} must be positive")
+        if not isinstance(row["probe_random_reads"], int) or row["probe_random_reads"] < 0:
+            fail(f"({kernel}, {workers}): probe_random_reads must be a "
+             "non-negative integer")
+        if workers == 1:
+            if abs(row["speedup"] - 1.0) > 1e-6:
+                fail(f"({kernel}, 1): baseline speedup must be 1.0, "
+                     f"got {row['speedup']}")
+            if row["probe_random_reads"] != 0:
+                fail(f"({kernel}, 1): the sequential row must not probe")
+        else:
+            if row["probe_random_reads"] == 0:
+                fail(f"({kernel}, {workers}): parallel rows must meter "
+                     "splitter probes")
+            if row["speedup"] <= 1.0:
+                fail(f"({kernel}, {workers}): parallel speedup must exceed "
+                     f"1.0, got {row['speedup']}")
+
+    headline = doc.get("speedup_4_workers")
+    if not isinstance(headline, (int, float)):
+        fail("speedup_4_workers must be a number")
+    if headline < 2.0:
+        fail(f"comparison-kernel speedup at 4 workers must be >= 2.0, "
+             f"got {headline}")
+    ref = next(r for r in rows
+               if r["kernel"] == "comparison" and r["workers"] == 4)
+    if abs(ref["speedup"] - headline) > 1e-3:
+        fail(f"speedup_4_workers {headline} disagrees with its row "
+             f"{ref['speedup']}")
+
+    print(f"parmerge ok: {len(rows)} rows, comparison-kernel speedup at "
+          f"4 workers {headline:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

@@ -17,6 +17,23 @@ FUSED = "partition+redistribute"
 STREAMED = "exchange-merge"
 KINDS = {"phase", "collective", "task"}
 
+# Wall-clock task spans nested inside phases: the pipelined engine's
+# per-worker chunk sorts, the range-partitioned merge's per-worker range
+# spans, and the extsort stage markers. Bare names (no -N suffix) cover
+# worker indices past the static-name tables.
+TASK_NAMES = {"chunk-sort", "merge.worker", "extsort.run-formation",
+              "extsort.merge-pass", "extsort.kway-merge"}
+TASK_PREFIXES = ("chunk-sort-", "merge.worker-")
+
+
+def task_name_ok(name):
+    if name in TASK_NAMES:
+        return True
+    for prefix in TASK_PREFIXES:
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return True
+    return False
+
 
 def fail(msg):
     print(f"FAIL: {msg}", file=sys.stderr)
@@ -58,6 +75,8 @@ def main(path):
             fail(f"event {i}: ts must be a non-negative number (µs)")
         if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
             fail(f"event {i}: dur must be a non-negative number (µs)")
+        if ev["cat"] == "task" and not task_name_ok(ev["name"]):
+            fail(f"event {i}: unknown task span name {ev['name']!r}")
         if ev["cat"] == "phase":
             phase_names.setdefault(ev["pid"], set()).add(ev["name"])
 
