@@ -174,14 +174,20 @@ fn main() {
             fmt_ratio(t_seq_nvme / t_nvme),
             format!("{wall:.3}"),
         ]);
+        // `virtual_records_per_sec` divides n by *modeled* seconds (the
+        // Alpha/SCSI cost model), not by host wall time — the historical
+        // `records_per_sec` name read as a wall-clock claim. The measured
+        // host-side throughput is `wall_records_per_sec`.
         json_rows.push(format!(
             "    {{\"mode\": \"{mode}\", \"workers\": {w}, \"merge_workers\": {mw}, \
              \"virtual_secs\": {t:.6}, \"speedup\": {:.4}, \
              \"virtual_secs_nvme\": {t_nvme:.6}, \"speedup_nvme\": {:.4}, \
-             \"records_per_sec\": {:.1}, \"wall_secs\": {wall:.4}}}",
+             \"virtual_records_per_sec\": {:.1}, \
+             \"wall_records_per_sec\": {:.1}, \"wall_secs\": {wall:.4}}}",
             t_seq / t,
             t_seq_nvme / t_nvme,
             n as f64 / t,
+            n as f64 / wall.max(1e-9),
         ));
     };
     push_row("sequential", 0, 0, t_seq, t_seq_nvme, seq.wall_secs);

@@ -8,7 +8,8 @@
 //! hetsort sort    --dir D --input input --output sorted
 //!                 [--mem 1048576] [--tapes 16] [--block 32768]
 //!                 [--algo polyphase|balanced|distribution] [--workers W]
-//!                 [--merge-workers W] [--kernel radix|comparison]
+//!                 [--merge-workers W] [--kernel radix|comparison|ips4o]
+//!                 [--codec zerocopy|copy] [--io-backend serial|batched]
 //! hetsort verify  --dir D --sorted sorted [--input input]
 //! hetsort cluster --n 16777216 --perf 1,1,4,4 [--hardware 1,1,4,4]
 //!                 [--net fe|myrinet] [--bench uniform] [--msg 8192]
@@ -52,15 +53,25 @@
 //!
 //! `--kernel` picks the in-core sort kernel: `radix` (the default fast
 //! path — LSD radix run formation plus cached-key merges, billed as cheap
-//! key operations) or `comparison` (the comparison-based reference the
-//! paper's cost model was calibrated on). Both produce byte-identical
-//! output.
+//! key operations), `ips4o` (branchless in-place sample sort — same
+//! key-op billing, O(k·B) scratch instead of radix's O(n) copy) or
+//! `comparison` (the comparison-based reference the paper's cost model
+//! was calibrated on). All produce byte-identical output.
+//!
+//! `--codec` picks how `sort`/`gen`/`verify` move records between disk
+//! blocks and memory: `zerocopy` (the default — plain-old-data records
+//! are viewed in place) or `copy` (the staged reference codec).
+//! `--io-backend` picks how pipelined readers/writers submit block I/O:
+//! `serial` (one worker thread per stream, the default) or `batched`
+//! (a multi-request [`pdm::IoBatch`] with genuinely concurrent
+//! positional reads and writes). Both axes are observationally identical
+//! — byte-identical files and identical metered I/O counters.
 
 use std::collections::HashMap;
 
 use extsort::{fingerprint_file, is_sorted_file, ExtSortConfig, PipelineConfig, SortKernel};
 use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
-use pdm::Disk;
+use pdm::{Codec, Disk, IoBackend};
 use workloads::{generate_to_disk, Benchmark, Layout};
 
 /// Parsed `--key value` options (plus the subcommand).
@@ -154,9 +165,20 @@ pub fn parse_perf(s: &str) -> Result<PerfVector, String> {
     }
 }
 
-/// Parses a sort kernel name (`radix` or `comparison`).
+/// Parses a sort kernel name (`radix`, `comparison` or `ips4o`).
 pub fn parse_kernel(s: &str) -> Result<SortKernel, String> {
-    SortKernel::parse(s).ok_or_else(|| format!("unknown --kernel {s:?} (radix or comparison)"))
+    SortKernel::parse(s)
+        .ok_or_else(|| format!("unknown --kernel {s:?} (radix, comparison or ips4o)"))
+}
+
+/// Parses a block codec name (`zerocopy` or `copy`).
+pub fn parse_codec(s: &str) -> Result<Codec, String> {
+    Codec::parse(s).ok_or_else(|| format!("unknown --codec {s:?} (zerocopy or copy)"))
+}
+
+/// Parses an I/O backend name (`serial` or `batched`).
+pub fn parse_io_backend(s: &str) -> Result<IoBackend, String> {
+    IoBackend::parse(s).ok_or_else(|| format!("unknown --io-backend {s:?} (serial or batched)"))
 }
 
 /// Parses a benchmark by name or id.
@@ -191,7 +213,11 @@ fn open_dir(opts: &Options) -> Result<Disk, String> {
     let dir = opts.required("dir")?;
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
     let block = opts.num_or("block", 32 * 1024)? as usize;
-    Ok(Disk::on_files(dir, block))
+    let codec = parse_codec(opts.get_or("codec", Codec::default().name()))?;
+    let io = parse_io_backend(opts.get_or("io-backend", IoBackend::default().name()))?;
+    Ok(Disk::on_files(dir, block)
+        .with_codec(codec)
+        .with_io_backend(io))
 }
 
 fn cmd_gen(opts: &Options) -> Result<String, String> {
@@ -432,12 +458,69 @@ mod tests {
     fn kernel_parsing() {
         assert_eq!(parse_kernel("radix").unwrap(), SortKernel::Radix);
         assert_eq!(parse_kernel("comparison").unwrap(), SortKernel::Comparison);
+        assert_eq!(parse_kernel("ips4o").unwrap(), SortKernel::Ips4o);
         assert!(parse_kernel("bogus").is_err());
     }
 
     #[test]
+    fn codec_and_io_backend_parsing() {
+        assert_eq!(parse_codec("zerocopy").unwrap(), Codec::ZeroCopy);
+        assert_eq!(parse_codec("copy").unwrap(), Codec::Copying);
+        assert!(parse_codec("bogus").is_err());
+        assert_eq!(parse_io_backend("serial").unwrap(), IoBackend::Serial);
+        assert_eq!(parse_io_backend("batched").unwrap(), IoBackend::Batched);
+        assert!(parse_io_backend("bogus").is_err());
+    }
+
+    #[test]
+    fn sort_codec_and_io_backend_flags_respected() {
+        // Same input sorted under every codec × io-backend cell must yield
+        // the same verified output file.
+        let scratch = pdm::ScratchDir::new("cli-codec").unwrap();
+        let dir = scratch.path().to_str().unwrap().to_string();
+        run(&opts(&[
+            "gen", "--dir", &dir, "--name", "in", "--n", "20000", "--seed", "9",
+        ]))
+        .unwrap();
+        for codec in ["zerocopy", "copy"] {
+            for io in ["serial", "batched"] {
+                let out_name = format!("out-{codec}-{io}");
+                let out = run(&opts(&[
+                    "sort",
+                    "--dir",
+                    &dir,
+                    "--input",
+                    "in",
+                    "--output",
+                    &out_name,
+                    "--mem",
+                    "65536",
+                    "--tapes",
+                    "4",
+                    "--block",
+                    "4096",
+                    "--codec",
+                    codec,
+                    "--io-backend",
+                    io,
+                    "--workers",
+                    "2",
+                ]))
+                .unwrap();
+                assert!(out.contains("sorted 20000"), "{codec}/{io}: {out}");
+                let out = run(&opts(&[
+                    "verify", "--dir", &dir, "--sorted", &out_name, "--input", "in", "--block",
+                    "4096",
+                ]))
+                .unwrap();
+                assert!(out.contains("permutation"), "{codec}/{io}: {out}");
+            }
+        }
+    }
+
+    #[test]
     fn sort_kernel_flag_respected() {
-        for kernel in ["radix", "comparison"] {
+        for kernel in ["radix", "comparison", "ips4o"] {
             let scratch = pdm::ScratchDir::new("cli-kernel").unwrap();
             let dir = scratch.path().to_str().unwrap().to_string();
             run(&opts(&[

@@ -1,6 +1,6 @@
 //! Cluster configuration.
 
-use pdm::DiskModel;
+use pdm::{Codec, DiskModel, IoBackend};
 
 use crate::cost::CpuModel;
 use crate::net::NetworkModel;
@@ -56,6 +56,11 @@ pub struct ClusterSpec {
     /// Off by default: the disabled tracer is a no-op handle, and traced
     /// runs are observationally identical to untraced ones.
     pub tracing: bool,
+    /// Block codec for every node disk (zero-copy by default; both codecs
+    /// are observationally identical).
+    pub codec: Codec,
+    /// I/O submission backend for every node disk.
+    pub io_backend: IoBackend,
 }
 
 impl ClusterSpec {
@@ -81,6 +86,8 @@ impl ClusterSpec {
             jitter_sigma: 0.0,
             time_policy: TimePolicy::Modeled,
             tracing: false,
+            codec: Codec::default(),
+            io_backend: IoBackend::default(),
         }
     }
 
@@ -163,6 +170,20 @@ impl ClusterSpec {
         self.tracing = on;
         self
     }
+
+    /// Sets the node-disk block codec (builder style).
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the node-disk I/O submission backend (builder style).
+    #[must_use]
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -194,13 +215,17 @@ mod tests {
             .with_jitter(0.05)
             .with_storage(StorageKind::Files)
             .with_time_policy(TimePolicy::Measured)
-            .with_tracing(true);
+            .with_tracing(true)
+            .with_codec(Codec::Copying)
+            .with_io_backend(IoBackend::Batched);
         assert_eq!(s.net.name, NetworkModel::myrinet().name);
         assert_eq!(s.block_bytes, 4096);
         assert_eq!(s.seed, 99);
         assert_eq!(s.storage, StorageKind::Files);
         assert_eq!(s.time_policy, TimePolicy::Measured);
         assert!(s.tracing);
+        assert_eq!(s.codec, Codec::Copying);
+        assert_eq!(s.io_backend, IoBackend::Batched);
     }
 
     #[test]

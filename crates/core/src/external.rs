@@ -428,7 +428,7 @@ pub fn psrs_external<R: Record>(
     // slowest worker's share lands on the critical path; the record moves
     // (one output stream) stay serial.
     let merge_workers =
-        extsort::planned_workers::<R>(&cfg.pipeline, inputs.len(), final_merge.records);
+        extsort::planned_workers::<R>(&ctx.disk, &cfg.pipeline, inputs.len(), final_merge.records);
     let merge_work = Work {
         comparisons: final_merge.comparisons,
         key_ops: final_merge.key_ops,

@@ -39,6 +39,11 @@ pub struct PipelineConfig {
     /// values split each merge into disjoint key ranges. Works with or
     /// without `enabled` (it parallelizes CPU, not I/O). Clamped to ≥ 1.
     pub merge_workers: usize,
+    /// Whether `merge_workers` was set explicitly (an order) rather than as
+    /// an advisory default. The merge planner honours explicit requests
+    /// unconditionally; advisory ones it may veto — e.g. on seek-dominated
+    /// devices where splitter probes are a predicted net loss.
+    pub merge_workers_explicit: bool,
 }
 
 impl Default for PipelineConfig {
@@ -55,6 +60,7 @@ impl PipelineConfig {
             workers: 1,
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
             merge_workers: 1,
+            merge_workers_explicit: false,
         }
     }
 
@@ -66,6 +72,7 @@ impl PipelineConfig {
             workers: workers.max(1),
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
             merge_workers: 1,
+            merge_workers_explicit: false,
         }
     }
 
@@ -76,10 +83,24 @@ impl PipelineConfig {
         self
     }
 
-    /// Sets the parallel-merge worker count (builder style; clamped to ≥ 1).
+    /// Sets the parallel-merge worker count explicitly (builder style;
+    /// clamped to ≥ 1). The planner honours the count even where its device
+    /// model predicts a loss.
     #[must_use]
     pub fn with_merge_workers(mut self, workers: usize) -> Self {
         self.merge_workers = workers.max(1);
+        self.merge_workers_explicit = true;
+        self
+    }
+
+    /// Sets the parallel-merge worker count as an *advisory* target
+    /// (builder style; clamped to ≥ 1): the planner may fall back to the
+    /// sequential merge when the device model says splitter probes would
+    /// cost more than the parallelism saves.
+    #[must_use]
+    pub fn with_advisory_merge_workers(mut self, workers: usize) -> Self {
+        self.merge_workers = workers.max(1);
+        self.merge_workers_explicit = false;
         self
     }
 

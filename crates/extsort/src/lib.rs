@@ -53,13 +53,13 @@ pub mod verify;
 
 pub use config::{ExtSortConfig, PipelineConfig, RunFormation};
 pub use distribution::distribution_sort;
-pub use kernel::{sort_chunk, KernelWork, SortKernel};
+pub use kernel::{sort_chunk, sort_chunk_pooled, KernelWork, SortKernel};
 pub use kway::{
     balanced_kway_sort, merge_sorted_files, merge_sorted_files_kernel, merge_sorted_files_with,
 };
 pub use loser_tree::LoserTree;
 pub use parallel_merge::{
-    parallel_merge_segments, plan_cuts, planned_workers, MergePlan, MergeSegment,
+    parallel_merge_segments, plan_cuts, planned_workers, seek_dominated, MergePlan, MergeSegment,
     ParallelMergeOutcome, MAX_MERGE_WORKERS,
 };
 pub use polyphase::polyphase_sort;

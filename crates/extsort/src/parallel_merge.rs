@@ -142,13 +142,40 @@ impl MergePlan {
 /// *and* the record type's `sort_key` is a total order (range cuts reproduce
 /// the sequential tie-break only when equal keys mean equal records) *and*
 /// the merge is big enough to split. Capped at [`MAX_MERGE_WORKERS`].
-pub fn planned_workers<R: Record>(pipeline: &PipelineConfig, fan_in: usize, records: u64) -> usize {
+///
+/// An *advisory* worker count (set via
+/// [`PipelineConfig::with_advisory_merge_workers`]) is additionally vetoed
+/// on seek-dominated devices: splitter probes are random reads priced at a
+/// full seek each, and on hardware like the paper's SCSI drives the probe
+/// bill exceeds what range-parallelism saves (the BENCH_parmerge cliff).
+/// Explicit counts ([`PipelineConfig::with_merge_workers`]) are always
+/// honoured.
+pub fn planned_workers<R: Record>(
+    disk: &Disk,
+    pipeline: &PipelineConfig,
+    fan_in: usize,
+    records: u64,
+) -> usize {
     let w = pipeline.effective_merge_workers().min(MAX_MERGE_WORKERS);
     if w <= 1 || !R::HAS_SORT_KEY || !R::KEY_IS_TOTAL || fan_in < 2 || records < 2 * w as u64 {
-        1
-    } else {
-        w
+        return 1;
     }
+    if !pipeline.merge_workers_explicit && seek_dominated(disk) {
+        obs::counter_add("merge.planner.seq_fallback", 1);
+        return 1;
+    }
+    w
+}
+
+/// Whether a random block access on `disk` is priced at more than twice a
+/// sequential transfer of the same size. In that regime the planner treats
+/// splitter probes (all random reads) as a predicted net loss for advisory
+/// parallel-merge requests: `scsi_2000` at 32 KiB blocks sits near 4.5×,
+/// `nvme_modern` near 1.4×.
+pub fn seek_dominated(disk: &Disk) -> bool {
+    let bytes = disk.block_bytes() as u64;
+    let model = disk.model();
+    model.random_block(bytes) > model.sequential_block(bytes) * 2.0
 }
 
 /// A probing cursor over one segment (random reads, pooled buffer).
@@ -615,26 +642,50 @@ mod tests {
 
     #[test]
     fn planned_workers_gates() {
+        // The default in-memory disk prices I/O like the paper's SCSI
+        // drives — an explicit worker count must be honoured regardless.
+        let disk = Disk::in_memory(64);
         let par = PipelineConfig::off().with_merge_workers(4);
-        assert_eq!(planned_workers::<u32>(&par, 8, 1 << 20), 4);
+        assert_eq!(planned_workers::<u32>(&disk, &par, 8, 1 << 20), 4);
         // Sequential by default.
         assert_eq!(
-            planned_workers::<u32>(&PipelineConfig::off(), 8, 1 << 20),
+            planned_workers::<u32>(&disk, &PipelineConfig::off(), 8, 1 << 20),
             1
         );
         // Too few records to split.
-        assert_eq!(planned_workers::<u32>(&par, 8, 7), 1);
+        assert_eq!(planned_workers::<u32>(&disk, &par, 8, 7), 1);
         // Single input stream: a range split buys nothing over the tree.
-        assert_eq!(planned_workers::<u32>(&par, 1, 1 << 20), 1);
+        assert_eq!(planned_workers::<u32>(&disk, &par, 1, 1 << 20), 1);
         // Keys that are not a total order cannot reproduce the sequential
         // tie-break from positional cuts.
         assert_eq!(
-            planned_workers::<pdm::record::KeyPayload>(&par, 8, 1 << 20),
+            planned_workers::<pdm::record::KeyPayload>(&disk, &par, 8, 1 << 20),
             1
         );
         // Cap.
         let wide = PipelineConfig::off().with_merge_workers(64);
-        assert_eq!(planned_workers::<u32>(&wide, 8, 1 << 20), MAX_MERGE_WORKERS);
+        assert_eq!(
+            planned_workers::<u32>(&disk, &wide, 8, 1 << 20),
+            MAX_MERGE_WORKERS
+        );
+    }
+
+    #[test]
+    fn advisory_workers_respect_the_seek_cliff() {
+        use pdm::DiskModel;
+        let scsi = Disk::in_memory(32 * 1024).with_model(DiskModel::scsi_2000());
+        let nvme = Disk::in_memory(32 * 1024).with_model(DiskModel::nvme_modern());
+        assert!(seek_dominated(&scsi), "SCSI must read as seek-dominated");
+        assert!(!seek_dominated(&nvme), "NVMe must not");
+
+        let advisory = PipelineConfig::off().with_advisory_merge_workers(4);
+        // On seek-dominated hardware the advisory request falls back to the
+        // sequential tree; on NVMe it goes parallel.
+        assert_eq!(planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20), 1);
+        assert_eq!(planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20), 4);
+        // An explicit order overrides the veto on the same hardware.
+        let explicit = PipelineConfig::off().with_merge_workers(4);
+        assert_eq!(planned_workers::<u32>(&scsi, &explicit, 8, 1 << 20), 4);
     }
 
     #[test]

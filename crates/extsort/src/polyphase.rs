@@ -236,7 +236,7 @@ fn merge_phases<R: Record>(
                     })
                     .collect();
                 let step_workers =
-                    planned_workers::<R>(&cfg.pipeline, contributors.len(), merged_len);
+                    planned_workers::<R>(disk, &cfg.pipeline, contributors.len(), merged_len);
                 let out =
                     parallel_merge_segments::<R, _>(disk, &segments, step_workers, &pool, |b| {
                         writer.push_all(b)

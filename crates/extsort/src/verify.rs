@@ -6,7 +6,7 @@
 //! wrapping sum of record hashes, and an XOR of record hashes. Collisions
 //! would require adversarial inputs; for test data this is effectively exact.
 
-use pdm::{Disk, PdmResult, Record};
+use pdm::{BlockReader, Disk, PdmResult, Record};
 use sim::SplitMix64;
 
 /// Order-independent multiset fingerprint of a record collection.
@@ -23,8 +23,15 @@ pub struct Fingerprint {
 impl Fingerprint {
     /// Folds one record into the fingerprint.
     pub fn add<R: Record>(&mut self, r: &R) {
-        let mut buf = vec![0u8; R::SIZE];
-        r.write_to(&mut buf);
+        let mut stack = [0u8; 64];
+        let mut heap;
+        let buf: &mut [u8] = if R::SIZE <= stack.len() {
+            &mut stack[..R::SIZE]
+        } else {
+            heap = vec![0u8; R::SIZE];
+            &mut heap
+        };
+        r.write_to(buf);
         // Hash the record bytes 8 bytes at a time through SplitMix64.
         let mut h = 0xABCD_EF01_2345_6789u64;
         for chunk in buf.chunks(8) {
@@ -57,13 +64,52 @@ pub fn fingerprint_slice<R: Record>(data: &[R]) -> Fingerprint {
     f
 }
 
+/// Streams a file as maximal borrowed record slices: whole decoded blocks
+/// when the disk's codec can view them in place, single records otherwise.
+/// `visit` returns `false` to stop early. Metering is identical to a
+/// plain `next_record` scan either way.
+fn scan_blocks<R: Record>(
+    reader: &mut BlockReader<R>,
+    mut visit: impl FnMut(&[R]) -> bool,
+) -> PdmResult<()> {
+    loop {
+        let viewed = match reader.next_block_view()? {
+            None => return Ok(()), // EOF
+            Some(view) => {
+                let n = view.len();
+                if n > 0 && !visit(view) {
+                    return Ok(());
+                }
+                n
+            }
+        };
+        if viewed > 0 {
+            reader.consume(viewed);
+        } else {
+            // The block cannot be viewed in place (copying codec or
+            // misaligned buffer): fall back to one decoded record.
+            match reader.next_record()? {
+                Some(r) => {
+                    if !visit(std::slice::from_ref(&r)) {
+                        return Ok(());
+                    }
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
 /// Fingerprint of a disk file (streams; meters its reads).
 pub fn fingerprint_file<R: Record>(disk: &Disk, name: &str) -> PdmResult<Fingerprint> {
     let mut reader = disk.open_reader::<R>(name)?;
     let mut f = Fingerprint::default();
-    while let Some(r) = reader.next_record()? {
-        f.add(&r);
-    }
+    scan_blocks(&mut reader, |view| {
+        for r in view {
+            f.add(r);
+        }
+        true
+    })?;
     Ok(f)
 }
 
@@ -71,15 +117,22 @@ pub fn fingerprint_file<R: Record>(disk: &Disk, name: &str) -> PdmResult<Fingerp
 pub fn is_sorted_file<R: Record>(disk: &Disk, name: &str) -> PdmResult<bool> {
     let mut reader = disk.open_reader::<R>(name)?;
     let mut prev: Option<R> = None;
-    while let Some(r) = reader.next_record()? {
-        if let Some(p) = prev {
-            if p > r {
-                return Ok(false);
+    let mut sorted = true;
+    scan_blocks(&mut reader, |view| {
+        if let (Some(p), Some(first)) = (&prev, view.first()) {
+            if p > first {
+                sorted = false;
+                return false;
             }
         }
-        prev = Some(r);
-    }
-    Ok(true)
+        if view.windows(2).any(|w| w[0] > w[1]) {
+            sorted = false;
+            return false;
+        }
+        prev = view.last().copied();
+        true
+    })?;
+    Ok(sorted)
 }
 
 #[cfg(test)]

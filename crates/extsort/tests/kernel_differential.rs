@@ -1,9 +1,10 @@
-//! Differential tests: the radix kernel must be *observationally
-//! identical* to the comparison kernel — byte-identical output files AND
-//! identical metered block-I/O — across every benchmark distribution
-//! (including the duplicate-heavy Zero and Zipf inputs), every sorter, and
-//! every pipeline worker count. The kernel is allowed to change how CPU
-//! work is *counted* (`key_ops` vs `comparisons`), never what is written.
+//! Differential tests: the fast kernels (LSD radix and the ips4o-style
+//! in-place partitioning sort) must be *observationally identical* to the
+//! comparison kernel — byte-identical output files AND identical metered
+//! block-I/O — across every benchmark distribution (including the
+//! duplicate-heavy Zero and Zipf inputs), every sorter, and every pipeline
+//! worker count. A kernel is allowed to change how CPU work is *counted*
+//! (`key_ops` vs `comparisons`), never what is written.
 //!
 //! The "proptest" here is a seeded exhaustive sweep (the `proptest` crate
 //! is not vendored offline — see the `proptests` feature gate): randomized
@@ -20,6 +21,8 @@ use sim::rng::{Pcg64, Rng};
 use workloads::{generate_whole, Benchmark};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// The kernels that must each match the comparison oracle.
+const FAST_KERNELS: [SortKernel; 2] = [SortKernel::Radix, SortKernel::Ips4o];
 
 /// Runs `f` on a fresh in-memory disk pre-loaded with `data` under `in`,
 /// returning the I/O delta it produced.
@@ -53,48 +56,57 @@ fn polyphase_kernels_identical_across_all_distributions() {
         let (d_cmp, r_cmp, io_cmp) = metered(64, &data, |d| {
             polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_cmp).unwrap()
         });
-        let cfg_rad = base.clone().with_kernel(SortKernel::Radix);
-        let (d_rad, r_rad, io_rad) = metered(64, &data, |d| {
-            polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_rad).unwrap()
-        });
-        assert_eq!(io_rad, io_cmp, "{bench}: I/O counters differ");
-        assert_eq!(r_rad.io, r_cmp.io, "{bench}: reported I/O differs");
-        assert_eq!(r_rad.records, r_cmp.records);
-        assert_eq!(r_rad.initial_runs, r_cmp.initial_runs);
-        assert_eq!(r_rad.merge_phases, r_cmp.merge_phases);
-        assert_same_bytes::<u32>(&d_cmp, &d_rad, "out", &bench.to_string());
-        // The radix path must actually bill key passes on non-trivial input.
-        if !data.is_empty() {
-            assert!(r_rad.key_ops > 0, "{bench}: radix billed no key ops");
-            assert_eq!(r_cmp.key_ops, 0, "{bench}: comparison billed key ops");
+        for kernel in FAST_KERNELS {
+            let cfg_fast = base.clone().with_kernel(kernel);
+            let (d_fast, r_fast, io_fast) = metered(64, &data, |d| {
+                polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_fast).unwrap()
+            });
+            let k = kernel.name();
+            assert_eq!(io_fast, io_cmp, "{bench}/{k}: I/O counters differ");
+            assert_eq!(r_fast.io, r_cmp.io, "{bench}/{k}: reported I/O differs");
+            assert_eq!(r_fast.records, r_cmp.records);
+            assert_eq!(r_fast.initial_runs, r_cmp.initial_runs);
+            assert_eq!(r_fast.merge_phases, r_cmp.merge_phases);
+            assert_same_bytes::<u32>(&d_cmp, &d_fast, "out", &format!("{bench}/{k}"));
+            // The fast path must actually bill key passes on non-trivial input.
+            if !data.is_empty() {
+                assert!(r_fast.key_ops > 0, "{bench}/{k}: billed no key ops");
+                assert_eq!(r_cmp.key_ops, 0, "{bench}: comparison billed key ops");
+            }
         }
     }
 }
 
 #[test]
-fn radix_pipelined_matches_radix_sequential_per_distribution() {
+fn fast_kernels_pipelined_match_sequential_per_distribution() {
     for bench in Benchmark::ALL {
         let data = generate_whole(bench, 0xBEEF, &[1500]);
-        let cfg_seq = ExtSortConfig::new(96)
-            .with_tapes(4)
-            .with_kernel(SortKernel::Radix);
-        let (d_seq, r_seq, io_seq) = metered(64, &data, |d| {
-            polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_seq).unwrap()
-        });
-        for &w in &WORKER_COUNTS {
-            let cfg_pipe = cfg_seq
-                .clone()
-                .with_pipeline(PipelineConfig::with_workers(w));
-            let (d_pipe, r_pipe, io_pipe) = metered(64, &data, |d| {
-                polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_pipe).unwrap()
+        for kernel in FAST_KERNELS {
+            let cfg_seq = ExtSortConfig::new(96).with_tapes(4).with_kernel(kernel);
+            let (d_seq, r_seq, io_seq) = metered(64, &data, |d| {
+                polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_seq).unwrap()
             });
-            assert_eq!(io_pipe, io_seq, "{bench}, workers {w}: I/O differs");
-            assert_eq!(
-                r_pipe.comparisons, r_seq.comparisons,
-                "{bench}, workers {w}"
-            );
-            assert_eq!(r_pipe.key_ops, r_seq.key_ops, "{bench}, workers {w}");
-            assert_same_bytes::<u32>(&d_seq, &d_pipe, "out", &format!("{bench}, workers {w}"));
+            let k = kernel.name();
+            for &w in &WORKER_COUNTS {
+                let cfg_pipe = cfg_seq
+                    .clone()
+                    .with_pipeline(PipelineConfig::with_workers(w));
+                let (d_pipe, r_pipe, io_pipe) = metered(64, &data, |d| {
+                    polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_pipe).unwrap()
+                });
+                assert_eq!(io_pipe, io_seq, "{bench}/{k}, workers {w}: I/O differs");
+                assert_eq!(
+                    r_pipe.comparisons, r_seq.comparisons,
+                    "{bench}/{k}, workers {w}"
+                );
+                assert_eq!(r_pipe.key_ops, r_seq.key_ops, "{bench}/{k}, workers {w}");
+                assert_same_bytes::<u32>(
+                    &d_seq,
+                    &d_pipe,
+                    "out",
+                    &format!("{bench}/{k}, workers {w}"),
+                );
+            }
         }
     }
 }
@@ -120,10 +132,13 @@ fn balanced_kway_and_distribution_sort_kernels_identical() {
                 })
             };
             let (d_cmp, r_cmp, io_cmp) = run(SortKernel::Comparison);
-            let (d_rad, r_rad, io_rad) = run(SortKernel::Radix);
-            assert_eq!(io_rad, io_cmp, "{bench}/{label}: I/O differs");
-            assert_eq!(r_rad.records, r_cmp.records, "{bench}/{label}");
-            assert_same_bytes::<u32>(&d_cmp, &d_rad, "out", &format!("{bench}/{label}"));
+            for kernel in FAST_KERNELS {
+                let k = kernel.name();
+                let (d_fast, r_fast, io_fast) = run(kernel);
+                assert_eq!(io_fast, io_cmp, "{bench}/{label}/{k}: I/O differs");
+                assert_eq!(r_fast.records, r_cmp.records, "{bench}/{label}/{k}");
+                assert_same_bytes::<u32>(&d_cmp, &d_fast, "out", &format!("{bench}/{label}/{k}"));
+            }
         }
     }
 }
@@ -146,27 +161,30 @@ fn final_merge_kernels_identical() {
     };
     let off = PipelineConfig::off();
     let (d_cmp, r_cmp, io_cmp) = run(SortKernel::Comparison, &off);
-    for &w in &WORKER_COUNTS {
-        let pipe = if w == 1 {
-            PipelineConfig::off()
-        } else {
-            PipelineConfig::with_workers(w)
-        };
-        let (d_rad, r_rad, io_rad) = run(SortKernel::Radix, &pipe);
-        assert_eq!(io_rad, io_cmp, "workers {w}");
-        assert_eq!(r_rad.records, r_cmp.records);
-        // Same selects, billed to a different counter.
-        assert_eq!(r_rad.key_ops, r_cmp.comparisons, "workers {w}");
-        assert_eq!(r_rad.comparisons, 0);
-        assert_same_bytes::<u32>(&d_cmp, &d_rad, "out", &format!("workers {w}"));
+    for kernel in FAST_KERNELS {
+        let k = kernel.name();
+        for &w in &WORKER_COUNTS {
+            let pipe = if w == 1 {
+                PipelineConfig::off()
+            } else {
+                PipelineConfig::with_workers(w)
+            };
+            let (d_fast, r_fast, io_fast) = run(kernel, &pipe);
+            assert_eq!(io_fast, io_cmp, "{k}, workers {w}");
+            assert_eq!(r_fast.records, r_cmp.records);
+            // Same selects, billed to a different counter.
+            assert_eq!(r_fast.key_ops, r_cmp.comparisons, "{k}, workers {w}");
+            assert_eq!(r_fast.comparisons, 0);
+            assert_same_bytes::<u32>(&d_cmp, &d_fast, "out", &format!("{k}, workers {w}"));
+        }
     }
 }
 
 #[test]
 fn keyed_payload_records_identical_across_kernels() {
     // KeyPayload's sort key is not a total order: the radix cleanup pass
-    // must reproduce the full-Ord order exactly, even with heavy key
-    // duplication.
+    // (and ips4o's equal-key comparison finish) must reproduce the full-Ord
+    // order exactly, even with heavy key duplication.
     let mut rng = Pcg64::new(0x517);
     let data: Vec<KeyPayload> = (0..1500)
         .map(|_| KeyPayload::new(rng.next_u64() % 32, rng.next_u64()))
@@ -182,24 +200,28 @@ fn keyed_payload_records_identical_across_kernels() {
         )
         .unwrap()
     });
-    for &w in &WORKER_COUNTS {
-        let mut cfg = base.clone().with_kernel(SortKernel::Radix);
-        if w > 1 {
-            cfg = cfg.with_pipeline(PipelineConfig::with_workers(w));
+    for kernel in FAST_KERNELS {
+        let k = kernel.name();
+        for &w in &WORKER_COUNTS {
+            let mut cfg = base.clone().with_kernel(kernel);
+            if w > 1 {
+                cfg = cfg.with_pipeline(PipelineConfig::with_workers(w));
+            }
+            let (d_fast, r_fast, io_fast) = metered(256, &data, |d| {
+                polyphase_sort::<KeyPayload>(d, "in", "out", "pp", &cfg).unwrap()
+            });
+            assert_eq!(io_fast, io_cmp, "{k}, workers {w}: I/O differs");
+            assert_eq!(r_fast.records, r_cmp.records);
+            assert_same_bytes::<KeyPayload>(&d_cmp, &d_fast, "out", &format!("{k}, workers {w}"));
         }
-        let (d_rad, r_rad, io_rad) = metered(256, &data, |d| {
-            polyphase_sort::<KeyPayload>(d, "in", "out", "pp", &cfg).unwrap()
-        });
-        assert_eq!(io_rad, io_cmp, "workers {w}: I/O differs");
-        assert_eq!(r_rad.records, r_cmp.records);
-        assert_same_bytes::<KeyPayload>(&d_cmp, &d_rad, "out", &format!("workers {w}"));
     }
 }
 
 #[test]
 fn seeded_random_configs_identical() {
     // Proptest-style sweep: random sizes, memory budgets, tape counts and
-    // distributions from a fixed seed; radix must match comparison on all.
+    // distributions from a fixed seed; every fast kernel must match
+    // comparison on all.
     let mut rng = Pcg64::new(0xD1FF);
     for case in 0..24 {
         let bench = Benchmark::from_id((rng.next_u64() % 9) as usize);
@@ -222,17 +244,21 @@ fn seeded_random_configs_identical() {
             )
             .unwrap()
         });
-        let cfg_rad = base
-            .clone()
-            .with_kernel(SortKernel::Radix)
-            .with_pipeline(PipelineConfig::with_workers(workers));
-        let (d_rad, _, io_rad) = metered(block, &data, |d| {
-            polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_rad).unwrap()
-        });
-        let ctx = format!(
-            "case {case}: {bench}, n={n}, mem={mem}, tapes={tapes}, block={block}, workers={workers}"
-        );
-        assert_eq!(io_rad, io_cmp, "{ctx}: I/O differs");
-        assert_same_bytes::<u32>(&d_cmp, &d_rad, "out", &ctx);
+        for kernel in FAST_KERNELS {
+            let cfg_fast = base
+                .clone()
+                .with_kernel(kernel)
+                .with_pipeline(PipelineConfig::with_workers(workers));
+            let (d_fast, _, io_fast) = metered(block, &data, |d| {
+                polyphase_sort::<u32>(d, "in", "out", "pp", &cfg_fast).unwrap()
+            });
+            let ctx = format!(
+                "case {case}: {bench}, {}, n={n}, mem={mem}, tapes={tapes}, block={block}, \
+                 workers={workers}",
+                kernel.name()
+            );
+            assert_eq!(io_fast, io_cmp, "{ctx}: I/O differs");
+            assert_same_bytes::<u32>(&d_cmp, &d_fast, "out", &ctx);
+        }
     }
 }

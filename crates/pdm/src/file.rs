@@ -5,11 +5,57 @@
 //! counters in [`crate::stats::IoStats`] reproduce the PDM cost measure. The
 //! reader also supports metered *random* access ([`BlockReader::read_at`]),
 //! which is what the pivot-sampling step of the paper's algorithm uses.
+//!
+//! # Codecs
+//!
+//! For POD records whose in-memory layout equals the file encoding
+//! (little-endian integers, [`crate::record::KeyPayload`]), the
+//! [`Codec::ZeroCopy`] codec — the default — consumes and produces blocks
+//! **in place**: reads decode through a borrowed `&[R]` view of the I/O
+//! buffer ([`BlockReader::next_block_view`]), and whole-block writes append
+//! straight from the caller's record slice without staging. The
+//! [`Codec::Copying`] codec keeps the original per-record encode/decode
+//! round-trip as a reference. Both codecs touch identical byte ranges,
+//! flush at identical block boundaries and meter identical
+//! [`crate::stats::IoStats`] — the differential suites hold them to that.
 
 use crate::disk::{Disk, RawFile};
 use crate::error::{PdmError, PdmResult};
 use crate::pool::BufferPool;
 use crate::record::Record;
+
+/// How typed readers/writers move bytes between blocks and records (a
+/// [`Disk`] knob, see [`Disk::with_codec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Per-record (or bulk-memcpy) encode/decode through a staging buffer —
+    /// the reference path, valid for every record type.
+    Copying,
+    /// Borrowed `&[R]` block views over the I/O buffer where the record
+    /// layout allows it ([`Record::view_slice`]); falls back to copying per
+    /// block otherwise. Observationally identical to [`Codec::Copying`].
+    #[default]
+    ZeroCopy,
+}
+
+impl Codec {
+    /// Parses a codec name (`copy` or `zerocopy`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "copy" => Some(Codec::Copying),
+            "zerocopy" => Some(Codec::ZeroCopy),
+            _ => None,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Copying => "copy",
+            Codec::ZeroCopy => "zerocopy",
+        }
+    }
+}
 
 /// Appends records to a disk file, one block at a time.
 #[derive(Debug)]
@@ -22,6 +68,7 @@ pub struct BlockWriter<R: Record> {
     records_per_block: usize,
     written: u64,
     finished: bool,
+    codec: Codec,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -39,6 +86,7 @@ pub struct BlockReader<R: Record> {
     buf_start: u64,
     buf_end: u64,
     records_per_block: usize,
+    codec: Codec,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -86,6 +134,7 @@ impl Disk {
             records_per_block,
             written: 0,
             finished: false,
+            codec: self.codec(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -129,6 +178,7 @@ impl Disk {
             buf_start: 0,
             buf_end: 0,
             records_per_block,
+            codec: self.codec(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -182,11 +232,27 @@ impl<R: Record> BlockWriter<R> {
     /// at a time ([`Record::write_slice_to`]) instead of `rs.len()` virtual
     /// calls. Flush boundaries — and therefore metering — are identical to
     /// a [`BlockWriter::push`] loop.
+    ///
+    /// Under [`Codec::ZeroCopy`], whole blocks that start at a block
+    /// boundary skip the staging buffer entirely: the block is appended
+    /// straight from the caller's slice through its borrowed byte view
+    /// ([`Record::view_bytes`]) — same bytes, same flush boundaries, same
+    /// metering, one memcpy less.
     pub fn push_all(&mut self, rs: &[R]) -> PdmResult<()> {
         debug_assert!(!self.finished, "push after finish");
         let cap = self.records_per_block * R::SIZE;
+        let rpb = self.records_per_block;
         let mut rest = rs;
         while !rest.is_empty() {
+            if self.codec == Codec::ZeroCopy && self.buf.is_empty() && rest.len() >= rpb {
+                if let Some(bytes) = R::view_bytes(&rest[..rpb]) {
+                    self.raw.append(bytes)?;
+                    self.disk.stats().on_write(bytes.len() as u64);
+                    self.written += rpb as u64;
+                    rest = &rest[rpb..];
+                    continue;
+                }
+            }
             let room = (cap - self.buf.len()) / R::SIZE;
             let take = rest.len().min(room);
             let old = self.buf.len();
@@ -322,12 +388,47 @@ impl<R: Record> BlockReader<R> {
 
     /// Decodes the record at byte offset `off` of the buffered block,
     /// surfacing a short buffer (truncated tail) as a typed error instead
-    /// of an index/`read_from` panic.
+    /// of an index/`read_from` panic. Under [`Codec::ZeroCopy`] the record
+    /// is copied out of a borrowed `&[R]` view of the buffer (no decode).
     fn decode_at(&self, off: usize) -> PdmResult<R> {
+        if self.codec == Codec::ZeroCopy {
+            if let Some(rec) = R::view_slice(&self.buf).and_then(|v| v.get(off / R::SIZE)) {
+                return Ok(*rec);
+            }
+        }
         self.buf
             .get(off..off + R::SIZE)
             .and_then(R::try_read_from)
             .ok_or_else(|| self.short_buffer())
+    }
+
+    /// Borrows the unconsumed remainder of the current block as a record
+    /// slice, refilling (metered, sequential) first when the block is
+    /// exhausted — the zero-copy scan path. `Ok(None)` means end of file.
+    /// An **empty** view means the buffer cannot be viewed in place (no
+    /// POD layout, or misaligned); stream that block through
+    /// [`BlockReader::next_record`] instead. Use [`BlockReader::consume`]
+    /// to advance past records taken from the view; the borrow ends there,
+    /// so the view never outlives its block.
+    pub fn next_block_view(&mut self) -> PdmResult<Option<&[R]>> {
+        if self.pos >= self.len {
+            return Ok(None);
+        }
+        if self.pos < self.buf_start || self.pos >= self.buf_end {
+            self.fill_block(self.pos, false)?;
+        }
+        let off = ((self.pos - self.buf_start) as usize) * R::SIZE;
+        match R::view_slice(&self.buf[off..]) {
+            Some(view) => Ok(Some(view)),
+            None => Ok(Some(&[])),
+        }
+    }
+
+    /// Advances the streaming cursor past `n` records previously obtained
+    /// from [`BlockReader::next_block_view`].
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(self.pos + n as u64 <= self.buf_end);
+        self.pos += n as u64;
     }
 
     fn short_buffer(&self) -> PdmError {
@@ -657,6 +758,93 @@ mod tests {
         // The failed create must not leave a half-made writer behind: the
         // config is checked before the file is created.
         assert!(!disk.exists("oops"));
+    }
+
+    #[test]
+    fn codecs_are_observationally_identical() {
+        // Same data, same operations, one disk per codec: identical bytes
+        // on disk, identical IoStats, identical decoded records.
+        let data: Vec<u32> = (0..103u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let kp: Vec<KeyPayload> = data
+            .iter()
+            .map(|&x| KeyPayload::new(x as u64 % 7, x as u64))
+            .collect();
+        let copy = Disk::in_memory(16).with_codec(Codec::Copying);
+        let zero = Disk::in_memory(16).with_codec(Codec::ZeroCopy);
+        for disk in [&copy, &zero] {
+            disk.write_file("u", &data).unwrap();
+            disk.write_file("k", &kp).unwrap();
+            assert_eq!(disk.read_file::<u32>("u").unwrap(), data);
+            assert_eq!(disk.read_file::<KeyPayload>("k").unwrap(), kp);
+            let mut r = disk.open_reader::<u32>("u").unwrap();
+            assert_eq!(r.read_at(97).unwrap(), 97u32.wrapping_mul(2654435761));
+            r.seek(50);
+            assert_eq!(
+                r.next_record().unwrap(),
+                Some(50u32.wrapping_mul(2654435761))
+            );
+        }
+        assert_eq!(copy.stats().snapshot(), zero.stats().snapshot());
+    }
+
+    #[test]
+    fn zero_copy_direct_writes_meter_like_staged() {
+        // A bulk push_all under ZeroCopy appends full blocks without
+        // staging; the flush boundaries and counters must not move.
+        let data: Vec<u32> = (0..23).collect();
+        let copy = Disk::in_memory(16).with_codec(Codec::Copying);
+        let zero = Disk::in_memory(16).with_codec(Codec::ZeroCopy);
+        for disk in [&copy, &zero] {
+            let mut w = disk.create_writer::<u32>("d").unwrap();
+            w.push(100).unwrap(); // unaligned start: staging must engage
+            w.push_all(&data).unwrap();
+            w.finish().unwrap();
+        }
+        assert_eq!(copy.stats().snapshot(), zero.stats().snapshot());
+        assert_eq!(
+            copy.read_file::<u32>("d").unwrap(),
+            zero.read_file::<u32>("d").unwrap()
+        );
+    }
+
+    #[test]
+    fn block_view_scan_matches_streaming() {
+        for (disk, _g) in disks() {
+            let data: Vec<u32> = (0..103).map(|i| i * 3).collect();
+            disk.write_file("view", &data).unwrap();
+            let before = disk.stats().snapshot();
+            let mut r = disk.open_reader::<u32>("view").unwrap();
+            let mut out = Vec::new();
+            while let Some(view) = r.next_block_view().unwrap() {
+                let n = view.len();
+                if n == 0 {
+                    out.push(r.next_record().unwrap().unwrap());
+                    continue;
+                }
+                out.extend_from_slice(view);
+                r.consume(n);
+            }
+            assert_eq!(out, data);
+            let delta = disk.stats().snapshot().delta(&before);
+            assert_eq!(delta.blocks_read, 26, "one metered read per block");
+            assert_eq!(delta.random_reads, 0);
+        }
+    }
+
+    #[test]
+    fn block_view_after_seek_starts_mid_block() {
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = (0..12).collect();
+        disk.write_file("mid", &data).unwrap();
+        let mut r = disk.open_reader::<u32>("mid").unwrap();
+        r.seek(6); // mid-block: view exposes only the remainder
+        let view: Vec<u32> = r.next_block_view().unwrap().unwrap().to_vec();
+        if !view.is_empty() {
+            assert_eq!(view, &[6, 7]);
+            r.consume(view.len());
+            let next = r.next_block_view().unwrap().unwrap();
+            assert_eq!(next, &[8, 9, 10, 11]);
+        }
     }
 
     #[test]

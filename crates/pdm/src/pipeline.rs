@@ -3,42 +3,57 @@
 //! The PDM assumes disks transfer blocks *in parallel* with computation. The
 //! plain [`crate::file`] layer is strictly synchronous — every block fill or
 //! flush stalls the caller for the device time. This module moves the device
-//! work onto a background I/O worker per open file:
+//! work off the caller's thread, with two interchangeable backends selected
+//! by [`Disk::with_io_backend`]:
 //!
-//! * [`PrefetchReader`] reads blocks ahead of the consumer through a bounded
-//!   queue (`depth` blocks, default double buffering), so decode/merge work
-//!   overlaps the next block's transfer.
-//! * [`WriteBehindWriter`] hands full blocks to a background appender, so
-//!   record formatting overlaps the previous block's transfer.
+//! * [`IoBackend::Serial`] — one background worker per open file issuing
+//!   requests one at a time through a bounded queue. Depth buffers blocks
+//!   but never overlaps two transfers of the same stream.
+//! * [`IoBackend::Batched`] — requests flow through an [`IoBatch`]
+//!   submission queue: up to `depth` reads or writes of the stream are in
+//!   flight concurrently (positional I/O, `pread`/`pwrite` on unix), so
+//!   prefetch depth > 1 genuinely overlaps.
 //!
-//! Both are **observationally identical** to their synchronous counterparts:
-//! they touch exactly the same byte ranges in exactly the same order, flush
-//! at the same block boundaries, and meter the same [`crate::stats::IoStats`]
+//! * [`PrefetchReader`] reads blocks ahead of the consumer (up to `depth`
+//!   blocks), so decode/merge work overlaps the next block's transfer.
+//! * [`WriteBehindWriter`] hands full blocks to the backend, so record
+//!   formatting overlaps the previous block's transfer.
+//!
+//! Both are **observationally identical** to their synchronous counterparts
+//! on either backend: they touch exactly the same byte ranges, flush at the
+//! same block boundaries, and meter the same [`crate::stats::IoStats`]
 //! counters — only wall-clock overlap changes. The differential tests in
 //! `extsort` hold them to that contract.
 //!
-//! Block buffers circulate through a [`BufferPool`]: the worker takes a
-//! buffer, fills it, passes ownership through the channel, and the other side
+//! Block buffers circulate through a [`BufferPool`]: the backend takes a
+//! buffer, fills it, hands ownership to the other side, and the other side
 //! returns it to the pool, so steady-state pipelining does not allocate.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
+use crate::batch::{FileHandle, IoBackend, IoBatch, IoCompletion};
 use crate::disk::{Disk, RawFile};
 use crate::error::{PdmError, PdmResult};
-use crate::file::records_per_block;
+use crate::file::{records_per_block, Codec};
 use crate::pool::BufferPool;
 use crate::record::Record;
+use crate::stats::IoStats;
 
 /// Default queue depth for pipelined I/O: double buffering (one block in
 /// flight while one is being consumed/produced).
 pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
+/// Cap on the worker threads an [`IoBatch`]-backed stream spins up; beyond
+/// this, extra depth only queues (matching typical device queue behavior).
+const MAX_BATCH_WORKERS: usize = 8;
+
 fn clamp_depth(depth: usize) -> usize {
     depth.max(1)
 }
 
-/// Streams records from a disk file while a background worker reads ahead.
+/// Streams records from a disk file while the I/O backend reads ahead.
 ///
 /// Sequential-only: there is no `seek`/`read_at` (the prefetcher commits to
 /// the block order at open). Use [`crate::file::BlockReader`] for random
@@ -48,19 +63,96 @@ pub struct PrefetchReader<R: Record> {
     name: String,
     len: u64,
     pos: u64,
-    /// Records decoded from the block currently being consumed.
+    /// The block currently being consumed.
     buf: Vec<u8>,
     /// Next record offset within `buf`, in bytes.
     buf_off: usize,
-    rx: Option<Receiver<PdmResult<Vec<u8>>>>,
-    worker: Option<JoinHandle<()>>,
+    source: ReadSource,
     pool: BufferPool,
+    codec: Codec,
     _marker: std::marker::PhantomData<R>,
 }
 
+#[derive(Debug)]
+enum ReadSource {
+    Serial {
+        rx: Option<Receiver<PdmResult<Vec<u8>>>>,
+        worker: Option<JoinHandle<()>>,
+    },
+    Batched(Box<BatchedReads>),
+}
+
+/// Batched read-ahead state: `depth` positional reads in flight, delivered
+/// to the consumer in block order (completions may arrive out of order).
+#[derive(Debug)]
+struct BatchedReads {
+    batch: IoBatch,
+    handle: FileHandle,
+    bytes: u64,
+    block_bytes: u64,
+    /// Offset of the next block to submit.
+    next_off: u64,
+    /// Request id (== block index) the consumer needs next.
+    expect: u64,
+    /// Completions that arrived ahead of `expect`.
+    pending: HashMap<u64, IoCompletion>,
+    stats: IoStats,
+    pool: BufferPool,
+    name: String,
+    record_size: usize,
+}
+
+impl BatchedReads {
+    fn submit_next(&mut self) {
+        if self.next_off >= self.bytes {
+            return;
+        }
+        let want = (self.bytes - self.next_off).min(self.block_bytes) as usize;
+        let mut buf = self.pool.take(want);
+        buf.resize(want, 0);
+        self.batch.submit_read(self.handle, self.next_off, buf);
+        self.next_off += want as u64;
+    }
+
+    /// Delivers the next block in file order, metering it exactly like the
+    /// serial worker would, and tops the submission queue back up.
+    fn next_block(&mut self) -> PdmResult<Vec<u8>> {
+        let off = self.expect * self.block_bytes;
+        let want = (self.bytes - off).min(self.block_bytes) as usize;
+        let done = loop {
+            if let Some(done) = self.pending.remove(&self.expect) {
+                break done;
+            }
+            let done = self.batch.reap().expect("prefetch block in flight");
+            if done.id == self.expect {
+                break done;
+            }
+            self.pending.insert(done.id, done);
+        };
+        self.expect += 1;
+        let buf = match done.result {
+            Ok(got) if got == want => {
+                self.stats.on_read(want as u64);
+                done.buf
+            }
+            Ok(got) => {
+                return Err(PdmError::Corrupt {
+                    name: self.name.clone(),
+                    bytes: off + got as u64,
+                    record_size: self.record_size,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        self.submit_next();
+        Ok(buf)
+    }
+}
+
 impl Disk {
-    /// Opens a file for pipelined sequential reading: a background worker
-    /// keeps up to `depth` blocks in flight (`depth` is clamped to ≥ 1).
+    /// Opens a file for pipelined sequential reading on the disk's
+    /// [`IoBackend`]: up to `depth` blocks stay in flight (`depth` is
+    /// clamped to ≥ 1).
     ///
     /// Metering is identical to [`Disk::open_reader`] streaming the whole
     /// file: one sequential block read per block.
@@ -71,46 +163,83 @@ impl Disk {
         pool: BufferPool,
     ) -> PdmResult<PrefetchReader<R>> {
         let rpb = records_per_block::<R>(self)?;
-        let (raw, bytes) = self.open_raw(name)?;
-        if bytes % R::SIZE as u64 != 0 {
-            return Err(PdmError::Corrupt {
-                name: name.to_string(),
-                bytes,
-                record_size: R::SIZE,
-            });
-        }
-        let len = bytes / R::SIZE as u64;
-        let (tx, rx) = sync_channel(clamp_depth(depth));
-        let worker = std::thread::Builder::new()
-            .name(format!("prefetch:{name}"))
-            .spawn({
-                let stats = self.stats().clone();
-                let pool = pool.clone();
-                let name = name.to_string();
-                move || prefetch_worker::<R>(raw, bytes, rpb, stats, pool, name, tx)
-            })
-            .expect("spawn prefetch worker");
+        let depth = clamp_depth(depth);
+        let source = match self.io_backend() {
+            IoBackend::Serial => {
+                let (raw, bytes) = self.open_raw(name)?;
+                check_whole_records::<R>(name, bytes)?;
+                let (tx, rx) = sync_channel(depth);
+                let worker = std::thread::Builder::new()
+                    .name(format!("prefetch:{name}"))
+                    .spawn({
+                        let stats = self.stats().clone();
+                        let pool = pool.clone();
+                        let name = name.to_string();
+                        move || prefetch_worker::<R>(raw, bytes, rpb, stats, pool, name, tx)
+                    })
+                    .expect("spawn prefetch worker");
+                ReadSource::Serial {
+                    rx: Some(rx),
+                    worker: Some(worker),
+                }
+            }
+            IoBackend::Batched => {
+                let mut batch = self.io_batch(depth.min(MAX_BATCH_WORKERS));
+                let (handle, bytes) = batch.register_read(name)?;
+                check_whole_records::<R>(name, bytes)?;
+                let mut reads = Box::new(BatchedReads {
+                    batch,
+                    handle,
+                    bytes,
+                    block_bytes: (rpb * R::SIZE) as u64,
+                    next_off: 0,
+                    expect: 0,
+                    pending: HashMap::new(),
+                    stats: self.stats().clone(),
+                    pool: pool.clone(),
+                    name: name.to_string(),
+                    record_size: R::SIZE,
+                });
+                for _ in 0..depth {
+                    reads.submit_next();
+                }
+                ReadSource::Batched(reads)
+            }
+        };
+        let len = self.len_bytes(name)? / R::SIZE as u64;
         Ok(PrefetchReader {
             name: name.to_string(),
             len,
             pos: 0,
             buf: Vec::new(),
             buf_off: 0,
-            rx: Some(rx),
-            worker: Some(worker),
+            source,
             pool,
+            codec: self.codec(),
             _marker: std::marker::PhantomData,
         })
     }
 }
 
-/// Background read loop: fetch each block in file order, meter it exactly
-/// like [`crate::file::BlockReader::next_record`] would, ship it downstream.
+fn check_whole_records<R: Record>(name: &str, bytes: u64) -> PdmResult<()> {
+    if !bytes.is_multiple_of(R::SIZE as u64) {
+        return Err(PdmError::Corrupt {
+            name: name.to_string(),
+            bytes,
+            record_size: R::SIZE,
+        });
+    }
+    Ok(())
+}
+
+/// Serial background read loop: fetch each block in file order, meter it
+/// exactly like [`crate::file::BlockReader::next_record`] would, ship it
+/// downstream.
 fn prefetch_worker<R: Record>(
     raw: RawFile,
     bytes: u64,
     rpb: usize,
-    stats: crate::stats::IoStats,
+    stats: IoStats,
     pool: BufferPool,
     name: String,
     tx: SyncSender<PdmResult<Vec<u8>>>,
@@ -163,6 +292,19 @@ impl<R: Record> PrefetchReader<R> {
         &self.name
     }
 
+    fn refill(&mut self) -> PdmResult<()> {
+        let block = match &mut self.source {
+            ReadSource::Serial { rx, .. } => {
+                let rx = rx.as_ref().expect("prefetch channel closed early");
+                rx.recv().expect("prefetch worker died without a verdict")?
+            }
+            ReadSource::Batched(reads) => reads.next_block()?,
+        };
+        self.pool.put(std::mem::replace(&mut self.buf, block));
+        self.buf_off = 0;
+        Ok(())
+    }
+
     /// Returns the next record, or `None` at end of file. Blocks only when
     /// the consumer outruns the prefetcher.
     pub fn next_record(&mut self) -> PdmResult<Option<R>> {
@@ -170,10 +312,17 @@ impl<R: Record> PrefetchReader<R> {
             return Ok(None);
         }
         if self.buf_off >= self.buf.len() {
-            let rx = self.rx.as_ref().expect("prefetch channel closed early");
-            let block = rx.recv().expect("prefetch worker died without a verdict")?;
-            self.pool.put(std::mem::replace(&mut self.buf, block));
-            self.buf_off = 0;
+            self.refill()?;
+        }
+        if self.codec == Codec::ZeroCopy {
+            // Zero-copy fast path: consume the block in place through a
+            // borrowed `&[R]` view (no per-record decode).
+            if let Some(view) = R::view_slice(&self.buf) {
+                let rec = view[self.buf_off / R::SIZE];
+                self.buf_off += R::SIZE;
+                self.pos += 1;
+                return Ok(Some(rec));
+            }
         }
         let rec = self
             .buf
@@ -189,6 +338,34 @@ impl<R: Record> PrefetchReader<R> {
         Ok(Some(rec))
     }
 
+    /// Borrows the unconsumed remainder of the current block as a record
+    /// slice, refilling first when the block is exhausted — the zero-copy
+    /// scan path. `Ok(None)` means end of file; an **empty** view means the
+    /// buffer cannot be viewed in place (no POD layout, or misaligned), so
+    /// stream that block via [`PrefetchReader::next_record`] instead. Use
+    /// [`PrefetchReader::consume`] to advance past records taken from the
+    /// view.
+    pub fn next_block_view(&mut self) -> PdmResult<Option<&[R]>> {
+        if self.pos >= self.len {
+            return Ok(None);
+        }
+        if self.buf_off >= self.buf.len() {
+            self.refill()?;
+        }
+        match R::view_slice(&self.buf[self.buf_off..]) {
+            Some(view) => Ok(Some(view)),
+            None => Ok(Some(&[])),
+        }
+    }
+
+    /// Advances past `n` records previously obtained from
+    /// [`PrefetchReader::next_block_view`].
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(self.buf_off + n * R::SIZE <= self.buf.len());
+        self.buf_off += n * R::SIZE;
+        self.pos += n as u64;
+    }
+
     /// Streams up to `max` records into `out`, bulk-decoding whole prefetched
     /// blocks ([`Record::read_slice_from`]) instead of one virtual call per
     /// record. Returns the record count appended.
@@ -196,10 +373,7 @@ impl<R: Record> PrefetchReader<R> {
         let mut got = 0usize;
         while got < max && self.pos < self.len {
             if self.buf_off >= self.buf.len() {
-                let rx = self.rx.as_ref().expect("prefetch channel closed early");
-                let block = rx.recv().expect("prefetch worker died without a verdict")?;
-                self.pool.put(std::mem::replace(&mut self.buf, block));
-                self.buf_off = 0;
+                self.refill()?;
             }
             let avail = (self.buf.len() - self.buf_off) / R::SIZE;
             let take = avail.min(max - got);
@@ -215,34 +389,82 @@ impl<R: Record> PrefetchReader<R> {
 
 impl<R: Record> Drop for PrefetchReader<R> {
     fn drop(&mut self) {
-        // Closing the receiver makes the worker's next send fail, which
-        // stops it; then reap the thread so no I/O outlives the handle.
-        drop(self.rx.take());
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
+        match &mut self.source {
+            ReadSource::Serial { rx, worker } => {
+                // Closing the receiver makes the worker's next send fail,
+                // which stops it; then reap the thread so no I/O outlives
+                // the handle.
+                drop(rx.take());
+                if let Some(w) = worker.take() {
+                    let _ = w.join();
+                }
+            }
+            // The IoBatch drop discards queued requests and joins its
+            // workers; unreaped completions are simply freed.
+            ReadSource::Batched(_) => {}
         }
         self.pool.put(std::mem::take(&mut self.buf));
     }
 }
 
-/// Appends records to a disk file while a background worker performs the
-/// block writes.
+/// Appends records to a disk file while the I/O backend performs the block
+/// writes.
 #[derive(Debug)]
 pub struct WriteBehindWriter<R: Record> {
     name: String,
     buf: Vec<u8>,
     block_bytes: usize,
-    tx: Option<SyncSender<Vec<u8>>>,
-    worker: Option<JoinHandle<PdmResult<()>>>,
+    sink: WriteSink,
     pool: BufferPool,
     written: u64,
     finished: bool,
     _marker: std::marker::PhantomData<R>,
 }
 
+#[derive(Debug)]
+enum WriteSink {
+    Serial {
+        tx: Option<SyncSender<Vec<u8>>>,
+        worker: Option<JoinHandle<PdmResult<()>>>,
+    },
+    Batched(Box<BatchedWrites>),
+}
+
+/// Batched write-behind state: full blocks become positional writes at
+/// precomputed offsets, up to `depth` in flight.
+#[derive(Debug)]
+struct BatchedWrites {
+    batch: IoBatch,
+    handle: FileHandle,
+    next_off: u64,
+    depth: usize,
+    stats: IoStats,
+    pool: BufferPool,
+    failed: bool,
+}
+
+impl BatchedWrites {
+    /// Reaps one completion, metering the write like the serial worker.
+    fn reap_one(&mut self) -> PdmResult<()> {
+        let done = self.batch.reap().expect("write in flight");
+        match done.result {
+            Ok(n) => {
+                self.stats.on_write(n as u64);
+                self.pool.put(done.buf);
+                Ok(())
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+}
+
 impl Disk {
-    /// Creates a file for pipelined appending: full blocks are handed to a
-    /// background worker (up to `depth` in flight; clamped to ≥ 1).
+    /// Creates a file for pipelined appending on the disk's [`IoBackend`]:
+    /// full blocks go to the backend with up to `depth` in flight (clamped
+    /// to ≥ 1).
     ///
     /// Metering and flush boundaries are identical to
     /// [`Disk::create_writer`]: one block write per full block plus one for
@@ -254,30 +476,51 @@ impl Disk {
         pool: BufferPool,
     ) -> PdmResult<WriteBehindWriter<R>> {
         let rpb = records_per_block::<R>(self)?;
-        let raw = self.create_raw(name)?;
-        let (tx, rx) = sync_channel::<Vec<u8>>(clamp_depth(depth));
-        let worker = std::thread::Builder::new()
-            .name(format!("writebehind:{name}"))
-            .spawn({
-                let stats = self.stats().clone();
-                let pool = pool.clone();
-                move || -> PdmResult<()> {
-                    while let Ok(buf) = rx.recv() {
-                        raw.append(&buf)?;
-                        stats.on_write(buf.len() as u64);
-                        pool.put(buf);
-                    }
-                    raw.sync()?;
-                    Ok(())
+        let depth = clamp_depth(depth);
+        let sink = match self.io_backend() {
+            IoBackend::Serial => {
+                let raw = self.create_raw(name)?;
+                let (tx, rx) = sync_channel::<Vec<u8>>(depth);
+                let worker = std::thread::Builder::new()
+                    .name(format!("writebehind:{name}"))
+                    .spawn({
+                        let stats = self.stats().clone();
+                        let pool = pool.clone();
+                        move || -> PdmResult<()> {
+                            while let Ok(buf) = rx.recv() {
+                                raw.append(&buf)?;
+                                stats.on_write(buf.len() as u64);
+                                pool.put(buf);
+                            }
+                            raw.sync()?;
+                            Ok(())
+                        }
+                    })
+                    .expect("spawn write-behind worker");
+                WriteSink::Serial {
+                    tx: Some(tx),
+                    worker: Some(worker),
                 }
-            })
-            .expect("spawn write-behind worker");
+            }
+            IoBackend::Batched => {
+                let mut batch = self.io_batch(depth.min(MAX_BATCH_WORKERS));
+                let handle = batch.register_create(name)?;
+                WriteSink::Batched(Box::new(BatchedWrites {
+                    batch,
+                    handle,
+                    next_off: 0,
+                    depth,
+                    stats: self.stats().clone(),
+                    pool: pool.clone(),
+                    failed: false,
+                }))
+            }
+        };
         Ok(WriteBehindWriter {
             name: name.to_string(),
             buf: pool.take(self.block_bytes()),
             block_bytes: rpb * R::SIZE,
-            tx: Some(tx),
-            worker: Some(worker),
+            sink,
             pool,
             written: 0,
             finished: false,
@@ -288,7 +531,7 @@ impl Disk {
 
 impl<R: Record> WriteBehindWriter<R> {
     /// Appends one record. Blocks only when the producer outruns the disk
-    /// worker by more than the queue depth.
+    /// backend by more than the queue depth.
     pub fn push(&mut self, r: R) -> PdmResult<()> {
         debug_assert!(!self.finished, "push after finish");
         let old = self.buf.len();
@@ -335,7 +578,7 @@ impl<R: Record> WriteBehindWriter<R> {
         &self.name
     }
 
-    /// Flushes the partial last block, waits for the worker to drain and
+    /// Flushes the partial last block, waits for the backend to drain and
     /// sync, and returns the total record count. Must be called — dropping
     /// an unfinished writer loses the buffered tail (mirrors real buffered
     /// I/O) and debug-asserts.
@@ -345,29 +588,64 @@ impl<R: Record> WriteBehindWriter<R> {
             self.ship(tail)?;
         }
         self.finished = true;
-        drop(self.tx.take()); // close the queue: the worker drains and syncs
-        match self.worker.take().expect("finish called twice").join() {
-            Ok(result) => result.map(|()| self.written),
-            Err(panic) => std::panic::resume_unwind(panic),
+        match &mut self.sink {
+            WriteSink::Serial { tx, worker } => {
+                drop(tx.take()); // close the queue: the worker drains and syncs
+                match worker.take().expect("finish called twice").join() {
+                    Ok(result) => result.map(|()| self.written),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            WriteSink::Batched(writes) => {
+                while writes.batch.in_flight() > 0 {
+                    writes.reap_one()?;
+                }
+                let handle = writes.handle;
+                writes.batch.sync(handle)?;
+                Ok(self.written)
+            }
         }
     }
 
-    /// Sends one block to the worker, surfacing the worker's error if it
-    /// already died.
+    /// Sends one block to the backend, surfacing any backend error.
     fn ship(&mut self, block: Vec<u8>) -> PdmResult<()> {
-        let tx = self.tx.as_ref().expect("ship after finish");
-        if tx.send(block).is_err() {
-            // The worker exited early — only ever because an append failed.
-            drop(self.tx.take());
-            let err = match self.worker.take().expect("worker already reaped").join() {
-                Ok(Ok(())) => unreachable!("worker closed its queue while alive"),
-                Ok(Err(e)) => e,
-                Err(panic) => std::panic::resume_unwind(panic),
-            };
-            self.finished = true; // nothing more can be written
-            return Err(err);
+        match &mut self.sink {
+            WriteSink::Serial { tx, worker } => {
+                let sender = tx.as_ref().expect("ship after finish");
+                if sender.send(block).is_err() {
+                    // The worker exited early — only because an append failed.
+                    drop(tx.take());
+                    let err = match worker.take().expect("worker already reaped").join() {
+                        Ok(Ok(())) => unreachable!("worker closed its queue while alive"),
+                        Ok(Err(e)) => e,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    };
+                    self.finished = true; // nothing more can be written
+                    return Err(err);
+                }
+                Ok(())
+            }
+            WriteSink::Batched(writes) => {
+                if writes.failed {
+                    self.finished = true;
+                    return Err(PdmError::InvalidConfig(format!(
+                        "write-behind for {:?} failed earlier",
+                        self.name
+                    )));
+                }
+                while writes.batch.in_flight() >= writes.depth {
+                    if let Err(e) = writes.reap_one() {
+                        self.finished = true;
+                        return Err(e);
+                    }
+                }
+                let len = block.len() as u64;
+                let off = writes.next_off;
+                writes.batch.submit_write(writes.handle, off, block);
+                writes.next_off = off + len;
+                Ok(())
+            }
         }
-        Ok(())
     }
 }
 
@@ -378,9 +656,15 @@ impl<R: Record> Drop for WriteBehindWriter<R> {
             "WriteBehindWriter for {:?} dropped with unflushed records — call finish()",
             self.name
         );
-        drop(self.tx.take());
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
+        match &mut self.sink {
+            WriteSink::Serial { tx, worker } => {
+                drop(tx.take());
+                if let Some(w) = worker.take() {
+                    let _ = w.join();
+                }
+            }
+            // The IoBatch drop discards queued requests and joins workers.
+            WriteSink::Batched(_) => {}
         }
         self.pool.put(std::mem::take(&mut self.buf));
     }
@@ -391,15 +675,21 @@ mod tests {
     use super::*;
     use crate::tempdir::ScratchDir;
 
-    fn disks() -> Vec<(Disk, Option<ScratchDir>)> {
-        let scratch = ScratchDir::new("pdm-pipeline-test").unwrap();
-        let fd = Disk::on_files(scratch.path(), 16); // 4 u32 records per block
-        vec![(Disk::in_memory(16), None), (fd, Some(scratch))]
+    /// Every disk in every storage-backend × io-backend combo.
+    fn disks_all_backends() -> Vec<(Disk, Option<ScratchDir>)> {
+        let mut out = Vec::new();
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let scratch = ScratchDir::new("pdm-pipeline-test").unwrap();
+            let fd = Disk::on_files(scratch.path(), 16).with_io_backend(io);
+            out.push((Disk::in_memory(16).with_io_backend(io), None));
+            out.push((fd, Some(scratch)));
+        }
+        out
     }
 
     #[test]
     fn prefetch_reads_whole_file_in_order() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             let data: Vec<u32> = (0..103).map(|i| i * 3).collect();
             disk.write_file("f", &data).unwrap();
             let mut r = disk
@@ -417,24 +707,26 @@ mod tests {
 
     #[test]
     fn prefetch_meters_like_sequential_reader() {
-        let disk = Disk::in_memory(16);
-        let data: Vec<u32> = (0..10).collect(); // 2 full + 1 partial block
-        disk.write_file("m", &data).unwrap();
-        let before = disk.stats().snapshot();
-        let mut r = disk
-            .open_prefetch_reader::<u32>("m", 2, BufferPool::default())
-            .unwrap();
-        while r.next_record().unwrap().is_some() {}
-        drop(r);
-        let delta = disk.stats().snapshot().delta(&before);
-        assert_eq!(delta.blocks_read, 3);
-        assert_eq!(delta.bytes_read, 40);
-        assert_eq!(delta.random_reads, 0);
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let disk = Disk::in_memory(16).with_io_backend(io);
+            let data: Vec<u32> = (0..10).collect(); // 2 full + 1 partial block
+            disk.write_file("m", &data).unwrap();
+            let before = disk.stats().snapshot();
+            let mut r = disk
+                .open_prefetch_reader::<u32>("m", 2, BufferPool::default())
+                .unwrap();
+            while r.next_record().unwrap().is_some() {}
+            drop(r);
+            let delta = disk.stats().snapshot().delta(&before);
+            assert_eq!(delta.blocks_read, 3);
+            assert_eq!(delta.bytes_read, 40);
+            assert_eq!(delta.random_reads, 0);
+        }
     }
 
     #[test]
     fn prefetch_read_into_bulk_matches_streaming() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             let data: Vec<u32> = (0..103).map(|i| i * 3).collect();
             disk.write_file("bulk", &data).unwrap();
             let before = disk.stats().snapshot();
@@ -453,8 +745,31 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_block_views_scan_whole_file() {
+        for (disk, _g) in disks_all_backends() {
+            let data: Vec<u32> = (0..103).map(|i| i * 7).collect();
+            disk.write_file("v", &data).unwrap();
+            let mut r = disk
+                .open_prefetch_reader::<u32>("v", 3, BufferPool::default())
+                .unwrap();
+            let mut out = Vec::new();
+            while let Some(view) = r.next_block_view().unwrap() {
+                let n = view.len();
+                if n == 0 {
+                    // In-place view unavailable: per-record fallback.
+                    out.push(r.next_record().unwrap().unwrap());
+                    continue;
+                }
+                out.extend_from_slice(view);
+                r.consume(n);
+            }
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
     fn prefetch_empty_file() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             disk.write_file::<u32>("e", &[]).unwrap();
             let mut r = disk
                 .open_prefetch_reader::<u32>("e", 2, BufferPool::default())
@@ -466,7 +781,7 @@ mod tests {
 
     #[test]
     fn prefetch_dropped_early_stops_cleanly() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             let data: Vec<u32> = (0..1000).collect();
             disk.write_file("big", &data).unwrap();
             let mut r = disk
@@ -479,40 +794,45 @@ mod tests {
 
     #[test]
     fn prefetch_detects_corrupt_length() {
-        let disk = Disk::in_memory(16);
-        disk.write_file::<u32>("x", &[1, 2, 3]).unwrap();
-        disk.truncate("x", 10).unwrap();
-        assert!(matches!(
-            disk.open_prefetch_reader::<u32>("x", 2, BufferPool::default()),
-            Err(PdmError::Corrupt { .. })
-        ));
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let disk = Disk::in_memory(16).with_io_backend(io);
+            disk.write_file::<u32>("x", &[1, 2, 3]).unwrap();
+            disk.truncate("x", 10).unwrap();
+            assert!(matches!(
+                disk.open_prefetch_reader::<u32>("x", 2, BufferPool::default()),
+                Err(PdmError::Corrupt { .. })
+            ));
+        }
     }
 
     #[test]
     fn prefetch_detects_truncation_mid_stream() {
-        let disk = Disk::in_memory(16);
-        let data: Vec<u32> = (0..64).collect();
-        disk.write_file("t", &data).unwrap();
-        let mut r = disk
-            .open_prefetch_reader::<u32>("t", 1, BufferPool::default())
-            .unwrap();
-        // With depth 1 the worker can be at most 2 blocks (8 records) ahead
-        // before the first recv, so truncating to 8 records now guarantees
-        // it hits the missing tail once the consumer drains the queue.
-        disk.truncate("t", 32).unwrap();
-        let mut res = Ok(None);
-        for _ in 0..=64 {
-            res = r.next_record();
-            if res.is_err() {
-                break;
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let disk = Disk::in_memory(16).with_io_backend(io);
+            let data: Vec<u32> = (0..64).collect();
+            disk.write_file("t", &data).unwrap();
+            let mut r = disk
+                .open_prefetch_reader::<u32>("t", 1, BufferPool::default())
+                .unwrap();
+            // With depth 1 the backend can be at most 2 blocks (8 records)
+            // ahead before the first consume, so truncating to 8 records now
+            // guarantees it hits the missing tail once the consumer drains
+            // the queue.
+            disk.truncate("t", 32).unwrap();
+            let mut res = Ok(None);
+            for _ in 0..=64 {
+                res = r.next_record();
+                if res.is_err() {
+                    break;
+                }
             }
+            assert!(matches!(res, Err(PdmError::Corrupt { .. })));
         }
-        assert!(matches!(res, Err(PdmError::Corrupt { .. })));
     }
 
     #[test]
     fn write_behind_roundtrip_and_metering() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             let data: Vec<u32> = (0..103).collect(); // 25 full blocks + tail
             let before = disk.stats().snapshot();
             let mut w = disk
@@ -531,7 +851,7 @@ mod tests {
 
     #[test]
     fn write_behind_empty_file() {
-        for (disk, _g) in disks() {
+        for (disk, _g) in disks_all_backends() {
             let w = disk
                 .create_write_behind::<u32>("e", 2, BufferPool::default())
                 .unwrap();
@@ -542,56 +862,83 @@ mod tests {
 
     #[test]
     fn write_behind_duplicate_create_fails() {
-        let disk = Disk::in_memory(16);
-        disk.write_file::<u32>("dup", &[1]).unwrap();
-        assert!(matches!(
-            disk.create_write_behind::<u32>("dup", 2, BufferPool::default()),
-            Err(PdmError::AlreadyExists(_))
-        ));
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let disk = Disk::in_memory(16).with_io_backend(io);
+            disk.write_file::<u32>("dup", &[1]).unwrap();
+            assert!(matches!(
+                disk.create_write_behind::<u32>("dup", 2, BufferPool::default()),
+                Err(PdmError::AlreadyExists(_))
+            ));
+        }
     }
 
     #[test]
     fn pipelined_pair_matches_sequential_io_counts() {
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let pool = BufferPool::default();
+            let seq = Disk::in_memory(16);
+            let pipe = Disk::in_memory(16).with_io_backend(io);
+            let data: Vec<u32> = (0..537u32).map(|i| i.wrapping_mul(2654435761)).collect();
+
+            seq.write_file("a", &data).unwrap();
+            let mut sr = seq.open_reader::<u32>("a").unwrap();
+            let mut sw = seq.create_writer::<u32>("b").unwrap();
+            while let Some(x) = sr.next_record().unwrap() {
+                sw.push(x).unwrap();
+            }
+            sw.finish().unwrap();
+
+            pipe.write_file("a", &data).unwrap();
+            let mut pr = pipe
+                .open_prefetch_reader::<u32>("a", 3, pool.clone())
+                .unwrap();
+            let mut pw = pipe.create_write_behind::<u32>("b", 3, pool).unwrap();
+            while let Some(x) = pr.next_record().unwrap() {
+                pw.push(x).unwrap();
+            }
+            pw.finish().unwrap();
+
+            assert_eq!(seq.stats().snapshot(), pipe.stats().snapshot());
+            assert_eq!(
+                seq.read_file::<u32>("b").unwrap(),
+                pipe.read_file::<u32>("b").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_deep_pipeline_roundtrips_large_file() {
+        // Exercise genuinely overlapping requests: depth 8 over many blocks,
+        // on real files, with an odd tail.
+        let scratch = ScratchDir::new("pdm-pipeline-deep").unwrap();
+        let disk = Disk::on_files(scratch.path(), 64).with_io_backend(IoBackend::Batched);
+        let data: Vec<u64> = (0..4099u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let pool = BufferPool::default();
-        let seq = Disk::in_memory(16);
-        let pipe = Disk::in_memory(16);
-        let data: Vec<u32> = (0..537u32).map(|i| i.wrapping_mul(2654435761)).collect();
-
-        seq.write_file("a", &data).unwrap();
-        let mut sr = seq.open_reader::<u32>("a").unwrap();
-        let mut sw = seq.create_writer::<u32>("b").unwrap();
-        while let Some(x) = sr.next_record().unwrap() {
-            sw.push(x).unwrap();
-        }
-        sw.finish().unwrap();
-
-        pipe.write_file("a", &data).unwrap();
-        let mut pr = pipe
-            .open_prefetch_reader::<u32>("a", 3, pool.clone())
+        let mut w = disk
+            .create_write_behind::<u64>("deep", 8, pool.clone())
             .unwrap();
-        let mut pw = pipe.create_write_behind::<u32>("b", 3, pool).unwrap();
-        while let Some(x) = pr.next_record().unwrap() {
-            pw.push(x).unwrap();
-        }
-        pw.finish().unwrap();
-
-        assert_eq!(seq.stats().snapshot(), pipe.stats().snapshot());
-        assert_eq!(
-            seq.read_file::<u32>("b").unwrap(),
-            pipe.read_file::<u32>("b").unwrap()
-        );
+        w.push_all(&data).unwrap();
+        assert_eq!(w.finish().unwrap(), 4099);
+        let mut r = disk.open_prefetch_reader::<u64>("deep", 8, pool).unwrap();
+        let mut out = Vec::new();
+        r.read_into(&mut out, usize::MAX).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]
     fn tiny_blocks_rejected_before_any_io() {
-        let disk = Disk::in_memory(2);
-        assert!(matches!(
-            disk.open_prefetch_reader::<u32>("f", 2, BufferPool::default()),
-            Err(PdmError::InvalidConfig(_))
-        ));
-        assert!(matches!(
-            disk.create_write_behind::<u32>("f", 2, BufferPool::default()),
-            Err(PdmError::InvalidConfig(_))
-        ));
+        for io in [IoBackend::Serial, IoBackend::Batched] {
+            let disk = Disk::in_memory(2).with_io_backend(io);
+            assert!(matches!(
+                disk.open_prefetch_reader::<u32>("f", 2, BufferPool::default()),
+                Err(PdmError::InvalidConfig(_))
+            ));
+            assert!(matches!(
+                disk.create_write_behind::<u32>("f", 2, BufferPool::default()),
+                Err(PdmError::InvalidConfig(_))
+            ));
+        }
     }
 }

@@ -87,6 +87,67 @@ pub trait Record: Copy + Ord + Send + Sync + std::fmt::Debug + 'static {
         );
         out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
     }
+
+    /// Borrows encoded bytes as a record slice **without copying**: `Some`
+    /// only when the in-memory layout of `[Self]` is exactly the file
+    /// encoding (little-endian POD), `bytes` is properly aligned for
+    /// `Self`, and the length is a whole number of records. The default is
+    /// `None` (no zero-copy view; callers fall back to a decoding copy).
+    fn view_slice(bytes: &[u8]) -> Option<&[Self]> {
+        let _ = bytes;
+        None
+    }
+
+    /// Borrows a record slice as its encoded bytes **without copying**:
+    /// `Some` under the same layout conditions as [`Record::view_slice`]
+    /// (a `&[Self]` is always aligned, so only the layout matters).
+    fn view_bytes(records: &[Self]) -> Option<&[u8]> {
+        let _ = records;
+        None
+    }
+
+    /// Bulk-decodes `buf` into an existing slice (exactly `dst.len()`
+    /// records). The default loops over [`Record::read_from`]; POD
+    /// implementations specialize to a single `copy_from_slice`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != dst.len() * SIZE`.
+    fn decode_slice_into(buf: &[u8], dst: &mut [Self]) {
+        assert_eq!(
+            buf.len(),
+            dst.len() * Self::SIZE,
+            "byte length {} does not match {} records",
+            buf.len(),
+            dst.len()
+        );
+        for (chunk, d) in buf.chunks_exact(Self::SIZE).zip(dst.iter_mut()) {
+            *d = Self::read_from(chunk);
+        }
+    }
+}
+
+/// Shared implementation of [`Record::view_slice`] for little-endian POD
+/// types: length and alignment checked, then a plain pointer cast.
+#[cfg(target_endian = "little")]
+fn pod_view_slice<R: Record>(bytes: &[u8]) -> Option<&[R]> {
+    if !bytes.len().is_multiple_of(R::SIZE)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<R>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: length is a whole number of records, the pointer is aligned
+    // for `R`, and for these POD types every byte pattern is a valid value
+    // whose in-memory layout equals the file encoding.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<R>(), bytes.len() / R::SIZE) })
+}
+
+/// Shared implementation of [`Record::view_bytes`] for little-endian POD
+/// types (a record slice is always aligned; only the layout matters).
+#[cfg(target_endian = "little")]
+fn pod_view_bytes<R: Record>(records: &[R]) -> &[u8] {
+    // SAFETY: viewing initialized POD values as bytes is always valid, and
+    // the little-endian in-memory layout is exactly the file encoding.
+    unsafe { std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), records.len() * R::SIZE) }
 }
 
 macro_rules! int_record {
@@ -158,6 +219,39 @@ macro_rules! int_record {
                 }
                 #[cfg(not(target_endian = "little"))]
                 out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
+            }
+
+            #[cfg(target_endian = "little")]
+            fn view_slice(bytes: &[u8]) -> Option<&[Self]> {
+                pod_view_slice(bytes)
+            }
+
+            #[cfg(target_endian = "little")]
+            fn view_bytes(records: &[Self]) -> Option<&[u8]> {
+                Some(pod_view_bytes(records))
+            }
+
+            fn decode_slice_into(buf: &[u8], dst: &mut [Self]) {
+                assert_eq!(
+                    buf.len(),
+                    dst.len() * Self::SIZE,
+                    "byte length {} does not match {} records",
+                    buf.len(),
+                    dst.len()
+                );
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: `dst` is aligned for the integer type; its byte
+                    // view is valid and matches the file encoding.
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<u8>(), buf.len())
+                    };
+                    out.copy_from_slice(buf);
+                }
+                #[cfg(not(target_endian = "little"))]
+                for (chunk, d) in buf.chunks_exact(Self::SIZE).zip(dst.iter_mut()) {
+                    *d = Self::read_from(chunk);
+                }
             }
         }
     };
@@ -260,6 +354,39 @@ impl Record for KeyPayload {
         }
         #[cfg(not(target_endian = "little"))]
         out.extend(buf.chunks_exact(Self::SIZE).map(Self::read_from));
+    }
+
+    #[cfg(target_endian = "little")]
+    fn view_slice(bytes: &[u8]) -> Option<&[Self]> {
+        pod_view_slice(bytes)
+    }
+
+    #[cfg(target_endian = "little")]
+    fn view_bytes(records: &[Self]) -> Option<&[u8]> {
+        Some(pod_view_bytes(records))
+    }
+
+    fn decode_slice_into(buf: &[u8], dst: &mut [Self]) {
+        assert_eq!(
+            buf.len(),
+            dst.len() * Self::SIZE,
+            "byte length {} does not match {} records",
+            buf.len(),
+            dst.len()
+        );
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `dst` is aligned for `KeyPayload` (`repr(C)`,
+            // padding-free, any byte pattern valid); its byte view matches
+            // the file encoding.
+            let out =
+                unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<u8>(), buf.len()) };
+            out.copy_from_slice(buf);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for (chunk, d) in buf.chunks_exact(Self::SIZE).zip(dst.iter_mut()) {
+            *d = Self::read_from(chunk);
+        }
     }
 }
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_wallclock.json file (stdlib only).
+
+Usage: python3 schemas/validate_wallclock.py BENCH_wallclock.json
+
+Checks the output of the `wallclock_speedup` bench binary: the full
+kernel x codec x io-backend grid plus the std_slice_sort baseline row,
+positive wall times and throughputs everywhere, and the headline
+upgraded-vs-reference speedup. The >= 1.5x throughput gate only applies
+at GB scale (n >= 2**26); smaller runs (CI's --quick) are dominated by
+constant overheads and only have their structure checked.
+"""
+
+import json
+import sys
+
+KERNELS = ["radix", "ips4o"]
+CODECS = ["copy", "zerocopy"]
+BACKENDS = ["serial", "batched"]
+ROW_KEYS = {"kernel", "codec", "io_backend", "wall_secs", "records_per_sec",
+            "mb_per_sec"}
+GATE_MIN_N = 1 << 26
+SPEEDUP_GATE = 1.5
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "wallclock_speedup":
+        fail(f"bench must be 'wallclock_speedup', got {doc.get('bench')!r}")
+    for key in ("n", "record_bytes", "mem_records", "tapes", "block_bytes",
+                "sort_workers", "prefetch_depth"):
+        if not isinstance(doc.get(key), int) or doc[key] <= 0:
+            fail(f"{key} must be a positive integer")
+    ref = doc.get("reference")
+    upg = doc.get("upgraded")
+    if ref != {"kernel": "radix", "codec": "copy", "io_backend": "serial"}:
+        fail(f"unexpected reference cell {ref!r}")
+    if upg != {"kernel": "ips4o", "codec": "zerocopy", "io_backend": "batched"}:
+        fail(f"unexpected upgraded cell {upg!r}")
+
+    rows = doc.get("rows")
+    expected = 1 + len(KERNELS) * len(CODECS) * len(BACKENDS)
+    if not isinstance(rows, list) or len(rows) != expected:
+        fail(f"expected {expected} rows (baseline + grid), got "
+             f"{len(rows) if isinstance(rows, list) else rows!r}")
+
+    baseline = rows[0]
+    if baseline.get("kernel") != "std_slice_sort":
+        fail("first row must be the std_slice_sort baseline")
+    if baseline.get("codec") is not None or baseline.get("io_backend") is not None:
+        fail("baseline row must have null codec/io_backend")
+
+    seen = set()
+    for row in rows:
+        if set(row) != ROW_KEYS:
+            fail(f"row keys {sorted(row)} != expected {sorted(ROW_KEYS)}")
+        for key in ("wall_secs", "records_per_sec", "mb_per_sec"):
+            if not isinstance(row[key], (int, float)) or row[key] <= 0:
+                fail(f"{row['kernel']}: {key} must be positive")
+        if row["kernel"] == "std_slice_sort":
+            continue
+        cell = (row["kernel"], row["codec"], row["io_backend"])
+        if row["kernel"] not in KERNELS or row["codec"] not in CODECS \
+                or row["io_backend"] not in BACKENDS:
+            fail(f"unknown grid cell {cell}")
+        if cell in seen:
+            fail(f"duplicate grid cell {cell}")
+        seen.add(cell)
+    if len(seen) != expected - 1:
+        fail(f"grid incomplete: {len(seen)} of {expected - 1} cells")
+
+    headline = doc.get("speedup_upgraded")
+    if not isinstance(headline, (int, float)) or headline <= 0:
+        fail(f"speedup_upgraded must be positive, got {headline!r}")
+    ref_row = next(r for r in rows
+                   if (r["kernel"], r["codec"], r["io_backend"])
+                   == ("radix", "copy", "serial"))
+    upg_row = next(r for r in rows
+                   if (r["kernel"], r["codec"], r["io_backend"])
+                   == ("ips4o", "zerocopy", "batched"))
+    derived = ref_row["wall_secs"] / upg_row["wall_secs"]
+    if abs(derived - headline) > 0.01 * max(derived, headline):
+        fail(f"speedup_upgraded {headline} disagrees with its rows {derived:.4f}")
+
+    if doc["n"] >= GATE_MIN_N and headline < SPEEDUP_GATE:
+        fail(f"at n={doc['n']} the upgraded cell must be >= {SPEEDUP_GATE}x "
+             f"the reference, got {headline:.2f}x")
+
+    scale = "GB-scale" if doc["n"] >= GATE_MIN_N else "reduced-scale"
+    print(f"wallclock ok ({scale}): {len(rows)} rows, upgraded speedup "
+          f"{headline:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
