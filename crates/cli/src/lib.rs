@@ -8,14 +8,14 @@
 //! hetsort sort    --dir D --input input --output sorted
 //!                 [--mem 1048576] [--tapes 16] [--block 32768]
 //!                 [--algo polyphase|balanced|distribution] [--workers W]
-//!                 [--merge-workers W] [--kernel radix|comparison|ips4o]
+//!                 [--merge-workers W|auto] [--kernel radix|comparison|ips4o]
 //!                 [--codec zerocopy|copy] [--io-backend serial|batched]
 //! hetsort verify  --dir D --sorted sorted [--input input]
 //! hetsort cluster --n 16777216 --perf 1,1,4,4 [--hardware 1,1,4,4]
 //!                 [--net fe|myrinet] [--bench uniform] [--msg 8192]
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
-//!                 [--workers W] [--merge-workers W]
-//!                 [--kernel radix|comparison]
+//!                 [--workers W] [--merge-workers W|auto]
+//!                 [--disk scsi|nvme|free] [--kernel radix|comparison]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //!                 [--profile] [--streaming-merge]
 //! ```
@@ -31,10 +31,18 @@
 //! is byte-identical to the sequential merge and the streaming I/O is
 //! unchanged (splitter probes appear as extra metered random reads).
 //! Composes with `--workers`; either can be used alone. Note that
-//! `cluster` charges the paper's year-2000 SCSI disk model, on which the
-//! 8 ms probe seeks outweigh the divided merge CPU — the flag *raises*
-//! the reported virtual time there; the `parmerge_speedup` bench prices
-//! the same counters on a modern NVMe model where 4 workers win 3.2x.
+//! `cluster` charges the paper's year-2000 SCSI disk model by default
+//! (`--disk scsi`), on which the 8 ms probe seeks outweigh the divided
+//! merge CPU — an explicit worker count *raises* the reported virtual
+//! time there, while on `--disk nvme` 4 workers win ~3.2x.
+//!
+//! `--merge-workers auto` hands every unpinned knob to the adaptive
+//! planner: it prices candidate worker counts against the device's
+//! contention model (queue depth, seek settle) and picks the cheapest
+//! plan — sequential on `scsi`, wide on `nvme` — and derives prefetch
+//! depth, message size and streaming-vs-staged exchange from the same
+//! model. Explicit `--msg`, `--streaming-merge` or a numeric
+//! `--merge-workers` remain overrides.
 //!
 //! `--trace-out`, `--metrics-out` and `--profile` enable the phase-span
 //! tracer for `cluster` runs: `--trace-out PATH` writes a Chrome
@@ -181,6 +189,43 @@ pub fn parse_io_backend(s: &str) -> Result<IoBackend, String> {
     IoBackend::parse(s).ok_or_else(|| format!("unknown --io-backend {s:?} (serial or batched)"))
 }
 
+/// How `--merge-workers` was given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeWorkers {
+    /// Flag absent (or `0`): keep the config's default.
+    Default,
+    /// `--merge-workers auto`: let the planner price candidates against the
+    /// device's contention model and pick the cheapest plan.
+    Auto,
+    /// `--merge-workers W` with `W ≥ 1`: an explicit order the planner
+    /// honours even where its model predicts a loss.
+    Explicit(usize),
+}
+
+/// Parses `--merge-workers` (`auto` or a worker count).
+pub fn parse_merge_workers(opts: &Options) -> Result<MergeWorkers, String> {
+    match opts.get_or("merge-workers", "0") {
+        "auto" => Ok(MergeWorkers::Auto),
+        v => match v.parse::<usize>() {
+            Ok(0) => Ok(MergeWorkers::Default),
+            Ok(w) => Ok(MergeWorkers::Explicit(w)),
+            Err(_) => Err(format!(
+                "flag --merge-workers expects an integer or `auto`, got {v:?}"
+            )),
+        },
+    }
+}
+
+/// Parses a disk model name (`scsi`, `nvme` or `free`).
+pub fn parse_disk(s: &str) -> Result<pdm::DiskModel, String> {
+    match s {
+        "scsi" | "scsi_2000" => Ok(pdm::DiskModel::scsi_2000()),
+        "nvme" | "nvme_modern" => Ok(pdm::DiskModel::nvme_modern()),
+        "free" => Ok(pdm::DiskModel::free()),
+        other => Err(format!("unknown --disk {other:?} (scsi, nvme or free)")),
+    }
+}
+
 /// Parses a benchmark by name or id.
 pub fn parse_bench(s: &str) -> Result<Benchmark, String> {
     if let Ok(id) = s.parse::<usize>() {
@@ -248,9 +293,12 @@ fn cmd_sort(opts: &Options) -> Result<String, String> {
     if workers > 0 {
         cfg = cfg.with_pipeline(PipelineConfig::with_workers(workers));
     }
-    let merge_workers = opts.num_or("merge-workers", 0)? as usize;
-    if merge_workers > 0 {
-        cfg = cfg.with_merge_workers(merge_workers);
+    match parse_merge_workers(opts)? {
+        MergeWorkers::Auto => {
+            cfg = cfg.with_pipeline(PipelineConfig::adaptive(workers.max(1)));
+        }
+        MergeWorkers::Explicit(w) => cfg = cfg.with_merge_workers(w),
+        MergeWorkers::Default => {}
     }
     let start = std::time::Instant::now();
     let report = match algo {
@@ -306,16 +354,37 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
     cfg.msg_records = opts.num_or("msg", 8192)? as usize;
     cfg.block_bytes = opts.num_or("block", 32 * 1024)? as usize;
     cfg.seed = opts.num_or("seed", 2002)?;
+    cfg.disk_model = parse_disk(opts.get_or("disk", "scsi"))?;
     let workers = opts.num_or("workers", 0)? as usize;
     if workers > 0 {
         cfg.pipeline = PipelineConfig::with_workers(workers);
     }
-    let merge_workers = opts.num_or("merge-workers", 0)? as usize;
-    if merge_workers > 0 {
-        cfg.pipeline = cfg.pipeline.with_merge_workers(merge_workers);
-    }
+    let adaptive = match parse_merge_workers(opts)? {
+        MergeWorkers::Auto => {
+            cfg.pipeline = PipelineConfig::adaptive(workers.max(1));
+            true
+        }
+        MergeWorkers::Explicit(w) => {
+            cfg.pipeline = cfg.pipeline.with_merge_workers(w);
+            false
+        }
+        MergeWorkers::Default => false,
+    };
     cfg.kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
     cfg.streaming = opts.flag("streaming-merge")?;
+    if adaptive {
+        // Knobs the user left on their defaults follow the device plan;
+        // explicit values stay overrides.
+        let plan = extsort::plan_exchange(
+            &cfg.disk_model,
+            cfg.block_bytes / std::mem::size_of::<u32>(),
+            opts.flags.contains_key("msg").then_some(cfg.msg_records),
+        );
+        cfg.msg_records = plan.msg_records;
+        if !opts.flags.contains_key("streaming-merge") {
+            cfg.streaming = plan.streaming;
+        }
+    }
     cfg.net = match opts.get_or("net", "fe") {
         "fe" | "fast-ethernet" => cluster::NetworkModel::fast_ethernet(),
         "myrinet" => cluster::NetworkModel::myrinet(),
@@ -600,6 +669,35 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("sublist expansion"), "{out}");
+    }
+
+    #[test]
+    fn cluster_adaptive_merge_workers() {
+        // `auto` hands the knobs to the planner; both devices must still
+        // sort correctly (the plans differ, the output cannot).
+        for disk in ["scsi", "nvme"] {
+            let out = run(&opts(&[
+                "cluster",
+                "--n",
+                "8000",
+                "--perf",
+                "1,1",
+                "--mem",
+                "4096",
+                "--tapes",
+                "4",
+                "--block",
+                "1024",
+                "--merge-workers",
+                "auto",
+                "--disk",
+                disk,
+            ]))
+            .unwrap();
+            assert!(out.contains("sublist expansion"), "{disk}: {out}");
+        }
+        let err = run(&opts(&["cluster", "--merge-workers", "sideways"])).unwrap_err();
+        assert!(err.contains("auto"), "{err}");
     }
 
     #[test]

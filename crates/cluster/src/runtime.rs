@@ -444,6 +444,19 @@ where
                         ctx.obs.counter_add("io.random_reads", io.random_reads);
                         ctx.obs.counter_add("io.seek_bytes", io.seek_bytes);
                         ctx.obs.counter_add("io.files_created", io.files_created);
+                        // Shared-disk queueing diagnostics: virtual time the
+                        // node's streams spent waiting on the device queue,
+                        // and the observed stream concurrency.
+                        ctx.obs.counter_add(
+                            "io.queue.wait_us",
+                            (ctx.charger.io_queue_wait().as_secs() * 1e6).round() as u64,
+                        );
+                        ctx.obs
+                            .counter_add("io.queue.stream_opens", ctx.disk.stats().stream_opens());
+                        ctx.obs.gauge_set(
+                            "io.queue.peak_streams",
+                            ctx.disk.stats().peak_streams() as f64,
+                        );
                         ctx.obs
                             .counter_add("net.sent_bytes", ctx.endpoint.sent_bytes());
                         ctx.obs

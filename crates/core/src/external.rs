@@ -436,12 +436,18 @@ pub fn psrs_external<R: Record>(
     }
     .across_workers(merge_workers)
     .plus(Work::moves(final_merge.records));
+    // The merge's block transfers share the node's disk between the range
+    // partition workers: declare the stream count so the contention model
+    // prices their queueing, then drop back to a single stream for whatever
+    // I/O follows.
+    ctx.charger.set_io_streams(merge_workers);
     if cfg.pipeline.enabled || merge_workers > 1 {
         ctx.charger
             .charge_overlapped_section(merge_work, t0.elapsed());
     } else {
         ctx.charger.charge_section(merge_work, t0.elapsed());
     }
+    ctx.charger.set_io_streams(1);
     ctx.obs.gauge_set("merge.workers", merge_workers as f64);
     for name in &inputs {
         ctx.disk.remove(name)?;
@@ -862,7 +868,7 @@ fn streaming_exchange_merge<R: Record>(
     let mut out = if cfg.pipeline.enabled {
         StreamWriter::Behind(ctx.disk.create_write_behind::<R>(
             &cfg.output,
-            cfg.pipeline.depth(),
+            cfg.pipeline.depth_for(ctx.disk.model(), 2),
             pdm::BufferPool::default(),
         )?)
     } else {

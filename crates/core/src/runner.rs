@@ -52,6 +52,10 @@ pub struct TrialConfig {
     pub net: NetworkModel,
     /// Disk backend.
     pub storage: StorageKind,
+    /// Disk cost model every node is charged with (the paper's year-2000
+    /// SCSI by default). The adaptive planner reads its contention model,
+    /// so the device choice changes the merge plan, not just the bill.
+    pub disk_model: pdm::DiskModel,
     /// PDM block size in bytes.
     pub block_bytes: usize,
     /// Trial seed (vary per repetition).
@@ -97,6 +101,7 @@ impl TrialConfig {
             msg_records: 8 * 1024,
             net: NetworkModel::fast_ethernet(),
             storage: StorageKind::Memory,
+            disk_model: pdm::DiskModel::scsi_2000(),
             block_bytes: 32 * 1024,
             seed: 1,
             jitter: 0.03,
@@ -167,6 +172,7 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         .with_net(cfg.net.clone())
         .with_block_bytes(cfg.block_bytes)
         .with_storage(cfg.storage)
+        .with_disk_model(cfg.disk_model.clone())
         .with_seed(cfg.seed)
         .with_jitter(cfg.jitter)
         .with_tracing(cfg.trace);

@@ -41,9 +41,14 @@ pub struct PipelineConfig {
     pub merge_workers: usize,
     /// Whether `merge_workers` was set explicitly (an order) rather than as
     /// an advisory default. The merge planner honours explicit requests
-    /// unconditionally; advisory ones it may veto — e.g. on seek-dominated
-    /// devices where splitter probes are a predicted net loss.
+    /// unconditionally; advisory ones are a ceiling — the planner prices
+    /// every candidate with the device's contention model and picks the
+    /// cheapest (possibly the sequential merge).
     pub merge_workers_explicit: bool,
+    /// Device-adaptive mode: secondary knobs the user did not pin (prefetch
+    /// depth, for now) are derived from the disk model instead of their
+    /// defaults. Set via [`PipelineConfig::adaptive`].
+    pub adaptive: bool,
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +66,7 @@ impl PipelineConfig {
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
             merge_workers: 1,
             merge_workers_explicit: false,
+            adaptive: false,
         }
     }
 
@@ -73,6 +79,30 @@ impl PipelineConfig {
             prefetch_blocks: pdm::DEFAULT_PIPELINE_DEPTH,
             merge_workers: 1,
             merge_workers_explicit: false,
+            adaptive: false,
+        }
+    }
+
+    /// Fully device-adaptive execution: `workers` sort threads, merge
+    /// workers advisory up to the cap (the planner prices candidates per
+    /// device and may fall back to sequential), prefetch depth derived from
+    /// the device's queue depth. Every knob remains overridable with the
+    /// explicit builders.
+    pub fn adaptive(workers: usize) -> Self {
+        let mut p = PipelineConfig::with_workers(workers)
+            .with_advisory_merge_workers(crate::parallel_merge::MAX_MERGE_WORKERS);
+        p.adaptive = true;
+        p
+    }
+
+    /// Effective I/O queue depth for a device shared by `streams` request
+    /// streams: the explicit knob, unless this config is adaptive — then
+    /// the device model decides ([`crate::planner::planned_depth`]).
+    pub fn depth_for(&self, model: &pdm::DiskModel, streams: usize) -> usize {
+        if self.adaptive {
+            crate::planner::planned_depth(model, streams)
+        } else {
+            self.depth()
         }
     }
 
@@ -271,6 +301,26 @@ mod tests {
             1,
             "sequential merge by default"
         );
+    }
+
+    #[test]
+    fn adaptive_config_derives_knobs_from_the_device() {
+        let p = PipelineConfig::adaptive(4);
+        assert!(p.enabled && p.adaptive);
+        assert!(!p.merge_workers_explicit, "adaptive is advisory");
+        assert_eq!(
+            p.effective_merge_workers(),
+            crate::parallel_merge::MAX_MERGE_WORKERS
+        );
+        assert_eq!(p.depth_for(&pdm::DiskModel::scsi_2000(), 1), 2);
+        assert_eq!(p.depth_for(&pdm::DiskModel::nvme_modern(), 1), 8);
+        // Non-adaptive configs keep their explicit knob regardless of device.
+        let fixed = PipelineConfig::with_workers(2).with_prefetch_blocks(3);
+        assert_eq!(fixed.depth_for(&pdm::DiskModel::nvme_modern(), 1), 3);
+        // An explicit worker order still wins over the adaptive ceiling.
+        let pinned = PipelineConfig::adaptive(4).with_merge_workers(2);
+        assert!(pinned.merge_workers_explicit);
+        assert_eq!(pinned.effective_merge_workers(), 2);
     }
 
     #[test]

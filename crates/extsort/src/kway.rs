@@ -140,8 +140,8 @@ fn merge_run_group<R: Record>(
             .map(|r| MergeSegment::new(files[r.file].clone(), r.offset, r.len))
             .collect();
         let (produced, comparisons) = if cfg.pipeline.enabled {
-            let mut writer =
-                disk.create_write_behind::<R>(output, cfg.pipeline.depth(), pool.clone())?;
+            let depth = cfg.pipeline.depth_for(disk.model(), workers + 1);
+            let mut writer = disk.create_write_behind::<R>(output, depth, pool.clone())?;
             let out = parallel_merge_segments::<R, _>(disk, &segments, workers, pool, |batch| {
                 writer.push_all(batch)
             })?;
@@ -178,8 +178,8 @@ fn merge_run_group<R: Record>(
     let mut produced = 0u64;
     let comparisons;
     if cfg.pipeline.enabled {
-        let mut writer =
-            disk.create_write_behind::<R>(output, cfg.pipeline.depth(), pool.clone())?;
+        let depth = cfg.pipeline.depth_for(disk.model(), group.len() + 1);
+        let mut writer = disk.create_write_behind::<R>(output, depth, pool.clone())?;
         while let Some(x) = tree.next_record()? {
             writer.push(x)?;
             produced += 1;
@@ -262,8 +262,8 @@ pub fn merge_sorted_files_kernel<R: Record>(
             ));
         }
         let out = if pipeline.enabled {
-            let mut writer =
-                disk.create_write_behind::<R>(output, pipeline.depth(), pool.clone())?;
+            let depth = pipeline.depth_for(disk.model(), workers + 1);
+            let mut writer = disk.create_write_behind::<R>(output, depth, pool.clone())?;
             let out = parallel_merge_segments::<R, _>(disk, &segments, workers, &pool, |batch| {
                 writer.push_all(batch)
             })?;
@@ -280,11 +280,12 @@ pub fn merge_sorted_files_kernel<R: Record>(
         produced = out.records;
         comparisons = out.comparisons;
     } else if pipeline.enabled {
+        let depth = pipeline.depth_for(disk.model(), inputs.len() + 1);
         let mut readers = Vec::with_capacity(inputs.len());
         for name in inputs {
-            readers.push(disk.open_prefetch_reader::<R>(name, pipeline.depth(), pool.clone())?);
+            readers.push(disk.open_prefetch_reader::<R>(name, depth, pool.clone())?);
         }
-        let mut writer = disk.create_write_behind::<R>(output, pipeline.depth(), pool.clone())?;
+        let mut writer = disk.create_write_behind::<R>(output, depth, pool.clone())?;
         let mut tree = LoserTree::new(readers)?;
         let mut n = 0u64;
         while let Some(x) = tree.next_record()? {

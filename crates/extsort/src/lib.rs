@@ -43,6 +43,7 @@ pub mod kernel;
 pub mod kway;
 pub mod loser_tree;
 pub mod parallel_merge;
+pub mod planner;
 pub mod polyphase;
 pub mod report;
 pub mod run_formation;
@@ -61,6 +62,10 @@ pub use loser_tree::LoserTree;
 pub use parallel_merge::{
     parallel_merge_segments, plan_cuts, planned_workers, seek_dominated, MergePlan, MergeSegment,
     ParallelMergeOutcome, MAX_MERGE_WORKERS,
+};
+pub use planner::{
+    choose_merge_workers, plan_exchange, planned_depth, predict_merge_time, CpuCost, ExchangePlan,
+    MergeShape,
 };
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};

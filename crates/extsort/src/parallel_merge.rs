@@ -144,12 +144,16 @@ impl MergePlan {
 /// the merge is big enough to split. Capped at [`MAX_MERGE_WORKERS`].
 ///
 /// An *advisory* worker count (set via
-/// [`PipelineConfig::with_advisory_merge_workers`]) is additionally vetoed
-/// on seek-dominated devices: splitter probes are random reads priced at a
-/// full seek each, and on hardware like the paper's SCSI drives the probe
-/// bill exceeds what range-parallelism saves (the BENCH_parmerge cliff).
-/// Explicit counts ([`PipelineConfig::with_merge_workers`]) are always
-/// honoured.
+/// [`PipelineConfig::with_advisory_merge_workers`] or
+/// [`PipelineConfig::adaptive`]) is a *ceiling*, not an order: the planner
+/// prices every candidate in `1..=w` with the device's contention model
+/// ([`crate::planner::choose_merge_workers`]) — splitter-probe seeks plus
+/// queue wait at the candidate's stream count versus the CPU the extra
+/// workers save — and picks the cheapest. Because the sequential merge is
+/// always a candidate, an adaptive plan can never price worse than it; on
+/// hardware like the paper's SCSI drives (queue depth 1) that means falling
+/// back to 1 worker and bumping `merge.planner.seq_fallback`. Explicit
+/// counts ([`PipelineConfig::with_merge_workers`]) are always honoured.
 pub fn planned_workers<R: Record>(
     disk: &Disk,
     pipeline: &PipelineConfig,
@@ -160,11 +164,28 @@ pub fn planned_workers<R: Record>(
     if w <= 1 || !R::HAS_SORT_KEY || !R::KEY_IS_TOTAL || fan_in < 2 || records < 2 * w as u64 {
         return 1;
     }
-    if !pipeline.merge_workers_explicit && seek_dominated(disk) {
-        obs::counter_add("merge.planner.seq_fallback", 1);
-        return 1;
+    if pipeline.merge_workers_explicit {
+        return w;
     }
-    w
+    let shape = crate::planner::MergeShape {
+        fan_in,
+        records,
+        record_size: R::SIZE,
+        block_bytes: disk.block_bytes(),
+    };
+    let chosen = crate::planner::choose_merge_workers(
+        disk.model(),
+        &crate::planner::CpuCost::default(),
+        &shape,
+        w,
+        pipeline.enabled,
+    );
+    obs::counter_add("merge.planner.plans", 1);
+    obs::gauge_set("merge.planner.chosen_workers", chosen as f64);
+    if chosen == 1 {
+        obs::counter_add("merge.planner.seq_fallback", 1);
+    }
+    chosen
 }
 
 /// Whether a random block access on `disk` is priced at more than twice a
@@ -686,6 +707,50 @@ mod tests {
         // An explicit order overrides the veto on the same hardware.
         let explicit = PipelineConfig::off().with_merge_workers(4);
         assert_eq!(planned_workers::<u32>(&scsi, &explicit, 8, 1 << 20), 4);
+    }
+
+    #[test]
+    fn seq_fallback_counter_fires_on_scsi_and_stays_silent_on_nvme() {
+        use pdm::DiskModel;
+        let advisory = PipelineConfig::off().with_advisory_merge_workers(4);
+
+        let scsi_obs = obs::Obs::enabled();
+        {
+            let _g = obs::install(scsi_obs.clone());
+            let scsi = Disk::in_memory(32 * 1024).with_model(DiskModel::scsi_2000());
+            assert_eq!(planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20), 1);
+        }
+        let scsi_node = scsi_obs.finish(0, "scsi".to_string());
+        assert_eq!(
+            scsi_node.metrics.counters.get("merge.planner.seq_fallback"),
+            Some(&1),
+            "the planner must record its retreat to the sequential merge"
+        );
+        assert_eq!(
+            scsi_node.metrics.counters.get("merge.planner.plans"),
+            Some(&1)
+        );
+        assert_eq!(
+            scsi_node.metrics.gauges.get("merge.planner.chosen_workers"),
+            Some(&1.0)
+        );
+
+        let nvme_obs = obs::Obs::enabled();
+        {
+            let _g = obs::install(nvme_obs.clone());
+            let nvme = Disk::in_memory(32 * 1024).with_model(DiskModel::nvme_modern());
+            assert_eq!(planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20), 4);
+        }
+        let nvme_node = nvme_obs.finish(0, "nvme".to_string());
+        assert_eq!(
+            nvme_node.metrics.counters.get("merge.planner.seq_fallback"),
+            None,
+            "no fallback on a deep-queue device"
+        );
+        assert_eq!(
+            nvme_node.metrics.gauges.get("merge.planner.chosen_workers"),
+            Some(&4.0)
+        );
     }
 
     #[test]

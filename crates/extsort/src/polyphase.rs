@@ -78,7 +78,7 @@ impl<R: Record> PhaseWriter<R> {
         if cfg.pipeline.enabled {
             Ok(PhaseWriter::Pipelined(disk.create_write_behind::<R>(
                 name,
-                cfg.pipeline.depth(),
+                cfg.pipeline.depth_for(disk.model(), 2),
                 pool.clone(),
             )?))
         } else {

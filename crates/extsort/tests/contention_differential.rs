@@ -1,0 +1,108 @@
+//! Differential tests for the shared-disk contention model: pricing the
+//! queue must be *observationally invisible*. The contention model only
+//! changes what virtual time a delta costs — never the bytes on disk, and
+//! never the streaming I/O counters. Likewise the adaptive planner may pick
+//! different worker counts and prefetch depths per device, but the sorted
+//! output must stay byte-identical to the sequential oracle everywhere.
+
+use extsort::{balanced_kway_sort, polyphase_sort, ExtSortConfig, PipelineConfig};
+use pdm::{Disk, DiskModel, IoSnapshot, Record};
+use workloads::{generate_block, Benchmark, Layout};
+
+fn device_models() -> [DiskModel; 3] {
+    [
+        DiskModel::scsi_2000(),
+        DiskModel::nvme_modern(),
+        DiskModel::free(),
+    ]
+}
+
+/// Streaming I/O net of seeking reads (probes/prefills are the only I/O a
+/// wider plan is allowed to add, and they are broken out as
+/// `random_reads`/`seek_bytes`).
+fn non_seek(io: &IoSnapshot) -> (u64, u64, u64, u64, u64) {
+    (
+        io.blocks_read - io.random_reads,
+        io.bytes_read - io.seek_bytes,
+        io.blocks_written,
+        io.bytes_written,
+        io.files_created,
+    )
+}
+
+fn metered<R: Record, T>(
+    model: &DiskModel,
+    block_bytes: usize,
+    data: &[R],
+    f: impl FnOnce(&Disk) -> T,
+) -> (Disk, T, IoSnapshot) {
+    let disk = Disk::in_memory(block_bytes).with_model(model.clone());
+    disk.write_file("in", data).unwrap();
+    let before = disk.stats().snapshot();
+    let out = f(&disk);
+    let delta = disk.stats().snapshot().delta(&before);
+    (disk, out, delta)
+}
+
+/// The contention model is pure pricing: running the *identical* sequential
+/// sort on every device model produces byte-identical files and identical
+/// I/O counters — queueing can only show up in virtual time.
+#[test]
+fn contention_pricing_never_touches_bytes_or_counters() {
+    for bench in [Benchmark::Uniform, Benchmark::Gaussian, Benchmark::Zero] {
+        let data = generate_block(bench, 47, Layout::single(2_000));
+        let cfg = ExtSortConfig::new(64).with_tapes(4);
+        let mut baseline: Option<(Vec<u32>, IoSnapshot)> = None;
+        for model in device_models() {
+            let (disk, _, io) = metered(&model, 64, &data, |d| {
+                polyphase_sort::<u32>(d, "in", "out", "pp", &cfg).unwrap()
+            });
+            let out = disk.read_file::<u32>("out").unwrap();
+            match &baseline {
+                None => baseline = Some((out, io)),
+                Some((b_out, b_io)) => {
+                    assert_eq!(&out, b_out, "{bench}/{}: output differs", model.name);
+                    assert_eq!(&io, b_io, "{bench}/{}: metered I/O differs", model.name);
+                }
+            }
+        }
+    }
+}
+
+/// The adaptive planner picks per-device plans (sequential on the SCSI
+/// cliff, wide on NVMe, device-derived prefetch depth), but every plan must
+/// produce the sequential oracle's bytes and streaming I/O.
+#[test]
+fn adaptive_plans_match_the_sequential_oracle() {
+    for bench in [
+        Benchmark::Uniform,
+        Benchmark::ZipfDuplicates,
+        Benchmark::Sorted,
+    ] {
+        let data = generate_block(bench, 48, Layout::single(2_000));
+        let seq_cfg = ExtSortConfig::new(64).with_tapes(4);
+        let (d_seq, r_seq, io_seq) = metered(&DiskModel::scsi_2000(), 64, &data, |d| {
+            balanced_kway_sort::<u32>(d, "in", "out", "kw", &seq_cfg).unwrap()
+        });
+        let oracle = d_seq.read_file::<u32>("out").unwrap();
+        for model in device_models() {
+            let ada_cfg = seq_cfg.clone().with_pipeline(PipelineConfig::adaptive(2));
+            let (d_ada, r_ada, io_ada) = metered(&model, 64, &data, |d| {
+                balanced_kway_sort::<u32>(d, "in", "out", "kw", &ada_cfg).unwrap()
+            });
+            assert_eq!(
+                d_ada.read_file::<u32>("out").unwrap(),
+                oracle,
+                "{bench}/{}: adaptive output differs from the oracle",
+                model.name
+            );
+            assert_eq!(r_ada.records, r_seq.records, "{bench}/{}", model.name);
+            assert_eq!(
+                non_seek(&io_ada),
+                non_seek(&io_seq),
+                "{bench}/{}: adaptive streaming I/O differs",
+                model.name
+            );
+        }
+    }
+}

@@ -105,6 +105,8 @@ pub struct IoBatch {
     files: Vec<RawFile>,
     next_id: u64,
     in_flight: usize,
+    /// One open request stream per worker lane, for queue diagnostics.
+    _streams: Vec<crate::stats::StreamGuard>,
 }
 
 impl std::fmt::Debug for IoBatch {
@@ -140,6 +142,7 @@ impl IoBatch {
                 std::thread::spawn(move || worker_loop(&queue, &done))
             })
             .collect();
+        let streams = (0..workers).map(|_| disk.stats().stream_opened()).collect();
         IoBatch {
             disk,
             queue,
@@ -149,6 +152,7 @@ impl IoBatch {
             files: Vec::new(),
             next_id: 0,
             in_flight: 0,
+            _streams: streams,
         }
     }
 

@@ -69,6 +69,8 @@ pub struct BlockWriter<R: Record> {
     written: u64,
     finished: bool,
     codec: Codec,
+    /// Marks this writer as an open request stream for queue diagnostics.
+    _stream: crate::stats::StreamGuard,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -87,6 +89,8 @@ pub struct BlockReader<R: Record> {
     buf_end: u64,
     records_per_block: usize,
     codec: Codec,
+    /// Marks this reader as an open request stream for queue diagnostics.
+    _stream: crate::stats::StreamGuard,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -135,6 +139,7 @@ impl Disk {
             written: 0,
             finished: false,
             codec: self.codec(),
+            _stream: self.stats().stream_opened(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -179,6 +184,7 @@ impl Disk {
             buf_end: 0,
             records_per_block,
             codec: self.codec(),
+            _stream: self.stats().stream_opened(),
             _marker: std::marker::PhantomData,
         })
     }

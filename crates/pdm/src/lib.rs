@@ -38,11 +38,11 @@ pub use batch::{FileHandle, IoBackend, IoBatch, IoCompletion};
 pub use disk::{Backend, Disk};
 pub use error::{PdmError, PdmResult};
 pub use file::{BlockReader, BlockWriter, Codec};
-pub use model::DiskModel;
+pub use model::{ContentionModel, DiskModel};
 pub use params::PdmParams;
 pub use pipeline::{PrefetchReader, WriteBehindWriter, DEFAULT_PIPELINE_DEPTH};
 pub use pool::BufferPool;
 pub use record::Record;
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoSnapshot, IoStats, StreamGuard};
 pub use stripe::DiskArray;
 pub use tempdir::ScratchDir;

@@ -70,6 +70,8 @@ pub struct PrefetchReader<R: Record> {
     source: ReadSource,
     pool: BufferPool,
     codec: Codec,
+    /// Marks this prefetcher as an open request stream for queue diagnostics.
+    _stream: crate::stats::StreamGuard,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -216,6 +218,7 @@ impl Disk {
             source,
             pool,
             codec: self.codec(),
+            _stream: self.stats().stream_opened(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -418,6 +421,8 @@ pub struct WriteBehindWriter<R: Record> {
     pool: BufferPool,
     written: u64,
     finished: bool,
+    /// Marks this writer as an open request stream for queue diagnostics.
+    _stream: crate::stats::StreamGuard,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -524,6 +529,7 @@ impl Disk {
             pool,
             written: 0,
             finished: false,
+            _stream: self.stats().stream_opened(),
             _marker: std::marker::PhantomData,
         })
     }

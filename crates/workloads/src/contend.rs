@@ -1,0 +1,147 @@
+//! Contended-I/O microbenchmark shape: many small concurrent readers on one
+//! disk.
+//!
+//! The sorting benchmarks stream a few large files; the shared-disk
+//! contention model's worst case is the opposite shape — lots of *small*
+//! readers interleaving requests on one spindle, each arrival evicting the
+//! head position the previous stream left behind. This generator builds that
+//! shape deterministically: `readers` files on one disk, drained
+//! round-robin one record at a time, so every block fetch lands between two
+//! fetches from other streams.
+//!
+//! The walk itself is ordinary metered I/O — the returned
+//! [`ContendedReadOutcome`] carries the delta plus both prices (dedicated
+//! vs. shared at the observed stream count), so benches and tests can show
+//! the queue penalty a device pays without touching virtual clocks.
+
+use pdm::{Disk, IoSnapshot, PdmResult};
+use sim::SimDuration;
+
+/// What one contended round-robin read pass produced.
+#[derive(Debug, Clone)]
+pub struct ContendedReadOutcome {
+    /// Records drained across all streams.
+    pub records: u64,
+    /// The metered I/O delta of the pass (identical for every device model —
+    /// contention is pure pricing).
+    pub io: IoSnapshot,
+    /// Peak concurrently-open streams the disk observed during the pass.
+    pub peak_streams: usize,
+    /// The delta priced as a lone stream ([`pdm::DiskModel::service_time`]).
+    pub dedicated: SimDuration,
+    /// The delta priced with every reader contending
+    /// ([`pdm::DiskModel::shared_service_time`] at `peak_streams`).
+    pub shared: SimDuration,
+}
+
+impl ContendedReadOutcome {
+    /// Queueing delay the device charges this shape: `shared − dedicated`.
+    pub fn queue_penalty(&self) -> SimDuration {
+        self.shared - self.dedicated
+    }
+}
+
+/// Runs the many-small-readers shape: writes `readers` files of
+/// `records_per_reader` keyed records (deterministic in `seed`), opens them
+/// all concurrently, and drains them round-robin one record at a time.
+///
+/// # Errors
+/// Propagates any I/O error from the underlying disk.
+pub fn contended_readers(
+    disk: &Disk,
+    readers: usize,
+    records_per_reader: usize,
+    seed: u64,
+) -> PdmResult<ContendedReadOutcome> {
+    let readers = readers.max(1);
+    let names: Vec<String> = (0..readers).map(|i| format!("contend{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let data: Vec<u32> = (0..records_per_reader as u32)
+            .map(|r| {
+                r.wrapping_mul(2654435761)
+                    .wrapping_add(seed as u32 ^ i as u32)
+            })
+            .collect();
+        disk.write_file(name, &data)?;
+    }
+
+    disk.stats().reset_peak_streams();
+    let before = disk.stats().snapshot();
+    let mut open: Vec<_> = names
+        .iter()
+        .map(|n| disk.open_reader::<u32>(n))
+        .collect::<PdmResult<Vec<_>>>()?;
+    let mut records = 0u64;
+    // Round-robin: each visit takes one record, so consecutive block fetches
+    // belong to different streams — the adversarial arrival order.
+    while !open.is_empty() {
+        let mut i = 0;
+        while i < open.len() {
+            match open[i].next_record()? {
+                Some(_) => {
+                    records += 1;
+                    i += 1;
+                }
+                None => {
+                    open.remove(i);
+                }
+            }
+        }
+    }
+    let io = disk.stats().snapshot().delta(&before);
+    let peak_streams = disk.stats().peak_streams() as usize;
+    let model = disk.model();
+    Ok(ContendedReadOutcome {
+        records,
+        io,
+        peak_streams,
+        dedicated: model.service_time(&io),
+        shared: model.shared_service_time(&io, peak_streams),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::DiskModel;
+
+    #[test]
+    fn round_robin_opens_every_stream_concurrently() {
+        let disk = Disk::in_memory(64);
+        let out = contended_readers(&disk, 8, 100, 7).unwrap();
+        assert_eq!(out.records, 8 * 100);
+        assert_eq!(out.peak_streams, 8);
+        assert_eq!(out.io.blocks_read, 8 * 100u64.div_ceil(16));
+    }
+
+    #[test]
+    fn scsi_pays_a_queue_penalty_nvme_does_not() {
+        let scsi = Disk::in_memory(64).with_model(DiskModel::scsi_2000());
+        let s = contended_readers(&scsi, 8, 100, 7).unwrap();
+        assert!(
+            s.queue_penalty() > SimDuration::ZERO,
+            "a queue-depth-1 device must charge the interleaved streams"
+        );
+        let nvme = Disk::in_memory(64).with_model(DiskModel::nvme_modern());
+        let n = contended_readers(&nvme, 8, 100, 7).unwrap();
+        assert_eq!(
+            n.queue_penalty(),
+            SimDuration::ZERO,
+            "8 streams fit in NVMe's queue"
+        );
+        // Same shape, same metered I/O: contention is pure pricing.
+        assert_eq!(s.io, n.io);
+    }
+
+    #[test]
+    fn deeper_contention_costs_more_on_shallow_queues() {
+        let model = DiskModel::scsi_2000();
+        let few =
+            contended_readers(&Disk::in_memory(64).with_model(model.clone()), 2, 400, 3).unwrap();
+        let many = contended_readers(&Disk::in_memory(64).with_model(model), 16, 50, 3).unwrap();
+        // Equal data volume, same device: more interleaved streams means a
+        // larger share of arrivals lose their head position.
+        assert_eq!(few.records, many.records);
+        assert!(many.queue_penalty() > few.queue_penalty());
+    }
+}

@@ -14,7 +14,8 @@ import sys
 
 PHASES = {"local-sort", "pivots", "partition", "redistribute", "merge",
           "partition+redistribute", "exchange-merge"}
-REQUIRED_NODE_COUNTERS = ["io.blocks_read", "io.blocks_written", "net.sent_bytes"]
+REQUIRED_NODE_COUNTERS = ["io.blocks_read", "io.blocks_written", "net.sent_bytes",
+                          "io.queue.wait_us"]
 REQUIRED_CLUSTER_GAUGES = ["skew.expansion", "skew.bound", "skew.within_bound"]
 
 

@@ -15,8 +15,8 @@ import sys
 WORKER_LADDER = [1, 2, 4]
 KERNELS = {"comparison", "radix"}
 ROW_KEYS = {
-    "kernel", "workers", "virtual_secs", "virtual_secs_scsi", "speedup",
-    "probe_random_reads", "wall_secs",
+    "kernel", "workers", "virtual_secs", "virtual_secs_scsi",
+    "virtual_secs_scsi_shared", "speedup", "probe_random_reads", "wall_secs",
 }
 
 
@@ -56,9 +56,18 @@ def main(path):
         if (kernel, workers) in seen:
             fail(f"duplicate row ({kernel}, {workers})")
         seen.add((kernel, workers))
-        for key in ("virtual_secs", "virtual_secs_scsi", "speedup"):
+        for key in ("virtual_secs", "virtual_secs_scsi",
+                    "virtual_secs_scsi_shared", "speedup"):
             if not isinstance(row[key], (int, float)) or row[key] <= 0:
                 fail(f"({kernel}, {workers}): {key} must be positive")
+        # Sharing the disk can only add queueing delay on top of the
+        # dedicated SCSI price; a lone stream pays exactly the old price.
+        if row["virtual_secs_scsi_shared"] < row["virtual_secs_scsi"] - 1e-9:
+            fail(f"({kernel}, {workers}): contention-priced SCSI time "
+                 "undercuts the dedicated price")
+        if workers == 1 and abs(row["virtual_secs_scsi_shared"]
+                                - row["virtual_secs_scsi"]) > 1e-9:
+            fail(f"({kernel}, 1): one stream must pay the dedicated price")
         if not isinstance(row["probe_random_reads"], int) or row["probe_random_reads"] < 0:
             fail(f"({kernel}, {workers}): probe_random_reads must be a "
              "non-negative integer")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_planner.json file (stdlib only).
+
+Usage: python3 schemas/validate_planner.py BENCH_planner.json
+
+Checks the output of the `planner_speedup` bench binary: both devices
+across the fixed worker ladder plus one adaptive row each, positive
+contention-priced virtual times, and the planner's headline claims —
+on scsi_2000 the adaptive plan is within 5% of the best fixed
+configuration and never worse than sequential; on nvme_modern it picks
+a wide plan that beats sequential.
+"""
+
+import json
+import sys
+
+FIXED_LADDER = [1, 2, 4]
+DEVICES = {"scsi_2000", "nvme_modern"}
+PLANS = {"fixed", "adaptive"}
+ROW_KEYS = {"device", "plan", "workers", "virtual_secs", "speedup",
+            "wall_secs"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "planner_speedup":
+        fail(f"bench must be 'planner_speedup', got {doc.get('bench')!r}")
+    if not isinstance(doc.get("n"), int) or doc["n"] <= 0:
+        fail("n must be a positive integer")
+    if doc.get("fixed_ladder") != FIXED_LADDER:
+        fail(f"fixed_ladder must be {FIXED_LADDER}, "
+             f"got {doc.get('fixed_ladder')!r}")
+    if doc.get("pricing") != "shared_service_time":
+        fail("pricing must be 'shared_service_time' (the contention model)")
+    if set(doc.get("devices", [])) != DEVICES:
+        fail(f"devices must be {sorted(DEVICES)}, got {doc.get('devices')!r}")
+
+    rows = doc.get("rows")
+    expected = len(DEVICES) * (len(FIXED_LADDER) + 1)
+    if not isinstance(rows, list) or len(rows) != expected:
+        fail(f"expected {expected} rows, got "
+             f"{len(rows) if isinstance(rows, list) else rows!r}")
+
+    seen = set()
+    times = {}
+    for row in rows:
+        if set(row) != ROW_KEYS:
+            fail(f"row keys {sorted(row)} != expected {sorted(ROW_KEYS)}")
+        device, plan, workers = row["device"], row["plan"], row["workers"]
+        if device not in DEVICES:
+            fail(f"unknown device {device!r}")
+        if plan not in PLANS:
+            fail(f"unknown plan {plan!r}")
+        if plan == "fixed" and workers not in FIXED_LADDER:
+            fail(f"fixed workers must be in {FIXED_LADDER}, got {workers}")
+        if plan == "adaptive" and not (1 <= workers <= doc["advisory_cap"]):
+            fail(f"adaptive workers {workers} outside "
+                 f"[1, {doc['advisory_cap']}]")
+        key = (device, plan, workers if plan == "fixed" else None)
+        if key in seen:
+            fail(f"duplicate row {key}")
+        seen.add(key)
+        for k in ("virtual_secs", "speedup"):
+            if not isinstance(row[k], (int, float)) or row[k] <= 0:
+                fail(f"{device}/{plan}/{workers}: {k} must be positive")
+        times[(device, plan, workers if plan == "fixed" else "ada")] = \
+            row["virtual_secs"]
+
+    for device in DEVICES:
+        seq = times[(device, "fixed", 1)]
+        ada = times[(device, "adaptive", "ada")]
+        best = min(times[(device, "fixed", w)] for w in FIXED_LADDER)
+        if ada > seq * (1 + 1e-9):
+            fail(f"{device}: adaptive plan {ada} worse than sequential {seq}")
+        if ada > best * 1.05:
+            fail(f"{device}: adaptive plan {ada} more than 5% off the best "
+                 f"fixed config {best}")
+
+    vs_best = doc.get("scsi_adaptive_vs_best_fixed")
+    if not isinstance(vs_best, (int, float)) or vs_best > 1.05:
+        fail(f"scsi_adaptive_vs_best_fixed must be <= 1.05, got {vs_best!r}")
+    vs_seq = doc.get("scsi_adaptive_vs_sequential")
+    if not isinstance(vs_seq, (int, float)) or vs_seq > 1.0 + 1e-9:
+        fail(f"scsi_adaptive_vs_sequential must be <= 1.0, got {vs_seq!r}")
+    nvme = doc.get("nvme_adaptive_speedup")
+    if not isinstance(nvme, (int, float)) or nvme <= 1.0:
+        fail(f"nvme_adaptive_speedup must exceed 1.0, got {nvme!r}")
+
+    print(f"planner ok: {len(rows)} rows, scsi adaptive/best {vs_best:.3f}, "
+          f"nvme adaptive speedup {nvme:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
