@@ -17,7 +17,8 @@
 //!                 [--workers W] [--merge-workers W|auto]
 //!                 [--disk scsi|nvme|free] [--kernel radix|comparison]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
-//!                 [--profile] [--streaming-merge]
+//!                 [--critpath-out critpath.json] [--whatif]
+//!                 [--calibration-report] [--profile] [--streaming-merge]
 //! ```
 //!
 //! `--workers W` (W >= 1) enables the pipelined execution engine: W
@@ -52,6 +53,14 @@
 //! value) prints a per-node phase Gantt chart plus the PSRS skew table to
 //! the terminal. Tracing never touches the virtual clocks: the reported
 //! times, outputs and I/O counters are identical with and without it.
+//!
+//! `--critpath-out PATH`, `--whatif` and `--calibration-report` drive the
+//! critical-path profiler over the same trace: `--critpath-out` writes the
+//! blame-attributed critical path as JSON (`hetsort-critpath-v1`),
+//! `--whatif` (bare flag) prints the ranked what-if table — for each blame
+//! category, the estimated makespan if that cost were eliminated — and
+//! `--calibration-report` (bare flag) prints the planner's predicted merge
+//! time against the measured merge span per node, with residuals.
 //!
 //! `--streaming-merge` (a bare flag) fuses PSRS steps 3-5 into one
 //! streaming exchange-merge: partition chunks feed the final merge
@@ -99,7 +108,7 @@ impl Options {
         /// Flags that may appear bare (no value): `--profile` alone means
         /// `--profile true`. A following token that is itself a `--flag`
         /// is not consumed as the value.
-        const BOOL_FLAGS: &[&str] = &["profile", "streaming-merge"];
+        const BOOL_FLAGS: &[&str] = &["profile", "streaming-merge", "whatif", "calibration-report"];
         let mut it = args.iter().peekable();
         let command = it.next().ok_or_else(usage)?.clone();
         let mut flags = HashMap::new();
@@ -398,8 +407,16 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
     };
     let trace_out = opts.flags.get("trace-out").cloned();
     let metrics_out = opts.flags.get("metrics-out").cloned();
+    let critpath_out = opts.flags.get("critpath-out").cloned();
     let profile = opts.flag("profile")?;
-    cfg.trace = trace_out.is_some() || metrics_out.is_some() || profile;
+    let whatif = opts.flag("whatif")?;
+    let calibration = opts.flag("calibration-report")?;
+    cfg.trace = trace_out.is_some()
+        || metrics_out.is_some()
+        || critpath_out.is_some()
+        || profile
+        || whatif
+        || calibration;
     let result = run_trial(&cfg).map_err(|e| e.to_string())?;
     let mut out = format!(
         "sorted n = {} on {} nodes in {:.3} virtual seconds\n\
@@ -428,6 +445,30 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
         if profile {
             out.push('\n');
             out.push_str(&obs::render_profile(obs));
+        }
+        if critpath_out.is_some() || whatif {
+            match obs::critical_path(obs) {
+                Some(path) => {
+                    if let Some(p) = &critpath_out {
+                        std::fs::write(p, obs::critpath_json(&path))
+                            .map_err(|e| format!("cannot write {p:?}: {e}"))?;
+                        out.push_str(&format!("\nwrote critical path to {p:?}"));
+                    }
+                    if whatif {
+                        out.push('\n');
+                        out.push_str(&obs::render_whatif(&path));
+                    }
+                }
+                None => out.push_str("\nno critical path: run recorded no phase costs"),
+            }
+        }
+        if calibration {
+            out.push('\n');
+            out.push_str(
+                obs::calibration_report(obs)
+                    .as_deref()
+                    .unwrap_or("no calibration data: run recorded no merge predictions"),
+            );
         }
     }
     Ok(out)

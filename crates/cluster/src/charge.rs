@@ -84,6 +84,22 @@ impl Work {
     }
 }
 
+/// The largest single clock jump caused by a message arrival since the
+/// last [`Charger::take_dominant`]. Pure bookkeeping for the critical-path
+/// analyzer: identifies which sender the node was actually waiting on
+/// during a phase, and when that message departed the sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DominantWait {
+    /// Rank of the sender whose message caused the jump.
+    pub from: usize,
+    /// Virtual time the message left the sender.
+    pub depart: SimTime,
+    /// Virtual time the message arrived (the clock's new value).
+    pub arrival: SimTime,
+    /// Size of the clock jump.
+    pub jump: SimDuration,
+}
+
 /// Per-node time accounting.
 #[derive(Debug)]
 pub struct Charger {
@@ -106,6 +122,13 @@ pub struct Charger {
     wait_time: SimDuration,
     io_queue_wait: SimDuration,
     overlap_saved: SimDuration,
+    /// Read/write split of [`Self::io_time`]: each charged delta is
+    /// apportioned by the ratio of its raw read-only and write-only service
+    /// prices, so `io_read_time + io_write_time == io_time` exactly.
+    io_read_time: SimDuration,
+    io_write_time: SimDuration,
+    /// Largest arrival-induced clock jump since the last `take_dominant`.
+    dominant: Option<DominantWait>,
 }
 
 impl Charger {
@@ -133,6 +156,9 @@ impl Charger {
             wait_time: SimDuration::ZERO,
             io_queue_wait: SimDuration::ZERO,
             overlap_saved: SimDuration::ZERO,
+            io_read_time: SimDuration::ZERO,
+            io_write_time: SimDuration::ZERO,
+            dominant: None,
         }
     }
 
@@ -244,6 +270,31 @@ impl Charger {
         if wait_raw > SimDuration::ZERO && io_raw > SimDuration::ZERO {
             self.io_queue_wait += charged_io.scale(wait_raw.as_secs() / io_raw.as_secs());
         }
+        // Split the single charge into read and write shares by pricing the
+        // read-only and write-only sub-deltas at raw (un-jittered, dedicated)
+        // service time. No extra jitter draws: the split only apportions the
+        // charge already drawn above, keeping the clock bit-identical.
+        let read_delta = IoSnapshot {
+            blocks_read: delta.blocks_read,
+            bytes_read: delta.bytes_read,
+            random_reads: delta.random_reads,
+            seek_bytes: delta.seek_bytes,
+            ..Default::default()
+        };
+        let write_delta = IoSnapshot {
+            blocks_written: delta.blocks_written,
+            bytes_written: delta.bytes_written,
+            files_created: delta.files_created,
+            ..Default::default()
+        };
+        let read_raw = model.service_time(&read_delta).as_secs();
+        let write_raw = model.service_time(&write_delta).as_secs();
+        let total_raw = read_raw + write_raw;
+        if total_raw > 0.0 {
+            let read_share = charged_io.scale(read_raw / total_raw);
+            self.io_read_time += read_share;
+            self.io_write_time += charged_io - read_share;
+        }
         self.io_time += charged_io;
         charged_io
     }
@@ -288,6 +339,9 @@ impl Charger {
         self.wait_time = SimDuration::ZERO;
         self.io_queue_wait = SimDuration::ZERO;
         self.overlap_saved = SimDuration::ZERO;
+        self.io_read_time = SimDuration::ZERO;
+        self.io_write_time = SimDuration::ZERO;
+        self.dominant = None;
     }
 
     /// Merges a message arrival timestamp (may jump the clock forward).
@@ -296,6 +350,31 @@ impl Charger {
         let before = self.clock.now();
         self.clock.merge(arrival);
         self.wait_time += self.clock.now().since(before);
+    }
+
+    /// [`Self::merge_arrival`] with sender provenance: if this arrival jumps
+    /// the clock further than any other since the last [`Self::take_dominant`],
+    /// it is remembered as the dominant wait. Pure bookkeeping — the clock
+    /// and wait accounting are bit-identical to `merge_arrival`.
+    pub fn merge_arrival_from(&mut self, arrival: SimTime, from: usize, depart: SimTime) {
+        let before = self.clock.now();
+        self.clock.merge(arrival);
+        let jump = self.clock.now().since(before);
+        self.wait_time += jump;
+        if jump > SimDuration::ZERO && self.dominant.is_none_or(|d| jump > d.jump) {
+            self.dominant = Some(DominantWait {
+                from,
+                depart,
+                arrival: self.clock.now(),
+                jump,
+            });
+        }
+    }
+
+    /// Takes (and clears) the dominant message wait recorded since the last
+    /// call. `None` if no arrival jumped the clock in the interval.
+    pub fn take_dominant(&mut self) -> Option<DominantWait> {
+        self.dominant.take()
     }
 
     /// Cumulative charged CPU time.
@@ -311,6 +390,17 @@ impl Charger {
     /// Cumulative time spent waiting on messages.
     pub fn wait_time(&self) -> SimDuration {
         self.wait_time
+    }
+
+    /// Read share of [`Self::io_time`] (apportioned per charged delta by
+    /// raw service price; includes the read side's queueing share).
+    pub fn io_read_time(&self) -> SimDuration {
+        self.io_read_time
+    }
+
+    /// Write share of [`Self::io_time`].
+    pub fn io_write_time(&self) -> SimDuration {
+        self.io_write_time
     }
 
     /// Cumulative share of [`Self::io_time`] attributable to disk queueing
@@ -701,6 +791,71 @@ mod tests {
         assert!(c.io_queue_wait() > SimDuration::ZERO);
         c.reset();
         assert_eq!(c.io_queue_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn io_split_sums_to_io_time() {
+        let mut c = test_charger(2.0);
+        let data: Vec<u32> = (0..1024).collect();
+        c.disk().write_file("f", &data).unwrap();
+        c.sync_io();
+        // Write-only delta: everything lands on the write side.
+        assert_eq!(c.io_read_time(), SimDuration::ZERO);
+        assert!((c.io_write_time().as_secs() - c.io_time().as_secs()).abs() < 1e-12);
+
+        let _: Vec<u32> = c.disk().read_file("f").unwrap();
+        c.sync_io();
+        // Mixed cumulative totals still sum exactly.
+        assert!(c.io_read_time() > SimDuration::ZERO);
+        let sum = c.io_read_time() + c.io_write_time();
+        assert!((sum.as_secs() - c.io_time().as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_split_read_only_delta_is_all_read() {
+        let mut c = test_charger(1.0);
+        c.disk()
+            .write_file::<u32>("f", &(0..512).collect::<Vec<_>>())
+            .unwrap();
+        c.sync_io();
+        let write_side = c.io_write_time();
+        let _: Vec<u32> = c.disk().read_file("f").unwrap();
+        c.sync_io();
+        assert_eq!(c.io_write_time(), write_side, "reads must not bill writes");
+        assert!(c.io_read_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dominant_wait_tracks_largest_jump() {
+        let mut c = test_charger(1.0);
+        assert!(c.take_dominant().is_none());
+        c.merge_arrival_from(SimTime::from_secs(1.0), 2, SimTime::from_secs(0.5));
+        c.merge_arrival_from(SimTime::from_secs(1.5), 3, SimTime::from_secs(0.2));
+        // Second jump (0.5s) is smaller than the first (1.0s).
+        let d = c.take_dominant().expect("dominant recorded");
+        assert_eq!(d.from, 2);
+        assert_eq!(d.arrival, SimTime::from_secs(1.0));
+        assert_eq!(d.depart, SimTime::from_secs(0.5));
+        assert!((d.jump.as_secs() - 1.0).abs() < 1e-12);
+        // take_dominant clears the record.
+        assert!(c.take_dominant().is_none());
+        // Arrivals in the past record nothing.
+        c.merge_arrival_from(SimTime::ZERO, 1, SimTime::ZERO);
+        assert!(c.take_dominant().is_none());
+        // Wait accounting matches plain merge_arrival.
+        assert_eq!(c.wait_time(), SimDuration::from_secs(1.5));
+    }
+
+    #[test]
+    fn reset_zeroes_io_split_and_dominant() {
+        let mut c = test_charger(1.0);
+        c.disk().write_file::<u32>("f", &[1, 2, 3]).unwrap();
+        c.sync_io();
+        c.merge_arrival_from(SimTime::from_secs(9.0), 1, SimTime::ZERO);
+        c.reset();
+        assert_eq!(c.io_read_time(), SimDuration::ZERO);
+        assert_eq!(c.io_write_time(), SimDuration::ZERO);
+        assert!(c.take_dominant().is_none());
     }
 
     #[test]

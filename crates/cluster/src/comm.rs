@@ -48,6 +48,11 @@ pub struct Message {
     pub tag: Tag,
     /// Virtual time at which the bytes are fully available at the receiver.
     pub arrival: SimTime,
+    /// Virtual time at which transmission started on the sender's link
+    /// (equals the send instant for self-sends). Provenance for the
+    /// critical-path analyzer: the receiver's wait on this message traces
+    /// back to the sender at this instant.
+    pub depart: SimTime,
     /// Payload.
     pub bytes: Vec<u8>,
 }
@@ -131,8 +136,8 @@ impl Endpoint {
     /// Self-sends are free local moves.
     pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>, charger: &mut Charger) {
         assert!(to < self.p, "send to rank {to} of {}", self.p);
-        let arrival = if to == self.rank {
-            charger.now()
+        let (depart, arrival) = if to == self.rank {
+            (charger.now(), charger.now())
         } else {
             charger.charge_cpu_raw(self.net.send_overhead);
             self.sent_messages += 1;
@@ -143,12 +148,13 @@ impl Endpoint {
             let transfer = self.net.wire_time(bytes.len() as u64) - self.net.latency;
             let depart = charger.now().merge(self.link_free[to]);
             self.link_free[to] = depart + transfer;
-            depart + transfer + self.net.latency
+            (depart, depart + transfer + self.net.latency)
         };
         let msg = Message {
             from: self.rank,
             tag,
             arrival,
+            depart,
             bytes,
         };
         self.txs[to].send(msg).expect("receiver endpoint dropped");
@@ -195,7 +201,7 @@ impl Endpoint {
         if msg.from != self.rank {
             charger.charge_cpu_raw(self.net.recv_overhead);
         }
-        charger.merge_arrival(msg.arrival);
+        charger.merge_arrival_from(msg.arrival, msg.from, msg.depart);
     }
 
     /// Moves everything sitting in the inbound channel onto the pending
@@ -257,7 +263,7 @@ impl Endpoint {
             self.drain_channel();
             if let Some(i) = self.earliest_pending(tags) {
                 let msg = self.pending.remove(i);
-                charger.merge_arrival(msg.arrival);
+                charger.merge_arrival_from(msg.arrival, msg.from, msg.depart);
                 return msg;
             }
             match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {

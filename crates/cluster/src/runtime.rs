@@ -29,6 +29,21 @@ pub struct PhaseMark {
     pub sent_bytes: u64,
 }
 
+/// Cumulative charger readings at the previous phase mark; deltas against
+/// it become one [`obs::PhaseCost`] record. Pure bookkeeping — only reads
+/// accessors, never touches the clock.
+#[derive(Debug, Clone, Copy, Default)]
+struct CostCursor {
+    cpu: f64,
+    io_read: f64,
+    io_write: f64,
+    queue_wait: f64,
+    overlap_saved: f64,
+    wait: f64,
+    coll_wait: f64,
+    credit_wait: f64,
+}
+
 /// Everything a node function needs, bundled per node.
 pub struct NodeCtx {
     /// This node's rank in `0..p`.
@@ -50,6 +65,15 @@ pub struct NodeCtx {
     pub obs: Obs,
     endpoint: Endpoint,
     phases: Vec<PhaseMark>,
+    /// Cumulative message-wait seconds incurred inside collective spans
+    /// (the "idle straggler" share of wait time).
+    coll_wait: f64,
+    /// Cumulative wait seconds attributed to flow-control credit stalls
+    /// (reported by the streaming exchange-merge via
+    /// [`Self::note_credit_wait`]).
+    credit_wait: f64,
+    /// Charger readings at the previous phase mark.
+    cost_cursor: CostCursor,
 }
 
 impl NodeCtx {
@@ -63,24 +87,39 @@ impl NodeCtx {
         self.perf.iter().sum()
     }
 
-    /// Opens a collective span: `(wall, virtual)` at entry, or `None` when
-    /// tracing is disabled (skips even the clock reads).
-    fn span_open(&self) -> Option<(f64, f64)> {
+    /// Opens a collective span: `(wall, virtual, cumulative wait)` at
+    /// entry, or `None` when tracing is disabled (skips even the clock
+    /// reads).
+    fn span_open(&self) -> Option<(f64, f64, f64)> {
         if self.obs.is_enabled() {
-            Some((self.obs.elapsed(), self.charger.now().as_secs()))
+            Some((
+                self.obs.elapsed(),
+                self.charger.now().as_secs(),
+                self.charger.wait_time().as_secs(),
+            ))
         } else {
             None
         }
     }
 
-    /// Closes a collective span opened by [`Self::span_open`].
-    fn span_close(&self, name: &'static str, opened: Option<(f64, f64)>) {
-        if let Some((w0, v0)) = opened {
+    /// Closes a collective span opened by [`Self::span_open`]; the wait
+    /// accumulated inside it is booked as collective (straggler) wait.
+    fn span_close(&mut self, name: &'static str, opened: Option<(f64, f64, f64)>) {
+        if let Some((w0, v0, wait0)) = opened {
             let w1 = self.obs.elapsed();
             let v1 = self.charger.now().as_secs();
             self.obs
                 .record_span(name, SpanKind::Collective, w0, w1, Some((v0, v1)));
+            self.coll_wait += (self.charger.wait_time().as_secs() - wait0).max(0.0);
         }
+    }
+
+    /// Books `secs` of already-charged message wait as a flow-control
+    /// credit stall (called by the streaming exchange-merge when a blocking
+    /// receive was entered while shipping was credit-blocked). Pure
+    /// attribution — the wait itself was charged by the arrival merge.
+    pub fn note_credit_wait(&mut self, secs: f64) {
+        self.credit_wait += secs.max(0.0);
     }
 
     /// Sends `bytes` to `to`.
@@ -194,6 +233,39 @@ impl NodeCtx {
             at,
             sent_bytes: self.endpoint.sent_bytes(),
         });
+        if self.obs.is_enabled() {
+            // Record the phase's resource deltas for the critical-path
+            // analyzer. Reads accessors only — the clock was already synced
+            // above, identically to the untraced path.
+            let cur = CostCursor {
+                cpu: self.charger.cpu_time().as_secs(),
+                io_read: self.charger.io_read_time().as_secs(),
+                io_write: self.charger.io_write_time().as_secs(),
+                queue_wait: self.charger.io_queue_wait().as_secs(),
+                overlap_saved: self.charger.overlap_saved().as_secs(),
+                wait: self.charger.wait_time().as_secs(),
+                coll_wait: self.coll_wait,
+                credit_wait: self.credit_wait,
+            };
+            let prev = self.cost_cursor;
+            let dom = self.charger.take_dominant();
+            self.obs.phase_cost(obs::PhaseCost {
+                name,
+                end: at.as_secs(),
+                cpu: (cur.cpu - prev.cpu).max(0.0),
+                io_read: (cur.io_read - prev.io_read).max(0.0),
+                io_write: (cur.io_write - prev.io_write).max(0.0),
+                queue_wait: (cur.queue_wait - prev.queue_wait).max(0.0),
+                overlap_saved: (cur.overlap_saved - prev.overlap_saved).max(0.0),
+                wait: (cur.wait - prev.wait).max(0.0),
+                coll_wait: (cur.coll_wait - prev.coll_wait).max(0.0),
+                credit_wait: (cur.credit_wait - prev.credit_wait).max(0.0),
+                dominant_from: dom.map_or(-1, |d| d.from as i64),
+                dominant_depart: dom.map_or(0.0, |d| d.depart.as_secs()),
+                dominant_arrival: dom.map_or(0.0, |d| d.arrival.as_secs()),
+            });
+            self.cost_cursor = cur;
+        }
         // Close the phase span on the tracer with the same stamp the mark
         // reports (the tracer itself never touches the clock).
         self.obs.phase_mark(name, at.as_secs());
@@ -207,6 +279,9 @@ impl NodeCtx {
         self.barrier();
         self.charger.reset();
         self.phases.clear();
+        self.coll_wait = 0.0;
+        self.credit_wait = 0.0;
+        self.cost_cursor = CostCursor::default();
         self.obs.reset();
     }
 
@@ -429,6 +504,9 @@ where
                         obs: node_obs,
                         endpoint,
                         phases: Vec::new(),
+                        coll_wait: 0.0,
+                        credit_wait: 0.0,
+                        cost_cursor: CostCursor::default(),
                     };
                     let value = f(&mut ctx);
                     ctx.charger.sync_io();
@@ -465,6 +543,10 @@ where
                             .gauge_set("time.cpu_secs", ctx.charger.cpu_time().as_secs());
                         ctx.obs
                             .gauge_set("time.io_secs", ctx.charger.io_time().as_secs());
+                        ctx.obs
+                            .gauge_set("time.io_read_secs", ctx.charger.io_read_time().as_secs());
+                        ctx.obs
+                            .gauge_set("time.io_write_secs", ctx.charger.io_write_time().as_secs());
                         ctx.obs
                             .gauge_set("time.wait_secs", ctx.charger.wait_time().as_secs());
                         ctx.obs.gauge_set(
@@ -660,6 +742,72 @@ mod tests {
             .expect("sender records message sizes");
         assert_eq!(hist.count, 1);
         assert_eq!(hist.sum, 12);
+    }
+
+    #[test]
+    fn tracing_records_phase_costs_satisfying_the_identity() {
+        let spec = ClusterSpec::new(vec![1, 2]).with_tracing(true);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.charger.charge_work(Work::comparisons(500_000));
+            ctx.disk
+                .write_file::<u32>("f", &(0..2048).collect::<Vec<_>>())
+                .unwrap();
+            ctx.mark_phase("work");
+            if ctx.rank == 0 {
+                ctx.send_records(1, Tag::user(3), &[9u32; 256]);
+            } else {
+                let _: Vec<u32> = ctx.recv_records(0, Tag::user(3));
+            }
+            ctx.barrier();
+            ctx.mark_phase("exchange");
+        });
+        for node in &report.nodes {
+            let costs = &node.obs.phase_costs;
+            assert_eq!(costs.len(), 2);
+            assert_eq!(costs[0].name, "work");
+            // The Charger identity: duration = cpu + io − overlap + wait,
+            // exactly, per phase.
+            let mut start = 0.0;
+            for c in costs {
+                let dur = c.end - start;
+                let accounted = c.cpu + c.io_read + c.io_write - c.overlap_saved + c.wait;
+                assert!(
+                    (dur - accounted).abs() < 1e-9,
+                    "node {} phase {}: dur {dur} vs accounted {accounted}",
+                    node.obs.node,
+                    c.name
+                );
+                start = c.end;
+            }
+            // Phase ends agree with the classic marks.
+            for (c, mark) in costs.iter().zip(&node.phases) {
+                assert_eq!(c.end, mark.at.as_secs());
+            }
+        }
+        // The receiver's exchange phase waited on node 0's message or the
+        // barrier; its dominant sender must be a real peer.
+        let recv_costs = &report.nodes[1].obs.phase_costs[1];
+        assert!(recv_costs.wait > 0.0);
+        if recv_costs.dominant_from >= 0 {
+            assert_eq!(recv_costs.dominant_from, 0);
+            assert!(recv_costs.dominant_depart <= recv_costs.dominant_arrival);
+        }
+        // The barrier wait was booked as collective straggling.
+        assert!(report
+            .nodes
+            .iter()
+            .any(|n| n.obs.phase_costs.iter().any(|c| c.coll_wait > 0.0)));
+    }
+
+    #[test]
+    fn untraced_run_records_no_phase_costs() {
+        let spec = ClusterSpec::homogeneous(2);
+        let report = run_cluster(&spec, |ctx| {
+            ctx.mark_phase("only");
+        });
+        for node in &report.nodes {
+            assert!(node.obs.phase_costs.is_empty());
+        }
     }
 
     #[test]

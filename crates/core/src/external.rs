@@ -449,6 +449,29 @@ pub fn psrs_external<R: Record>(
     }
     ctx.charger.set_io_streams(1);
     ctx.obs.gauge_set("merge.workers", merge_workers as f64);
+    if ctx.obs.is_enabled() {
+        // Record the planner's own prediction for this exact merge so the
+        // calibration report can join it against the measured span. The
+        // planner prices on the reference CPU; this node runs `slowdown`
+        // times slower, so scale the prediction into node-local seconds.
+        let shape = extsort::MergeShape {
+            fan_in: inputs.len(),
+            records: final_merge.records,
+            record_size: R::SIZE,
+            block_bytes: ctx.disk.block_bytes(),
+        };
+        let predicted = extsort::predict_merge_time(
+            ctx.disk.model(),
+            &extsort::CpuCost::default(),
+            &shape,
+            merge_workers,
+            cfg.pipeline.enabled || merge_workers > 1,
+        );
+        ctx.obs.gauge_set(
+            "planner.predicted_merge_secs",
+            predicted.as_secs() * ctx.charger.slowdown(),
+        );
+    }
     for name in &inputs {
         ctx.disk.remove(name)?;
     }
@@ -891,8 +914,16 @@ fn streaming_exchange_merge<R: Record>(
         let finished = st.done && st.scan_done;
         if !finished && !progress {
             // Nothing can move: the merge is waiting on a remote chunk
-            // or the scan on a credit. Both arrive as messages.
+            // or the scan on a credit. Both arrive as messages. When the
+            // scan is the blocked side (no send credit outstanding), book
+            // the blocking wait as credit time so the critical-path blame
+            // can separate flow-control stalls from data starvation.
+            let was_stalled = st.stalled;
+            let wait0 = ctx.charger.wait_time();
             let msg = ctx.recv_any(&tags);
+            if was_stalled {
+                ctx.note_credit_wait((ctx.charger.wait_time() - wait0).as_secs());
+            }
             st.handle_msg(ctx, msg, &mut scratch);
         }
     }
@@ -905,7 +936,9 @@ fn streaming_exchange_merge<R: Record>(
     // channels end the phase empty.
     for d in (0..p).filter(|&d| d != rank) {
         while st.credits[d] < CHUNK_CREDITS {
+            let wait0 = ctx.charger.wait_time();
             let msg = ctx.recv_any(&[TAG_PART_CREDIT]);
+            ctx.note_credit_wait((ctx.charger.wait_time() - wait0).as_secs());
             st.handle_msg(ctx, msg, &mut scratch);
         }
     }

@@ -201,6 +201,174 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
 }
 
+/// A parsed JSON value. Object members keep document order (the writer
+/// emits sorted registries, so order is meaningful for diffing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON has one numeric type).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered `(key, value)` members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` on other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`None` on non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` on non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single JSON document into a [`Json`] value. Same strictness
+/// as [`validate`] (in fact it validates first, so error offsets match).
+pub fn parse(s: &str) -> Result<Json, String> {
+    validate(s)?;
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    Ok(build_value(b, &mut pos))
+}
+
+/// Builds the value at `pos`; input is already validated, so this cannot
+/// fail and panics only on internal inconsistency.
+fn build_value(b: &[u8], pos: &mut usize) -> Json {
+    match b[*pos] {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b'}' {
+                *pos += 1;
+                return Json::Obj(members);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = build_string(b, pos);
+                skip_ws(b, pos);
+                *pos += 1; // ':'
+                skip_ws(b, pos);
+                let value = build_value(b, pos);
+                members.push((key, value));
+                skip_ws(b, pos);
+                if b[*pos] == b',' {
+                    *pos += 1;
+                } else {
+                    *pos += 1; // '}'
+                    return Json::Obj(members);
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b']' {
+                *pos += 1;
+                return Json::Arr(items);
+            }
+            loop {
+                items.push(build_value(b, pos));
+                skip_ws(b, pos);
+                if b[*pos] == b',' {
+                    *pos += 1;
+                    skip_ws(b, pos);
+                } else {
+                    *pos += 1; // ']'
+                    return Json::Arr(items);
+                }
+            }
+        }
+        b'"' => Json::Str(build_string(b, pos)),
+        b't' => {
+            *pos += 4;
+            Json::Bool(true)
+        }
+        b'f' => {
+            *pos += 5;
+            Json::Bool(false)
+        }
+        b'n' => {
+            *pos += 4;
+            Json::Null
+        }
+        _ => {
+            let start = *pos;
+            let _ = parse_number(b, pos);
+            let text = std::str::from_utf8(&b[start..*pos]).expect("validated ascii number");
+            Json::Num(text.parse().expect("validated number"))
+        }
+    }
+}
+
+fn build_string(b: &[u8], pos: &mut usize) -> String {
+    *pos += 1; // opening '"'
+    let mut out = String::new();
+    loop {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return out;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b[*pos] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .expect("validated hex digits");
+                        let code = u32::from_str_radix(hex, 16).expect("validated hex");
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => unreachable!("validated escape"),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar (validated input is valid UTF-8).
+                let rest = std::str::from_utf8(&b[*pos..]).expect("validated utf8");
+                let c = rest.chars().next().expect("non-empty string body");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 fn snapshot_json(m: &crate::metrics::MetricsSnapshot, out: &mut String) {
     out.push_str("{\"counters\":{");
     for (i, (k, v)) in m.counters.iter().enumerate() {
@@ -307,6 +475,77 @@ mod tests {
         assert!(validate("{'a':1}").is_err());
         assert!(validate("{\"a\":1} extra").is_err());
         assert!(validate("1 2").is_err());
+    }
+
+    #[test]
+    fn parse_builds_values() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": "x\nA", "c": null, "d": true}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\nA"));
+        assert_eq!(v.get("c").unwrap(), &Json::Null);
+        assert_eq!(v.get("d").unwrap(), &Json::Bool(true));
+        assert_eq!(v.get("a").unwrap().as_f64(), None);
+        assert!(v.get("missing").is_none());
+        assert!(parse("{bad}").is_err());
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn parse_round_trips_metrics_doc() {
+        let obs = Obs::enabled();
+        obs.phase_mark("local-sort", 1.0);
+        obs.counter_add("c", 3);
+        obs.hist_record("h", 7);
+        let cluster = ClusterObs {
+            nodes: vec![obs.finish(0, "n0".to_string())],
+            cluster: Default::default(),
+        };
+        let v = parse(&metrics_json(&cluster)).expect("parses");
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("hetsort-metrics-v1")
+        );
+        let nodes = match v.get("nodes").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("nodes must be an array, got {other:?}"),
+        };
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn metrics_json_key_order_is_insertion_independent() {
+        // Regression: --metrics-out output must diff cleanly across runs,
+        // so registry iteration (and therefore the serialized key order)
+        // must be sorted regardless of the order metrics were recorded in.
+        let forward = Obs::enabled();
+        for name in ["alpha", "mid", "zeta"] {
+            forward.counter_add(name, 1);
+            forward.gauge_set(name, 2.0);
+            forward.hist_record(name, 3);
+        }
+        let backward = Obs::enabled();
+        for name in ["zeta", "mid", "alpha"] {
+            backward.counter_add(name, 1);
+            backward.gauge_set(name, 2.0);
+            backward.hist_record(name, 3);
+        }
+        let doc_f = metrics_json(&ClusterObs {
+            nodes: vec![forward.finish(0, "n0".to_string())],
+            cluster: Default::default(),
+        });
+        let doc_b = metrics_json(&ClusterObs {
+            nodes: vec![backward.finish(0, "n0".to_string())],
+            cluster: Default::default(),
+        });
+        assert_eq!(doc_f, doc_b, "serialized metrics depend on insertion order");
+        let alpha = doc_f.find("\"alpha\"").unwrap();
+        let zeta = doc_f.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "keys must serialize in sorted order");
     }
 
     #[test]

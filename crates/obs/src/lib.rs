@@ -37,18 +37,24 @@
 //! workers) observe a disabled handle and pay a TLS read per call.
 
 pub mod chrome;
+pub mod critpath;
 pub mod json;
 pub mod metrics;
 pub mod render;
 pub mod report;
 pub mod span;
+pub mod whatif;
 
 pub use chrome::chrome_trace;
-pub use json::{metrics_json, validate};
+pub use critpath::{
+    calibration_report, critical_path, Blame, CritPath, PhaseCost, Segment, BLAME_CATEGORIES,
+};
+pub use json::{metrics_json, parse, validate, Json};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use render::render_profile;
 pub use report::{ClusterObs, NodeObs};
 pub use span::{Obs, SpanKind, SpanRecord};
+pub use whatif::{critpath_json, estimate_without, render_whatif, whatif_table, WhatIf};
 
 use std::cell::RefCell;
 

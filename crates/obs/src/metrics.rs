@@ -60,13 +60,18 @@ impl Histogram {
         }
     }
 
-    /// Records one value.
+    /// Records one value. All tallies saturate instead of wrapping —
+    /// GB-scale runs record billions of values and a wrapped counter would
+    /// silently corrupt every derived report; debug builds assert instead.
     pub fn record(&mut self, v: u64) {
-        self.count += 1;
+        debug_assert!(self.count < u64::MAX, "histogram count overflow");
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        self.buckets[Self::bucket_idx(v)] += 1;
+        let idx = Self::bucket_idx(v);
+        debug_assert!(self.buckets[idx] < u64::MAX, "histogram bucket overflow");
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
     }
 
     /// Exporter-facing copy with only the occupied buckets.
@@ -123,9 +128,13 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Adds to a named counter (created at zero on first use).
+    /// Adds to a named counter (created at zero on first use). Saturating:
+    /// a wrapped hot counter (block counts on GB-scale runs) would corrupt
+    /// reports silently; debug builds assert instead.
     pub fn counter_add(&mut self, name: &'static str, v: u64) {
-        *self.counters.entry(name).or_insert(0) += v;
+        let entry = self.counters.entry(name).or_insert(0);
+        debug_assert!(entry.checked_add(v).is_some(), "counter {name} overflow");
+        *entry = entry.saturating_add(v);
     }
 
     /// Sets a named gauge (last write wins).
@@ -168,8 +177,11 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Adds to a counter in the snapshot (for post-run injection).
+    /// Saturating, like [`Metrics::counter_add`].
     pub fn counter_add(&mut self, name: &'static str, v: u64) {
-        *self.counters.entry(name).or_insert(0) += v;
+        let entry = self.counters.entry(name).or_insert(0);
+        debug_assert!(entry.checked_add(v).is_some(), "counter {name} overflow");
+        *entry = entry.saturating_add(v);
     }
 
     /// Sets a gauge in the snapshot (for post-run injection).
@@ -221,6 +233,48 @@ mod tests {
         let mut h = Histogram::default();
         h.record(u64::MAX);
         assert_eq!(h.snapshot().buckets, vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn top_bucket_boundary_values() {
+        // Pin the edge cases around the last two buckets: 2^63 − 1 is the
+        // largest value of bucket 63 (le 2^63 − 1); 2^63 and u64::MAX both
+        // land in bucket 64, whose inclusive bound saturates at u64::MAX
+        // rather than computing 2^64 − 1 via a shift overflow.
+        let mut h = Histogram::default();
+        h.record((1u64 << 63) - 1);
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.buckets,
+            vec![((1u64 << 63) - 1, 1), (u64::MAX, 2)],
+            "2^63 must cross into the saturated top bucket"
+        );
+        assert_eq!(snap.max, u64::MAX);
+        // The sum saturates instead of wrapping.
+        assert_eq!(snap.sum, u64::MAX);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_arithmetic_saturates_instead_of_wrapping() {
+        let mut m = Metrics::default();
+        m.counter_add("c", u64::MAX);
+        m.counter_add("c", 1);
+        assert_eq!(m.snapshot().counters.get("c"), Some(&u64::MAX));
+
+        let mut snap = MetricsSnapshot::default();
+        snap.counter_add("c", u64::MAX - 1);
+        snap.counter_add("c", 5);
+        assert_eq!(snap.counters.get("c"), Some(&u64::MAX));
+
+        let mut h = Histogram {
+            count: u64::MAX,
+            ..Histogram::default()
+        };
+        h.record(1);
+        assert_eq!(h.count, u64::MAX, "count saturates");
     }
 
     #[test]

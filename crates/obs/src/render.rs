@@ -189,6 +189,65 @@ mod tests {
     }
 
     #[test]
+    fn node_with_no_spans_renders_without_panic() {
+        // A node that recorded nothing (e.g. it died before its first
+        // phase mark) must not break the whole profile.
+        let obs = ClusterObs {
+            nodes: vec![NodeObs {
+                node: 3,
+                label: "node3 (idle)".to_string(),
+                ..NodeObs::default()
+            }],
+            cluster: MetricsSnapshot::default(),
+        };
+        let text = render_profile(&obs);
+        assert!(text.contains("no phase spans recorded"));
+    }
+
+    #[test]
+    fn single_node_run_renders() {
+        let obs = ClusterObs {
+            nodes: vec![node_with_phases(0, &[("local-sort", 2.0)])],
+            cluster: MetricsSnapshot::default(),
+        };
+        let text = render_profile(&obs);
+        assert!(text.contains("legend: LS=local-sort"));
+        assert!(text.contains("2.0000s"));
+        assert!(text.contains("per-node phase durations"));
+    }
+
+    #[test]
+    fn zero_duration_phases_render_as_zero_rows() {
+        // Two marks at the same instant give "pivots" zero duration; the
+        // empty gantt slice (a == b) and the 0.0000 duration cell must
+        // both be fine.
+        let obs = ClusterObs {
+            nodes: vec![node_with_phases(
+                0,
+                &[("local-sort", 1.0), ("pivots", 1.0), ("merge", 2.0)],
+            )],
+            cluster: MetricsSnapshot::default(),
+        };
+        let text = render_profile(&obs);
+        let pivots_row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("pivots"))
+            .expect("pivots duration row");
+        assert!(pivots_row.contains("0.0000"));
+    }
+
+    #[test]
+    fn zero_makespan_run_renders_without_panic() {
+        // Every phase ends at t = 0: the gantt scale degenerates to zero.
+        let obs = ClusterObs {
+            nodes: vec![node_with_phases(0, &[("local-sort", 0.0), ("merge", 0.0)])],
+            cluster: MetricsSnapshot::default(),
+        };
+        let text = render_profile(&obs);
+        assert!(text.contains("makespan 0.0000s"));
+    }
+
+    #[test]
     fn phase_codes() {
         assert_eq!(phase_code("local-sort"), "LS");
         assert_eq!(phase_code("partition+redistribute"), "PR");

@@ -1,5 +1,6 @@
 //! Finished, `Send` observability data: per-node and cluster-wide.
 
+use crate::critpath::PhaseCost;
 use crate::metrics::MetricsSnapshot;
 use crate::span::{SpanKind, SpanRecord};
 
@@ -16,6 +17,9 @@ pub struct NodeObs {
     pub spans: Vec<SpanRecord>,
     /// The node's metric registry at finish time.
     pub metrics: MetricsSnapshot,
+    /// Per-phase resource-cost records (empty unless the cluster runtime
+    /// recorded them; see [`crate::critpath`]).
+    pub phase_costs: Vec<PhaseCost>,
 }
 
 impl NodeObs {
@@ -73,5 +77,44 @@ mod tests {
             cluster: Default::default(),
         };
         assert_eq!(cluster.virt_end(), 5.0);
+    }
+
+    #[test]
+    fn empty_span_set_yields_zero_virt_end() {
+        let node = Obs::enabled().finish(0, "node0".to_string());
+        assert_eq!(node.phases().count(), 0);
+        assert_eq!(node.virt_end(), 0.0);
+        assert_eq!(ClusterObs::default().virt_end(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_phase_is_kept_with_zero_span() {
+        let obs = Obs::enabled();
+        obs.phase_mark("local-sort", 1.0);
+        obs.phase_mark("pivots", 1.0); // same instant: zero duration
+        let node = obs.finish(0, "node0".to_string());
+        let pivots = node.phases().find(|s| s.name == "pivots").unwrap();
+        assert_eq!(pivots.virt_secs(), 0.0);
+        assert_eq!(node.virt_end(), 1.0);
+    }
+
+    #[test]
+    fn task_span_ending_after_its_parent_phase_does_not_leak() {
+        // A straggling worker task can outlive the wall window of the
+        // phase that spawned it; only phase spans define the virtual
+        // timeline, so the overhang must not move virt_end.
+        let obs = Obs::enabled();
+        obs.phase_mark("local-sort", 1.0);
+        obs.record_span("chunk-sort-0", SpanKind::Task, 0.5, 50.0, None);
+        obs.phase_mark("merge", 2.0);
+        let node = obs.finish(0, "node0".to_string());
+        assert_eq!(node.virt_end(), 2.0);
+        assert_eq!(node.phases().count(), 2);
+        let task = node
+            .spans
+            .iter()
+            .find(|s| s.name == "chunk-sort-0")
+            .unwrap();
+        assert!(task.virt_end.is_none(), "task spans carry wall time only");
     }
 }

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use crate::critpath::PhaseCost;
 use crate::metrics::Metrics;
 use crate::report::NodeObs;
 
@@ -94,6 +95,9 @@ struct Inner {
     cursor_virt: f64,
     spans: Vec<SpanRecord>,
     metrics: Metrics,
+    /// Per-phase resource cost records for the critical-path analyzer,
+    /// pushed by the cluster runtime at each phase mark.
+    phase_costs: Vec<PhaseCost>,
 }
 
 /// A tracing handle: a no-op when disabled, a per-node recorder when
@@ -126,6 +130,7 @@ impl Obs {
                 cursor_virt: 0.0,
                 spans: Vec::new(),
                 metrics: Metrics::default(),
+                phase_costs: Vec::new(),
             }))),
         }
     }
@@ -197,6 +202,16 @@ impl Obs {
             inner.cursor_virt = 0.0;
             inner.spans.clear();
             inner.metrics = Metrics::default();
+            inner.phase_costs.clear();
+        }
+    }
+
+    /// Records one phase's resource-cost breakdown (see [`PhaseCost`]).
+    /// The cluster runtime pushes one record per phase mark; pure data, no
+    /// clock interaction.
+    pub fn phase_cost(&self, cost: PhaseCost) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().phase_costs.push(cost);
         }
     }
 
@@ -230,6 +245,7 @@ impl Obs {
                 label,
                 spans: Vec::new(),
                 metrics: Default::default(),
+                phase_costs: Vec::new(),
             },
             Some(rc) => {
                 let inner = rc.borrow();
@@ -238,6 +254,7 @@ impl Obs {
                     label,
                     spans: inner.spans.clone(),
                     metrics: inner.metrics.snapshot(),
+                    phase_costs: inner.phase_costs.clone(),
                 }
             }
         }

@@ -1,0 +1,206 @@
+//! What-if replay of the critical path.
+//!
+//! Given an extracted [`CritPath`], estimate the makespan with one blame
+//! category made free: every path slice keeps its other categories and
+//! drops the zeroed one. This is the *first-order* estimate — it assumes
+//! the path itself would not reroute through a different node once the
+//! category is free — so it is an optimistic bound, the same way "if disk
+//! were free" reasoning is in the paper's phase tables. It ranks
+//! optimization targets; benchmarks confirm them.
+//!
+//! By construction, zeroing *no* category reproduces the makespan exactly
+//! (blame tiles the path), which the differential suite pins.
+
+use crate::critpath::{Blame, CritPath, BLAME_CATEGORIES};
+
+/// One row of the what-if ranking.
+#[derive(Debug, Clone)]
+pub struct WhatIf {
+    /// Category zeroed out.
+    pub category: &'static str,
+    /// Seconds of the path attributed to the category.
+    pub path_secs: f64,
+    /// Estimated makespan with the category free.
+    pub estimate_secs: f64,
+    /// `makespan / estimate` — how much faster the run would be.
+    pub speedup: f64,
+}
+
+/// Estimated makespan with `category` zeroed; `None` zeroes nothing and
+/// returns the makespan exactly. Unknown category names also zero nothing.
+pub fn estimate_without(path: &CritPath, category: Option<&str>) -> f64 {
+    let removed = category.and_then(|c| path.blame.get(c)).unwrap_or(0.0);
+    (path.makespan - removed).max(0.0)
+}
+
+/// The full what-if ranking, best (largest speedup) first. Ties keep the
+/// fixed category order, so output is deterministic.
+pub fn whatif_table(path: &CritPath) -> Vec<WhatIf> {
+    let mut rows: Vec<WhatIf> = BLAME_CATEGORIES
+        .iter()
+        .map(|&cat| {
+            let secs = path.blame.get(cat).unwrap_or(0.0);
+            let estimate = estimate_without(path, Some(cat));
+            WhatIf {
+                category: cat,
+                path_secs: secs,
+                estimate_secs: estimate,
+                speedup: if estimate > 0.0 {
+                    path.makespan / estimate
+                } else if path.makespan > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.path_secs
+            .partial_cmp(&a.path_secs)
+            .expect("finite blame seconds")
+    });
+    rows
+}
+
+/// Renders the ranking as an aligned text table.
+pub fn render_whatif(path: &CritPath) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path: {:.6}s over {} segments (blame sum err {:.3e})\n",
+        path.makespan,
+        path.segments.len(),
+        path.blame_sum_rel_err()
+    ));
+    out.push_str("what-if (category made free, first-order estimate):\n");
+    out.push_str(&format!(
+        "  {:<15} {:>12} {:>12} {:>9}\n",
+        "category", "path secs", "est. secs", "speedup"
+    ));
+    for row in whatif_table(path) {
+        out.push_str(&format!(
+            "  {:<15} {:>12.6} {:>12.6} {:>8.2}x\n",
+            row.category, row.path_secs, row.estimate_secs, row.speedup
+        ));
+    }
+    out
+}
+
+/// Exports the path, blame totals and what-if ranking as
+/// `hetsort-critpath-v1` JSON.
+pub fn critpath_json(path: &CritPath) -> String {
+    use crate::json::num;
+    let blame_obj = |b: &Blame| {
+        let fields: Vec<String> = b
+            .parts()
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {}", num(*v)))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    };
+    let whatif: Vec<String> = whatif_table(path)
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"category\": \"{}\", \"path_secs\": {}, \"estimate_secs\": {}, \
+                 \"speedup\": {}}}",
+                r.category,
+                num(r.path_secs),
+                num(r.estimate_secs),
+                num(if r.speedup.is_finite() {
+                    r.speedup
+                } else {
+                    0.0
+                })
+            )
+        })
+        .collect();
+    let segments: Vec<String> = path
+        .segments
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"node\": {}, \"phase\": \"{}\", \"start\": {}, \"end\": {}, \
+                 \"blame\": {}}}",
+                s.node,
+                s.phase,
+                num(s.start),
+                num(s.end),
+                blame_obj(&s.blame)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"hetsort-critpath-v1\",\n  \"makespan_secs\": {},\n  \
+         \"blame\": {},\n  \"blame_sum_rel_err\": {},\n  \"whatif\": [\n{}\n  ],\n  \
+         \"segments\": [\n{}\n  ]\n}}\n",
+        num(path.makespan),
+        blame_obj(&path.blame),
+        num(path.blame_sum_rel_err()),
+        whatif.join(",\n"),
+        segments.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critpath::Segment;
+
+    fn path() -> CritPath {
+        let blame = Blame {
+            cpu: 6.0,
+            io_read: 2.0,
+            io_write: 1.0,
+            net_transfer: 1.0,
+            ..Blame::default()
+        };
+        CritPath {
+            makespan: 10.0,
+            blame,
+            segments: vec![Segment {
+                node: 0,
+                phase: "merge",
+                start: 0.0,
+                end: 10.0,
+                blame,
+            }],
+        }
+    }
+
+    #[test]
+    fn no_category_reproduces_makespan_exactly() {
+        let p = path();
+        assert_eq!(estimate_without(&p, None), 10.0);
+        assert_eq!(estimate_without(&p, Some("not-a-category")), 10.0);
+    }
+
+    #[test]
+    fn zeroing_cpu_drops_its_share() {
+        let p = path();
+        assert!((estimate_without(&p, Some("cpu")) - 4.0).abs() < 1e-12);
+        assert!((estimate_without(&p, Some("io-read")) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_is_ranked_by_path_share() {
+        let p = path();
+        let rows = whatif_table(&p);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].category, "cpu");
+        assert!((rows[0].speedup - 2.5).abs() < 1e-12);
+        for pair in rows.windows(2) {
+            assert!(pair[0].path_secs >= pair[1].path_secs);
+        }
+    }
+
+    #[test]
+    fn json_is_valid_and_tagged() {
+        let p = path();
+        let doc = critpath_json(&p);
+        crate::json::validate(&doc).expect("valid json");
+        assert!(doc.contains("hetsort-critpath-v1"));
+        assert!(doc.contains("\"whatif\""));
+        assert!(render_whatif(&p).contains("cpu"));
+    }
+}
