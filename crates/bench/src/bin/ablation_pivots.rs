@@ -27,9 +27,12 @@ fn psrs_expansion_with(
     let shares = perf.shares(n);
     let layouts = Layout::cluster(&shares);
     let pv = perf.clone();
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         let local = generate_block(bench, seed, layouts[ctx.rank]);
-        psrs_incore_with(ctx, &pv, local, strategy).sorted.len() as u64
+        psrs_incore_with(ctx, &pv, local, strategy)
+            .await
+            .sorted
+            .len() as u64
     });
     let sizes: Vec<u64> = report.nodes.iter().map(|n| n.value).collect();
     LoadBalance::new(sizes, perf).expansion()
@@ -46,9 +49,12 @@ fn ovp_expansion(perf: &PerfVector, bench: Benchmark, n: u64, s: u64, seed: u64)
     let shares = perf.shares(n);
     let layouts = Layout::cluster(&shares);
     let cfg = OverpartitionConfig::new(perf.clone()).with_oversampling(s);
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         let local = generate_block(bench, seed, layouts[ctx.rank]);
-        overpartition_incore(ctx, &cfg, local).unwrap().received
+        overpartition_incore(ctx, &cfg, local)
+            .await
+            .unwrap()
+            .received
     });
     let sizes: Vec<u64> = report.nodes.iter().map(|n| n.value).collect();
     LoadBalance::new(sizes, perf).expansion()

@@ -91,7 +91,7 @@ fn run_once(n: u64, model: &DiskModel, workers: usize, seed: u64) -> Run {
 fn adaptive_choice(n: u64, model: &DiskModel) -> usize {
     let disk = Disk::in_memory(BLOCK_BYTES).with_model(model.clone());
     let advisory = PipelineConfig::off().with_advisory_merge_workers(ADVISORY_CAP);
-    planned_workers::<u32>(&disk, &advisory, RUNS, n)
+    planned_workers::<u32>(&disk, &advisory, RUNS, n, SortKernel::Comparison)
 }
 
 /// Contention-priced virtual seconds: the baseline's tree-select CPU

@@ -1,0 +1,413 @@
+//! Simulator-scalability sweep: p = 4 … 256 nodes in one process.
+//!
+//! The thread-per-node runtime spends one OS thread per simulated node,
+//! so every blocking receive costs a real futex sleep/wake (~µs) and a
+//! p = 256 trial wants 256 threads. The event runtime multiplexes every
+//! node onto one thread and schedules by virtual time, so a park/resume
+//! is two `BTreeSet` operations (~100 ns) and messages are usually in
+//! the mailbox before the receiver even asks. This bench puts numbers on
+//! both halves of that story:
+//!
+//! * **Throughput** — a synchronization-dominated stress (rounds of
+//!   blocking nearest-neighbor ring exchange plus a barrier, with a
+//!   fixed compute charge per round) runs under both schedulers. Each
+//!   round parks every node at least once, so the wall-clock ratio is a
+//!   direct measurement of the scheduling machinery. `sim_per_wall` —
+//!   simulated seconds advanced per wall second — is the figure of
+//!   merit, and the headline `events_vs_threads_p64` compares the two
+//!   runtimes head-to-head at p = 64.
+//! * **Phase shares** — the in-core PSRS sort (communication-dominated
+//!   sizing, heterogeneous 1-1-4-4 speed pattern) swept over the same
+//!   ladder, reporting the simulated makespan share of the splitter sort
+//!   (`pivots` phase, the paper's O(p²) sequential bottleneck) and of
+//!   the all-to-all exchange (`redistribute` phase) as p grows.
+//!
+//! The thread runtime is only swept to p = 64 (beyond that, spawning
+//! hundreds of OS threads per trial measures the host, not the
+//! simulator); the event runtime covers the full ladder including
+//! p = 256. Both workloads use blocking exchanges only, so the two
+//! runtimes must simulate the exact same virtual run — the bench asserts
+//! bit-identical makespans at every shared width.
+//!
+//! Emits `BENCH_scale.json`.
+//!
+//! ```sh
+//! cargo run --release -p hetsort-bench --bin scale -- --selftest
+//! ```
+
+use std::time::Instant;
+
+use cluster::charge::Work;
+use cluster::{run_cluster, ClusterSpec, RuntimeKind, Tag};
+use hetsort::{psrs_incore, PerfVector};
+use hetsort_bench::{print_table, Args};
+use sim::rng::Rng;
+
+/// Cluster widths to sweep. The event runtime covers all of them.
+const P_LADDER: [usize; 4] = [4, 16, 64, 256];
+/// Widest cluster the thread runtime is asked to simulate.
+const THREADS_MAX_P: usize = 64;
+/// The p at which the two runtimes' throughput is compared head-to-head.
+const HEADLINE_P: usize = 64;
+/// Selftest gate: simulated seconds per wall second, events over threads,
+/// at the headline width on the ring stress.
+const HEADLINE_GATE: f64 = 10.0;
+
+/// The paper's heterogeneity pattern tiled across the cluster: speeds
+/// 1,1,4,4,1,1,4,4,…
+fn perf_pattern(p: usize) -> Vec<u64> {
+    (0..p).map(|i| if i % 4 < 2 { 1 } else { 4 }).collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Ring,
+    Psrs,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Ring => "ring",
+            Workload::Psrs => "psrs",
+        }
+    }
+}
+
+struct Cell {
+    workload: Workload,
+    p: usize,
+    runtime: RuntimeKind,
+    /// Records sorted (PSRS) or rounds executed (ring).
+    size: u64,
+    makespan_sim: f64,
+    wall_secs: f64,
+    splitter_share: f64,
+    alltoall_share: f64,
+}
+
+impl Cell {
+    fn sim_per_wall(&self) -> f64 {
+        self.makespan_sim / self.wall_secs
+    }
+}
+
+/// Throughput stress: `rounds` iterations of compute charge + blocking
+/// nearest-neighbor ring exchange + barrier. Every round forces a park
+/// on every node (the barrier alone guarantees it), so wall time is
+/// dominated by the scheduler's park/wake path — a futex sleep per
+/// blocking receive under threads, a `BTreeSet` insert under events.
+fn run_ring_cell(p: usize, runtime: RuntimeKind, rounds: u32, trials: usize, seed: u64) -> Cell {
+    let spec = ClusterSpec::new(perf_pattern(p))
+        .with_seed(seed)
+        .with_runtime(runtime);
+    let mut wall_secs = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..trials.max(1) {
+        let t0 = Instant::now();
+        let r = run_cluster(&spec, async move |ctx| {
+            let right = (ctx.rank + 1) % ctx.p;
+            let left = (ctx.rank + ctx.p - 1) % ctx.p;
+            let mut sum = 0u64;
+            for round in 0..rounds {
+                ctx.charger.charge_work(Work::comparisons(1_000));
+                ctx.send(right, Tag::user(7), round.to_le_bytes().to_vec());
+                let msg = ctx.recv_from(left, Tag::user(7)).await;
+                sum += msg.bytes.iter().map(|&b| b as u64).sum::<u64>();
+                ctx.barrier().await;
+            }
+            sum
+        });
+        wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one trial");
+    // Every node saw every round's payload from its left neighbor.
+    let want: u64 = (0..rounds)
+        .map(|r| r.to_le_bytes().iter().map(|&b| b as u64).sum::<u64>())
+        .sum();
+    for nd in &report.nodes {
+        assert_eq!(
+            nd.value,
+            want,
+            "p={p} {}: ring payload lost",
+            runtime.name()
+        );
+    }
+    Cell {
+        workload: Workload::Ring,
+        p,
+        runtime,
+        size: rounds as u64,
+        makespan_sim: report.makespan.as_secs(),
+        wall_secs,
+        splitter_share: 0.0,
+        alltoall_share: 0.0,
+    }
+}
+
+/// Phase-share cell: in-core PSRS on `p` nodes under `runtime`. Returns
+/// the simulated makespan, the best-of-`trials` wall time and the
+/// makespan shares of the splitter-sort and all-to-all phases. Output
+/// correctness is asserted inline.
+fn run_psrs_cell(
+    p: usize,
+    runtime: RuntimeKind,
+    n_per_node: u64,
+    trials: usize,
+    seed: u64,
+) -> Cell {
+    let perf = PerfVector::new(perf_pattern(p));
+    let n = perf.padded_size(n_per_node * p as u64);
+    let shares = perf.shares(n);
+    let spec = ClusterSpec::new(perf_pattern(p))
+        .with_seed(seed)
+        .with_runtime(runtime);
+    let mut wall_secs = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..trials.max(1) {
+        let pv = perf.clone();
+        let shares = shares.clone();
+        let t0 = Instant::now();
+        let r = run_cluster(&spec, async move |ctx| {
+            let local: Vec<u32> = (0..shares[ctx.rank]).map(|_| ctx.rng.next_u32()).collect();
+            psrs_incore(ctx, &pv, local).await.sorted
+        });
+        wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one trial");
+
+    // Correctness: the concatenated node outputs are the globally sorted
+    // sequence of all n generated records.
+    let total: usize = report.nodes.iter().map(|nd| nd.value.len()).sum();
+    assert_eq!(total as u64, n, "p={p} {}: lost records", runtime.name());
+    let mut prev = 0u32;
+    for nd in &report.nodes {
+        for &x in &nd.value {
+            assert!(x >= prev, "p={p} {}: output not sorted", runtime.name());
+            prev = x;
+        }
+    }
+
+    // Phase shares of the simulated makespan, taken from the slowest
+    // node's span of each phase (what the makespan actually sees).
+    let makespan_sim = report.makespan.as_secs();
+    let share = |name: &str| {
+        report
+            .phase_breakdown()
+            .iter()
+            .find(|ph| ph.name == name)
+            .map(|ph| ph.max().as_secs() / makespan_sim)
+            .unwrap_or_else(|| panic!("p={p}: phase {name:?} missing"))
+    };
+    Cell {
+        workload: Workload::Psrs,
+        p,
+        runtime,
+        size: n,
+        makespan_sim,
+        wall_secs,
+        splitter_share: share("pivots"),
+        alltoall_share: share("redistribute"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    // Communication-dominated sizing: enough records per node that the
+    // all-to-all is real (n/p >= p so every pairwise flow is non-empty),
+    // small enough that a 256-node event trial stays sub-second.
+    let n_per_node = |p: usize| -> u64 {
+        let floor = p as u64;
+        if args.paper {
+            floor.max(16_384)
+        } else if args.quick {
+            floor.max(256)
+        } else {
+            floor.max(2_048)
+        }
+    };
+    // Enough ring rounds that one-time thread-spawn cost stops dominating
+    // the throughput cells and the per-round park/wake cost shows.
+    let rounds: u32 = if args.paper {
+        64
+    } else if args.quick {
+        16
+    } else {
+        32
+    };
+    let trials = args.trials.clamp(1, 5);
+
+    println!(
+        "scale sweep: p in {P_LADDER:?}, threads to p <= {THREADS_MAX_P}, \
+         perf pattern 1,1,4,4,..., {rounds} ring rounds, best of {trials} trials"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for workload in [Workload::Ring, Workload::Psrs] {
+        for &p in &P_LADDER {
+            for runtime in [RuntimeKind::Threads, RuntimeKind::Events] {
+                if runtime == RuntimeKind::Threads && p > THREADS_MAX_P {
+                    continue;
+                }
+                let cell = match workload {
+                    Workload::Ring => run_ring_cell(p, runtime, rounds, trials, args.seed),
+                    Workload::Psrs => run_psrs_cell(p, runtime, n_per_node(p), trials, args.seed),
+                };
+                println!(
+                    "  {:>4} p={p:>3} {:>7}  size={:>8}  sim {:>9.3}s  wall {:>8.4}s  \
+                     {:>12.0} sim-s/wall-s  pivots {:>5.1}%  all-to-all {:>5.1}%",
+                    workload.name(),
+                    runtime.name(),
+                    cell.size,
+                    cell.makespan_sim,
+                    cell.wall_secs,
+                    cell.sim_per_wall(),
+                    100.0 * cell.splitter_share,
+                    100.0 * cell.alltoall_share,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Blocking exchanges only: both schedulers must simulate the exact
+    // same virtual run at every shared width, on both workloads.
+    for workload in [Workload::Ring, Workload::Psrs] {
+        for &p in P_LADDER.iter().filter(|&&p| p <= THREADS_MAX_P) {
+            let find = |rt: RuntimeKind| {
+                cells
+                    .iter()
+                    .find(|c| c.workload == workload && c.p == p && c.runtime == rt)
+                    .expect("cell present")
+            };
+            let (t, e) = (find(RuntimeKind::Threads), find(RuntimeKind::Events));
+            assert_eq!(
+                t.makespan_sim.to_bits(),
+                e.makespan_sim.to_bits(),
+                "{} p={p}: simulated makespan differs across runtimes ({} vs {})",
+                workload.name(),
+                t.makespan_sim,
+                e.makespan_sim
+            );
+        }
+    }
+
+    let throughput = |p: usize, rt: RuntimeKind| {
+        cells
+            .iter()
+            .find(|c| c.workload == Workload::Ring && c.p == p && c.runtime == rt)
+            .expect("headline cell")
+            .sim_per_wall()
+    };
+    let headline =
+        throughput(HEADLINE_P, RuntimeKind::Events) / throughput(HEADLINE_P, RuntimeKind::Threads);
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.name().into(),
+                c.p.to_string(),
+                c.runtime.name().into(),
+                c.size.to_string(),
+                format!("{:.3}", c.makespan_sim),
+                format!("{:.4}", c.wall_secs),
+                format!("{:.0}", c.sim_per_wall()),
+                format!("{:.3}", c.splitter_share),
+                format!("{:.3}", c.alltoall_share),
+            ]
+        })
+        .collect();
+    print_table(
+        "Simulator scalability (ring stress + in-core PSRS, perf 1,1,4,4,...)",
+        &[
+            "workload",
+            "p",
+            "runtime",
+            "size",
+            "sim s",
+            "wall s",
+            "sim-s/wall-s",
+            "pivots share",
+            "all-to-all share",
+        ],
+        &rows,
+    );
+    println!(
+        "events vs threads at p = {HEADLINE_P} (ring stress): \
+         {headline:.1}x simulated-seconds-per-wall-second"
+    );
+
+    let n_headline = cells
+        .iter()
+        .find(|c| {
+            c.workload == Workload::Psrs && c.p == HEADLINE_P && c.runtime == RuntimeKind::Events
+        })
+        .expect("headline cell")
+        .size;
+    let row_json = |c: &Cell| {
+        let mut s = format!(
+            "    {{\"workload\": \"{}\", \"p\": {}, \"runtime\": \"{}\", \"size\": {}, \
+             \"makespan_sim_secs\": {:.6}, \"wall_secs\": {:.6}, \"sim_per_wall\": {:.2}",
+            c.workload.name(),
+            c.p,
+            c.runtime.name(),
+            c.size,
+            c.makespan_sim,
+            c.wall_secs,
+            c.sim_per_wall(),
+        );
+        if c.workload == Workload::Psrs {
+            s.push_str(&format!(
+                ", \"splitter_share\": {:.4}, \"alltoall_share\": {:.4}",
+                c.splitter_share, c.alltoall_share
+            ));
+        }
+        s.push('}');
+        s
+    };
+    let json_rows: Vec<String> = cells.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"n\": {n_headline},\n  \
+         \"p_ladder\": [4, 16, 64, 256],\n  \"threads_max_p\": {THREADS_MAX_P},\n  \
+         \"headline_p\": {HEADLINE_P},\n  \"ring_rounds\": {rounds},\n  \
+         \"trials\": {trials},\n  \"events_vs_threads_p64\": {headline:.4},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json");
+
+    if args.selftest {
+        for workload in [Workload::Ring, Workload::Psrs] {
+            let events_ps: Vec<usize> = cells
+                .iter()
+                .filter(|c| c.workload == workload && c.runtime == RuntimeKind::Events)
+                .map(|c| c.p)
+                .collect();
+            assert_eq!(
+                events_ps,
+                P_LADDER.to_vec(),
+                "{}: event runtime must cover the full ladder including p = 256",
+                workload.name()
+            );
+        }
+        for c in &cells {
+            assert!(c.sim_per_wall() > 0.0);
+            assert!(
+                (0.0..=1.0).contains(&c.splitter_share) && (0.0..=1.0).contains(&c.alltoall_share),
+                "p={} {}: phase shares out of range",
+                c.p,
+                c.runtime.name()
+            );
+        }
+        assert!(
+            headline >= HEADLINE_GATE,
+            "event runtime must run >= {HEADLINE_GATE}x more simulated seconds per wall \
+             second than threads at p = {HEADLINE_P}, got {headline:.1}x"
+        );
+        println!("selftest ok");
+    }
+}

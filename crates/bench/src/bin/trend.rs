@@ -41,6 +41,7 @@ const HEADLINES: &[(&str, &str, f64)] = &[
     ("planner_speedup", "nvme_adaptive_speedup", DEFAULT_GATE),
     ("critpath_report", "whatif_top_speedup", DEFAULT_GATE),
     ("wallclock_speedup", "speedup_upgraded", 0.0),
+    ("scale", "events_vs_threads_p64", DEFAULT_GATE),
 ];
 
 #[derive(Debug, Clone)]

@@ -16,6 +16,7 @@
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
 //!                 [--workers W] [--merge-workers W|auto]
 //!                 [--disk scsi|nvme|free] [--kernel radix|comparison]
+//!                 [--runtime threads|events]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //!                 [--critpath-out critpath.json] [--whatif]
 //!                 [--calibration-report] [--profile] [--streaming-merge]
@@ -74,6 +75,13 @@
 //! key-op billing, O(k·B) scratch instead of radix's O(n) copy) or
 //! `comparison` (the comparison-based reference the paper's cost model
 //! was calibrated on). All produce byte-identical output.
+//!
+//! `--runtime` picks the cluster scheduler for `cluster` runs: `threads`
+//! (the default — one OS thread per simulated node) or `events` (every
+//! node is a task on a single-threaded discrete-event scheduler, which
+//! scales to hundreds of nodes in one process). Sorted output, I/O
+//! counters and — for the blocking exchange variants — the virtual
+//! clocks are identical under both.
 //!
 //! `--codec` picks how `sort`/`gen`/`verify` move records between disk
 //! blocks and memory: `zerocopy` (the default — plain-old-data records
@@ -223,6 +231,12 @@ pub fn parse_merge_workers(opts: &Options) -> Result<MergeWorkers, String> {
             )),
         },
     }
+}
+
+/// Parses a cluster runtime name (`threads` or `events`).
+pub fn parse_runtime(s: &str) -> Result<cluster::RuntimeKind, String> {
+    cluster::RuntimeKind::parse(s)
+        .ok_or_else(|| format!("unknown --runtime {s:?} (threads or events)"))
 }
 
 /// Parses a disk model name (`scsi`, `nvme` or `free`).
@@ -380,6 +394,7 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
         MergeWorkers::Default => false,
     };
     cfg.kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
+    cfg.runtime = parse_runtime(opts.get_or("runtime", cluster::RuntimeKind::default().name()))?;
     cfg.streaming = opts.flag("streaming-merge")?;
     if adaptive {
         // Knobs the user left on their defaults follow the device plan;
@@ -739,6 +754,54 @@ mod tests {
         }
         let err = run(&opts(&["cluster", "--merge-workers", "sideways"])).unwrap_err();
         assert!(err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn runtime_parsing() {
+        assert_eq!(
+            parse_runtime("threads").unwrap(),
+            cluster::RuntimeKind::Threads
+        );
+        assert_eq!(
+            parse_runtime("events").unwrap(),
+            cluster::RuntimeKind::Events
+        );
+        assert!(parse_runtime("fibers").is_err());
+    }
+
+    #[test]
+    fn cluster_runtime_flag_selects_identical_trials() {
+        // The same trial under --runtime threads and --runtime events must
+        // report the same virtual time, balance and traffic (blocking
+        // exchange variants are bit-identical across runtimes).
+        let base = [
+            "cluster",
+            "--n",
+            "8000",
+            "--perf",
+            "1,1,4,4",
+            "--mem",
+            "4096",
+            "--tapes",
+            "4",
+            "--msg",
+            "512",
+            "--block",
+            "1024",
+            "--seed",
+            "3",
+            "--runtime",
+        ];
+        let mut outs = Vec::new();
+        for runtime in ["threads", "events"] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.push(runtime);
+            outs.push(run(&opts(&args)).unwrap());
+        }
+        assert!(outs[0].contains("sublist expansion"), "{}", outs[0]);
+        assert_eq!(outs[0], outs[1], "runtimes reported different trials");
+        let err = run(&opts(&["cluster", "--runtime", "fibers"])).unwrap_err();
+        assert!(err.contains("threads or events"), "{err}");
     }
 
     #[test]

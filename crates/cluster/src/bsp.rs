@@ -165,11 +165,11 @@ mod tests {
     fn analyze_prices_an_exchange() {
         // Two phases: local work, then an all-to-all of 1 MB per pair.
         let spec = ClusterSpec::homogeneous(4);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.charge_work(Work::comparisons(10_000_000));
             ctx.mark_phase("compute");
             let outgoing: Vec<Vec<u8>> = (0..ctx.p).map(|_| vec![0u8; 1 << 20]).collect();
-            let _ = ctx.all_to_all(outgoing);
+            let _ = ctx.all_to_all(outgoing).await;
             ctx.mark_phase("exchange");
         });
         let model = BspModel::from_network(&NetworkModel::fast_ethernet(), 4, 1 << 20);
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn empty_report_analyzes_to_nothing() {
         let spec = ClusterSpec::homogeneous(2);
-        let report = run_cluster(&spec, |_| ());
+        let report = run_cluster(&spec, async |_| ());
         let model = BspModel::from_network(&NetworkModel::myrinet(), 2, 1024);
         assert!(analyze(&report, &model).is_empty());
     }

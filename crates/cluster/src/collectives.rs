@@ -21,13 +21,15 @@ const KIND_A2A: u16 = 0x8005;
 
 impl Endpoint {
     /// Synchronizes all nodes (flat tree through rank 0).
-    pub fn barrier(&mut self, charger: &mut Charger) {
+    pub async fn barrier(&mut self, charger: &mut Charger) {
         let seq = self.next_seq();
         let p = self.p();
         let me = self.rank();
         if me == 0 {
             for from in 1..p {
-                let _ = self.recv_from(from, Tag::collective(KIND_BARRIER_IN, seq), charger);
+                let _ = self
+                    .recv_from(from, Tag::collective(KIND_BARRIER_IN, seq), charger)
+                    .await;
             }
             for to in 1..p {
                 self.send(
@@ -44,13 +46,15 @@ impl Endpoint {
                 Vec::new(),
                 charger,
             );
-            let _ = self.recv_from(0, Tag::collective(KIND_BARRIER_OUT, seq), charger);
+            let _ = self
+                .recv_from(0, Tag::collective(KIND_BARRIER_OUT, seq), charger)
+                .await;
         }
     }
 
     /// Gathers every node's payload at `root`. Returns `Some(payloads)` at
     /// the root (indexed by rank) and `None` elsewhere.
-    pub fn gather(
+    pub async fn gather(
         &mut self,
         root: usize,
         bytes: Vec<u8>,
@@ -63,7 +67,9 @@ impl Endpoint {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
             out[root] = bytes;
             for from in (0..p).filter(|&f| f != root) {
-                let msg = self.recv_from(from, Tag::collective(KIND_GATHER, seq), charger);
+                let msg = self
+                    .recv_from(from, Tag::collective(KIND_GATHER, seq), charger)
+                    .await;
                 out[from] = msg.bytes;
             }
             Some(out)
@@ -75,7 +81,12 @@ impl Endpoint {
 
     /// Broadcasts `bytes` from `root` to everyone; returns the payload on
     /// every node (the root passes its own through untouched).
-    pub fn broadcast(&mut self, root: usize, bytes: Vec<u8>, charger: &mut Charger) -> Vec<u8> {
+    pub async fn broadcast(
+        &mut self,
+        root: usize,
+        bytes: Vec<u8>,
+        charger: &mut Charger,
+    ) -> Vec<u8> {
         let seq = self.next_seq();
         let p = self.p();
         let me = self.rank();
@@ -86,6 +97,7 @@ impl Endpoint {
             bytes
         } else {
             self.recv_from(root, Tag::collective(KIND_BCAST, seq), charger)
+                .await
                 .bytes
         }
     }
@@ -96,7 +108,7 @@ impl Endpoint {
     ///
     /// # Panics
     /// Panics if `outgoing.len() != p`.
-    pub fn all_to_all(
+    pub async fn all_to_all(
         &mut self,
         mut outgoing: Vec<Vec<u8>>,
         charger: &mut Charger,
@@ -118,7 +130,9 @@ impl Endpoint {
             );
         }
         for from in (0..p).filter(|&f| f != me) {
-            let msg = self.recv_from(from, Tag::collective(KIND_A2A, seq), charger);
+            let msg = self
+                .recv_from(from, Tag::collective(KIND_A2A, seq), charger)
+                .await;
             incoming[from] = msg.bytes;
         }
         incoming
@@ -134,6 +148,7 @@ impl Endpoint {
 mod tests {
     use super::*;
     use crate::cost::CpuModel;
+    use crate::events::block_on;
     use crate::net::NetworkModel;
     use crate::spec::TimePolicy;
     use pdm::Disk;
@@ -185,7 +200,7 @@ mod tests {
         let times = on_cluster(4, NetworkModel::fast_ethernet(), |rank, ep, ch| {
             // Node `rank` works for `rank` seconds before the barrier.
             ch.charge_cpu_raw(SimDuration::from_secs(rank as f64));
-            ep.barrier(ch);
+            block_on(ep.barrier(ch));
             ch.now().as_secs()
         });
         // Everyone leaves the barrier at ≥ the slowest node's entry time.
@@ -197,7 +212,7 @@ mod tests {
     #[test]
     fn gather_collects_by_rank() {
         let results = on_cluster(3, NetworkModel::infinite(), |rank, ep, ch| {
-            ep.gather(0, vec![rank as u8; rank + 1], ch)
+            block_on(ep.gather(0, vec![rank as u8; rank + 1], ch))
         });
         let at_root = results[0].as_ref().expect("root gets the gather");
         assert_eq!(at_root[0], vec![0u8; 1]);
@@ -214,7 +229,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            ep.broadcast(2, payload, ch)
+            block_on(ep.broadcast(2, payload, ch))
         });
         assert!(results.iter().all(|r| r == b"pivots"));
     }
@@ -224,7 +239,7 @@ mod tests {
         let results = on_cluster(3, NetworkModel::infinite(), |rank, ep, ch| {
             // Node i sends the byte (10*i + j) to node j.
             let outgoing: Vec<Vec<u8>> = (0..3).map(|j| vec![(10 * rank + j) as u8]).collect();
-            ep.all_to_all(outgoing, ch)
+            block_on(ep.all_to_all(outgoing, ch))
         });
         for (j, incoming) in results.iter().enumerate() {
             for (i, payload) in incoming.iter().enumerate() {
@@ -236,10 +251,10 @@ mod tests {
     #[test]
     fn consecutive_collectives_do_not_crosstalk() {
         let results = on_cluster(2, NetworkModel::infinite(), |rank, ep, ch| {
-            let a = ep.broadcast(0, if rank == 0 { vec![1] } else { vec![] }, ch);
-            let b = ep.broadcast(0, if rank == 0 { vec![2] } else { vec![] }, ch);
-            ep.barrier(ch);
-            let c = ep.broadcast(1, if rank == 1 { vec![3] } else { vec![] }, ch);
+            let a = block_on(ep.broadcast(0, if rank == 0 { vec![1] } else { vec![] }, ch));
+            let b = block_on(ep.broadcast(0, if rank == 0 { vec![2] } else { vec![] }, ch));
+            block_on(ep.barrier(ch));
+            let c = block_on(ep.broadcast(1, if rank == 1 { vec![3] } else { vec![] }, ch));
             (a, b, c)
         });
         for (a, b, c) in results {

@@ -1,22 +1,38 @@
 //! Point-to-point messaging with Lamport-timestamped delivery.
 //!
-//! Every node owns an [`Endpoint`]: an inbound channel plus senders to every
-//! node. A message records its *arrival time* — the sender's clock at send
-//! plus the network's wire time — and the receiver merges that into its own
-//! clock, so causality and waiting fall out of the timestamps without a
-//! global scheduler.
+//! Every node owns an [`Endpoint`]. A message records its *arrival time* —
+//! the sender's clock at send plus the network's wire time — and the
+//! receiver merges that into its own clock, so causality and waiting fall
+//! out of the timestamps without a global scheduler.
+//!
+//! Endpoints run over one of two transports, chosen by the runtime:
+//!
+//! * **Threads** — an inbound mpsc channel plus senders to every node;
+//!   blocking receives park the OS thread. A 60-second real-time timeout
+//!   turns an algorithmic deadlock into a loud panic instead of a hung
+//!   test suite.
+//! * **Events** — a shared [`Fabric`] mailbox; blocking receives park the
+//!   node *task* on the single-threaded event scheduler, which detects
+//!   deadlock immediately (all tasks parked) instead of timing out.
+//!
+//! The virtual-time arithmetic (link occupancy, arrival stamps, delivery
+//! charges) is transport-independent, which is what makes the two runtimes
+//! produce bit-identical clocks on blocking exchange patterns.
 //!
 //! Receives are *selective* (by sender and tag); out-of-order arrivals park
-//! in a pending list. A 60-second real-time timeout turns an algorithmic
-//! deadlock into a loud panic instead of a hung test suite.
+//! in a pending list. The blocking receives are `async`: under the thread
+//! transport they never actually yield (the channel read blocks
+//! internally), under the event transport the `.await` is the yield point.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use pdm::{record, Record};
 use sim::SimTime;
 
 use crate::charge::Charger;
+use crate::events::{Fabric, Park, WaitKind};
 use crate::net::NetworkModel;
 
 /// Message tag: a user kind plus a sequence number for collectives.
@@ -57,13 +73,26 @@ pub struct Message {
     pub bytes: Vec<u8>,
 }
 
+/// How messages physically move between endpoints. Virtual-time stamps are
+/// computed identically on both arms; only the carrier differs.
+#[derive(Debug)]
+enum Transport {
+    /// One unbounded mpsc channel per node (thread runtime).
+    Threads {
+        rx: Receiver<Message>,
+        txs: Vec<Sender<Message>>,
+    },
+    /// Shared mailbox fabric (event runtime). The mutex is never contended
+    /// — the event loop is single-threaded — it only keeps `Endpoint: Send`.
+    Events { fabric: Arc<Mutex<Fabric>> },
+}
+
 /// One node's communication port.
 #[derive(Debug)]
 pub struct Endpoint {
     rank: usize,
     p: usize,
-    rx: Receiver<Message>,
-    txs: Vec<Sender<Message>>,
+    transport: Transport,
     pending: Vec<Message>,
     net: NetworkModel,
     /// Per-destination link occupancy: the virtual time at which this
@@ -76,11 +105,13 @@ pub struct Endpoint {
 }
 
 /// How long a blocking receive waits (wall-clock) before declaring the
-/// cluster deadlocked.
+/// cluster deadlocked. Thread transport only; the event scheduler detects
+/// deadlock exactly, with no timeout.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
 impl Endpoint {
-    /// Wires up endpoints for `p` nodes over the given fabric.
+    /// Wires up thread-transport endpoints for `p` nodes over the given
+    /// fabric model.
     pub fn mesh(p: usize, net: NetworkModel) -> Vec<Endpoint> {
         let mut rxs = Vec::with_capacity(p);
         let mut txs = Vec::with_capacity(p);
@@ -91,19 +122,51 @@ impl Endpoint {
         }
         rxs.into_iter()
             .enumerate()
-            .map(|(rank, rx)| Endpoint {
-                rank,
-                p,
-                rx,
-                txs: txs.clone(),
-                pending: Vec::new(),
-                net: net.clone(),
-                link_free: vec![SimTime::ZERO; p],
-                coll_seq: 0,
-                sent_messages: 0,
-                sent_bytes: 0,
+            .map(|(rank, rx)| {
+                Endpoint::with_transport(
+                    rank,
+                    p,
+                    Transport::Threads {
+                        rx,
+                        txs: txs.clone(),
+                    },
+                    net.clone(),
+                )
             })
             .collect()
+    }
+
+    /// Wires up event-transport endpoints for `p` nodes; the returned
+    /// fabric is handed to the event scheduler.
+    pub(crate) fn event_mesh(p: usize, net: NetworkModel) -> (Vec<Endpoint>, Arc<Mutex<Fabric>>) {
+        let fabric = Fabric::new(p);
+        let eps = (0..p)
+            .map(|rank| {
+                Endpoint::with_transport(
+                    rank,
+                    p,
+                    Transport::Events {
+                        fabric: fabric.clone(),
+                    },
+                    net.clone(),
+                )
+            })
+            .collect();
+        (eps, fabric)
+    }
+
+    fn with_transport(rank: usize, p: usize, transport: Transport, net: NetworkModel) -> Endpoint {
+        Endpoint {
+            rank,
+            p,
+            transport,
+            pending: Vec::new(),
+            net,
+            link_free: vec![SimTime::ZERO; p],
+            coll_seq: 0,
+            sent_messages: 0,
+            sent_bytes: 0,
+        }
     }
 
     /// This endpoint's rank.
@@ -133,7 +196,8 @@ impl Endpoint {
 
     /// Sends `bytes` to node `to`. Charges the sender the per-message CPU
     /// overhead; the wire time shows up in the message's arrival timestamp.
-    /// Self-sends are free local moves.
+    /// Self-sends are free local moves. Never blocks (both transports queue
+    /// without bound), so sends are not yield points.
     pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>, charger: &mut Charger) {
         assert!(to < self.p, "send to rank {to} of {}", self.p);
         let (depart, arrival) = if to == self.rank {
@@ -157,41 +221,85 @@ impl Endpoint {
             depart,
             bytes,
         };
-        self.txs[to].send(msg).expect("receiver endpoint dropped");
+        match &self.transport {
+            Transport::Threads { txs, .. } => txs[to].send(msg).expect("receiver endpoint dropped"),
+            Transport::Events { fabric } => fabric.lock().expect("fabric lock").deliver(to, msg),
+        }
+    }
+
+    /// Waits until at least one new message lands on the pending list. The
+    /// thread transport blocks the OS thread on its channel (deadlock
+    /// timeout); the event transport parks the task on the scheduler.
+    async fn await_delivery(&mut self, wait: WaitKind, now: SimTime) {
+        match &mut self.transport {
+            Transport::Threads { rx, .. } => match rx.recv_timeout(DEADLOCK_TIMEOUT) {
+                Ok(msg) => {
+                    self.pending.push(msg);
+                    // Absorb whatever else already landed while we slept.
+                    while let Ok(m) = rx.try_recv() {
+                        self.pending.push(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "node {} deadlocked waiting for {}; {} messages pending",
+                    self.rank,
+                    wait.describe(),
+                    self.pending.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("cluster torn down while node {} was receiving", self.rank)
+                }
+            },
+            Transport::Events { fabric } => loop {
+                let drained = fabric
+                    .lock()
+                    .expect("fabric lock")
+                    .drain_into(self.rank, &mut self.pending);
+                if drained {
+                    return;
+                }
+                Park::new(fabric.clone(), self.rank, now, wait.clone()).await;
+            },
+        }
+    }
+
+    /// Moves everything already delivered onto the pending list without
+    /// blocking.
+    fn drain_available(&mut self) {
+        match &mut self.transport {
+            Transport::Threads { rx, .. } => {
+                while let Ok(msg) = rx.try_recv() {
+                    self.pending.push(msg);
+                }
+            }
+            Transport::Events { fabric } => {
+                fabric
+                    .lock()
+                    .expect("fabric lock")
+                    .drain_into(self.rank, &mut self.pending);
+            }
+        }
     }
 
     /// Receives the next message from `from` with tag `tag`, blocking until
     /// it arrives. Merges the arrival timestamp into the node clock.
     ///
     /// # Panics
-    /// Panics after 60 s of wall-clock inactivity (deadlock guard).
-    pub fn recv_from(&mut self, from: usize, tag: Tag, charger: &mut Charger) -> Message {
-        if let Some(i) = self
-            .pending
-            .iter()
-            .position(|m| m.from == from && m.tag == tag)
-        {
-            let msg = self.pending.remove(i);
-            self.charge_delivery(&msg, charger);
-            return msg;
-        }
+    /// Panics on deadlock: after 60 s of wall-clock inactivity under the
+    /// thread transport, immediately under the event scheduler.
+    pub async fn recv_from(&mut self, from: usize, tag: Tag, charger: &mut Charger) -> Message {
         loop {
-            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
-                Ok(msg) if msg.from == from && msg.tag == tag => {
-                    self.charge_delivery(&msg, charger);
-                    return msg;
-                }
-                Ok(msg) => self.pending.push(msg),
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "node {} deadlocked waiting for (from={from}, tag={tag:?}); \
-                     {} messages pending",
-                    self.rank,
-                    self.pending.len()
-                ),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("cluster torn down while node {} was receiving", self.rank)
-                }
+            if let Some(i) = self
+                .pending
+                .iter()
+                .position(|m| m.from == from && m.tag == tag)
+            {
+                let msg = self.pending.remove(i);
+                self.charge_delivery(&msg, charger);
+                return msg;
             }
+            self.await_delivery(WaitKind::From { from, tag }, charger.now())
+                .await;
         }
     }
 
@@ -202,14 +310,6 @@ impl Endpoint {
             charger.charge_cpu_raw(self.net.recv_overhead);
         }
         charger.merge_arrival_from(msg.arrival, msg.from, msg.depart);
-    }
-
-    /// Moves everything sitting in the inbound channel onto the pending
-    /// list without blocking.
-    fn drain_channel(&mut self) {
-        while let Ok(msg) = self.rx.try_recv() {
-            self.pending.push(msg);
-        }
     }
 
     /// Index of the pending message with the earliest arrival among those
@@ -238,7 +338,7 @@ impl Endpoint {
     /// pure `max`, so *it* commutes; interleaved additive charges would
     /// not).
     pub fn try_recv_any(&mut self, tags: &[Tag], charger: &Charger) -> Option<Message> {
-        self.drain_channel();
+        self.drain_available();
         let now = charger.now();
         let idx = self
             .pending
@@ -257,26 +357,22 @@ impl Endpoint {
     /// [`Self::try_recv_any`].
     ///
     /// # Panics
-    /// Panics after 60 s of wall-clock inactivity (deadlock guard).
-    pub fn recv_any(&mut self, tags: &[Tag], charger: &mut Charger) -> Message {
+    /// Panics on deadlock (see [`Self::recv_from`]).
+    pub async fn recv_any(&mut self, tags: &[Tag], charger: &mut Charger) -> Message {
         loop {
-            self.drain_channel();
+            self.drain_available();
             if let Some(i) = self.earliest_pending(tags) {
                 let msg = self.pending.remove(i);
                 charger.merge_arrival_from(msg.arrival, msg.from, msg.depart);
                 return msg;
             }
-            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
-                Ok(msg) => self.pending.push(msg),
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "node {} deadlocked waiting for any of {tags:?}; {} messages pending",
-                    self.rank,
-                    self.pending.len()
-                ),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("cluster torn down while node {} was receiving", self.rank)
-                }
-            }
+            self.await_delivery(
+                WaitKind::Any {
+                    tags: tags.to_vec(),
+                },
+                charger.now(),
+            )
+            .await;
         }
     }
 
@@ -292,27 +388,27 @@ impl Endpoint {
     }
 
     /// Typed receive counterpart of [`Self::send_records`].
-    pub fn recv_records<R: Record>(
+    pub async fn recv_records<R: Record>(
         &mut self,
         from: usize,
         tag: Tag,
         charger: &mut Charger,
     ) -> Vec<R> {
-        let msg = self.recv_from(from, tag, charger);
+        let msg = self.recv_from(from, tag, charger).await;
         record::decode_all(&msg.bytes)
     }
 
     /// Typed receive into a caller-owned scratch buffer (cleared first).
     /// Receive loops that drain thousands of small chunks reuse one
     /// allocation instead of building a fresh `Vec<R>` per message.
-    pub fn recv_records_into<R: Record>(
+    pub async fn recv_records_into<R: Record>(
         &mut self,
         from: usize,
         tag: Tag,
         out: &mut Vec<R>,
         charger: &mut Charger,
     ) {
-        let msg = self.recv_from(from, tag, charger);
+        let msg = self.recv_from(from, tag, charger).await;
         record::decode_all_into(&msg.bytes, out);
     }
 }
@@ -321,6 +417,7 @@ impl Endpoint {
 mod tests {
     use super::*;
     use crate::cost::CpuModel;
+    use crate::events::block_on;
     use crate::spec::TimePolicy;
     use pdm::Disk;
     use sim::Jitter;
@@ -342,14 +439,14 @@ mod tests {
         let mut e0 = eps.pop().unwrap();
         let t = std::thread::spawn(move || {
             let mut ch = charger();
-            let msg = e1.recv_from(0, Tag::user(1), &mut ch);
+            let msg = block_on(e1.recv_from(0, Tag::user(1), &mut ch));
             assert_eq!(msg.bytes, b"ping");
             e1.send(0, Tag::user(2), b"pong".to_vec(), &mut ch);
             ch.now()
         });
         let mut ch = charger();
         e0.send(1, Tag::user(1), b"ping".to_vec(), &mut ch);
-        let reply = e0.recv_from(1, Tag::user(2), &mut ch);
+        let reply = block_on(e0.recv_from(1, Tag::user(2), &mut ch));
         assert_eq!(reply.bytes, b"pong");
         let peer_time = t.join().unwrap();
         // The reply's arrival is after two wire traversals.
@@ -372,9 +469,18 @@ mod tests {
         e0.send(1, Tag::user(3), vec![3], &mut ch0);
         let mut ch1 = charger();
         // Receive in reverse tag order.
-        assert_eq!(e1.recv_from(0, Tag::user(3), &mut ch1).bytes, vec![3]);
-        assert_eq!(e1.recv_from(0, Tag::user(2), &mut ch1).bytes, vec![2]);
-        assert_eq!(e1.recv_from(0, Tag::user(1), &mut ch1).bytes, vec![1]);
+        assert_eq!(
+            block_on(e1.recv_from(0, Tag::user(3), &mut ch1)).bytes,
+            vec![3]
+        );
+        assert_eq!(
+            block_on(e1.recv_from(0, Tag::user(2), &mut ch1)).bytes,
+            vec![2]
+        );
+        assert_eq!(
+            block_on(e1.recv_from(0, Tag::user(1), &mut ch1)).bytes,
+            vec![1]
+        );
     }
 
     #[test]
@@ -386,7 +492,7 @@ mod tests {
         let payload = vec![0u8; 1_250_000]; // 0.1 s on 12.5 MB/s
         e0.send(1, Tag::user(1), payload, &mut ch0);
         let mut ch1 = charger();
-        let msg = e1.recv_from(0, Tag::user(1), &mut ch1);
+        let msg = block_on(e1.recv_from(0, Tag::user(1), &mut ch1));
         assert!(msg.arrival.as_secs() >= 0.1, "arrival {}", msg.arrival);
         assert_eq!(ch1.now(), msg.arrival); // receiver waited for the bytes
     }
@@ -397,7 +503,7 @@ mod tests {
         let mut e0 = eps.pop().unwrap();
         let mut ch = charger();
         e0.send(0, Tag::user(1), vec![42], &mut ch);
-        let msg = e0.recv_from(0, Tag::user(1), &mut ch);
+        let msg = block_on(e0.recv_from(0, Tag::user(1), &mut ch));
         assert_eq!(msg.bytes, vec![42]);
         assert_eq!(ch.now().as_secs(), 0.0);
         assert_eq!(e0.sent_messages(), 0);
@@ -412,7 +518,7 @@ mod tests {
         let data: Vec<u32> = (0..100).collect();
         e0.send_records(1, Tag::user(7), &data, &mut ch0);
         let mut ch1 = charger();
-        let got: Vec<u32> = e1.recv_records(0, Tag::user(7), &mut ch1);
+        let got: Vec<u32> = block_on(e1.recv_records(0, Tag::user(7), &mut ch1));
         assert_eq!(got, data);
     }
 
@@ -448,8 +554,8 @@ mod tests {
         e0.send(2, Tag::user(1), vec![0u8; 500_000], &mut ch0); // slow: 40 ms wire
         e1.send(2, Tag::user(1), vec![7u8; 100], &mut ch1); // fast
         let mut ch2 = charger();
-        let first = e2.recv_any(&[Tag::user(1)], &mut ch2);
-        let second = e2.recv_any(&[Tag::user(1)], &mut ch2);
+        let first = block_on(e2.recv_any(&[Tag::user(1)], &mut ch2));
+        let second = block_on(e2.recv_any(&[Tag::user(1)], &mut ch2));
         assert_eq!(first.from, 1, "earlier arrival must win");
         assert_eq!(second.from, 0);
         assert!(first.arrival <= second.arrival);
@@ -468,9 +574,9 @@ mod tests {
         let mut ch1 = charger();
         // Only tag 1 qualifies; tag 9 stays pending for a later selective
         // receive.
-        let msg = e1.recv_any(&[Tag::user(1)], &mut ch1);
+        let msg = block_on(e1.recv_any(&[Tag::user(1)], &mut ch1));
         assert_eq!(msg.bytes, vec![1]);
-        let parked = e1.recv_from(0, Tag::user(9), &mut ch1);
+        let parked = block_on(e1.recv_from(0, Tag::user(9), &mut ch1));
         assert_eq!(parked.bytes, vec![9]);
     }
 
@@ -504,5 +610,24 @@ mod tests {
         let msg = e1.try_recv_any(&[Tag::user(1)], &ch1).expect("arrived");
         assert_eq!(msg.from, 0);
         assert!(e1.try_recv_any(&[Tag::user(1)], &ch1).is_none());
+    }
+
+    #[test]
+    fn event_transport_delivers_without_threads() {
+        // The same ping-pong as above, but over the event fabric with no
+        // extra thread: sends land synchronously in the peer's mailbox, so
+        // single-threaded sequential code can drive both endpoints.
+        let (mut eps, _fabric) = Endpoint::event_mesh(2, NetworkModel::fast_ethernet());
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let mut ch0 = charger();
+        let mut ch1 = charger();
+        e0.send(1, Tag::user(1), b"ping".to_vec(), &mut ch0);
+        let msg = block_on(e1.recv_from(0, Tag::user(1), &mut ch1));
+        assert_eq!(msg.bytes, b"ping");
+        e1.send(0, Tag::user(2), b"pong".to_vec(), &mut ch1);
+        let reply = block_on(e0.recv_from(1, Tag::user(2), &mut ch0));
+        assert_eq!(reply.bytes, b"pong");
+        assert_eq!(e0.sent_messages(), 1);
     }
 }

@@ -4,8 +4,10 @@
 //! *loaded* to be 4× slower. This crate reproduces that environment
 //! in-process:
 //!
-//! * every node is an OS thread with its own [`pdm::Disk`] and its own
-//!   virtual clock ([`clock::NodeClock`]);
+//! * every node is a task with its own [`pdm::Disk`] and its own virtual
+//!   clock ([`clock::NodeClock`]), executed either as one OS thread each
+//!   or on a single-threaded discrete-event scheduler
+//!   ([`spec::RuntimeKind`]);
 //! * nodes exchange byte messages through [`comm::Endpoint`]s (std `mpsc`
 //!   channels underneath); every message carries a Lamport timestamp, and a
 //!   receive merges `max(local, send_time + network_cost)` into the
@@ -18,7 +20,7 @@
 //!   (the heterogeneity knob), disk I/O by the disk's service model applied
 //!   to metered block counts, and every charge is multiplied by seeded
 //!   log-normal jitter so repeated trials show realistic deviations;
-//! * [`runtime::run_cluster`] spawns the node threads from a
+//! * [`runtime::run_cluster`] runs the node tasks from a
 //!   [`spec::ClusterSpec`] and collects per-node results, clocks, phase
 //!   breakdowns and I/O counters.
 //!
@@ -31,6 +33,7 @@ pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+mod events;
 pub mod net;
 pub mod runtime;
 pub mod spec;
@@ -41,4 +44,4 @@ pub use comm::{Endpoint, Message, Tag};
 pub use cost::CpuModel;
 pub use net::NetworkModel;
 pub use runtime::{run_cluster, ClusterReport, NodeCtx, NodeOutcome, PhaseBreakdown, PhaseMark};
-pub use spec::{ClusterSpec, StorageKind, TimePolicy};
+pub use spec::{ClusterSpec, RuntimeKind, StorageKind, TimePolicy};

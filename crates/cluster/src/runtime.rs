@@ -1,11 +1,36 @@
-//! Cluster runtime: spawns node threads and collects outcomes.
+//! Cluster runtime: executes node functions and collects outcomes.
 //!
-//! [`run_cluster`] materializes a [`ClusterSpec`]: one OS thread per node,
-//! each with a private disk, RNG, charger and endpoint, all wrapped in a
-//! [`NodeCtx`] façade. The node function runs to completion; the runtime
-//! then syncs outstanding I/O charges, executes a final barrier (so every
-//! clock reflects the full run) and reports per-node outcomes plus the
-//! makespan.
+//! [`run_cluster`] materializes a [`ClusterSpec`]: every node gets a
+//! private disk, RNG, charger and endpoint, all wrapped in a [`NodeCtx`]
+//! façade, and the node function (an async closure) runs to completion.
+//! The runtime then syncs outstanding I/O charges, executes a final
+//! barrier (so every clock reflects the full run) and reports per-node
+//! outcomes plus the makespan.
+//!
+//! Two interchangeable schedulers implement this contract, selected by
+//! [`ClusterSpec::runtime`]:
+//!
+//! * **Threads** ([`RuntimeKind::Threads`]) — one OS thread per node;
+//!   blocking receives park the thread on its mpsc channel. Node futures
+//!   never actually suspend (the comm layer blocks internally), so each
+//!   is driven by a single poll.
+//! * **Events** ([`RuntimeKind::Events`]) — a single-threaded
+//!   discrete-event executor; blocking receives are yield points that
+//!   park the node *task* until the matching message is delivered. The
+//!   runnable task with the smallest (virtual clock, rank) key runs
+//!   next, so scheduling is a pure function of virtual time and the
+//!   whole simulation — including the streamed exchange's arrival
+//!   order — is deterministic. One process comfortably simulates
+//!   hundreds of nodes.
+//!
+//! Both runtimes share the same per-node setup and finish path
+//! ([`drive`]), and the virtual-time arithmetic in the comm layer is
+//! transport-independent, so blocking exchange patterns produce
+//! bit-identical clocks under either scheduler.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
 
 use obs::{ClusterObs, NodeObs, Obs, SpanKind};
 use pdm::{Disk, IoSnapshot, ScratchDir};
@@ -14,7 +39,8 @@ use sim::{Jitter, SimDuration, SimTime, SplitMix64};
 
 use crate::charge::Charger;
 use crate::comm::{Endpoint, Message, Tag};
-use crate::spec::{ClusterSpec, StorageKind};
+use crate::events;
+use crate::spec::{ClusterSpec, RuntimeKind, StorageKind};
 
 /// One phase boundary recorded by [`NodeCtx::mark_phase`]: the cumulative
 /// clock and traffic at the stamp (deltas between consecutive marks give
@@ -122,15 +148,15 @@ impl NodeCtx {
         self.credit_wait += secs.max(0.0);
     }
 
-    /// Sends `bytes` to `to`.
+    /// Sends `bytes` to `to`. Never blocks — sends are not yield points.
     pub fn send(&mut self, to: usize, tag: Tag, bytes: Vec<u8>) {
         self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
         self.endpoint.send(to, tag, bytes, &mut self.charger);
     }
 
     /// Receives from `from` with `tag` (blocking, selective).
-    pub fn recv_from(&mut self, from: usize, tag: Tag) -> Message {
-        self.endpoint.recv_from(from, tag, &mut self.charger)
+    pub async fn recv_from(&mut self, from: usize, tag: Tag) -> Message {
+        self.endpoint.recv_from(from, tag, &mut self.charger).await
     }
 
     /// Typed record send.
@@ -142,14 +168,22 @@ impl NodeCtx {
     }
 
     /// Typed record receive.
-    pub fn recv_records<R: pdm::Record>(&mut self, from: usize, tag: Tag) -> Vec<R> {
-        self.endpoint.recv_records(from, tag, &mut self.charger)
+    pub async fn recv_records<R: pdm::Record>(&mut self, from: usize, tag: Tag) -> Vec<R> {
+        self.endpoint
+            .recv_records(from, tag, &mut self.charger)
+            .await
     }
 
     /// Typed record receive into a reused scratch buffer (cleared first).
-    pub fn recv_records_into<R: pdm::Record>(&mut self, from: usize, tag: Tag, out: &mut Vec<R>) {
+    pub async fn recv_records_into<R: pdm::Record>(
+        &mut self,
+        from: usize,
+        tag: Tag,
+        out: &mut Vec<R>,
+    ) {
         self.endpoint
             .recv_records_into(from, tag, out, &mut self.charger)
+            .await
     }
 
     /// Blocking arrival-ordered receive from any source (see
@@ -157,8 +191,8 @@ impl NodeCtx {
     /// first instead of polling ranks in a fixed order. Merges the arrival
     /// into the clock; per-message CPU overhead is charged separately in
     /// aggregate via [`Self::charge_recv_overheads`].
-    pub fn recv_any(&mut self, tags: &[Tag]) -> Message {
-        self.endpoint.recv_any(tags, &mut self.charger)
+    pub async fn recv_any(&mut self, tags: &[Tag]) -> Message {
+        self.endpoint.recv_any(tags, &mut self.charger).await
     }
 
     /// Non-blocking arrival-ordered receive: only messages that have
@@ -181,34 +215,37 @@ impl NodeCtx {
     }
 
     /// Barrier across all nodes.
-    pub fn barrier(&mut self) {
+    pub async fn barrier(&mut self) {
         let span = self.span_open();
-        self.endpoint.barrier(&mut self.charger);
+        self.endpoint.barrier(&mut self.charger).await;
         self.span_close("barrier", span);
     }
 
     /// Gather at `root`.
-    pub fn gather(&mut self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    pub async fn gather(&mut self, root: usize, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
         let span = self.span_open();
         self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
-        let out = self.endpoint.gather(root, bytes, &mut self.charger);
+        let out = self.endpoint.gather(root, bytes, &mut self.charger).await;
         self.span_close("gather", span);
         out
     }
 
     /// Broadcast from `root`.
-    pub fn broadcast(&mut self, root: usize, bytes: Vec<u8>) -> Vec<u8> {
+    pub async fn broadcast(&mut self, root: usize, bytes: Vec<u8>) -> Vec<u8> {
         let span = self.span_open();
         if self.rank == root {
             self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
         }
-        let out = self.endpoint.broadcast(root, bytes, &mut self.charger);
+        let out = self
+            .endpoint
+            .broadcast(root, bytes, &mut self.charger)
+            .await;
         self.span_close("broadcast", span);
         out
     }
 
     /// Personalized all-to-all.
-    pub fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    pub async fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         let span = self.span_open();
         if self.obs.is_enabled() {
             for (peer, msg) in outgoing.iter().enumerate() {
@@ -217,7 +254,7 @@ impl NodeCtx {
                 }
             }
         }
-        let out = self.endpoint.all_to_all(outgoing, &mut self.charger);
+        let out = self.endpoint.all_to_all(outgoing, &mut self.charger).await;
         self.span_close("all-to-all", span);
         out
     }
@@ -275,8 +312,8 @@ impl NodeCtx {
     /// phase marks. Call on **every** node at the same program point to
     /// exclude setup (e.g. workload generation) from the timed region, as
     /// the paper does for the initial data distribution.
-    pub fn reset_timing(&mut self) {
-        self.barrier();
+    pub async fn reset_timing(&mut self) {
+        self.barrier().await;
         self.charger.reset();
         self.phases.clear();
         self.coll_wait = 0.0;
@@ -407,7 +444,154 @@ impl<T> ClusterReport<T> {
     }
 }
 
-/// Spawns one thread per node and runs `f` on each.
+/// Builds one node's context: disk, jitter, charger, RNG, tracer and
+/// endpoint, identically for both runtimes.
+fn make_node_ctx(
+    spec: &ClusterSpec,
+    rank: usize,
+    endpoint: Endpoint,
+    scratch: Option<&ScratchDir>,
+) -> NodeCtx {
+    let disk = match scratch {
+        None => Disk::in_memory(spec.block_bytes),
+        Some(dir) => Disk::on_files(dir.path(), spec.block_bytes),
+    }
+    .with_model(spec.disk_model.clone())
+    .with_codec(spec.codec)
+    .with_io_backend(spec.io_backend)
+    .with_label(format!("node{rank}"));
+    let jitter = Jitter::new(
+        SplitMix64::mix(spec.seed ^ (rank as u64).wrapping_mul(0x9E37)),
+        // Loaded nodes show proportionally noisier timings
+        // (cf. Table 2's deviations); scale sigma by √slowdown.
+        (spec.jitter_sigma * spec.slowdown(rank).sqrt()).min(0.9),
+    );
+    let charger = Charger::new(
+        spec.cpu.clone(),
+        spec.slowdown(rank),
+        jitter,
+        disk.clone(),
+        spec.time_policy,
+    );
+    let node_obs = if spec.tracing {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    NodeCtx {
+        rank,
+        p: spec.p(),
+        perf: spec.perf.clone(),
+        disk,
+        rng: Pcg64::with_stream(spec.seed, rank as u64),
+        charger,
+        obs: node_obs,
+        endpoint,
+        phases: Vec::new(),
+        coll_wait: 0.0,
+        credit_wait: 0.0,
+        cost_cursor: CostCursor::default(),
+    }
+}
+
+/// Runs the node function and the shared finish path — the final I/O
+/// sync + barrier, counter folding and outcome assembly. Both runtimes
+/// drive this same future, so a node's observable behavior cannot depend
+/// on which scheduler ran it.
+async fn drive<T, F>(ctx: &mut NodeCtx, f: &F, perf: u64) -> NodeOutcome<T>
+where
+    F: AsyncFn(&mut NodeCtx) -> T,
+{
+    let value = f(ctx).await;
+    ctx.charger.sync_io();
+    ctx.barrier().await;
+    let io = ctx.disk.stats().snapshot();
+    if ctx.obs.is_enabled() {
+        // Fold the classic report counters into the unified registry so
+        // exporters see one coherent namespace.
+        ctx.obs.counter_add("io.blocks_read", io.blocks_read);
+        ctx.obs.counter_add("io.blocks_written", io.blocks_written);
+        ctx.obs.counter_add("io.bytes_read", io.bytes_read);
+        ctx.obs.counter_add("io.bytes_written", io.bytes_written);
+        ctx.obs.counter_add("io.random_reads", io.random_reads);
+        ctx.obs.counter_add("io.seek_bytes", io.seek_bytes);
+        ctx.obs.counter_add("io.files_created", io.files_created);
+        // Shared-disk queueing diagnostics: virtual time the node's
+        // streams spent waiting on the device queue, and the observed
+        // stream concurrency.
+        ctx.obs.counter_add(
+            "io.queue.wait_us",
+            (ctx.charger.io_queue_wait().as_secs() * 1e6).round() as u64,
+        );
+        ctx.obs
+            .counter_add("io.queue.stream_opens", ctx.disk.stats().stream_opens());
+        ctx.obs.gauge_set(
+            "io.queue.peak_streams",
+            ctx.disk.stats().peak_streams() as f64,
+        );
+        ctx.obs
+            .counter_add("net.sent_bytes", ctx.endpoint.sent_bytes());
+        ctx.obs
+            .counter_add("net.sent_messages", ctx.endpoint.sent_messages());
+        ctx.obs
+            .gauge_set("time.cpu_secs", ctx.charger.cpu_time().as_secs());
+        ctx.obs
+            .gauge_set("time.io_secs", ctx.charger.io_time().as_secs());
+        ctx.obs
+            .gauge_set("time.io_read_secs", ctx.charger.io_read_time().as_secs());
+        ctx.obs
+            .gauge_set("time.io_write_secs", ctx.charger.io_write_time().as_secs());
+        ctx.obs
+            .gauge_set("time.wait_secs", ctx.charger.wait_time().as_secs());
+        ctx.obs.gauge_set(
+            "time.overlap_saved_secs",
+            ctx.charger.overlap_saved().as_secs(),
+        );
+        ctx.obs
+            .gauge_set("time.finish_secs", ctx.charger.now().as_secs());
+    }
+    let rank = ctx.rank;
+    let node_obs = ctx.obs.finish(rank, format!("node{rank} (perf {perf})"));
+    NodeOutcome {
+        value,
+        finish: ctx.charger.now(),
+        io,
+        phases: std::mem::take(&mut ctx.phases),
+        cpu_time: ctx.charger.cpu_time(),
+        io_time: ctx.charger.io_time(),
+        wait_time: ctx.charger.wait_time(),
+        sent_bytes: ctx.endpoint.sent_bytes(),
+        obs: node_obs,
+    }
+}
+
+/// Per-node scratch dirs for file-backed clusters, kept alive until every
+/// node finishes.
+fn make_scratches(spec: &ClusterSpec) -> Vec<Option<ScratchDir>> {
+    (0..spec.p())
+        .map(|i| match spec.storage {
+            StorageKind::Memory => None,
+            StorageKind::Files => Some(
+                ScratchDir::new(&format!("cluster-node{i}")).expect("cannot create scratch dir"),
+            ),
+        })
+        .collect()
+}
+
+fn assemble_report<T>(outcomes: Vec<Option<NodeOutcome<T>>>) -> ClusterReport<T> {
+    let nodes: Vec<NodeOutcome<T>> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+    let makespan = nodes
+        .iter()
+        .map(|n| n.finish)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    ClusterReport { nodes, makespan }
+}
+
+/// Runs `f` on every node of the cluster and reports outcomes plus the
+/// makespan. The scheduler — thread-per-node or single-threaded
+/// discrete-event — is chosen by [`ClusterSpec::runtime`].
 ///
 /// The runtime adds a final I/O sync + barrier after `f` returns so that
 /// every node's clock covers the entire computation; the makespan is the
@@ -418,12 +602,12 @@ impl<T> ClusterReport<T> {
 ///
 /// // Two nodes, the second 4x faster; node 0 sends its rank to node 1.
 /// let spec = ClusterSpec::new(vec![1, 4]);
-/// let report = run_cluster(&spec, |ctx| {
+/// let report = run_cluster(&spec, async |ctx| {
 ///     if ctx.rank == 0 {
 ///         ctx.send_records::<u32>(1, Tag::user(1), &[7]);
 ///         0
 ///     } else {
-///         ctx.recv_records::<u32>(0, Tag::user(1))[0]
+///         ctx.recv_records::<u32>(0, Tag::user(1)).await[0]
 ///     }
 /// });
 /// assert_eq!(report.nodes[1].value, 7);
@@ -431,25 +615,29 @@ impl<T> ClusterReport<T> {
 /// ```
 ///
 /// # Panics
-/// Propagates panics from node threads.
+/// Propagates panics from node functions.
 pub fn run_cluster<T, F>(spec: &ClusterSpec, f: F) -> ClusterReport<T>
 where
     T: Send,
-    F: Fn(&mut NodeCtx) -> T + Send + Sync,
+    F: AsyncFn(&mut NodeCtx) -> T + Send + Sync,
+{
+    match spec.runtime {
+        RuntimeKind::Threads => run_threads(spec, &f),
+        RuntimeKind::Events => run_events(spec, &f),
+    }
+}
+
+/// The thread runtime: one OS thread per node. Each node future is
+/// completed by a single poll — the comm layer blocks the thread
+/// internally, so `Pending` never surfaces.
+fn run_threads<T, F>(spec: &ClusterSpec, f: &F) -> ClusterReport<T>
+where
+    T: Send,
+    F: AsyncFn(&mut NodeCtx) -> T + Send + Sync,
 {
     let p = spec.p();
     let endpoints = Endpoint::mesh(p, spec.net.clone());
-
-    // File-backed clusters get one scratch dir per node, kept alive until
-    // all threads join.
-    let scratches: Vec<Option<ScratchDir>> = (0..p)
-        .map(|i| match spec.storage {
-            StorageKind::Memory => None,
-            StorageKind::Files => Some(
-                ScratchDir::new(&format!("cluster-node{i}")).expect("cannot create scratch dir"),
-            ),
-        })
-        .collect();
+    let scratches = make_scratches(spec);
 
     let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(p);
     for _ in 0..p {
@@ -461,115 +649,14 @@ where
             .into_iter()
             .enumerate()
             .map(|(rank, endpoint)| {
-                let f = &f;
                 let scratch = &scratches[rank];
                 s.spawn(move || {
-                    let disk = match scratch {
-                        None => Disk::in_memory(spec.block_bytes),
-                        Some(dir) => Disk::on_files(dir.path(), spec.block_bytes),
-                    }
-                    .with_model(spec.disk_model.clone())
-                    .with_codec(spec.codec)
-                    .with_io_backend(spec.io_backend)
-                    .with_label(format!("node{rank}"));
-                    let jitter = Jitter::new(
-                        SplitMix64::mix(spec.seed ^ (rank as u64).wrapping_mul(0x9E37)),
-                        // Loaded nodes show proportionally noisier timings
-                        // (cf. Table 2's deviations); scale sigma by √slowdown.
-                        (spec.jitter_sigma * spec.slowdown(rank).sqrt()).min(0.9),
-                    );
-                    let charger = Charger::new(
-                        spec.cpu.clone(),
-                        spec.slowdown(rank),
-                        jitter,
-                        disk.clone(),
-                        spec.time_policy,
-                    );
-                    let node_obs = if spec.tracing {
-                        Obs::enabled()
-                    } else {
-                        Obs::disabled()
-                    };
+                    let mut ctx = make_node_ctx(spec, rank, endpoint, scratch.as_ref());
                     // Install the handle in TLS so library code below this
                     // frame (the external sorters) can record spans and
                     // metrics without threading the handle through.
-                    let _obs_guard = obs::install(node_obs.clone());
-                    let mut ctx = NodeCtx {
-                        rank,
-                        p,
-                        perf: spec.perf.clone(),
-                        disk,
-                        rng: Pcg64::with_stream(spec.seed, rank as u64),
-                        charger,
-                        obs: node_obs,
-                        endpoint,
-                        phases: Vec::new(),
-                        coll_wait: 0.0,
-                        credit_wait: 0.0,
-                        cost_cursor: CostCursor::default(),
-                    };
-                    let value = f(&mut ctx);
-                    ctx.charger.sync_io();
-                    ctx.barrier();
-                    let io = ctx.disk.stats().snapshot();
-                    if ctx.obs.is_enabled() {
-                        // Fold the classic report counters into the unified
-                        // registry so exporters see one coherent namespace.
-                        ctx.obs.counter_add("io.blocks_read", io.blocks_read);
-                        ctx.obs.counter_add("io.blocks_written", io.blocks_written);
-                        ctx.obs.counter_add("io.bytes_read", io.bytes_read);
-                        ctx.obs.counter_add("io.bytes_written", io.bytes_written);
-                        ctx.obs.counter_add("io.random_reads", io.random_reads);
-                        ctx.obs.counter_add("io.seek_bytes", io.seek_bytes);
-                        ctx.obs.counter_add("io.files_created", io.files_created);
-                        // Shared-disk queueing diagnostics: virtual time the
-                        // node's streams spent waiting on the device queue,
-                        // and the observed stream concurrency.
-                        ctx.obs.counter_add(
-                            "io.queue.wait_us",
-                            (ctx.charger.io_queue_wait().as_secs() * 1e6).round() as u64,
-                        );
-                        ctx.obs
-                            .counter_add("io.queue.stream_opens", ctx.disk.stats().stream_opens());
-                        ctx.obs.gauge_set(
-                            "io.queue.peak_streams",
-                            ctx.disk.stats().peak_streams() as f64,
-                        );
-                        ctx.obs
-                            .counter_add("net.sent_bytes", ctx.endpoint.sent_bytes());
-                        ctx.obs
-                            .counter_add("net.sent_messages", ctx.endpoint.sent_messages());
-                        ctx.obs
-                            .gauge_set("time.cpu_secs", ctx.charger.cpu_time().as_secs());
-                        ctx.obs
-                            .gauge_set("time.io_secs", ctx.charger.io_time().as_secs());
-                        ctx.obs
-                            .gauge_set("time.io_read_secs", ctx.charger.io_read_time().as_secs());
-                        ctx.obs
-                            .gauge_set("time.io_write_secs", ctx.charger.io_write_time().as_secs());
-                        ctx.obs
-                            .gauge_set("time.wait_secs", ctx.charger.wait_time().as_secs());
-                        ctx.obs.gauge_set(
-                            "time.overlap_saved_secs",
-                            ctx.charger.overlap_saved().as_secs(),
-                        );
-                        ctx.obs
-                            .gauge_set("time.finish_secs", ctx.charger.now().as_secs());
-                    }
-                    let node_obs = ctx
-                        .obs
-                        .finish(rank, format!("node{rank} (perf {})", spec.perf[rank]));
-                    NodeOutcome {
-                        value,
-                        finish: ctx.charger.now(),
-                        io,
-                        phases: ctx.phases,
-                        cpu_time: ctx.charger.cpu_time(),
-                        io_time: ctx.charger.io_time(),
-                        wait_time: ctx.charger.wait_time(),
-                        sent_bytes: ctx.endpoint.sent_bytes(),
-                        obs: node_obs,
-                    }
+                    let _obs_guard = obs::install(ctx.obs.clone());
+                    events::block_on(drive(&mut ctx, f, spec.perf[rank]))
                 })
             })
             .collect();
@@ -578,14 +665,105 @@ where
         }
     });
 
-    let nodes: Vec<NodeOutcome<T>> = outcomes.into_iter().map(|o| o.unwrap()).collect();
-    let makespan = nodes
-        .iter()
-        .map(|n| n.finish)
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        .since(SimTime::ZERO);
-    ClusterReport { nodes, makespan }
+    assemble_report(outcomes)
+}
+
+/// The event runtime: all nodes as cooperatively-scheduled tasks on one
+/// thread. The runnable task with the smallest (virtual clock, rank) key
+/// is resumed next; a blocking receive with an empty mailbox parks its
+/// task, and the matching delivery wakes it. Deadlock (all live tasks
+/// parked) panics immediately with a per-node wait report instead of
+/// relying on the thread transport's 60 s timeout.
+fn run_events<'a, T, F>(spec: &'a ClusterSpec, f: &'a F) -> ClusterReport<T>
+where
+    T: Send + 'a,
+    F: AsyncFn(&mut NodeCtx) -> T + Send + Sync,
+{
+    let p = spec.p();
+    let (endpoints, fabric) = Endpoint::event_mesh(p, spec.net.clone());
+    let scratches = make_scratches(spec);
+
+    /// One node task: the boxed context and the future driving it.
+    /// `fut` is declared first so it drops before `ctx` — it holds an
+    /// exclusive borrow of the boxed context through a raw pointer.
+    struct Task<'f, T> {
+        fut: Option<Pin<Box<dyn Future<Output = NodeOutcome<T>> + 'f>>>,
+        _ctx: Box<NodeCtx>,
+        /// The node's tracer, installed in TLS around every poll so
+        /// library code attributes spans to the *task*, not the shared
+        /// executor thread.
+        obs: Obs,
+    }
+
+    let mut tasks: Vec<Task<'a, T>> = Vec::with_capacity(p);
+    for (rank, endpoint) in endpoints.into_iter().enumerate() {
+        let mut ctx = Box::new(make_node_ctx(
+            spec,
+            rank,
+            endpoint,
+            scratches[rank].as_ref(),
+        ));
+        let obs = ctx.obs.clone();
+        let ctx_ptr: *mut NodeCtx = &mut *ctx;
+        // SAFETY: the box pins the context to a stable heap address for
+        // the task's lifetime, and the future (dropped first — see the
+        // field order on `Task`) is the only code that touches it.
+        let fut: Pin<Box<dyn Future<Output = NodeOutcome<T>> + 'a>> =
+            Box::pin(drive(unsafe { &mut *ctx_ptr }, f, spec.perf[rank]));
+        tasks.push(Task {
+            fut: Some(fut),
+            _ctx: ctx,
+            obs,
+        });
+    }
+
+    let mut outcomes: Vec<Option<NodeOutcome<T>>> = (0..p).map(|_| None).collect();
+    let mut cx = Context::from_waker(Waker::noop());
+    let mut remaining = p;
+    while remaining > 0 {
+        let rank = {
+            let fab = fabric.lock().expect("fabric lock");
+            match fab.next_runnable() {
+                Some(rank) => rank,
+                None => {
+                    assert!(!fab.all_done(), "tasks outlived their outcomes");
+                    panic!("{}", fab.deadlock_report());
+                }
+            }
+        };
+        let task = &mut tasks[rank];
+        let poll = {
+            // Scope the TLS install to the poll: whichever task runs owns
+            // the recorder for exactly that slice of execution. Untraced
+            // runs skip the TLS churn — a disabled recorder observes
+            // nothing either way, and polls are the executor's hot path.
+            let _obs_guard = task
+                .obs
+                .is_enabled()
+                .then(|| obs::install(task.obs.clone()));
+            task.fut
+                .as_mut()
+                .expect("completed task scheduled again")
+                .as_mut()
+                .poll(&mut cx)
+        };
+        match poll {
+            Poll::Ready(outcome) => {
+                task.fut = None;
+                outcomes[rank] = Some(outcome);
+                fabric.lock().expect("fabric lock").mark_done(rank);
+                remaining -= 1;
+            }
+            Poll::Pending => {
+                // The only legal yield is a parked receive; anything else
+                // could never be woken.
+                fabric.lock().expect("fabric lock").assert_parked(rank);
+            }
+        }
+    }
+    drop(tasks);
+
+    assemble_report(outcomes)
 }
 
 #[cfg(test)]
@@ -598,7 +776,7 @@ mod tests {
     #[test]
     fn nodes_run_and_report() {
         let spec = ClusterSpec::homogeneous(3);
-        let report = run_cluster(&spec, |ctx| ctx.rank * 10);
+        let report = run_cluster(&spec, async |ctx| ctx.rank * 10);
         assert_eq!(report.nodes.len(), 3);
         for (rank, n) in report.nodes.iter().enumerate() {
             assert_eq!(n.value, rank * 10);
@@ -608,7 +786,7 @@ mod tests {
     #[test]
     fn makespan_is_slowest_node() {
         let spec = ClusterSpec::new(vec![1, 4]); // node 0 is 4× slower
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.compute(Work::comparisons(1_000_000), || ());
         });
         // Reference work = 0.28 s; node 0 takes 1.12 s; makespan ≈ that
@@ -622,7 +800,7 @@ mod tests {
     #[test]
     fn per_node_disks_are_private() {
         let spec = ClusterSpec::homogeneous(2);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             let name = "private";
             ctx.disk
                 .write_file::<u32>(name, &[ctx.rank as u32])
@@ -636,7 +814,7 @@ mod tests {
     #[test]
     fn io_counted_and_charged() {
         let spec = ClusterSpec::homogeneous(1).with_disk_model(DiskModel::scsi_2000());
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             let data: Vec<u32> = (0..10_000).collect();
             ctx.disk.write_file("f", &data).unwrap();
             ctx.disk.read_file::<u32>("f").unwrap().len()
@@ -649,7 +827,7 @@ mod tests {
     #[test]
     fn phase_marks_are_cumulative() {
         let spec = ClusterSpec::homogeneous(1).with_cpu(CpuModel::alpha_533());
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.charge_work(Work::comparisons(1000));
             ctx.mark_phase("first");
             ctx.charger.charge_work(Work::comparisons(1000));
@@ -664,12 +842,12 @@ mod tests {
     #[test]
     fn messaging_inside_cluster() {
         let spec = ClusterSpec::homogeneous(2);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             if ctx.rank == 0 {
                 ctx.send_records(1, Tag::user(5), &[1u32, 2, 3]);
                 0
             } else {
-                let v: Vec<u32> = ctx.recv_records(0, Tag::user(5));
+                let v: Vec<u32> = ctx.recv_records(0, Tag::user(5)).await;
                 v.iter().sum::<u32>() as usize
             }
         });
@@ -682,9 +860,9 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let spec = ClusterSpec::new(vec![1, 2]).with_jitter(0.05).with_seed(7);
-            run_cluster(&spec, |ctx| {
+            run_cluster(&spec, async |ctx| {
                 ctx.charger.compute(Work::comparisons(500_000), || ());
-                ctx.barrier();
+                ctx.barrier().await;
                 ctx.charger.now().as_secs()
             })
         };
@@ -697,17 +875,121 @@ mod tests {
     }
 
     #[test]
+    fn event_runtime_matches_threads_bitwise() {
+        // The same jittered compute + message + barrier workload must
+        // produce bit-identical clocks, traffic and values under both
+        // schedulers: charges happen in per-node program order either
+        // way, and arrival merges are commutative maxima.
+        let run = |runtime: RuntimeKind| {
+            let spec = ClusterSpec::new(vec![1, 2, 4])
+                .with_jitter(0.05)
+                .with_seed(11)
+                .with_runtime(runtime);
+            run_cluster(&spec, async |ctx| {
+                ctx.charger
+                    .compute(Work::comparisons(100_000 * (ctx.rank as u64 + 1)), || ());
+                if ctx.rank == 0 {
+                    for to in 1..ctx.p {
+                        ctx.send_records(to, Tag::user(2), &[to as u32; 64]);
+                    }
+                } else {
+                    let v: Vec<u32> = ctx.recv_records(0, Tag::user(2)).await;
+                    assert_eq!(v.len(), 64);
+                }
+                ctx.mark_phase("exchange");
+                ctx.barrier().await;
+                ctx.charger.now().as_secs()
+            })
+        };
+        let threads = run(RuntimeKind::Threads);
+        let events = run(RuntimeKind::Events);
+        assert_eq!(threads.makespan, events.makespan);
+        for (a, b) in threads.nodes.iter().zip(&events.nodes) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.finish, b.finish);
+            assert_eq!(a.cpu_time, b.cpu_time);
+            assert_eq!(a.wait_time, b.wait_time);
+            assert_eq!(a.sent_bytes, b.sent_bytes);
+            assert_eq!(a.io, b.io);
+            assert_eq!(a.phases.len(), b.phases.len());
+            for (pa, pb) in a.phases.iter().zip(&b.phases) {
+                assert_eq!(pa.at, pb.at);
+            }
+        }
+    }
+
+    #[test]
+    fn event_runtime_scales_to_many_nodes() {
+        // 64 nodes in one process: a full barrier + ring exchange. The
+        // thread runtime would need 64 OS threads for this.
+        let spec = ClusterSpec::homogeneous(64).with_runtime(RuntimeKind::Events);
+        let report = run_cluster(&spec, async |ctx| {
+            let next = (ctx.rank + 1) % ctx.p;
+            let prev = (ctx.rank + ctx.p - 1) % ctx.p;
+            ctx.send_records(next, Tag::user(3), &[ctx.rank as u32]);
+            let got: Vec<u32> = ctx.recv_records(prev, Tag::user(3)).await;
+            ctx.barrier().await;
+            got[0]
+        });
+        assert_eq!(report.nodes.len(), 64);
+        for (rank, n) in report.nodes.iter().enumerate() {
+            assert_eq!(n.value as usize, (rank + 64 - 1) % 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn event_runtime_detects_deadlock_immediately() {
+        // Both nodes receive from each other without anyone sending: the
+        // event scheduler sees every live task parked and panics at once
+        // (the thread runtime would sit in its 60 s timeout).
+        let spec = ClusterSpec::homogeneous(2).with_runtime(RuntimeKind::Events);
+        let _ = run_cluster(&spec, async |ctx| {
+            let peer = 1 - ctx.rank;
+            let _ = ctx.recv_from(peer, Tag::user(1)).await;
+        });
+    }
+
+    #[test]
+    fn tls_recorder_follows_the_task_not_the_thread() {
+        // Regression for the per-task recorder: all event-runtime nodes
+        // share one executor thread, and each barrier parks the task and
+        // hands the thread to the other node. Library code that records
+        // through the TLS handle (obs::counter_add) must still attribute
+        // to the node whose task is running.
+        let spec = ClusterSpec::homogeneous(2)
+            .with_tracing(true)
+            .with_runtime(RuntimeKind::Events);
+        let report = run_cluster(&spec, async |ctx| {
+            for _ in 0..3 {
+                if ctx.rank == 0 {
+                    obs::counter_add("test.left", 1);
+                } else {
+                    obs::counter_add("test.right", 1);
+                }
+                ctx.barrier().await;
+            }
+        });
+        let left = &report.nodes[0].obs.metrics.counters;
+        let right = &report.nodes[1].obs.metrics.counters;
+        assert_eq!(left.get("test.left"), Some(&3));
+        assert_eq!(left.get("test.right"), None, "node 1's counts leaked");
+        assert_eq!(right.get("test.right"), Some(&3));
+        assert_eq!(right.get("test.left"), None, "node 0's counts leaked");
+    }
+
+    #[test]
     fn tracing_records_phase_spans_and_metrics() {
         let spec = ClusterSpec::new(vec![1, 2]).with_tracing(true);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.charge_work(Work::comparisons(1000));
             ctx.mark_phase("first");
             if ctx.rank == 0 {
                 ctx.send_records(1, Tag::user(9), &[1u32, 2, 3]);
             } else {
-                let _: Vec<u32> = ctx.recv_records(0, Tag::user(9));
+                let _: Vec<u32> = ctx.recv_records(0, Tag::user(9)).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             ctx.mark_phase("second");
         });
         for node in &report.nodes {
@@ -747,7 +1029,7 @@ mod tests {
     #[test]
     fn tracing_records_phase_costs_satisfying_the_identity() {
         let spec = ClusterSpec::new(vec![1, 2]).with_tracing(true);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.charge_work(Work::comparisons(500_000));
             ctx.disk
                 .write_file::<u32>("f", &(0..2048).collect::<Vec<_>>())
@@ -756,9 +1038,9 @@ mod tests {
             if ctx.rank == 0 {
                 ctx.send_records(1, Tag::user(3), &[9u32; 256]);
             } else {
-                let _: Vec<u32> = ctx.recv_records(0, Tag::user(3));
+                let _: Vec<u32> = ctx.recv_records(0, Tag::user(3)).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             ctx.mark_phase("exchange");
         });
         for node in &report.nodes {
@@ -802,7 +1084,7 @@ mod tests {
     #[test]
     fn untraced_run_records_no_phase_costs() {
         let spec = ClusterSpec::homogeneous(2);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.mark_phase("only");
         });
         for node in &report.nodes {
@@ -813,7 +1095,7 @@ mod tests {
     #[test]
     fn tracing_off_yields_empty_obs() {
         let spec = ClusterSpec::homogeneous(2);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.mark_phase("only");
         });
         for node in &report.nodes {
@@ -825,10 +1107,10 @@ mod tests {
     #[test]
     fn phase_breakdown_from_marks() {
         let spec = ClusterSpec::new(vec![1, 4]);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.charger.charge_work(Work::comparisons(1_000_000));
             ctx.mark_phase("compute");
-            ctx.barrier();
+            ctx.barrier().await;
             ctx.mark_phase("sync");
         });
         let breakdown = report.phase_breakdown();
@@ -847,7 +1129,7 @@ mod tests {
     #[test]
     fn file_backed_cluster_works() {
         let spec = ClusterSpec::homogeneous(2).with_storage(StorageKind::Files);
-        let report = run_cluster(&spec, |ctx| {
+        let report = run_cluster(&spec, async |ctx| {
             ctx.disk
                 .write_file::<u32>("x", &[ctx.rank as u32; 100])
                 .unwrap();

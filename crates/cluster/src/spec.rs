@@ -14,6 +14,41 @@ pub enum StorageKind {
     Files,
 }
 
+/// Which scheduler executes the node functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// One OS thread per node; blocking receives park the thread on its
+    /// mpsc channel. The original runtime — wall-clock cost grows with
+    /// `p`, so it is practical up to a few dozen nodes.
+    #[default]
+    Threads,
+    /// A single-threaded discrete-event scheduler: every node is a
+    /// cooperatively-scheduled task, and blocking receives park the task
+    /// until the matching message is delivered. Scales to hundreds of
+    /// nodes in one process and makes scheduling (and therefore the
+    /// streamed exchange's arrival order) fully deterministic.
+    Events,
+}
+
+impl RuntimeKind {
+    /// Parses a CLI spelling (`threads` | `events`).
+    pub fn parse(s: &str) -> Option<RuntimeKind> {
+        match s {
+            "threads" => Some(RuntimeKind::Threads),
+            "events" => Some(RuntimeKind::Events),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Threads => "threads",
+            RuntimeKind::Events => "events",
+        }
+    }
+}
+
 /// How compute sections are converted to virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimePolicy {
@@ -61,6 +96,10 @@ pub struct ClusterSpec {
     pub codec: Codec,
     /// I/O submission backend for every node disk.
     pub io_backend: IoBackend,
+    /// Which scheduler runs the node functions. Thread-per-node by
+    /// default; the event runtime produces bit-identical virtual clocks
+    /// on every blocking exchange path and scales to hundreds of nodes.
+    pub runtime: RuntimeKind,
 }
 
 impl ClusterSpec {
@@ -88,6 +127,7 @@ impl ClusterSpec {
             tracing: false,
             codec: Codec::default(),
             io_backend: IoBackend::default(),
+            runtime: RuntimeKind::default(),
         }
     }
 
@@ -184,6 +224,14 @@ impl ClusterSpec {
         self.io_backend = backend;
         self
     }
+
+    /// Selects the runtime that executes the node functions (builder
+    /// style).
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +265,8 @@ mod tests {
             .with_time_policy(TimePolicy::Measured)
             .with_tracing(true)
             .with_codec(Codec::Copying)
-            .with_io_backend(IoBackend::Batched);
+            .with_io_backend(IoBackend::Batched)
+            .with_runtime(RuntimeKind::Events);
         assert_eq!(s.net.name, NetworkModel::myrinet().name);
         assert_eq!(s.block_bytes, 4096);
         assert_eq!(s.seed, 99);
@@ -226,6 +275,16 @@ mod tests {
         assert!(s.tracing);
         assert_eq!(s.codec, Codec::Copying);
         assert_eq!(s.io_backend, IoBackend::Batched);
+        assert_eq!(s.runtime, RuntimeKind::Events);
+    }
+
+    #[test]
+    fn runtime_kind_parses_cli_spellings() {
+        assert_eq!(RuntimeKind::parse("threads"), Some(RuntimeKind::Threads));
+        assert_eq!(RuntimeKind::parse("events"), Some(RuntimeKind::Events));
+        assert_eq!(RuntimeKind::parse("fibers"), None);
+        assert_eq!(RuntimeKind::default(), RuntimeKind::Threads);
+        assert_eq!(RuntimeKind::Events.name(), "events");
     }
 
     #[test]

@@ -19,10 +19,10 @@ proptest! {
         let p = work.len();
         let spec = ClusterSpec::homogeneous(p);
         let work2 = work.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             ctx.charger.charge_work(Work::comparisons(work2[ctx.rank]));
             let before = ctx.charger.now();
-            ctx.barrier();
+            ctx.barrier().await;
             (before, ctx.charger.now())
         });
         let max_entry = report
@@ -49,7 +49,7 @@ proptest! {
             recv_overhead: SimDuration::from_micros(5.0),
         });
         let sizes = payload_sizes.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             if ctx.rank == 0 {
                 for (i, &s) in sizes.iter().enumerate() {
                     ctx.send(1, Tag::user(i as u16), vec![0u8; s]);
@@ -58,7 +58,7 @@ proptest! {
             } else {
                 let mut arrivals = Vec::new();
                 for i in 0..sizes.len() {
-                    let msg = ctx.recv_from(0, Tag::user(i as u16));
+                    let msg = ctx.recv_from(0, Tag::user(i as u16)).await;
                     // The receiver clock must have reached the arrival time.
                     assert!(ctx.charger.now() >= msg.arrival);
                     arrivals.push(msg.arrival);
@@ -74,11 +74,11 @@ proptest! {
     #[test]
     fn all_to_all_is_a_permutation_router(p in 2usize..6, seed in any::<u64>()) {
         let spec = ClusterSpec::homogeneous(p).with_seed(seed);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             let outgoing: Vec<Vec<u8>> = (0..ctx.p)
                 .map(|j| format!("{}->{}", ctx.rank, j).into_bytes())
                 .collect();
-            ctx.all_to_all(outgoing)
+            ctx.all_to_all(outgoing).await
         });
         for (j, node) in report.nodes.iter().enumerate() {
             for (i, payload) in node.value.iter().enumerate() {
@@ -93,9 +93,9 @@ proptest! {
             let spec = ClusterSpec::new(vec![1, 3])
                 .with_seed(seed)
                 .with_jitter(jitter);
-            let report = run_cluster(&spec, |ctx| {
+            let report = run_cluster(&spec, async |ctx| {
                 ctx.charger.charge_work(Work::comparisons(100_000));
-                ctx.barrier();
+                ctx.barrier().await;
                 ctx.charger.now()
             });
             (report.makespan, report.nodes[0].value, report.nodes[1].value)

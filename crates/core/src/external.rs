@@ -203,7 +203,7 @@ pub struct ExternalPsrsOutcome {
 /// [`cluster::run_cluster`] node function on **every** node (the phases
 /// contain collectives). `cfg.input` must already exist on the node's disk;
 /// `cfg.output` is created.
-pub fn psrs_external<R: Record>(
+pub async fn psrs_external<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &ExternalPsrsConfig,
 ) -> PdmResult<ExternalPsrsOutcome> {
@@ -256,7 +256,7 @@ pub fn psrs_external<R: Record>(
     }
     drop(reader);
     let samples_contributed = sample.len() as u64;
-    let gathered = ctx.gather(0, record::encode_all(&sample));
+    let gathered = ctx.gather(0, record::encode_all(&sample)).await;
     let pivots: Vec<R> = if rank == 0 {
         let mut all: Vec<R> = gathered
             .expect("root gathers")
@@ -274,10 +274,10 @@ pub fn psrs_external<R: Record>(
             t0.elapsed(),
         );
         let pivots = select_pivots(&all, perf);
-        ctx.broadcast(0, record::encode_all(&pivots));
+        ctx.broadcast(0, record::encode_all(&pivots)).await;
         pivots
     } else {
-        record::decode_all(&ctx.broadcast(0, Vec::new()))
+        record::decode_all(&ctx.broadcast(0, Vec::new()).await)
     };
     ctx.obs.counter_add("psrs.samples", samples_contributed);
     ctx.obs.gauge_set("psrs.pivots", pivots.len() as f64);
@@ -285,7 +285,7 @@ pub fn psrs_external<R: Record>(
 
     if cfg.streaming_merge {
         // ---- Steps 3–5 fused end to end: streaming exchange-merge. ----
-        let stream = streaming_exchange_merge::<R>(ctx, cfg, &pivots, sorted_name)?;
+        let stream = streaming_exchange_merge::<R>(ctx, cfg, &pivots, sorted_name).await?;
         for &s in &stream.sizes {
             ctx.obs.hist_record("psrs.partition_records", s);
         }
@@ -312,7 +312,7 @@ pub fn psrs_external<R: Record>(
         // ---- Steps 3+4 fused: one streaming pass sends partitions
         // straight to their owners (no intermediate partition files),
         // saving 2·Q/B block I/Os — the paper's disk-to-disk remark.
-        fused_partition_redistribute::<R>(ctx, cfg, &pivots, sorted_name, recv_prefix)?
+        fused_partition_redistribute::<R>(ctx, cfg, &pivots, sorted_name, recv_prefix).await?
     } else {
         // ---- Step 3: partition the sorted file at the pivots. ----
         let t0 = Instant::now();
@@ -337,6 +337,7 @@ pub fn psrs_external<R: Record>(
             .collect();
         let incoming_sizes: Vec<u64> = ctx
             .all_to_all(size_payloads)
+            .await
             .iter()
             .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8-byte size")))
             .collect();
@@ -390,7 +391,7 @@ pub fn psrs_external<R: Record>(
         let mut scratch: Vec<R> = Vec::with_capacity(cfg.msg_records);
         let mut moved = 0u64;
         for _ in 0..total_msgs {
-            let msg = ctx.recv_any(&[TAG_PART_DATA]);
+            let msg = ctx.recv_any(&[TAG_PART_DATA]).await;
             record::decode_all_into(&msg.bytes, &mut scratch);
             moved += scratch.len() as u64;
             writers[msg.from]
@@ -427,8 +428,13 @@ pub fn psrs_external<R: Record>(
     // Tree selects run on the range-partitioned merge workers, so only the
     // slowest worker's share lands on the critical path; the record moves
     // (one output stream) stay serial.
-    let merge_workers =
-        extsort::planned_workers::<R>(&ctx.disk, &cfg.pipeline, inputs.len(), final_merge.records);
+    let merge_workers = extsort::planned_workers::<R>(
+        &ctx.disk,
+        &cfg.pipeline,
+        inputs.len(),
+        final_merge.records,
+        cfg.kernel,
+    );
     let merge_work = Work {
         comparisons: final_merge.comparisons,
         key_ops: final_merge.key_ops,
@@ -453,12 +459,15 @@ pub fn psrs_external<R: Record>(
         // Record the planner's own prediction for this exact merge so the
         // calibration report can join it against the measured span. The
         // planner prices on the reference CPU; this node runs `slowdown`
-        // times slower, so scale the prediction into node-local seconds.
+        // times slower, and the charger stretches *every* charge by the
+        // slowdown — disk service included — so the whole prediction
+        // scales into node-local seconds.
         let shape = extsort::MergeShape {
             fan_in: inputs.len(),
             records: final_merge.records,
             record_size: R::SIZE,
             block_bytes: ctx.disk.block_bytes(),
+            key_based: cfg.kernel.key_based::<R>(),
         };
         let predicted = extsort::predict_merge_time(
             ctx.disk.model(),
@@ -498,7 +507,7 @@ pub fn psrs_external<R: Record>(
 /// `j ≠ rank` leave in `msg_records` chunks terminated by an empty
 /// message, records owned locally go straight into the local receive
 /// file. Returns the partition sizes this node cut.
-fn fused_partition_redistribute<R: Record>(
+async fn fused_partition_redistribute<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &ExternalPsrsConfig,
     pivots: &[R],
@@ -575,7 +584,7 @@ fn fused_partition_redistribute<R: Record>(
     let mut moved = 0u64;
     let mut scratch: Vec<R> = Vec::with_capacity(cfg.msg_records);
     while open > 0 {
-        let msg = ctx.recv_any(&[TAG_PART_DATA]);
+        let msg = ctx.recv_any(&[TAG_PART_DATA]).await;
         msgs += 1;
         record::decode_all_into(&msg.bytes, &mut scratch);
         if scratch.is_empty() {
@@ -878,7 +887,7 @@ impl<R: Record> ExchangeMerge<R> {
 /// section is charged `max(cpu, io)` — the transfers hide behind the
 /// merge — and the `xpsrs.recv*` staging files never exist, saving
 /// `2·Q/B` receiver-side block I/Os on top of the fused send path.
-fn streaming_exchange_merge<R: Record>(
+async fn streaming_exchange_merge<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &ExternalPsrsConfig,
     pivots: &[R],
@@ -920,7 +929,7 @@ fn streaming_exchange_merge<R: Record>(
             // can separate flow-control stalls from data starvation.
             let was_stalled = st.stalled;
             let wait0 = ctx.charger.wait_time();
-            let msg = ctx.recv_any(&tags);
+            let msg = ctx.recv_any(&tags).await;
             if was_stalled {
                 ctx.note_credit_wait((ctx.charger.wait_time() - wait0).as_secs());
             }
@@ -937,7 +946,7 @@ fn streaming_exchange_merge<R: Record>(
     for d in (0..p).filter(|&d| d != rank) {
         while st.credits[d] < CHUNK_CREDITS {
             let wait0 = ctx.charger.wait_time();
-            let msg = ctx.recv_any(&[TAG_PART_CREDIT]);
+            let msg = ctx.recv_any(&[TAG_PART_CREDIT]).await;
             ctx.note_credit_wait((ctx.charger.wait_time() - wait0).as_secs());
             st.handle_msg(ctx, msg, &mut scratch);
         }
@@ -1008,9 +1017,9 @@ mod tests {
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
         };
-        let report = run_cluster(spec, move |ctx| {
+        let report = run_cluster(spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
-            let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+            let outcome = psrs_external::<u32>(ctx, &cfg).await.unwrap();
             assert!(is_sorted_file::<u32>(&ctx.disk, "output").unwrap());
             let output = ctx.disk.read_file::<u32>("output").unwrap();
             NodeResult { outcome, output }
@@ -1108,9 +1117,9 @@ mod tests {
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
         };
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank]).unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             ctx.disk.read_file::<u32>("output").unwrap()
         });
         let flat: Vec<u32> = report
@@ -1142,7 +1151,7 @@ mod tests {
                 pipeline: PipelineConfig::off(),
                 kernel: SortKernel::default(),
             };
-            run_cluster(&spec, move |ctx| {
+            run_cluster(&spec, async move |ctx| {
                 generate_to_disk(
                     &ctx.disk,
                     "input",
@@ -1151,7 +1160,7 @@ mod tests {
                     layouts[ctx.rank],
                 )
                 .unwrap();
-                psrs_external::<u32>(ctx, &cfg).unwrap();
+                psrs_external::<u32>(ctx, &cfg).await.unwrap();
                 ctx.disk.read_file::<u32>("output").unwrap()
             })
         };
@@ -1197,9 +1206,9 @@ mod tests {
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
         };
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank]).unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             let p = ctx.p;
             let mut leftovers = Vec::new();
             for name in ["xpsrs.sorted".to_string()]
@@ -1238,9 +1247,9 @@ mod tests {
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
         };
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank]).unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
         });
         for node in &report.nodes {
             let names: Vec<&str> = node.phases.iter().map(|m| m.name).collect();
@@ -1262,9 +1271,9 @@ mod tests {
         let shares = cfg.perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let cfg = cfg.clone();
-        run_cluster(spec, move |ctx| {
+        run_cluster(spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
-            let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+            let outcome = psrs_external::<u32>(ctx, &cfg).await.unwrap();
             assert!(is_sorted_file::<u32>(&ctx.disk, "output").unwrap());
             let output = ctx.disk.read_file::<u32>("output").unwrap();
             NodeResult { outcome, output }
@@ -1413,9 +1422,9 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let cfg = streamed_cfg(&perf, 128, 4, 64);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank]).unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             let p = ctx.p;
             let mut leftovers = Vec::new();
             for name in ["xpsrs.sorted".to_string()]

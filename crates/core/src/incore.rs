@@ -53,29 +53,29 @@ pub struct InCoreOutcome<R> {
 /// `perf` is the *declared* performance vector (data-share weights); it
 /// need not match the hardware speeds in the [`cluster::ClusterSpec`] —
 /// Table 3's first row deliberately mismatches them.
-pub fn psrs_incore<R: Record>(
+pub async fn psrs_incore<R: Record>(
     ctx: &mut NodeCtx,
     perf: &PerfVector,
     local: Vec<R>,
 ) -> InCoreOutcome<R> {
-    psrs_incore_with(ctx, perf, local, PivotStrategy::RegularSampling)
+    psrs_incore_with(ctx, perf, local, PivotStrategy::RegularSampling).await
 }
 
 /// [`psrs_incore`] with an explicit pivot-candidate strategy (and the
 /// default sort kernel).
-pub fn psrs_incore_with<R: Record>(
+pub async fn psrs_incore_with<R: Record>(
     ctx: &mut NodeCtx,
     perf: &PerfVector,
     local: Vec<R>,
     strategy: PivotStrategy,
 ) -> InCoreOutcome<R> {
-    psrs_incore_kernel(ctx, perf, local, strategy, SortKernel::default())
+    psrs_incore_kernel(ctx, perf, local, strategy, SortKernel::default()).await
 }
 
 /// [`psrs_incore_with`] with an explicit in-core sort kernel. The kernel
 /// changes how the local sorts run and how CPU work is billed; the sorted
 /// result is byte-identical either way.
-pub fn psrs_incore_kernel<R: Record>(
+pub async fn psrs_incore_kernel<R: Record>(
     ctx: &mut NodeCtx,
     perf: &PerfVector,
     mut local: Vec<R>,
@@ -114,7 +114,7 @@ pub fn psrs_incore_kernel<R: Record>(
         }
     };
     let sample: Vec<R> = positions.into_iter().map(|q| local[q as usize]).collect();
-    let gathered = ctx.gather(0, record::encode_all(&sample));
+    let gathered = ctx.gather(0, record::encode_all(&sample)).await;
     let pivots: Vec<R> = if rank == 0 {
         let mut all: Vec<R> = gathered
             .expect("root gathers")
@@ -135,10 +135,10 @@ pub fn psrs_incore_kernel<R: Record>(
             PivotStrategy::RegularSampling => select_pivots(&all, perf),
             PivotStrategy::Quantiles => select_pivots_quantile(&all, perf),
         };
-        ctx.broadcast(0, record::encode_all(&pivots));
+        ctx.broadcast(0, record::encode_all(&pivots)).await;
         pivots
     } else {
-        record::decode_all(&ctx.broadcast(0, Vec::new()))
+        record::decode_all(&ctx.broadcast(0, Vec::new()).await)
     };
     ctx.mark_phase("pivots");
 
@@ -153,7 +153,7 @@ pub fn psrs_incore_kernel<R: Record>(
         .map(|j| record::encode_all(&local[cuts[j]..cuts[j + 1]]))
         .collect();
     ctx.charger.charge_work(Work::moves(n_local));
-    let incoming = ctx.all_to_all(outgoing);
+    let incoming = ctx.all_to_all(outgoing).await;
     ctx.mark_phase("redistribute");
 
     // Phase 5: merge the received sorted partitions.
@@ -213,9 +213,9 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let perf = perf.clone();
-        let report = run_cluster(spec, move |ctx| {
+        let report = run_cluster(spec, async move |ctx| {
             let local = generate_block(bench, seed, layouts[ctx.rank]);
-            psrs_incore(ctx, &perf, local).sorted
+            psrs_incore(ctx, &perf, local).await.sorted
         });
         report.nodes.into_iter().map(|n| n.value).collect()
     }
@@ -310,9 +310,11 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let pv = perf.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             let local = generate_block(Benchmark::Uniform, 8, layouts[ctx.rank]);
-            psrs_incore_with(ctx, &pv, local, PivotStrategy::Quantiles).sorted
+            psrs_incore_with(ctx, &pv, local, PivotStrategy::Quantiles)
+                .await
+                .sorted
         });
         let portions: Vec<Vec<u32>> = report.nodes.into_iter().map(|n| n.value).collect();
         assert_globally_sorted(&portions, n);

@@ -66,14 +66,14 @@ impl OverpartitionConfig {
 /// Chooses `s·p − 1` pivots: gathers random candidates on node 0, sorts
 /// them and takes evenly spaced quantiles. Returns the pivots on every
 /// node.
-fn choose_random_pivots<R: Record>(
+async fn choose_random_pivots<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &OverpartitionConfig,
     draw: impl FnOnce(&mut NodeCtx, u64) -> PdmResult<Vec<R>>,
 ) -> PdmResult<Vec<R>> {
     let count = cfg.candidates_per_unit * cfg.perf.get(ctx.rank);
     let candidates = draw(ctx, count)?;
-    let gathered = ctx.gather(0, record::encode_all(&candidates));
+    let gathered = ctx.gather(0, record::encode_all(&candidates)).await;
     let pivots: Vec<R> = if ctx.rank == 0 {
         let mut all: Vec<R> = gathered
             .expect("root gathers")
@@ -100,10 +100,10 @@ fn choose_random_pivots<R: Record>(
                 })
                 .collect()
         };
-        ctx.broadcast(0, record::encode_all(&pivots));
+        ctx.broadcast(0, record::encode_all(&pivots)).await;
         pivots
     } else {
-        record::decode_all(&ctx.broadcast(0, Vec::new()))
+        record::decode_all(&ctx.broadcast(0, Vec::new()).await)
     };
     Ok(pivots)
 }
@@ -154,7 +154,7 @@ pub struct OverpartitionOutcome<R> {
 
 /// In-core sorting by overpartitioning. Node outputs concatenated by rank
 /// form the sorted input.
-pub fn overpartition_incore<R: Record>(
+pub async fn overpartition_incore<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &OverpartitionConfig,
     local: Vec<R>,
@@ -167,7 +167,8 @@ pub fn overpartition_incore<R: Record>(
     let pivots = choose_random_pivots::<R>(ctx, cfg, |ctx, count| {
         let pos = random_positions(local.len() as u64, count, &mut ctx.rng);
         Ok(pos.iter().map(|&q| local[q as usize]).collect())
-    })?;
+    })
+    .await?;
     ctx.mark_phase("pivots");
 
     // Classify each record into its sublist (binary search over pivots:
@@ -188,7 +189,7 @@ pub fn overpartition_incore<R: Record>(
     // Everyone learns global sublist sizes; node 0 computes the contiguous
     // assignment and broadcasts it.
     let my_sizes: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
-    let gathered = ctx.gather(0, encode_u64s(&my_sizes));
+    let gathered = ctx.gather(0, encode_u64s(&my_sizes)).await;
     let owners: Vec<usize> = if ctx.rank == 0 {
         let mut global = vec![0u64; sublists];
         for payload in gathered.expect("root gathers") {
@@ -197,10 +198,10 @@ pub fn overpartition_incore<R: Record>(
             }
         }
         let owners = assign_sublists(&global, &cfg.perf);
-        ctx.broadcast(0, encode_usizes(&owners));
+        ctx.broadcast(0, encode_usizes(&owners)).await;
         owners
     } else {
-        decode_usizes(&ctx.broadcast(0, Vec::new()))
+        decode_usizes(&ctx.broadcast(0, Vec::new()).await)
     };
     ctx.mark_phase("assign");
 
@@ -210,7 +211,9 @@ pub fn overpartition_incore<R: Record>(
         outgoing[owners[b]].extend(bucket);
     }
     ctx.charger.charge_work(Work::moves(local.len() as u64));
-    let incoming = ctx.all_to_all(outgoing.iter().map(|v| record::encode_all(v)).collect());
+    let incoming = ctx
+        .all_to_all(outgoing.iter().map(|v| record::encode_all(v)).collect())
+        .await;
     ctx.mark_phase("redistribute");
 
     // The single sequential sort of the algorithm.
@@ -241,7 +244,7 @@ pub fn overpartition_incore<R: Record>(
 /// unsorted input file into `s·p` bucket files, route whole buckets to
 /// their owners, then polyphase-sort the received data. `input`/`output`
 /// name per-node disk files.
-pub fn overpartition_external<R: Record>(
+pub async fn overpartition_external<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &OverpartitionConfig,
     mem_records: usize,
@@ -262,7 +265,8 @@ pub fn overpartition_external<R: Record>(
         let mut rd = ctx.disk.open_reader::<R>(input)?;
         let pos = random_positions(rd.len(), count, &mut ctx.rng);
         pos.iter().map(|&q| rd.read_at(q)).collect()
-    })?;
+    })
+    .await?;
     ctx.mark_phase("pivots");
 
     // Classify the input stream into s·p bucket files.
@@ -293,7 +297,7 @@ pub fn overpartition_external<R: Record>(
     ctx.mark_phase("classify");
 
     // Global sizes → contiguous assignment (same logic as in-core).
-    let gathered = ctx.gather(0, encode_u64s(&my_sizes));
+    let gathered = ctx.gather(0, encode_u64s(&my_sizes)).await;
     let owners: Vec<usize> = if rank == 0 {
         let mut global = vec![0u64; sublists];
         for payload in gathered.expect("root gathers") {
@@ -302,10 +306,10 @@ pub fn overpartition_external<R: Record>(
             }
         }
         let owners = assign_sublists(&global, &cfg.perf);
-        ctx.broadcast(0, encode_usizes(&owners));
+        ctx.broadcast(0, encode_usizes(&owners)).await;
         owners
     } else {
-        decode_usizes(&ctx.broadcast(0, Vec::new()))
+        decode_usizes(&ctx.broadcast(0, Vec::new()).await)
     };
     ctx.mark_phase("assign");
 
@@ -321,6 +325,7 @@ pub fn overpartition_external<R: Record>(
                 .map(|&s| s.to_le_bytes().to_vec())
                 .collect(),
         )
+        .await
         .iter()
         .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8-byte size")))
         .collect();
@@ -363,7 +368,7 @@ pub fn overpartition_external<R: Record>(
     for i in (0..p).filter(|&i| i != rank) {
         let mut got = 0u64;
         loop {
-            let records: Vec<R> = ctx.recv_records(i, TAG_BUCKET_DATA);
+            let records: Vec<R> = ctx.recv_records(i, TAG_BUCKET_DATA).await;
             if records.is_empty() {
                 break;
             }
@@ -470,9 +475,9 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let cfg = OverpartitionConfig::new(perf.clone());
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             let local = generate_block(Benchmark::Uniform, 8, layouts[ctx.rank]);
-            overpartition_incore(ctx, &cfg, local).unwrap().sorted
+            overpartition_incore(ctx, &cfg, local).await.unwrap().sorted
         });
         let flat: Vec<u32> = report
             .nodes
@@ -491,9 +496,13 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let cfg = OverpartitionConfig::new(perf.clone()).with_oversampling(8);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             let local = generate_block(Benchmark::Uniform, 9, layouts[ctx.rank]);
-            overpartition_incore(ctx, &cfg, local).unwrap().sorted.len() as u64
+            overpartition_incore(ctx, &cfg, local)
+                .await
+                .unwrap()
+                .sorted
+                .len() as u64
         });
         let sizes: Vec<u64> = report.nodes.iter().map(|n| n.value).collect();
         let lb = crate::metrics::LoadBalance::new(sizes, &perf);
@@ -509,9 +518,11 @@ mod tests {
         let shares = perf.shares(n);
         let layouts = Layout::cluster(&shares);
         let cfg = OverpartitionConfig::new(perf.clone());
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "in", Benchmark::Gaussian, 10, layouts[ctx.rank]).unwrap();
-            let out = overpartition_external::<u32>(ctx, &cfg, 256, 4, 64, "in", "out").unwrap();
+            let out = overpartition_external::<u32>(ctx, &cfg, 256, 4, 64, "in", "out")
+                .await
+                .unwrap();
             assert!(extsort::is_sorted_file::<u32>(&ctx.disk, "out").unwrap());
             (out.received, ctx.disk.read_file::<u32>("out").unwrap())
         });

@@ -10,7 +10,7 @@
 //! paper-style row: execution time, partition sizes, sublist expansion,
 //! traffic and I/O totals, and the per-phase breakdown.
 
-use cluster::{run_cluster, ClusterSpec, NetworkModel, PhaseBreakdown, StorageKind};
+use cluster::{run_cluster, ClusterSpec, NetworkModel, PhaseBreakdown, RuntimeKind, StorageKind};
 use extsort::{fingerprint_file, is_sorted_file, Fingerprint, PipelineConfig, SortKernel};
 use obs::ClusterObs;
 use pdm::PdmResult;
@@ -85,6 +85,10 @@ pub struct TrialConfig {
     /// Off by default; a traced trial is observationally identical to an
     /// untraced one (same output, same I/O counters, same virtual times).
     pub trace: bool,
+    /// Which cluster scheduler runs the trial: thread-per-node (default)
+    /// or the single-threaded event runtime. Blocking exchange variants
+    /// produce bit-identical virtual clocks either way.
+    pub runtime: RuntimeKind,
 }
 
 impl TrialConfig {
@@ -113,6 +117,7 @@ impl TrialConfig {
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
             trace: false,
+            runtime: RuntimeKind::default(),
         }
     }
 }
@@ -175,7 +180,8 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         .with_disk_model(cfg.disk_model.clone())
         .with_seed(cfg.seed)
         .with_jitter(cfg.jitter)
-        .with_tracing(cfg.trace);
+        .with_tracing(cfg.trace)
+        .with_runtime(cfg.runtime);
 
     let xcfg = ExternalPsrsConfig {
         perf: cfg.declared.clone(),
@@ -192,7 +198,7 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
     let ocfg = OverpartitionConfig::new(cfg.declared.clone()).with_oversampling(cfg.oversampling);
     let trial = cfg.clone();
 
-    let report = run_cluster(&spec, move |ctx| -> PdmResult<NodeReturn> {
+    let report = run_cluster(&spec, async move |ctx| -> PdmResult<NodeReturn> {
         generate_to_disk(
             &ctx.disk,
             "input",
@@ -206,10 +212,10 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
             Fingerprint::default()
         };
         // The paper's timings exclude the initial distribution of data.
-        ctx.reset_timing();
+        ctx.reset_timing().await;
 
         let received = match trial.algo {
-            SortAlgo::ExternalPsrs => psrs_external::<u32>(ctx, &xcfg)?.received_records,
+            SortAlgo::ExternalPsrs => psrs_external::<u32>(ctx, &xcfg).await?.received_records,
             SortAlgo::OverpartitionExternal => {
                 overpartition_external::<u32>(
                     ctx,
@@ -219,7 +225,8 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
                     trial.msg_records,
                     "input",
                     "output",
-                )?
+                )
+                .await?
                 .received
             }
         };

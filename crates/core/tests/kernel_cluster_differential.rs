@@ -32,10 +32,10 @@ fn run_external(
     if workers > 1 {
         cfg = cfg.with_pipeline(PipelineConfig::with_workers(workers));
     }
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
         let before = ctx.disk.stats().snapshot();
-        psrs_external::<u32>(ctx, &cfg).unwrap();
+        psrs_external::<u32>(ctx, &cfg).await.unwrap();
         let io = ctx.disk.stats().snapshot().delta(&before);
         (ctx.disk.read_file::<u32>("output").unwrap(), io)
     });
@@ -108,9 +108,11 @@ fn incore_psrs_kernels_identical() {
             let spec = ClusterSpec::homogeneous(perf.p());
             let perf = perf.clone();
             let layouts = layouts.clone();
-            let report = run_cluster(&spec, move |ctx| {
+            let report = run_cluster(&spec, async move |ctx| {
                 let local = generate_block(Benchmark::Staggered, 23, layouts[ctx.rank]);
-                psrs_incore_kernel(ctx, &perf, local, PivotStrategy::RegularSampling, kernel).sorted
+                psrs_incore_kernel(ctx, &perf, local, PivotStrategy::RegularSampling, kernel)
+                    .await
+                    .sorted
             });
             report
                 .nodes

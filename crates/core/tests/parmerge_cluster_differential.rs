@@ -28,10 +28,10 @@ fn run_external(
         .with_tapes(4)
         .with_msg_records(64)
         .with_merge_workers(merge_workers);
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
         let before = ctx.disk.stats().snapshot();
-        psrs_external::<u32>(ctx, &cfg).unwrap();
+        psrs_external::<u32>(ctx, &cfg).await.unwrap();
         let io = ctx.disk.stats().snapshot().delta(&before);
         (ctx.disk.read_file::<u32>("output").unwrap(), io)
     });
@@ -94,7 +94,7 @@ fn codec_and_io_backend_identical_on_both_perf_vectors() {
             .with_tapes(4)
             .with_msg_records(64)
             .with_merge_workers(2);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(
                 &ctx.disk,
                 "input",
@@ -104,7 +104,7 @@ fn codec_and_io_backend_identical_on_both_perf_vectors() {
             )
             .unwrap();
             let before = ctx.disk.stats().snapshot();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             let io = ctx.disk.stats().snapshot().delta(&before);
             (ctx.disk.read_file::<u32>("output").unwrap(), io)
         });
@@ -156,7 +156,7 @@ fn merge_workers_compose_with_pipeline_and_fused_paths() {
             .with_pipeline(extsort::PipelineConfig::with_workers(2).with_merge_workers(4))
             .with_fused_redistribution(fused);
         let layouts = layouts.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(
                 &ctx.disk,
                 "input",
@@ -165,7 +165,7 @@ fn merge_workers_compose_with_pipeline_and_fused_paths() {
                 layouts[ctx.rank],
             )
             .unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             ctx.disk.read_file::<u32>("output").unwrap()
         });
         for (rank, (b, nd)) in base.iter().zip(&report.nodes).enumerate() {

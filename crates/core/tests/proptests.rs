@@ -197,9 +197,9 @@ proptest! {
             .with_tapes(4)
             .with_msg_records(msg_records)
             .with_streaming_merge(true);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
-            let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+            let outcome = psrs_external::<u32>(ctx, &cfg).await.unwrap();
             (ctx.disk.read_file::<u32>("output").unwrap(), outcome)
         });
         let bound = p as u64 * 2 * msg_records as u64; // CHUNK_CREDITS = 2

@@ -32,10 +32,10 @@ fn run_external(
         .with_tapes(4)
         .with_msg_records(msg_records)
         .with_streaming_merge(streaming);
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
         let before = ctx.disk.stats().snapshot();
-        let outcome = psrs_external::<u32>(ctx, &cfg).unwrap();
+        let outcome = psrs_external::<u32>(ctx, &cfg).await.unwrap();
         let io = ctx.disk.stats().snapshot().delta(&before);
         (ctx.disk.read_file::<u32>("output").unwrap(), io, outcome)
     });
@@ -105,7 +105,7 @@ fn streamed_identical_to_fused_staged_variant() {
             .with_msg_records(64)
             .with_fused_redistribution(fused)
             .with_streaming_merge(streaming);
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(
                 &ctx.disk,
                 "input",
@@ -114,7 +114,7 @@ fn streamed_identical_to_fused_staged_variant() {
                 layouts[ctx.rank],
             )
             .unwrap();
-            psrs_external::<u32>(ctx, &cfg).unwrap();
+            psrs_external::<u32>(ctx, &cfg).await.unwrap();
             ctx.disk.read_file::<u32>("output").unwrap()
         });
         report

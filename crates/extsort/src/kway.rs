@@ -133,7 +133,7 @@ fn merge_run_group<R: Record>(
     pool: &BufferPool,
 ) -> PdmResult<MergeReport> {
     let records: u64 = group.iter().map(|r| r.len).sum();
-    let workers = planned_workers::<R>(disk, &cfg.pipeline, group.len(), records);
+    let workers = planned_workers::<R>(disk, &cfg.pipeline, group.len(), records, cfg.kernel);
     if workers > 1 {
         let segments: Vec<MergeSegment> = group
             .iter()
@@ -249,7 +249,7 @@ pub fn merge_sorted_files_kernel<R: Record>(
     for name in inputs {
         total += disk.len_records::<R>(name)?;
     }
-    let workers = planned_workers::<R>(disk, pipeline, inputs.len(), total);
+    let workers = planned_workers::<R>(disk, pipeline, inputs.len(), total, kernel);
     let produced;
     let comparisons;
     if workers > 1 {

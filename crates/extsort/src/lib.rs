@@ -64,8 +64,8 @@ pub use parallel_merge::{
     ParallelMergeOutcome, MAX_MERGE_WORKERS,
 };
 pub use planner::{
-    choose_merge_workers, plan_exchange, planned_depth, predict_merge_time, CpuCost, ExchangePlan,
-    MergeShape,
+    choose_merge_workers, plan_exchange, planned_depth, predict_merge_parts, predict_merge_time,
+    CpuCost, ExchangePlan, MergeShape,
 };
 pub use polyphase::polyphase_sort;
 pub use report::{MergeReport, SortReport};

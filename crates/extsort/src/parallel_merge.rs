@@ -37,6 +37,7 @@ use std::time::Instant;
 use pdm::{BlockReader, BufferPool, Disk, PdmResult, Record};
 
 use crate::config::PipelineConfig;
+use crate::kernel::SortKernel;
 use crate::loser_tree::LoserTree;
 use crate::stream::Bounded;
 
@@ -159,6 +160,7 @@ pub fn planned_workers<R: Record>(
     pipeline: &PipelineConfig,
     fan_in: usize,
     records: u64,
+    kernel: SortKernel,
 ) -> usize {
     let w = pipeline.effective_merge_workers().min(MAX_MERGE_WORKERS);
     if w <= 1 || !R::HAS_SORT_KEY || !R::KEY_IS_TOTAL || fan_in < 2 || records < 2 * w as u64 {
@@ -172,6 +174,7 @@ pub fn planned_workers<R: Record>(
         records,
         record_size: R::SIZE,
         block_bytes: disk.block_bytes(),
+        key_based: kernel.key_based::<R>(),
     };
     let chosen = crate::planner::choose_merge_workers(
         disk.model(),
@@ -667,26 +670,47 @@ mod tests {
         // drives — an explicit worker count must be honoured regardless.
         let disk = Disk::in_memory(64);
         let par = PipelineConfig::off().with_merge_workers(4);
-        assert_eq!(planned_workers::<u32>(&disk, &par, 8, 1 << 20), 4);
+        assert_eq!(
+            planned_workers::<u32>(&disk, &par, 8, 1 << 20, SortKernel::Comparison),
+            4
+        );
         // Sequential by default.
         assert_eq!(
-            planned_workers::<u32>(&disk, &PipelineConfig::off(), 8, 1 << 20),
+            planned_workers::<u32>(
+                &disk,
+                &PipelineConfig::off(),
+                8,
+                1 << 20,
+                SortKernel::Comparison
+            ),
             1
         );
         // Too few records to split.
-        assert_eq!(planned_workers::<u32>(&disk, &par, 8, 7), 1);
+        assert_eq!(
+            planned_workers::<u32>(&disk, &par, 8, 7, SortKernel::Comparison),
+            1
+        );
         // Single input stream: a range split buys nothing over the tree.
-        assert_eq!(planned_workers::<u32>(&disk, &par, 1, 1 << 20), 1);
+        assert_eq!(
+            planned_workers::<u32>(&disk, &par, 1, 1 << 20, SortKernel::Comparison),
+            1
+        );
         // Keys that are not a total order cannot reproduce the sequential
         // tie-break from positional cuts.
         assert_eq!(
-            planned_workers::<pdm::record::KeyPayload>(&disk, &par, 8, 1 << 20),
+            planned_workers::<pdm::record::KeyPayload>(
+                &disk,
+                &par,
+                8,
+                1 << 20,
+                SortKernel::Comparison
+            ),
             1
         );
         // Cap.
         let wide = PipelineConfig::off().with_merge_workers(64);
         assert_eq!(
-            planned_workers::<u32>(&disk, &wide, 8, 1 << 20),
+            planned_workers::<u32>(&disk, &wide, 8, 1 << 20, SortKernel::Comparison),
             MAX_MERGE_WORKERS
         );
     }
@@ -702,11 +726,20 @@ mod tests {
         let advisory = PipelineConfig::off().with_advisory_merge_workers(4);
         // On seek-dominated hardware the advisory request falls back to the
         // sequential tree; on NVMe it goes parallel.
-        assert_eq!(planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20), 1);
-        assert_eq!(planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20), 4);
+        assert_eq!(
+            planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20, SortKernel::Comparison),
+            1
+        );
+        assert_eq!(
+            planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20, SortKernel::Comparison),
+            4
+        );
         // An explicit order overrides the veto on the same hardware.
         let explicit = PipelineConfig::off().with_merge_workers(4);
-        assert_eq!(planned_workers::<u32>(&scsi, &explicit, 8, 1 << 20), 4);
+        assert_eq!(
+            planned_workers::<u32>(&scsi, &explicit, 8, 1 << 20, SortKernel::Comparison),
+            4
+        );
     }
 
     #[test]
@@ -718,7 +751,10 @@ mod tests {
         {
             let _g = obs::install(scsi_obs.clone());
             let scsi = Disk::in_memory(32 * 1024).with_model(DiskModel::scsi_2000());
-            assert_eq!(planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20), 1);
+            assert_eq!(
+                planned_workers::<u32>(&scsi, &advisory, 8, 1 << 20, SortKernel::Comparison),
+                1
+            );
         }
         let scsi_node = scsi_obs.finish(0, "scsi".to_string());
         assert_eq!(
@@ -739,7 +775,10 @@ mod tests {
         {
             let _g = obs::install(nvme_obs.clone());
             let nvme = Disk::in_memory(32 * 1024).with_model(DiskModel::nvme_modern());
-            assert_eq!(planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20), 4);
+            assert_eq!(
+                planned_workers::<u32>(&nvme, &advisory, 8, 1 << 20, SortKernel::Comparison),
+                4
+            );
         }
         let nvme_node = nvme_obs.finish(0, "nvme".to_string());
         assert_eq!(

@@ -16,9 +16,11 @@
 //!   priced by [`DiskModel::shared_service_time`] with the worker count as
 //!   the declared stream count. One worker ⇒ one stream ⇒ the historical
 //!   dedicated price.
-//! * **CPU** — loser-tree selects (`records · ⌈log₂ fan_in⌉` comparisons)
-//!   run on the workers concurrently; record moves land on the single
-//!   writer thread.
+//! * **CPU** — loser-tree selects (`records · ⌈log₂ fan_in⌉` of them) run
+//!   on the workers concurrently; record moves land on the single writer
+//!   thread. Selects are priced at the comparison rate, or the (cheaper)
+//!   key-op rate when the merge runs a key-based kernel — the rate the
+//!   charger actually bills.
 //! * A parallel candidate is charged `max(cpu, io)` (the pipelined rule);
 //!   the sequential candidate is charged `cpu + io` unless the caller says
 //!   the merge runs under a pipelined section anyway.
@@ -39,6 +41,13 @@ pub struct CpuCost {
     pub ns_per_comparison: f64,
     /// Nanoseconds per record move.
     pub ns_per_record_move: f64,
+    /// Nanoseconds per key operation — what a key-based (radix/ips4o)
+    /// merge's tree selects actually bill, 4.7x cheaper than a full
+    /// comparison. Calibrated against the charger's alpha_533 rates: a
+    /// `--calibration-report` run showed key-based merges charging
+    /// `merge.key_ops` at this rate while the planner priced the same
+    /// selects as comparisons.
+    pub ns_per_key_op: f64,
 }
 
 impl Default for CpuCost {
@@ -46,6 +55,7 @@ impl Default for CpuCost {
         CpuCost {
             ns_per_comparison: 280.0,
             ns_per_record_move: 120.0,
+            ns_per_key_op: 60.0,
         }
     }
 }
@@ -61,6 +71,9 @@ pub struct MergeShape {
     pub record_size: usize,
     /// PDM block size of the disk.
     pub block_bytes: usize,
+    /// Whether the merge runs a key-based kernel: its selects are billed
+    /// as key operations, not full comparisons.
+    pub key_based: bool,
 }
 
 impl MergeShape {
@@ -120,18 +133,36 @@ pub fn predict_merge_time(
     workers: usize,
     overlapped: bool,
 ) -> SimDuration {
-    let workers = workers.max(1);
-    let selects = shape.records * ceil_log2(shape.fan_in.max(2) as u64);
-    let compare = SimDuration::from_secs(selects as f64 * cpu.ns_per_comparison * 1e-9);
-    // Selects parallelize across workers; the stitch/write side stays serial.
-    let moves = SimDuration::from_secs(shape.records as f64 * cpu.ns_per_record_move * 1e-9);
-    let cpu_time = compare / workers as f64 + moves;
-    let io_time = model.shared_service_time(&shape.predicted_io(workers), workers);
-    if workers > 1 || overlapped {
+    let (cpu_time, io_time) = predict_merge_parts(model, cpu, shape, workers);
+    if workers.max(1) > 1 || overlapped {
         cpu_time.max(io_time)
     } else {
         cpu_time + io_time
     }
+}
+
+/// The (cpu, io) components of [`predict_merge_time`], for callers that
+/// must rescale one side before combining them — a node's CPU slowdown
+/// stretches its compare/move time but not its disk's service time.
+pub fn predict_merge_parts(
+    model: &DiskModel,
+    cpu: &CpuCost,
+    shape: &MergeShape,
+    workers: usize,
+) -> (SimDuration, SimDuration) {
+    let workers = workers.max(1);
+    let selects = shape.records * ceil_log2(shape.fan_in.max(2) as u64);
+    let ns_per_select = if shape.key_based {
+        cpu.ns_per_key_op
+    } else {
+        cpu.ns_per_comparison
+    };
+    let compare = SimDuration::from_secs(selects as f64 * ns_per_select * 1e-9);
+    // Selects parallelize across workers; the stitch/write side stays serial.
+    let moves = SimDuration::from_secs(shape.records as f64 * cpu.ns_per_record_move * 1e-9);
+    let cpu_time = compare / workers as f64 + moves;
+    let io_time = model.shared_service_time(&shape.predicted_io(workers), workers);
+    (cpu_time, io_time)
 }
 
 fn ceil_log2(x: u64) -> u64 {
@@ -226,6 +257,7 @@ mod tests {
             records: 1 << 20,
             record_size: 4,
             block_bytes: 32 * 1024,
+            key_based: false,
         }
     }
 
@@ -253,6 +285,7 @@ mod tests {
                         records,
                         record_size: 16,
                         block_bytes: 4096,
+                        key_based: false,
                     };
                     for overlapped in [false, true] {
                         let w = choose_merge_workers(&model, &cpu, &s, 8, overlapped);
@@ -270,6 +303,30 @@ mod tests {
     }
 
     #[test]
+    fn key_based_selects_price_at_the_key_op_rate() {
+        let cpu = CpuCost::default();
+        let model = DiskModel::free();
+        let cmp = shape();
+        let key = MergeShape {
+            key_based: true,
+            ..cmp
+        };
+        // Free disk: the prediction is pure CPU. The select side must drop
+        // by exactly the key-op/comparison ratio; moves stay unchanged.
+        let (cmp_cpu, _) = predict_merge_parts(&model, &cpu, &cmp, 1);
+        let (key_cpu, _) = predict_merge_parts(&model, &cpu, &key, 1);
+        let moves = SimDuration::from_secs(cmp.records as f64 * cpu.ns_per_record_move * 1e-9);
+        let cmp_selects = (cmp_cpu - moves).as_secs();
+        let key_selects = (key_cpu - moves).as_secs();
+        let ratio = cmp_selects / key_selects;
+        let want = cpu.ns_per_comparison / cpu.ns_per_key_op;
+        assert!(
+            (ratio - want).abs() < 1e-9,
+            "select pricing ratio {ratio} != rate ratio {want}"
+        );
+    }
+
+    #[test]
     fn probe_estimate_scales_with_cuts_and_caps_at_file() {
         let s = shape();
         assert_eq!(s.probe_reads(1), 0);
@@ -281,6 +338,7 @@ mod tests {
             records: 64,
             record_size: 4,
             block_bytes: 4096,
+            key_based: false,
         };
         let cuts = 7u64;
         assert!(tiny.probe_reads(8) <= tiny.data_blocks() + cuts * 16);

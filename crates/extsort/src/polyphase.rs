@@ -235,8 +235,13 @@ fn merge_phases<R: Record>(
                             .resumed(tapes[i].consumed > 0)
                     })
                     .collect();
-                let step_workers =
-                    planned_workers::<R>(disk, &cfg.pipeline, contributors.len(), merged_len);
+                let step_workers = planned_workers::<R>(
+                    disk,
+                    &cfg.pipeline,
+                    contributors.len(),
+                    merged_len,
+                    cfg.kernel,
+                );
                 let out =
                     parallel_merge_segments::<R, _>(disk, &segments, step_workers, &pool, |b| {
                         writer.push_all(b)

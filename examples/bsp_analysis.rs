@@ -28,7 +28,7 @@ fn main() {
     let msg_records = 8 * 1024;
     let cfg = ExternalPsrsConfig::new(perf, 1 << 18).with_msg_records(msg_records);
 
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         generate_to_disk(
             &ctx.disk,
             "input",
@@ -37,8 +37,8 @@ fn main() {
             layouts[ctx.rank],
         )
         .unwrap();
-        ctx.reset_timing();
-        psrs_external::<u32>(ctx, &cfg).unwrap();
+        ctx.reset_timing().await;
+        psrs_external::<u32>(ctx, &cfg).await.unwrap();
     });
 
     let model = BspModel::from_network(&net, 4, msg_records * 4);

@@ -40,7 +40,7 @@ fn run(declared: PerfVector) -> f64 {
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
     };
-    let report = cluster::run_cluster(&spec, move |ctx| {
+    let report = cluster::run_cluster(&spec, async move |ctx| {
         generate_to_disk(
             &ctx.disk,
             "input",
@@ -49,13 +49,13 @@ fn run(declared: PerfVector) -> f64 {
             layouts[ctx.rank],
         )
         .unwrap();
-        ctx.reset_timing();
+        ctx.reset_timing().await;
         // Demonstrate the real-time throttle alongside the Measured policy:
         // burn genuine CPU proportional to this node's slowdown before the
         // sort, the way the paper's competitor processes would.
         let throttle = Throttle::new(ctx.charger.slowdown());
         throttle.run(|| std::hint::black_box((0..10_000u64).sum::<u64>()));
-        psrs_external::<u32>(ctx, &cfg).unwrap();
+        psrs_external::<u32>(ctx, &cfg).await.unwrap();
         assert!(extsort::is_sorted_file::<u32>(&ctx.disk, "output").unwrap());
     });
     // Per-phase durations come straight off the cluster report now — no

@@ -8,7 +8,7 @@ replacing the per-file validate_*.py scripts:
 
 * `BENCH_*.json` bench outputs, dispatched on their `"bench"` field
   (pipeline_speedup, kernel_speedup, overlap_speedup, parmerge_speedup,
-  planner_speedup, wallclock_speedup, critpath_report);
+  planner_speedup, wallclock_speedup, critpath_report, scale);
 * `--metrics-out` documents (`"schema": "hetsort-metrics-v1"`);
 * `--critpath-out` documents (`"schema": "hetsort-critpath-v1"`),
   delegated to validate_critpath.py;
@@ -517,6 +517,98 @@ def check_pipeline(doc):
     print(f"pipeline ok: {len(rows)} rows, 4-worker speedup {headline:.2f}x")
 
 
+def check_scale(doc):
+    P_LADDER = [4, 16, 64, 256]
+    RUNTIMES = {"threads", "events"}
+    WORKLOADS = {"ring", "psrs"}
+    BASE_KEYS = {"workload", "p", "runtime", "size", "makespan_sim_secs",
+                 "wall_secs", "sim_per_wall"}
+    SHARE_KEYS = {"splitter_share", "alltoall_share"}
+    HEADLINE_GATE = 10.0
+    if doc.get("p_ladder") != P_LADDER:
+        fail(f"p_ladder must be {P_LADDER}, got {doc.get('p_ladder')!r}")
+    threads_max = doc.get("threads_max_p")
+    if threads_max not in P_LADDER:
+        fail(f"threads_max_p must be on the ladder, got {threads_max!r}")
+    headline_p = doc.get("headline_p")
+    if headline_p not in P_LADDER or headline_p > threads_max:
+        fail(f"headline_p {headline_p!r} must be a ladder width both "
+             "runtimes cover")
+    if not isinstance(doc.get("ring_rounds"), int) or doc["ring_rounds"] <= 0:
+        fail("ring_rounds must be a positive integer")
+    if not isinstance(doc.get("n"), int) or doc["n"] <= 0:
+        fail("n must be a positive integer")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("rows must be a non-empty array")
+    seen = {}
+    for row in rows:
+        workload, p, runtime = row.get("workload"), row.get("p"), \
+            row.get("runtime")
+        if workload not in WORKLOADS:
+            fail(f"unknown workload {workload!r}")
+        if p not in P_LADDER:
+            fail(f"unknown p {p!r}")
+        if runtime not in RUNTIMES:
+            fail(f"unknown runtime {runtime!r}")
+        want = BASE_KEYS | SHARE_KEYS if workload == "psrs" else BASE_KEYS
+        if set(row) != want:
+            fail(f"({workload}, {p}, {runtime}): row keys {sorted(row)} != "
+                 f"expected {sorted(want)}")
+        if runtime == "threads" and p > threads_max:
+            fail(f"({workload}, {p}): thread runtime swept past "
+                 f"threads_max_p {threads_max}")
+        if (workload, p, runtime) in seen:
+            fail(f"duplicate row ({workload}, {p}, {runtime})")
+        seen[(workload, p, runtime)] = row
+        for key in ("makespan_sim_secs", "wall_secs", "sim_per_wall"):
+            if not isinstance(row[key], (int, float)) or row[key] <= 0:
+                fail(f"({workload}, {p}, {runtime}): {key} must be positive")
+        if not isinstance(row["size"], int) or row["size"] <= 0:
+            fail(f"({workload}, {p}, {runtime}): size must be a positive "
+                 "integer")
+        if workload == "psrs":
+            for key in SHARE_KEYS:
+                if not isinstance(row[key], (int, float)) \
+                        or not 0.0 <= row[key] <= 1.0:
+                    fail(f"(psrs, {p}, {runtime}): {key} must be in [0, 1]")
+
+    for workload in sorted(WORKLOADS):
+        for p in P_LADDER:
+            if (workload, p, "events") not in seen:
+                fail(f"event runtime must cover p={p} on {workload!r} "
+                     "(the full ladder including 256)")
+            if p <= threads_max and (workload, p, "threads") not in seen:
+                fail(f"thread runtime must cover p={p} on {workload!r}")
+            if p > threads_max:
+                continue
+            # Blocking exchanges only: both schedulers simulate the exact
+            # same virtual run, so the makespans must agree exactly.
+            t = seen[(workload, p, "threads")]["makespan_sim_secs"]
+            e = seen[(workload, p, "events")]["makespan_sim_secs"]
+            if t != e:
+                fail(f"({workload}, {p}): simulated makespan differs "
+                     f"across runtimes ({t} vs {e})")
+
+    headline = doc.get("events_vs_threads_p64")
+    if not isinstance(headline, (int, float)):
+        fail("events_vs_threads_p64 must be a number")
+    derived = seen[("ring", headline_p, "events")]["sim_per_wall"] \
+        / seen[("ring", headline_p, "threads")]["sim_per_wall"]
+    if abs(derived - headline) > 0.02 * max(derived, headline):
+        fail(f"events_vs_threads_p64 {headline} disagrees with its ring "
+             f"rows {derived:.4f}")
+    if headline < HEADLINE_GATE:
+        fail(f"event runtime must clear {HEADLINE_GATE}x the thread "
+             f"runtime's throughput at p={headline_p}, got {headline}")
+
+    p256 = seen[("psrs", 256, "events")]
+    print(f"scale ok: {len(rows)} rows, events/threads at p={headline_p} "
+          f"{headline:.1f}x, p=256 splitter share "
+          f"{p256['splitter_share']:.3f}")
+
+
 def check_trend(doc):
     baselines = doc.get("baselines")
     if not isinstance(baselines, list) or not baselines:
@@ -545,6 +637,7 @@ BENCH_CHECKS = {
     "kernel_speedup": check_kernels,
     "pipeline_speedup": check_pipeline,
     "critpath_report": validate_critpath.check_bench,
+    "scale": check_scale,
 }
 
 

@@ -137,9 +137,9 @@ fn in_core_psrs_matches_external_ownership() {
     let layouts = Layout::cluster(&shares);
     let spec = ClusterSpec::new(vec![1, 1, 4, 4]).with_seed(13);
     let pv = perf.clone();
-    let incore_sizes: Vec<u64> = run_cluster(&spec, move |ctx| {
+    let incore_sizes: Vec<u64> = run_cluster(&spec, async move |ctx| {
         let local = generate_block(Benchmark::Uniform, 13, layouts[ctx.rank]);
-        hetsort::psrs_incore(ctx, &pv, local).sorted.len() as u64
+        hetsort::psrs_incore(ctx, &pv, local).await.sorted.len() as u64
     })
     .nodes
     .into_iter()

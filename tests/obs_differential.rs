@@ -14,12 +14,16 @@
 //! categories sum to the end-to-end virtual time within 1%, and a what-if
 //! replay that zeroes no category reproduces it exactly.
 //!
-//! One carve-out: the streamed exchange-merge polls for arrivals, so its
-//! *virtual timing* (not its data flow) is sensitive to real message
-//! timing; see [`Variant::timing_exact`]. Its outputs, I/O counts and
-//! traffic are still required to be bit-identical under tracing.
+//! One carve-out, **thread runtime only**: the streamed exchange-merge
+//! polls for arrivals, so under the thread-per-node scheduler its *virtual
+//! timing* (not its data flow) is sensitive to real message timing; see
+//! [`Variant::timing_exact`]. Its outputs, I/O counts and traffic are
+//! still required to be bit-identical under tracing. Under the event
+//! runtime the schedule is a pure function of virtual time, so even the
+//! streamed variant must match bit-exactly — no tolerance — and the
+//! blocking variants must agree bit-for-bit *across* the two runtimes.
 
-use cluster::{ClusterReport, ClusterSpec, StorageKind};
+use cluster::{ClusterReport, ClusterSpec, RuntimeKind, StorageKind};
 use hetsort::{psrs_external, ExternalPsrsConfig, PerfVector};
 use workloads::{generate_to_disk, Benchmark, Layout};
 
@@ -31,14 +35,17 @@ struct Variant {
     fused: bool,
     streaming: bool,
     merge_workers: usize,
-    /// Whether virtual timing is exactly reproducible run-to-run. The
-    /// staged/fused/parmerge paths receive at deterministic program points
-    /// (blocking, selective), so their clocks are bit-identical across
-    /// runs. The streamed exchange-merge absorbs messages opportunistically
-    /// (`try_recv_any` polling): its data flow and I/O counts are still
-    /// deterministic, but the interleaving of send charges and Lamport
+    /// Whether virtual timing is exactly reproducible run-to-run **under
+    /// the thread runtime**. The staged/fused/parmerge paths receive at
+    /// deterministic program points (blocking, selective), so their clocks
+    /// are bit-identical across runs on either scheduler. The streamed
+    /// exchange-merge absorbs messages opportunistically (`try_recv_any`
+    /// polling): its data flow and I/O counts are still deterministic, but
+    /// on the thread runtime the interleaving of send charges and Lamport
     /// merges — and therefore the makespan — varies with real arrival
     /// timing, and the tracer's wall-clock overhead perturbs that race.
+    /// The event runtime has no such race: scheduling is a pure function
+    /// of virtual time, so every variant is timing-exact there.
     timing_exact: bool,
 }
 
@@ -73,16 +80,17 @@ const VARIANTS: [Variant; 4] = [
     },
 ];
 
-/// Tolerance on the streamed variant's makespan drift between runs: the
-/// race only reassigns jitter draws and reorders wait merges, so the
-/// drift stays within a few percent (measured ~1%).
+/// Tolerance on the streamed variant's makespan drift between runs under
+/// the **thread runtime only**: the race only reassigns jitter draws and
+/// reorders wait merges, so the drift stays within a few percent
+/// (measured ~1%). The event runtime needs no tolerance anywhere.
 const STREAMED_TIMING_TOL: f64 = 0.05;
 
 /// Per-node result: the virtual clock at the end of the sort (before the
 /// verification read of the output file) and the full sorted output.
 type SortOutcome = (f64, Vec<u32>);
 
-fn run(tracing: bool, v: Variant) -> ClusterReport<SortOutcome> {
+fn run(tracing: bool, v: Variant, runtime: RuntimeKind) -> ClusterReport<SortOutcome> {
     let declared = PerfVector::paper_1144();
     let hardware = vec![1u64, 1, 4, 4];
     let n = declared.padded_size(20_000);
@@ -93,7 +101,8 @@ fn run(tracing: bool, v: Variant) -> ClusterReport<SortOutcome> {
         .with_block_bytes(1024)
         .with_seed(42)
         .with_jitter(0.03) // non-zero so an extra RNG draw would be visible
-        .with_tracing(tracing);
+        .with_tracing(tracing)
+        .with_runtime(runtime);
     let pipeline = if v.merge_workers > 1 {
         extsort::PipelineConfig::off().with_merge_workers(v.merge_workers)
     } else {
@@ -111,7 +120,7 @@ fn run(tracing: bool, v: Variant) -> ClusterReport<SortOutcome> {
         pipeline,
         kernel: extsort::SortKernel::default(),
     };
-    cluster::run_cluster(&spec, move |ctx| {
+    cluster::run_cluster(&spec, async move |ctx| {
         generate_to_disk(
             &ctx.disk,
             "input",
@@ -120,8 +129,8 @@ fn run(tracing: bool, v: Variant) -> ClusterReport<SortOutcome> {
             layouts[ctx.rank],
         )
         .unwrap();
-        ctx.reset_timing();
-        psrs_external::<u32>(ctx, &cfg).unwrap();
+        ctx.reset_timing().await;
+        psrs_external::<u32>(ctx, &cfg).await.unwrap();
         // The sort's end-to-end virtual time, before the output read below
         // (which is test verification, not part of the algorithm's window).
         let sort_end = ctx.charger.now().as_secs();
@@ -190,8 +199,8 @@ fn assert_critpath_invariants(report: &ClusterReport<SortOutcome>, variant: &str
 #[test]
 fn tracing_is_observationally_invisible() {
     let staged = VARIANTS[0];
-    let off = run(false, staged);
-    let on = run(true, staged);
+    let off = run(false, staged, RuntimeKind::Threads);
+    let on = run(true, staged, RuntimeKind::Threads);
 
     assert_eq!(off.makespan, on.makespan, "makespan changed under tracing");
     assert_eq!(off.nodes.len(), on.nodes.len());
@@ -252,8 +261,8 @@ fn critpath_recorder_is_invisible_on_every_variant() {
     // variant gets the same off/on pairing (outputs, I/O, clocks) plus the
     // blame-tiling invariants on its traced run.
     for v in &VARIANTS[1..] {
-        let off = run(false, *v);
-        let on = run(true, *v);
+        let off = run(false, *v, RuntimeKind::Threads);
+        let on = run(true, *v, RuntimeKind::Threads);
         if v.timing_exact {
             assert_eq!(
                 off.makespan, on.makespan,
@@ -282,4 +291,80 @@ fn critpath_recorder_is_invisible_on_every_variant() {
         }
         assert_critpath_invariants(&on, v.name);
     }
+}
+
+#[test]
+fn event_runtime_is_timing_exact_on_every_variant() {
+    // Under the event scheduler there is no arrival race to tolerate:
+    // every variant — including the streamed exchange-merge that needs
+    // STREAMED_TIMING_TOL on the thread runtime — must be bit-exact
+    // between its traced and untraced runs.
+    for v in &VARIANTS {
+        let off = run(false, *v, RuntimeKind::Events);
+        let on = run(true, *v, RuntimeKind::Events);
+        assert_eq!(
+            off.makespan, on.makespan,
+            "{}: makespan changed under tracing on the event runtime",
+            v.name
+        );
+        for (a, b) in off.nodes.iter().zip(&on.nodes) {
+            assert_eq!(a.value, b.value, "{}: outcome differs", v.name);
+            assert_eq!(a.io, b.io, "{}: I/O counters differ", v.name);
+            assert_eq!(a.finish, b.finish, "{}: finish time differs", v.name);
+            assert_eq!(a.sent_bytes, b.sent_bytes, "{}: traffic differs", v.name);
+            assert_eq!(a.cpu_time, b.cpu_time, "{}: cpu time differs", v.name);
+            assert_eq!(a.wait_time, b.wait_time, "{}: wait time differs", v.name);
+            for (pa, pb) in a.phases.iter().zip(&b.phases) {
+                assert_eq!(pa.at, pb.at, "{}: phase stamp {} moved", v.name, pa.name);
+            }
+        }
+        assert_critpath_invariants(&on, v.name);
+    }
+}
+
+#[test]
+fn runtimes_agree_bitwise_on_blocking_variants() {
+    // The virtual-time arithmetic is transport-independent and the
+    // blocking variants receive at deterministic program points, so the
+    // thread and event schedulers must produce bit-identical clocks,
+    // outputs and I/O on staged, fused and parmerge.
+    for v in VARIANTS.iter().filter(|v| v.timing_exact) {
+        let threads = run(false, *v, RuntimeKind::Threads);
+        let events = run(false, *v, RuntimeKind::Events);
+        assert_eq!(
+            threads.makespan, events.makespan,
+            "{}: makespan differs across runtimes",
+            v.name
+        );
+        for (a, b) in threads.nodes.iter().zip(&events.nodes) {
+            assert_eq!(a.value, b.value, "{}: outcome differs", v.name);
+            assert_eq!(a.io, b.io, "{}: I/O counters differ", v.name);
+            assert_eq!(a.finish, b.finish, "{}: finish time differs", v.name);
+            assert_eq!(a.sent_bytes, b.sent_bytes, "{}: traffic differs", v.name);
+            assert_eq!(a.cpu_time, b.cpu_time, "{}: cpu time differs", v.name);
+            assert_eq!(a.wait_time, b.wait_time, "{}: wait time differs", v.name);
+        }
+    }
+}
+
+#[test]
+fn runtimes_agree_on_streamed_data_flow() {
+    // The streamed variant's data flow (bytes sorted, blocks moved,
+    // traffic) is scheduler-independent; only its thread-runtime timing
+    // races. So across runtimes: byte-identical outputs and IoSnapshots,
+    // makespans within the documented thread-side tolerance.
+    let streamed = VARIANTS[2];
+    assert!(streamed.streaming && !streamed.timing_exact);
+    let threads = run(false, streamed, RuntimeKind::Threads);
+    let events = run(false, streamed, RuntimeKind::Events);
+    for (a, b) in threads.nodes.iter().zip(&events.nodes) {
+        assert_eq!(a.value.1, b.value.1, "streamed: output differs");
+        assert_eq!(a.io, b.io, "streamed: I/O counters differ");
+        assert_eq!(a.sent_bytes, b.sent_bytes, "streamed: traffic differs");
+    }
+    let (t, e) = (threads.makespan.as_secs(), events.makespan.as_secs());
+    assert!(
+        (t - e).abs() <= STREAMED_TIMING_TOL * t,
+        "streamed: cross-runtime makespan drift beyond tolerance: {t:.6} vs {e:.6}"
+    );
 }

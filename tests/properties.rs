@@ -83,12 +83,12 @@ proptest! {
         let shares = perf.shares(n);
         let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
         let pv = perf.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             use sim::rng::Rng;
             let local: Vec<u32> = (0..shares[ctx.rank])
                 .map(|_| ctx.rng.next_u32() % key_space)
                 .collect();
-            let out = psrs_incore(ctx, &pv, local.clone());
+            let out = psrs_incore(ctx, &pv, local.clone()).await;
             (local, out.sorted)
         });
         let mut input: Vec<u32> = Vec::new();
@@ -114,10 +114,10 @@ proptest! {
         let shares = perf.shares(n);
         let spec = ClusterSpec::new(perf.as_slice().to_vec()).with_seed(seed);
         let pv = perf.clone();
-        let report = run_cluster(&spec, move |ctx| {
+        let report = run_cluster(&spec, async move |ctx| {
             use sim::rng::Rng;
             let local: Vec<u32> = (0..shares[ctx.rank]).map(|_| ctx.rng.next_u32()).collect();
-            psrs_incore(ctx, &pv, local).sorted.len() as u64
+            psrs_incore(ctx, &pv, local).await.sorted.len() as u64
         });
         let sizes: Vec<u64> = report.nodes.iter().map(|nd| nd.value).collect();
         for (i, (&got, &want)) in sizes.iter().zip(&perf.shares(n)).enumerate() {

@@ -64,7 +64,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
     };
-    let report = run_cluster(&spec, move |ctx| {
+    let report = run_cluster(&spec, async move |ctx| {
         // Each node materializes its share of one deterministic stream.
         let offset: u64 = shares[..ctx.rank].iter().sum();
         let all = make_records(n, 9);
@@ -74,7 +74,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
                 &all[offset as usize..(offset + shares[ctx.rank]) as usize],
             )
             .unwrap();
-        psrs_external::<KeyPayload>(ctx, &cfg).unwrap();
+        psrs_external::<KeyPayload>(ctx, &cfg).await.unwrap();
         ctx.disk.read_file::<KeyPayload>("output").unwrap()
     });
     let flat: Vec<KeyPayload> = report
