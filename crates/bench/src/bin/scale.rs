@@ -1,4 +1,4 @@
-//! Simulator-scalability sweep: p = 4 … 256 nodes in one process.
+//! Simulator-scalability sweep: p = 4 … 1024 nodes in one process.
 //!
 //! The thread-per-node runtime spends one OS thread per simulated node,
 //! so every blocking receive costs a real futex sleep/wake (~µs) and a
@@ -6,7 +6,7 @@
 //! node onto one thread and schedules by virtual time, so a park/resume
 //! is two `BTreeSet` operations (~100 ns) and messages are usually in
 //! the mailbox before the receiver even asks. This bench puts numbers on
-//! both halves of that story:
+//! three halves of that story:
 //!
 //! * **Throughput** — a synchronization-dominated stress (rounds of
 //!   blocking nearest-neighbor ring exchange plus a barrier, with a
@@ -20,14 +20,23 @@
 //!   sizing, heterogeneous 1-1-4-4 speed pattern) swept over the same
 //!   ladder, reporting the simulated makespan share of the splitter sort
 //!   (`pivots` phase, the paper's O(p²) sequential bottleneck) and of
-//!   the all-to-all exchange (`redistribute` phase) as p grows.
+//!   the exchange (`redistribute` phase) as p grows.
+//! * **Splitter strategies** — every PSRS width runs under both the flat
+//!   root-gather (the paper's step 2) and the two-level √p-grouped
+//!   selection; grouped rows also report the per-level split timings
+//!   (sample gather, leader sort, boundary exchange — the max across
+//!   nodes). Flat is swept only to p = 256: past that the root's
+//!   `(Σperf)²` sample sort dominates everything, which is exactly the
+//!   curve this sweep exists to show. The `grouped_speedup_p256`
+//!   headline is the flat/grouped makespan ratio at p = 256 (events).
 //!
 //! The thread runtime is only swept to p = 64 (beyond that, spawning
 //! hundreds of OS threads per trial measures the host, not the
 //! simulator); the event runtime covers the full ladder including
-//! p = 256. Both workloads use blocking exchanges only, so the two
-//! runtimes must simulate the exact same virtual run — the bench asserts
-//! bit-identical makespans at every shared width.
+//! p = 1024 (grouped splitter only — the one-process scale target).
+//! Both workloads use blocking exchanges only, so the two runtimes must
+//! simulate the exact same virtual run — the bench asserts bit-identical
+//! makespans at every shared width, for both splitter strategies.
 //!
 //! Emits `BENCH_scale.json`.
 //!
@@ -39,19 +48,30 @@ use std::time::Instant;
 
 use cluster::charge::Work;
 use cluster::{run_cluster, ClusterSpec, RuntimeKind, Tag};
-use hetsort::{psrs_incore, PerfVector};
+use extsort::SortKernel;
+use hetsort::incore::PivotStrategy;
+use hetsort::{psrs_incore_split, PerfVector, SplitTiming, SplitterStrategy};
 use hetsort_bench::{print_table, Args};
 use sim::rng::Rng;
 
 /// Cluster widths to sweep. The event runtime covers all of them.
-const P_LADDER: [usize; 4] = [4, 16, 64, 256];
+const P_LADDER: [usize; 5] = [4, 16, 64, 256, 1024];
 /// Widest cluster the thread runtime is asked to simulate.
 const THREADS_MAX_P: usize = 64;
+/// Widest cluster the flat splitter is swept to: the p = 1024 row is the
+/// grouped one-process scale target, not a flat O(p²) endurance test.
+const FLAT_MAX_P: usize = 256;
 /// The p at which the two runtimes' throughput is compared head-to-head.
 const HEADLINE_P: usize = 64;
+/// The p at which flat and grouped splitter selection are compared.
+const GROUPED_P: usize = 256;
 /// Selftest gate: simulated seconds per wall second, events over threads,
 /// at the headline width on the ring stress.
 const HEADLINE_GATE: f64 = 10.0;
+/// Selftest gates on the splitter-sort share of the makespan at
+/// p = `GROUPED_P`: flat must exhibit the O(p²) wall, grouped must not.
+const FLAT_SHARE_FLOOR: f64 = 0.60;
+const GROUPED_SHARE_CEIL: f64 = 0.25;
 
 /// The paper's heterogeneity pattern tiled across the cluster: speeds
 /// 1,1,4,4,1,1,4,4,…
@@ -74,16 +94,28 @@ impl Workload {
     }
 }
 
+fn splitter_name(s: SplitterStrategy) -> &'static str {
+    if s.is_grouped() {
+        "grouped"
+    } else {
+        "flat"
+    }
+}
+
 struct Cell {
     workload: Workload,
     p: usize,
     runtime: RuntimeKind,
+    splitter: SplitterStrategy,
     /// Records sorted (PSRS) or rounds executed (ring).
     size: u64,
     makespan_sim: f64,
     wall_secs: f64,
     splitter_share: f64,
     alltoall_share: f64,
+    /// Per-level split timings (grouped PSRS rows only): the max across
+    /// nodes of each stage's virtual seconds.
+    split: Option<SplitTiming>,
 }
 
 impl Cell {
@@ -138,21 +170,25 @@ fn run_ring_cell(p: usize, runtime: RuntimeKind, rounds: u32, trials: usize, see
         workload: Workload::Ring,
         p,
         runtime,
+        splitter: SplitterStrategy::Flat,
         size: rounds as u64,
         makespan_sim: report.makespan.as_secs(),
         wall_secs,
         splitter_share: 0.0,
         alltoall_share: 0.0,
+        split: None,
     }
 }
 
-/// Phase-share cell: in-core PSRS on `p` nodes under `runtime`. Returns
-/// the simulated makespan, the best-of-`trials` wall time and the
-/// makespan shares of the splitter-sort and all-to-all phases. Output
-/// correctness is asserted inline.
+/// Phase-share cell: in-core PSRS on `p` nodes under `runtime` with the
+/// given splitter strategy. Returns the simulated makespan, the
+/// best-of-`trials` wall time, the makespan shares of the splitter-sort
+/// and exchange phases, and — for grouped rows — the per-level split
+/// timings. Output correctness is asserted inline.
 fn run_psrs_cell(
     p: usize,
     runtime: RuntimeKind,
+    splitter: SplitterStrategy,
     n_per_node: u64,
     trials: usize,
     seed: u64,
@@ -171,7 +207,16 @@ fn run_psrs_cell(
         let t0 = Instant::now();
         let r = run_cluster(&spec, async move |ctx| {
             let local: Vec<u32> = (0..shares[ctx.rank]).map(|_| ctx.rng.next_u32()).collect();
-            psrs_incore(ctx, &pv, local).await.sorted
+            let outcome = psrs_incore_split(
+                ctx,
+                &pv,
+                local,
+                PivotStrategy::RegularSampling,
+                splitter,
+                SortKernel::default(),
+            )
+            .await;
+            (outcome.sorted, outcome.split)
         });
         wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
         report = Some(r);
@@ -180,15 +225,27 @@ fn run_psrs_cell(
 
     // Correctness: the concatenated node outputs are the globally sorted
     // sequence of all n generated records.
-    let total: usize = report.nodes.iter().map(|nd| nd.value.len()).sum();
+    let total: usize = report.nodes.iter().map(|nd| nd.value.0.len()).sum();
     assert_eq!(total as u64, n, "p={p} {}: lost records", runtime.name());
     let mut prev = 0u32;
     for nd in &report.nodes {
-        for &x in &nd.value {
+        for &x in &nd.value.0 {
             assert!(x >= prev, "p={p} {}: output not sorted", runtime.name());
             prev = x;
         }
     }
+
+    // Grouped rows report the slowest node's time in each split stage.
+    let split = splitter.is_grouped().then(|| {
+        let mut agg = SplitTiming::default();
+        for nd in &report.nodes {
+            let t = nd.value.1.as_ref().expect("grouped run records timings");
+            agg.sample_gather_secs = agg.sample_gather_secs.max(t.sample_gather_secs);
+            agg.leader_sort_secs = agg.leader_sort_secs.max(t.leader_sort_secs);
+            agg.boundary_exchange_secs = agg.boundary_exchange_secs.max(t.boundary_exchange_secs);
+        }
+        agg
+    });
 
     // Phase shares of the simulated makespan, taken from the slowest
     // node's span of each phase (what the makespan actually sees).
@@ -205,27 +262,31 @@ fn run_psrs_cell(
         workload: Workload::Psrs,
         p,
         runtime,
+        splitter,
         size: n,
         makespan_sim,
         wall_secs,
         splitter_share: share("pivots"),
         alltoall_share: share("redistribute"),
+        split,
     }
 }
 
 fn main() {
     let args = Args::parse();
-    // Communication-dominated sizing: enough records per node that the
-    // all-to-all is real (n/p >= p so every pairwise flow is non-empty),
-    // small enough that a 256-node event trial stays sub-second.
+    // Communication-dominated sizing with un-clamped regular sampling:
+    // `perf[i]·Σperf` samples per node exist only when every share holds
+    // at least that many records, i.e. n >= (Σperf)² — per node, 6.25·p
+    // under the 1,1,4,4 pattern. Below that the sample clamps to the
+    // whole block and the flat-vs-grouped comparison degenerates.
     let n_per_node = |p: usize| -> u64 {
-        let floor = p as u64;
+        let unclamped = (25 * p as u64).div_ceil(4);
         if args.paper {
-            floor.max(16_384)
+            unclamped.max(16_384)
         } else if args.quick {
-            floor.max(256)
+            unclamped.max(256)
         } else {
-            floor.max(2_048)
+            unclamped.max(2_048)
         }
     };
     // Enough ring rounds that one-time thread-spawn cost stops dominating
@@ -238,10 +299,15 @@ fn main() {
         32
     };
     let trials = args.trials.clamp(1, 5);
+    let splitters: Vec<SplitterStrategy> = match args.splitter.as_deref() {
+        Some("flat") => vec![SplitterStrategy::Flat],
+        Some("grouped") => vec![SplitterStrategy::grouped()],
+        _ => vec![SplitterStrategy::Flat, SplitterStrategy::grouped()],
+    };
 
     println!(
-        "scale sweep: p in {P_LADDER:?}, threads to p <= {THREADS_MAX_P}, \
-         perf pattern 1,1,4,4,..., {rounds} ring rounds, best of {trials} trials"
+        "scale sweep: p in {P_LADDER:?}, threads to p <= {THREADS_MAX_P}, flat splitter to \
+         p <= {FLAT_MAX_P}, perf pattern 1,1,4,4,..., {rounds} ring rounds, best of {trials} trials"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -251,43 +317,67 @@ fn main() {
                 if runtime == RuntimeKind::Threads && p > THREADS_MAX_P {
                     continue;
                 }
-                let cell = match workload {
-                    Workload::Ring => run_ring_cell(p, runtime, rounds, trials, args.seed),
-                    Workload::Psrs => run_psrs_cell(p, runtime, n_per_node(p), trials, args.seed),
+                let cell_splitters: &[SplitterStrategy] = match workload {
+                    Workload::Ring => &[SplitterStrategy::Flat],
+                    Workload::Psrs => &splitters,
                 };
-                println!(
-                    "  {:>4} p={p:>3} {:>7}  size={:>8}  sim {:>9.3}s  wall {:>8.4}s  \
-                     {:>12.0} sim-s/wall-s  pivots {:>5.1}%  all-to-all {:>5.1}%",
-                    workload.name(),
-                    runtime.name(),
-                    cell.size,
-                    cell.makespan_sim,
-                    cell.wall_secs,
-                    cell.sim_per_wall(),
-                    100.0 * cell.splitter_share,
-                    100.0 * cell.alltoall_share,
-                );
-                cells.push(cell);
+                for &splitter in cell_splitters {
+                    if workload == Workload::Psrs && !splitter.is_grouped() && p > FLAT_MAX_P {
+                        continue;
+                    }
+                    let cell = match workload {
+                        Workload::Ring => run_ring_cell(p, runtime, rounds, trials, args.seed),
+                        Workload::Psrs => {
+                            run_psrs_cell(p, runtime, splitter, n_per_node(p), trials, args.seed)
+                        }
+                    };
+                    println!(
+                        "  {:>4} p={p:>4} {:>7} {:>7}  size={:>8}  sim {:>9.3}s  wall {:>8.4}s  \
+                         {:>12.0} sim-s/wall-s  pivots {:>5.1}%  exchange {:>5.1}%",
+                        workload.name(),
+                        runtime.name(),
+                        splitter_name(cell.splitter),
+                        cell.size,
+                        cell.makespan_sim,
+                        cell.wall_secs,
+                        cell.sim_per_wall(),
+                        100.0 * cell.splitter_share,
+                        100.0 * cell.alltoall_share,
+                    );
+                    cells.push(cell);
+                }
             }
         }
     }
 
     // Blocking exchanges only: both schedulers must simulate the exact
-    // same virtual run at every shared width, on both workloads.
-    for workload in [Workload::Ring, Workload::Psrs] {
-        for &p in P_LADDER.iter().filter(|&&p| p <= THREADS_MAX_P) {
+    // same virtual run at every shared width, on both workloads and (for
+    // PSRS) both splitter strategies.
+    for &p in P_LADDER.iter().filter(|&&p| p <= THREADS_MAX_P) {
+        let mut pairs: Vec<(Workload, SplitterStrategy)> =
+            vec![(Workload::Ring, SplitterStrategy::Flat)];
+        for &s in &splitters {
+            pairs.push((Workload::Psrs, s));
+        }
+        for (workload, splitter) in pairs {
             let find = |rt: RuntimeKind| {
                 cells
                     .iter()
-                    .find(|c| c.workload == workload && c.p == p && c.runtime == rt)
+                    .find(|c| {
+                        c.workload == workload
+                            && c.p == p
+                            && c.runtime == rt
+                            && c.splitter == splitter
+                    })
                     .expect("cell present")
             };
             let (t, e) = (find(RuntimeKind::Threads), find(RuntimeKind::Events));
             assert_eq!(
                 t.makespan_sim.to_bits(),
                 e.makespan_sim.to_bits(),
-                "{} p={p}: simulated makespan differs across runtimes ({} vs {})",
+                "{} {} p={p}: simulated makespan differs across runtimes ({} vs {})",
                 workload.name(),
+                splitter_name(splitter),
                 t.makespan_sim,
                 e.makespan_sim
             );
@@ -304,6 +394,22 @@ fn main() {
     let headline =
         throughput(HEADLINE_P, RuntimeKind::Events) / throughput(HEADLINE_P, RuntimeKind::Threads);
 
+    let psrs_events = |p: usize, grouped: bool| {
+        cells.iter().find(|c| {
+            c.workload == Workload::Psrs
+                && c.p == p
+                && c.runtime == RuntimeKind::Events
+                && c.splitter.is_grouped() == grouped
+        })
+    };
+    // Flat/grouped makespan ratio at p = 256 (events): > 1 means the
+    // two-level selection beats the O(p²) root sort. Only defined when
+    // both strategies ran (no --splitter restriction).
+    let grouped_speedup = match (psrs_events(GROUPED_P, false), psrs_events(GROUPED_P, true)) {
+        (Some(flat), Some(grouped)) => Some(flat.makespan_sim / grouped.makespan_sim),
+        _ => None,
+    };
+
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
@@ -311,6 +417,10 @@ fn main() {
                 c.workload.name().into(),
                 c.p.to_string(),
                 c.runtime.name().into(),
+                match c.workload {
+                    Workload::Psrs => splitter_name(c.splitter).into(),
+                    Workload::Ring => "-".to_string(),
+                },
                 c.size.to_string(),
                 format!("{:.3}", c.makespan_sim),
                 format!("{:.4}", c.wall_secs),
@@ -326,12 +436,13 @@ fn main() {
             "workload",
             "p",
             "runtime",
+            "splitter",
             "size",
             "sim s",
             "wall s",
             "sim-s/wall-s",
             "pivots share",
-            "all-to-all share",
+            "exchange share",
         ],
         &rows,
     );
@@ -339,6 +450,12 @@ fn main() {
         "events vs threads at p = {HEADLINE_P} (ring stress): \
          {headline:.1}x simulated-seconds-per-wall-second"
     );
+    if let Some(s) = grouped_speedup {
+        println!(
+            "grouped vs flat splitter at p = {GROUPED_P} (PSRS, events): \
+             {s:.2}x simulated makespan"
+        );
+    }
 
     let n_headline = cells
         .iter()
@@ -361,20 +478,33 @@ fn main() {
         );
         if c.workload == Workload::Psrs {
             s.push_str(&format!(
-                ", \"splitter_share\": {:.4}, \"alltoall_share\": {:.4}",
-                c.splitter_share, c.alltoall_share
+                ", \"splitter\": \"{}\", \"splitter_share\": {:.4}, \"alltoall_share\": {:.4}",
+                splitter_name(c.splitter),
+                c.splitter_share,
+                c.alltoall_share
+            ));
+        }
+        if let Some(t) = &c.split {
+            s.push_str(&format!(
+                ", \"split_sample_gather_secs\": {:.6}, \"split_leader_sort_secs\": {:.6}, \
+                 \"split_boundary_exchange_secs\": {:.6}",
+                t.sample_gather_secs, t.leader_sort_secs, t.boundary_exchange_secs
             ));
         }
         s.push('}');
         s
     };
     let json_rows: Vec<String> = cells.iter().map(row_json).collect();
+    let grouped_headline = grouped_speedup
+        .map(|s| format!("  \"grouped_speedup_p256\": {s:.4},\n"))
+        .unwrap_or_default();
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"n\": {n_headline},\n  \
-         \"p_ladder\": [4, 16, 64, 256],\n  \"threads_max_p\": {THREADS_MAX_P},\n  \
+         \"p_ladder\": [4, 16, 64, 256, 1024],\n  \"threads_max_p\": {THREADS_MAX_P},\n  \
+         \"flat_max_p\": {FLAT_MAX_P},\n  \
          \"headline_p\": {HEADLINE_P},\n  \"ring_rounds\": {rounds},\n  \
-         \"trials\": {trials},\n  \"events_vs_threads_p64\": {headline:.4},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         \"trials\": {trials},\n  \"events_vs_threads_p64\": {headline:.4},\n\
+         {grouped_headline}  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
@@ -384,13 +514,17 @@ fn main() {
         for workload in [Workload::Ring, Workload::Psrs] {
             let events_ps: Vec<usize> = cells
                 .iter()
-                .filter(|c| c.workload == workload && c.runtime == RuntimeKind::Events)
+                .filter(|c| {
+                    c.workload == workload
+                        && c.runtime == RuntimeKind::Events
+                        && (workload == Workload::Ring || c.splitter.is_grouped())
+                })
                 .map(|c| c.p)
                 .collect();
             assert_eq!(
                 events_ps,
                 P_LADDER.to_vec(),
-                "{}: event runtime must cover the full ladder including p = 256",
+                "{}: event runtime must cover the full ladder including p = 1024",
                 workload.name()
             );
         }
@@ -402,12 +536,45 @@ fn main() {
                 c.p,
                 c.runtime.name()
             );
+            if let Some(t) = &c.split {
+                assert!(
+                    t.sample_gather_secs >= 0.0
+                        && t.leader_sort_secs >= 0.0
+                        && t.boundary_exchange_secs >= 0.0,
+                    "p={}: negative split timings",
+                    c.p
+                );
+            }
         }
         assert!(
             headline >= HEADLINE_GATE,
             "event runtime must run >= {HEADLINE_GATE}x more simulated seconds per wall \
              second than threads at p = {HEADLINE_P}, got {headline:.1}x"
         );
+        // The whole point of the grouped splitter: at p = 256 the flat
+        // root sort eats the makespan, the two-level selection does not.
+        if let (Some(flat), Some(grouped)) =
+            (psrs_events(GROUPED_P, false), psrs_events(GROUPED_P, true))
+        {
+            assert!(
+                flat.splitter_share >= FLAT_SHARE_FLOOR,
+                "flat splitter share at p = {GROUPED_P} should exhibit the O(p²) wall \
+                 (>= {FLAT_SHARE_FLOOR}), got {:.3}",
+                flat.splitter_share
+            );
+            assert!(
+                grouped.splitter_share < GROUPED_SHARE_CEIL,
+                "grouped splitter share at p = {GROUPED_P} must stay < {GROUPED_SHARE_CEIL}, \
+                 got {:.3}",
+                grouped.splitter_share
+            );
+            assert!(
+                grouped.makespan_sim < flat.makespan_sim,
+                "grouped selection must beat flat at p = {GROUPED_P}: {} vs {}",
+                grouped.makespan_sim,
+                flat.makespan_sim
+            );
+        }
         println!("selftest ok");
     }
 }

@@ -1,16 +1,21 @@
 //! Continuous perf-trend registry over the `BENCH_*.json` artifacts.
 //!
-//! Every bench binary emits one JSON file with a headline metric (a
-//! speedup, higher is better). This tool ingests all of them, appends the
-//! observations to a history log (`target/trend_history.jsonl` — one JSON
-//! line per bench per run), and gates against the committed baselines in
-//! `BENCH_trend.json`:
+//! Every bench binary emits one JSON file with one or more headline
+//! metrics (speedups, higher is better — the `scale` bench carries both
+//! the runtime-throughput and the grouped-splitter headline). This tool
+//! ingests all of them, appends the observations to a history log
+//! (`target/trend_history.jsonl` — one JSON line per headline per run),
+//! and gates against the committed baselines in `BENCH_trend.json`:
 //!
 //! * `--check` fails (exit 1) if any gated headline drops below
 //!   `gate_ratio` x its baseline at the same problem size. Baselines are
-//!   keyed by `(bench, n)`, so CI's `--quick` artifacts compare against
-//!   quick-scale baselines and full runs against full-scale ones; an
+//!   keyed by `(bench, n, key)`, so CI's `--quick` artifacts compare
+//!   against quick-scale baselines and full runs against full-scale
+//!   ones, and one bench file can gate several independent headlines; an
 //!   observation with no same-size baseline is recorded but not gated.
+//!   A headline key missing from an artifact (e.g. a `--splitter`-
+//!   restricted `scale` run never computes the grouped comparison) is
+//!   skipped, not failed.
 //! * `--update` rewrites `BENCH_trend.json` with the current headline
 //!   values (preserving baselines at other problem sizes).
 //!
@@ -32,7 +37,8 @@ const HISTORY_FILE: &str = "target/trend_history.jsonl";
 const DEFAULT_GATE: f64 = 0.85;
 
 /// `bench` field value → (headline key, gate ratio). A ratio of 0 records
-/// the headline without gating it.
+/// the headline without gating it. A bench may carry several headlines;
+/// each is keyed and gated independently.
 const HEADLINES: &[(&str, &str, f64)] = &[
     ("pipeline_speedup", "speedup_4_workers", DEFAULT_GATE),
     ("kernel_speedup", "speedup_uniform", DEFAULT_GATE),
@@ -42,6 +48,7 @@ const HEADLINES: &[(&str, &str, f64)] = &[
     ("critpath_report", "whatif_top_speedup", DEFAULT_GATE),
     ("wallclock_speedup", "speedup_upgraded", 0.0),
     ("scale", "events_vs_threads_p64", DEFAULT_GATE),
+    ("scale", "grouped_speedup_p256", DEFAULT_GATE),
 ];
 
 #[derive(Debug, Clone)]
@@ -53,36 +60,47 @@ struct Observation {
     gate_ratio: f64,
 }
 
-fn read_observation(path: &Path) -> Option<Observation> {
-    let text = std::fs::read_to_string(path).ok()?;
+fn read_observations(path: &Path) -> Vec<Observation> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
     let doc = match obs::parse(&text) {
         Ok(doc) => doc,
         Err(e) => {
             eprintln!("warning: {}: invalid JSON ({e}), skipping", path.display());
-            return None;
+            return Vec::new();
         }
     };
-    let bench = doc.get("bench")?.as_str()?.to_string();
-    let Some(&(_, key, gate_ratio)) = HEADLINES.iter().find(|(b, _, _)| *b == bench) else {
+    let Some(bench) = doc.get("bench").and_then(Json::as_str) else {
+        return Vec::new();
+    };
+    let keys: Vec<&(&str, &str, f64)> = HEADLINES.iter().filter(|(b, _, _)| *b == bench).collect();
+    if keys.is_empty() {
         eprintln!(
             "warning: {}: unknown bench {bench:?}, skipping",
             path.display()
         );
-        return None;
+        return Vec::new();
+    }
+    let Some(n) = doc.get("n").and_then(Json::as_f64) else {
+        return Vec::new();
     };
-    let n = doc.get("n")?.as_f64()? as u64;
-    let value = doc.get(key)?.as_f64()?;
-    Some(Observation {
-        bench,
-        n,
-        key,
-        value,
-        gate_ratio,
-    })
+    keys.iter()
+        // A missing key is fine: restricted runs omit some headlines.
+        .filter_map(|&&(_, key, gate_ratio)| {
+            Some(Observation {
+                bench: bench.to_string(),
+                n: n as u64,
+                key,
+                value: doc.get(key)?.as_f64()?,
+                gate_ratio,
+            })
+        })
+        .collect()
 }
 
-/// Baselines from `BENCH_trend.json`, keyed by `(bench, n)`.
-fn read_baselines(path: &Path) -> BTreeMap<(String, u64), f64> {
+/// Baselines from `BENCH_trend.json`, keyed by `(bench, n, key)`.
+fn read_baselines(path: &Path) -> BTreeMap<(String, u64, String), f64> {
     let mut out = BTreeMap::new();
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
@@ -99,21 +117,17 @@ fn read_baselines(path: &Path) -> BTreeMap<(String, u64), f64> {
     for e in entries {
         let bench = e.get("bench").and_then(Json::as_str).expect("bench");
         let n = e.get("n").and_then(Json::as_f64).expect("n") as u64;
+        let key = e.get("key").and_then(Json::as_str).expect("key");
         let value = e.get("value").and_then(Json::as_f64).expect("value");
-        out.insert((bench.to_string(), n), value);
+        out.insert((bench.to_string(), n, key.to_string()), value);
     }
     out
 }
 
-fn write_baselines(path: &Path, baselines: &BTreeMap<(String, u64), f64>) {
+fn write_baselines(path: &Path, baselines: &BTreeMap<(String, u64, String), f64>) {
     let entries: Vec<String> = baselines
         .iter()
-        .map(|((bench, n), value)| {
-            let key = HEADLINES
-                .iter()
-                .find(|(b, _, _)| b == bench)
-                .map(|(_, k, _)| *k)
-                .unwrap_or("headline");
+        .map(|((bench, n, key), value)| {
             format!(
                 "    {{\"bench\": \"{bench}\", \"n\": {n}, \"key\": \"{key}\", \
                  \"value\": {value:.4}}}"
@@ -185,9 +199,7 @@ fn main() {
         .collect();
     names.sort();
     for path in &names {
-        if let Some(o) = read_observation(path) {
-            observations.push(o);
-        }
+        observations.extend(read_observations(path));
     }
     if observations.is_empty() {
         eprintln!("no BENCH_*.json artifacts found in {}", dir.display());
@@ -199,11 +211,11 @@ fn main() {
     let mut baselines = read_baselines(&baseline_path);
     let mut failures = Vec::new();
     println!(
-        "{:<20} {:>10} {:>10} {:>10} {:>8}  status",
-        "bench", "n", "headline", "baseline", "ratio"
+        "{:<18} {:>10} {:<24} {:>10} {:>10} {:>8}  status",
+        "bench", "n", "key", "headline", "baseline", "ratio"
     );
     for o in &observations {
-        let base = baselines.get(&(o.bench.clone(), o.n));
+        let base = baselines.get(&(o.bench.clone(), o.n, o.key.to_string()));
         let (status, ratio_str) = match base {
             Some(&b) if b > 0.0 => {
                 let ratio = o.value / b;
@@ -228,9 +240,10 @@ fn main() {
             _ => ("no-baseline", "-".to_string()),
         };
         println!(
-            "{:<20} {:>10} {:>10.4} {:>10} {:>8}  {status}",
+            "{:<18} {:>10} {:<24} {:>10.4} {:>10} {:>8}  {status}",
             o.bench,
             o.n,
+            o.key,
             o.value,
             base.map_or("-".to_string(), |b| format!("{b:.4}")),
             ratio_str
@@ -239,7 +252,7 @@ fn main() {
 
     if update {
         for o in &observations {
-            baselines.insert((o.bench.clone(), o.n), o.value);
+            baselines.insert((o.bench.clone(), o.n, o.key.to_string()), o.value);
         }
         write_baselines(&baseline_path, &baselines);
         println!(

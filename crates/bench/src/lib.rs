@@ -34,6 +34,9 @@ pub struct Args {
     pub selftest: bool,
     /// Use real files instead of in-memory disks.
     pub files: bool,
+    /// Restrict splitter-selection sweeps to one strategy (`flat` or
+    /// `grouped`); `None` sweeps both. Only the `scale` bench reads it.
+    pub splitter: Option<String>,
 }
 
 impl Default for Args {
@@ -45,6 +48,7 @@ impl Default for Args {
             trials: 5,
             selftest: false,
             files: false,
+            splitter: None,
         }
     }
 }
@@ -75,9 +79,18 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .expect("--trials needs an integer")
                 }
+                "--splitter" => {
+                    let v = it.next().expect("--splitter needs flat or grouped");
+                    assert!(
+                        v == "flat" || v == "grouped",
+                        "unknown --splitter {v:?} (flat or grouped)"
+                    );
+                    args.splitter = Some(v);
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --quick | --paper | --seed N | --trials N | --selftest | --files"
+                        "flags: --quick | --paper | --seed N | --trials N | --selftest | \
+                         --files | --splitter flat|grouped"
                     );
                     std::process::exit(0);
                 }

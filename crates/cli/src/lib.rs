@@ -16,7 +16,7 @@
 //!                 [--mem N] [--tapes 16] [--block 32768] [--seed 7]
 //!                 [--workers W] [--merge-workers W|auto]
 //!                 [--disk scsi|nvme|free] [--kernel radix|comparison]
-//!                 [--runtime threads|events]
+//!                 [--runtime threads|events] [--splitter flat|grouped]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //!                 [--critpath-out critpath.json] [--whatif]
 //!                 [--calibration-report] [--profile] [--streaming-merge]
@@ -83,6 +83,14 @@
 //! counters and — for the blocking exchange variants — the virtual
 //! clocks are identical under both.
 //!
+//! `--splitter` picks how `cluster` runs select the p−1 splitters:
+//! `flat` (the default — every node's sample is gathered and sorted at
+//! rank 0, the paper's step 2) or `grouped` (two-level √p-group
+//! selection: group leaders pre-sort and compress their members'
+//! samples to weighted candidates, so no node ever sorts a Θ(p²)
+//! sample or absorbs p simultaneous first messages). The sorted output
+//! is byte-identical either way.
+//!
 //! `--codec` picks how `sort`/`gen`/`verify` move records between disk
 //! blocks and memory: `zerocopy` (the default — plain-old-data records
 //! are viewed in place) or `copy` (the staged reference codec).
@@ -95,7 +103,7 @@
 use std::collections::HashMap;
 
 use extsort::{fingerprint_file, is_sorted_file, ExtSortConfig, PipelineConfig, SortKernel};
-use hetsort::{run_trial, PerfVector, SortAlgo, TrialConfig};
+use hetsort::{run_trial, PerfVector, SortAlgo, SplitterStrategy, TrialConfig};
 use pdm::{Codec, Disk, IoBackend};
 use workloads::{generate_to_disk, Benchmark, Layout};
 
@@ -237,6 +245,15 @@ pub fn parse_merge_workers(opts: &Options) -> Result<MergeWorkers, String> {
 pub fn parse_runtime(s: &str) -> Result<cluster::RuntimeKind, String> {
     cluster::RuntimeKind::parse(s)
         .ok_or_else(|| format!("unknown --runtime {s:?} (threads or events)"))
+}
+
+/// Parses a splitter strategy name (`flat` or `grouped`).
+pub fn parse_splitter(s: &str) -> Result<SplitterStrategy, String> {
+    match s {
+        "flat" => Ok(SplitterStrategy::Flat),
+        "grouped" => Ok(SplitterStrategy::grouped()),
+        other => Err(format!("unknown --splitter {other:?} (flat or grouped)")),
+    }
 }
 
 /// Parses a disk model name (`scsi`, `nvme` or `free`).
@@ -395,6 +412,7 @@ fn cmd_cluster(opts: &Options) -> Result<String, String> {
     };
     cfg.kernel = parse_kernel(opts.get_or("kernel", SortKernel::default().name()))?;
     cfg.runtime = parse_runtime(opts.get_or("runtime", cluster::RuntimeKind::default().name()))?;
+    cfg.splitter = parse_splitter(opts.get_or("splitter", "flat"))?;
     cfg.streaming = opts.flag("streaming-merge")?;
     if adaptive {
         // Knobs the user left on their defaults follow the device plan;
@@ -847,6 +865,38 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("sublist expansion"), "{out}");
+    }
+
+    #[test]
+    fn cluster_splitter_flag_accepted() {
+        let base = [
+            "cluster",
+            "--n",
+            "20000",
+            "--perf",
+            "1,1,4,4,2,2,1,4,2",
+            "--mem",
+            "4096",
+            "--tapes",
+            "4",
+            "--msg",
+            "512",
+            "--block",
+            "1024",
+            "--seed",
+            "3",
+        ];
+        let mut grouped: Vec<&str> = base.to_vec();
+        grouped.extend_from_slice(&["--splitter", "grouped"]);
+        let out = run(&opts(&grouped)).unwrap();
+        assert!(out.contains("sublist expansion"), "{out}");
+        // Unknown strategy names are rejected with the flag's vocabulary.
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.extend_from_slice(&["--splitter", "tree"]);
+        let err = run(&opts(&bad)).unwrap_err();
+        assert!(err.contains("--splitter"), "{err}");
+        assert_eq!(parse_splitter("flat").unwrap(), SplitterStrategy::Flat);
+        assert!(parse_splitter("grouped").unwrap().is_grouped());
     }
 
     #[test]

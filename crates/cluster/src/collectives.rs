@@ -9,6 +9,16 @@
 //! Every collective call bumps the endpoint's internal sequence number;
 //! since all nodes execute collectives in the same program order, sequence
 //! numbers agree and back-to-back collectives cannot cross-talk.
+//!
+//! **Subset collectives** (`*_subset`) restrict a collective to an
+//! explicit rank subset — the group-scoped sub-communicators of the
+//! multi-level splitter path. They deliberately do *not* use the internal
+//! sequence counter: overlapping subsets (a node can be both a group
+//! member and a group leader) would desynchronize a shared per-endpoint
+//! counter, so each call takes an explicit caller-supplied user [`Tag`]
+//! instead. Per-sender FIFO delivery plus selective receives make a fixed
+//! tag per algorithmic sub-step safe: successive rounds on the same
+//! `(sender, tag)` pair are matched in send order.
 
 use crate::charge::Charger;
 use crate::comm::{Endpoint, Tag};
@@ -142,6 +152,103 @@ impl Endpoint {
         self.coll_seq += 1;
         self.coll_seq
     }
+
+    /// Position of this endpoint's rank inside `members`, panicking if the
+    /// subset does not contain it — subset collectives must only be called
+    /// by participating ranks.
+    fn member_index(&self, members: &[usize]) -> usize {
+        members
+            .iter()
+            .position(|&m| m == self.rank())
+            .unwrap_or_else(|| {
+                panic!(
+                    "rank {} called a subset collective over {members:?} without being a member",
+                    self.rank()
+                )
+            })
+    }
+
+    /// [`Self::gather`] restricted to `members` (sorted global ranks that
+    /// include the caller). Returns `Some(payloads)` — indexed by member
+    /// *position* — at `root` (a global rank in `members`), `None`
+    /// elsewhere. `tag` must be a user tag unique to this algorithmic
+    /// sub-step.
+    pub async fn gather_subset(
+        &mut self,
+        members: &[usize],
+        root: usize,
+        bytes: Vec<u8>,
+        tag: Tag,
+        charger: &mut Charger,
+    ) -> Option<Vec<Vec<u8>>> {
+        let me_idx = self.member_index(members);
+        let root_idx = members
+            .iter()
+            .position(|&m| m == root)
+            .expect("subset gather root must be a member");
+        if me_idx == root_idx {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); members.len()];
+            out[root_idx] = bytes;
+            for (idx, &from) in members.iter().enumerate().filter(|&(i, _)| i != root_idx) {
+                out[idx] = self.recv_from(from, tag, charger).await.bytes;
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, bytes, charger);
+            None
+        }
+    }
+
+    /// [`Self::broadcast`] restricted to `members`; returns the payload on
+    /// every member. See [`Self::gather_subset`] for the tag contract.
+    pub async fn broadcast_subset(
+        &mut self,
+        members: &[usize],
+        root: usize,
+        bytes: Vec<u8>,
+        tag: Tag,
+        charger: &mut Charger,
+    ) -> Vec<u8> {
+        let _ = self.member_index(members);
+        if self.rank() == root {
+            for &to in members.iter().filter(|&&m| m != root) {
+                self.send(to, tag, bytes.clone(), charger);
+            }
+            bytes
+        } else {
+            self.recv_from(root, tag, charger).await.bytes
+        }
+    }
+
+    /// [`Self::all_to_all`] restricted to `members`: `outgoing[i]` goes to
+    /// the member at position `i`; returns payloads indexed by member
+    /// position. See [`Self::gather_subset`] for the tag contract.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != members.len()`.
+    pub async fn all_to_all_subset(
+        &mut self,
+        members: &[usize],
+        mut outgoing: Vec<Vec<u8>>,
+        tag: Tag,
+        charger: &mut Charger,
+    ) -> Vec<Vec<u8>> {
+        assert_eq!(
+            outgoing.len(),
+            members.len(),
+            "subset all_to_all needs one payload per member"
+        );
+        let me_idx = self.member_index(members);
+        let mut incoming: Vec<Vec<u8>> = vec![Vec::new(); members.len()];
+        incoming[me_idx] = std::mem::take(&mut outgoing[me_idx]);
+        for (idx, &to) in members.iter().enumerate().filter(|&(i, _)| i != me_idx) {
+            self.send(to, tag, std::mem::take(&mut outgoing[idx]), charger);
+        }
+        for (idx, &from) in members.iter().enumerate().filter(|&(i, _)| i != me_idx) {
+            incoming[idx] = self.recv_from(from, tag, charger).await.bytes;
+        }
+        incoming
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +353,57 @@ mod tests {
                 assert_eq!(payload, &vec![(10 * i + j) as u8], "i={i} j={j}");
             }
         }
+    }
+
+    #[test]
+    fn subset_collectives_route_within_the_group() {
+        // Groups {0,2} and {1,3}: each group gathers at its first member,
+        // broadcasts a verdict back, then all-to-alls inside the group —
+        // all with fixed user tags, concurrently across groups.
+        let results = on_cluster(4, NetworkModel::infinite(), |rank, ep, ch| {
+            let members = if rank % 2 == 0 {
+                vec![0usize, 2]
+            } else {
+                vec![1usize, 3]
+            };
+            let root = members[0];
+            let g = block_on(ep.gather_subset(&members, root, vec![rank as u8], Tag::user(9), ch));
+            let verdict = if rank == root {
+                let got = g.as_ref().expect("root gathers");
+                vec![got[0][0] + got[1][0]]
+            } else {
+                Vec::new()
+            };
+            let b = block_on(ep.broadcast_subset(&members, root, verdict, Tag::user(10), ch));
+            let out: Vec<Vec<u8>> = members
+                .iter()
+                .map(|&m| vec![(rank * 10 + m) as u8])
+                .collect();
+            let a2a = block_on(ep.all_to_all_subset(&members, out, Tag::user(11), ch));
+            (g, b, a2a)
+        });
+        // Gather lands only at each group's root, indexed by position.
+        let at0 = results[0].0.as_ref().expect("rank 0 is a root");
+        assert_eq!(at0, &vec![vec![0u8], vec![2u8]]);
+        assert!(results[2].0.is_none());
+        // Broadcast: group {0,2} sums to 2, group {1,3} to 4.
+        assert_eq!(results[0].1, vec![2]);
+        assert_eq!(results[2].1, vec![2]);
+        assert_eq!(results[1].1, vec![4]);
+        assert_eq!(results[3].1, vec![4]);
+        // All-to-all by member position: member i of {0,2} receives
+        // 10·peer + own rank.
+        assert_eq!(results[2].2, vec![vec![2u8], vec![22u8]]);
+        assert_eq!(results[3].2, vec![vec![13u8], vec![33u8]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node panicked")]
+    fn subset_collective_rejects_non_members() {
+        let _ = on_cluster(2, NetworkModel::infinite(), |_rank, ep, ch| {
+            // Rank 1 is not in the subset — must panic.
+            block_on(ep.broadcast_subset(&[0], 0, Vec::new(), Tag::user(9), ch))
+        });
     }
 
     #[test]

@@ -184,6 +184,19 @@ impl Endpoint {
         &self.net
     }
 
+    /// Labels this rank with its current sub-communicator for deadlock
+    /// diagnostics (`None` = back on the global communicator). Only the
+    /// event runtime keeps a central registry; the thread transport has no
+    /// central deadlock reporter, so this is a no-op there.
+    pub fn set_group_label(&mut self, label: Option<&str>) {
+        if let Transport::Events { fabric } = &self.transport {
+            fabric
+                .lock()
+                .expect("fabric lock")
+                .set_group(self.rank, label.map(String::from));
+        }
+    }
+
     /// Messages sent so far (excluding self-sends).
     pub fn sent_messages(&self) -> u64 {
         self.sent_messages

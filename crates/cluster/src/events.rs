@@ -73,6 +73,12 @@ pub(crate) struct Fabric {
     /// O(p² · messages) over a whole run and dominated wide-cluster
     /// simulations before the index existed.
     runnable: BTreeSet<(u64, usize)>,
+    /// Current sub-communicator membership per rank (e.g. `"g3"` while a
+    /// node runs a group-scoped collective, `"leaders"` during the
+    /// inter-group exchange). Pure diagnostics: once sub-communicators
+    /// exist, a deadlock report naming only global ranks is ambiguous, so
+    /// parked ranks print their group too.
+    groups: Vec<Option<String>>,
 }
 
 impl Fabric {
@@ -85,7 +91,14 @@ impl Fabric {
                 })
                 .collect(),
             runnable: (0..p).map(|rank| sched_key(SimTime::ZERO, rank)).collect(),
+            groups: vec![None; p],
         }))
+    }
+
+    /// Labels `rank` with its current sub-communicator (`None` = the
+    /// global communicator). Shows up in [`Self::deadlock_report`].
+    pub(crate) fn set_group(&mut self, rank: usize, label: Option<String>) {
+        self.groups[rank] = label;
     }
 
     /// Queues a message for `to`, waking it if parked. Per-sender FIFO
@@ -151,18 +164,22 @@ impl Fabric {
     pub(crate) fn deadlock_report(&self) -> String {
         let mut out = String::from("event cluster deadlocked; per-node waits:\n");
         for (rank, s) in self.states.iter().enumerate() {
+            let group = match &self.groups[rank] {
+                Some(label) => format!(" [comm group {label}]"),
+                None => String::from(" [global comm]"),
+            };
             match s {
                 TaskState::Parked { clock, wait } => {
                     let _ = writeln!(
                         out,
-                        "  node {rank}: parked at t={:.6}s waiting for {} ({} queued)",
+                        "  node {rank}: parked at t={:.6}s waiting for {} ({} queued){group}",
                         clock.as_secs(),
                         wait.describe(),
                         self.inboxes[rank].len()
                     );
                 }
                 TaskState::Runnable { .. } => {
-                    let _ = writeln!(out, "  node {rank}: runnable");
+                    let _ = writeln!(out, "  node {rank}: runnable{group}");
                 }
                 TaskState::Done => {
                     let _ = writeln!(out, "  node {rank}: done");
@@ -300,6 +317,38 @@ mod tests {
         assert!(park.as_mut().poll(&mut cx).is_ready());
         let report = fabric.lock().unwrap().deadlock_report();
         assert!(report.contains("node 0"), "{report}");
+    }
+
+    #[test]
+    fn deadlock_report_names_group_membership() {
+        let fabric = Fabric::new(3);
+        let mut f = fabric.lock().unwrap();
+        f.set_group(0, Some("g0".into()));
+        f.set_group(1, Some("leaders".into()));
+        f.park(
+            0,
+            SimTime::from_secs(1.0),
+            WaitKind::From {
+                from: 1,
+                tag: Tag::user(0x0200),
+            },
+        );
+        f.park(1, SimTime::from_secs(2.0), WaitKind::Any { tags: vec![] });
+        let report = f.deadlock_report();
+        assert!(
+            report.contains("node 0") && report.contains("[comm group g0]"),
+            "{report}"
+        );
+        assert!(report.contains("[comm group leaders]"), "{report}");
+        // Rank 2 never joined a sub-communicator: global.
+        assert!(
+            report.contains("node 2: runnable [global comm]"),
+            "{report}"
+        );
+        // Leaving a group reverts to the global label.
+        f.set_group(1, None);
+        assert!(f.deadlock_report().contains("node 1: parked"));
+        assert!(!f.deadlock_report().contains("leaders"), "label must clear");
     }
 
     #[test]

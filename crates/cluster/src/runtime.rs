@@ -259,6 +259,80 @@ impl NodeCtx {
         out
     }
 
+    /// Gather restricted to a rank subset (see
+    /// [`Endpoint::gather_subset`]): `members` are sorted global ranks
+    /// including this one, `root` a global rank in `members`, `tag` a user
+    /// tag unique to the algorithmic sub-step. The root's result is
+    /// indexed by member position.
+    pub async fn gather_subset(
+        &mut self,
+        members: &[usize],
+        root: usize,
+        bytes: Vec<u8>,
+        tag: Tag,
+    ) -> Option<Vec<Vec<u8>>> {
+        let span = self.span_open();
+        self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
+        let out = self
+            .endpoint
+            .gather_subset(members, root, bytes, tag, &mut self.charger)
+            .await;
+        self.span_close("gather", span);
+        out
+    }
+
+    /// Broadcast restricted to a rank subset (see
+    /// [`Endpoint::broadcast_subset`]).
+    pub async fn broadcast_subset(
+        &mut self,
+        members: &[usize],
+        root: usize,
+        bytes: Vec<u8>,
+        tag: Tag,
+    ) -> Vec<u8> {
+        let span = self.span_open();
+        if self.rank == root {
+            self.obs.hist_record("net.msg_bytes", bytes.len() as u64);
+        }
+        let out = self
+            .endpoint
+            .broadcast_subset(members, root, bytes, tag, &mut self.charger)
+            .await;
+        self.span_close("broadcast", span);
+        out
+    }
+
+    /// Personalized all-to-all restricted to a rank subset; payloads are
+    /// indexed by member position (see [`Endpoint::all_to_all_subset`]).
+    pub async fn all_to_all_subset(
+        &mut self,
+        members: &[usize],
+        outgoing: Vec<Vec<u8>>,
+        tag: Tag,
+    ) -> Vec<Vec<u8>> {
+        let span = self.span_open();
+        if self.obs.is_enabled() {
+            for (idx, msg) in outgoing.iter().enumerate() {
+                if members[idx] != self.rank {
+                    self.obs.hist_record("net.msg_bytes", msg.len() as u64);
+                }
+            }
+        }
+        let out = self
+            .endpoint
+            .all_to_all_subset(members, outgoing, tag, &mut self.charger)
+            .await;
+        self.span_close("all-to-all", span);
+        out
+    }
+
+    /// Labels this node's current sub-communicator for the event
+    /// runtime's deadlock report (`None` = global communicator). Pure
+    /// diagnostics — never affects timing or routing.
+    pub fn set_comm_group(&mut self, label: Option<&str>) {
+        self.endpoint.set_group_label(label);
+    }
+
     /// Records a phase boundary: prices outstanding I/O, then stamps
     /// `name` at the current clock. The phase report shows cumulative
     /// times, so phase `k`'s duration is `stamp[k] − stamp[k−1]`.

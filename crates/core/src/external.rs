@@ -35,7 +35,8 @@ use extsort::{
 };
 use pdm::{record, BlockReader, PdmError, PdmResult, Record};
 
-use crate::partition::partition_file_streaming;
+use crate::multilevel::{grouped_select_pivots, take_equal_flags, SplitterStrategy};
+use crate::partition::{partition_file_streaming_tiebreak, routes_right};
 use crate::perf::PerfVector;
 use crate::pivots::select_pivots;
 use crate::sampling::{regular_positions, regular_sample_count};
@@ -101,6 +102,13 @@ pub struct ExternalPsrsConfig {
     /// differ only in speed and in which counter ([`Work::key_ops`] vs
     /// [`Work::comparisons`]) the CPU work is billed to.
     pub kernel: SortKernel,
+    /// How step 2 selects the splitters: the paper's centralized gather
+    /// at node 0 ([`SplitterStrategy::Flat`]) or the two-level √p-group
+    /// selection of [`crate::multilevel`], which also tie-breaks
+    /// duplicate keys at the pivots by origin rank. The redistribution
+    /// itself stays chunk-streamed either way (its credit protocol
+    /// already staggers first messages).
+    pub splitter: SplitterStrategy,
 }
 
 impl ExternalPsrsConfig {
@@ -117,7 +125,15 @@ impl ExternalPsrsConfig {
             streaming_merge: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
         }
+    }
+
+    /// Sets the splitter-selection strategy (builder style).
+    #[must_use]
+    pub fn with_splitter(mut self, splitter: SplitterStrategy) -> Self {
+        self.splitter = splitter;
+        self
     }
 
     /// Sets the in-core sort kernel (builder style).
@@ -256,28 +272,45 @@ pub async fn psrs_external<R: Record>(
     }
     drop(reader);
     let samples_contributed = sample.len() as u64;
-    let gathered = ctx.gather(0, record::encode_all(&sample)).await;
-    let pivots: Vec<R> = if rank == 0 {
-        let mut all: Vec<R> = gathered
-            .expect("root gathers")
-            .iter()
-            .flat_map(|bytes| record::decode_all::<R>(bytes))
-            .collect();
-        let t0 = Instant::now();
-        let kw = sort_chunk(&mut all, cfg.kernel);
-        ctx.charger.charge_section(
-            Work {
-                comparisons: kw.comparisons,
-                key_ops: kw.key_ops,
-                moves: all.len() as u64,
-            },
-            t0.elapsed(),
-        );
-        let pivots = select_pivots(&all, perf);
-        ctx.broadcast(0, record::encode_all(&pivots)).await;
-        pivots
-    } else {
-        record::decode_all(&ctx.broadcast(0, Vec::new()).await)
+    let (pivots, take_equal): (Vec<R>, Vec<bool>) = match cfg.splitter {
+        SplitterStrategy::Grouped { levels } => {
+            // Two-level √p-group selection: members compress their own
+            // samples, leaders merge O(√p·OVERSAMPLE) weighted
+            // candidates, and the pivots come back with origin ranks
+            // that tie-break duplicates in every partition pass below.
+            assert_eq!(levels, 2, "only two-level grouped selection is implemented");
+            let (pivots, origins, _timing) =
+                grouped_select_pivots(ctx, perf, sample, cfg.kernel).await;
+            let take = take_equal_flags(rank, &origins);
+            (pivots, take)
+        }
+        SplitterStrategy::Flat => {
+            let gathered = ctx.gather(0, record::encode_all(&sample)).await;
+            let pivots: Vec<R> = if rank == 0 {
+                let mut all: Vec<R> = gathered
+                    .expect("root gathers")
+                    .iter()
+                    .flat_map(|bytes| record::decode_all::<R>(bytes))
+                    .collect();
+                let t0 = Instant::now();
+                let kw = sort_chunk(&mut all, cfg.kernel);
+                ctx.charger.charge_section(
+                    Work {
+                        comparisons: kw.comparisons,
+                        key_ops: kw.key_ops,
+                        moves: all.len() as u64,
+                    },
+                    t0.elapsed(),
+                );
+                let pivots = select_pivots(&all, perf);
+                ctx.broadcast(0, record::encode_all(&pivots)).await;
+                pivots
+            } else {
+                record::decode_all(&ctx.broadcast(0, Vec::new()).await)
+            };
+            let take = vec![true; pivots.len()];
+            (pivots, take)
+        }
     };
     ctx.obs.counter_add("psrs.samples", samples_contributed);
     ctx.obs.gauge_set("psrs.pivots", pivots.len() as f64);
@@ -285,7 +318,8 @@ pub async fn psrs_external<R: Record>(
 
     if cfg.streaming_merge {
         // ---- Steps 3–5 fused end to end: streaming exchange-merge. ----
-        let stream = streaming_exchange_merge::<R>(ctx, cfg, &pivots, sorted_name).await?;
+        let stream =
+            streaming_exchange_merge::<R>(ctx, cfg, &pivots, &take_equal, sorted_name).await?;
         for &s in &stream.sizes {
             ctx.obs.hist_record("psrs.partition_records", s);
         }
@@ -312,12 +346,18 @@ pub async fn psrs_external<R: Record>(
         // ---- Steps 3+4 fused: one streaming pass sends partitions
         // straight to their owners (no intermediate partition files),
         // saving 2·Q/B block I/Os — the paper's disk-to-disk remark.
-        fused_partition_redistribute::<R>(ctx, cfg, &pivots, sorted_name, recv_prefix).await?
+        fused_partition_redistribute::<R>(ctx, cfg, &pivots, &take_equal, sorted_name, recv_prefix)
+            .await?
     } else {
         // ---- Step 3: partition the sorted file at the pivots. ----
         let t0 = Instant::now();
-        let sent_sizes =
-            partition_file_streaming::<R>(&ctx.disk, sorted_name, part_prefix, &pivots)?;
+        let sent_sizes = partition_file_streaming_tiebreak::<R>(
+            &ctx.disk,
+            sorted_name,
+            part_prefix,
+            &pivots,
+            &take_equal,
+        )?;
         ctx.charger.charge_section(
             Work {
                 comparisons: local_sort.records + p as u64,
@@ -511,6 +551,7 @@ async fn fused_partition_redistribute<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &ExternalPsrsConfig,
     pivots: &[R],
+    take_equal: &[bool],
     sorted_name: &str,
     recv_prefix: &str,
 ) -> PdmResult<Vec<u64>> {
@@ -528,7 +569,7 @@ async fn fused_partition_redistribute<R: Record>(
     let mut dest = 0usize;
     let mut n_local = 0u64;
     while let Some(x) = rd.next_record()? {
-        while dest < pivots.len() && x > pivots[dest] {
+        while dest < pivots.len() && routes_right(&x, &pivots[dest], take_equal[dest]) {
             dest += 1;
         }
         sizes[dest] += 1;
@@ -778,6 +819,7 @@ impl<R: Record> ExchangeMerge<R> {
         ctx: &mut NodeCtx,
         rd: &mut BlockReader<R>,
         pivots: &[R],
+        take_equal: &[bool],
     ) -> PdmResult<bool> {
         if self.scan_done {
             return Ok(false);
@@ -808,7 +850,7 @@ impl<R: Record> ExchangeMerge<R> {
                 },
             };
             let mut dest = self.cur_dest;
-            while dest < pivots.len() && x > pivots[dest] {
+            while dest < pivots.len() && routes_right(&x, &pivots[dest], take_equal[dest]) {
                 dest += 1;
             }
             if dest != self.cur_dest {
@@ -891,6 +933,7 @@ async fn streaming_exchange_merge<R: Record>(
     ctx: &mut NodeCtx,
     cfg: &ExternalPsrsConfig,
     pivots: &[R],
+    take_equal: &[bool],
     sorted_name: &str,
 ) -> PdmResult<StreamOutcome> {
     let p = ctx.p;
@@ -918,7 +961,7 @@ async fn streaming_exchange_merge<R: Record>(
             st.handle_msg(ctx, msg, &mut scratch);
             progress = true;
         }
-        progress |= st.pump_scan(ctx, &mut rd, pivots)?;
+        progress |= st.pump_scan(ctx, &mut rd, pivots, take_equal)?;
         progress |= st.pump_merge(ctx, &mut out)?;
         let finished = st.done && st.scan_done;
         if !finished && !progress {
@@ -1016,6 +1059,7 @@ mod tests {
             streaming_merge: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
         };
         let report = run_cluster(spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", bench, seed, layouts[ctx.rank]).unwrap();
@@ -1116,6 +1160,7 @@ mod tests {
             streaming_merge: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
         };
         let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 5, layouts[ctx.rank]).unwrap();
@@ -1150,6 +1195,7 @@ mod tests {
                 streaming_merge: false,
                 pipeline: PipelineConfig::off(),
                 kernel: SortKernel::default(),
+                splitter: SplitterStrategy::Flat,
             };
             run_cluster(&spec, async move |ctx| {
                 generate_to_disk(
@@ -1205,6 +1251,7 @@ mod tests {
             streaming_merge: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
         };
         let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 6, layouts[ctx.rank]).unwrap();
@@ -1246,6 +1293,7 @@ mod tests {
             streaming_merge: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
         };
         let report = run_cluster(&spec, async move |ctx| {
             generate_to_disk(&ctx.disk, "input", Benchmark::Uniform, 7, layouts[ctx.rank]).unwrap();
@@ -1341,6 +1389,38 @@ mod tests {
             io_staged.files_created,
             io_streamed.files_created
         );
+    }
+
+    #[test]
+    fn grouped_splitter_external_matches_flat() {
+        // Two-level splitter selection on a 9-node mixed-speed cluster:
+        // the staged and streamed paths both stay correct, and the
+        // concatenated output is byte-identical to the flat baseline
+        // (same sorted multiset, duplicates included).
+        let hardware = vec![1u64, 2, 1, 4, 1, 2, 4, 1, 2];
+        let perf = PerfVector::new(hardware.clone());
+        let n = perf.padded_size(12_000);
+        let spec = || ClusterSpec::new(hardware.clone()).with_block_bytes(64);
+        let base = streamed_cfg(&perf, 512, 4, 64).with_streaming_merge(false);
+        for streaming in [false, true] {
+            let flat_cfg = base.clone().with_streaming_merge(streaming);
+            let grouped_cfg = flat_cfg.clone().with_splitter(SplitterStrategy::grouped());
+            for bench in [Benchmark::Uniform, Benchmark::ZipfDuplicates] {
+                let flat = run_with(&spec(), &flat_cfg, bench, n, 7);
+                let grouped = run_with(&spec(), &grouped_cfg, bench, n, 7);
+                let fr: Vec<NodeResult> = flat.nodes.into_iter().map(|nd| nd.value).collect();
+                let gr: Vec<NodeResult> = grouped.nodes.into_iter().map(|nd| nd.value).collect();
+                assert_correct(&gr, &perf, bench, n, 7);
+                let cat = |rs: &[NodeResult]| -> Vec<u32> {
+                    rs.iter().flat_map(|r| r.output.iter().copied()).collect()
+                };
+                assert_eq!(
+                    cat(&fr),
+                    cat(&gr),
+                    "grouped output diverged (streaming={streaming}, {bench:?})"
+                );
+            }
+        }
     }
 
     #[test]

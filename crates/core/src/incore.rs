@@ -12,7 +12,10 @@ use cluster::NodeCtx;
 use extsort::{sort_chunk, LoserTree, SliceStream, SortKernel};
 use pdm::{record, Record};
 
-use crate::partition::{partition_comparisons, partition_ranges};
+use crate::multilevel::{
+    grouped_select_pivots, take_equal_flags, two_level_exchange, SplitTiming, SplitterStrategy,
+};
+use crate::partition::{partition_comparisons, partition_ranges_tiebreak};
 use crate::perf::PerfVector;
 use crate::pivots::{select_pivots, select_pivots_quantile};
 use crate::sampling::{quantile_positions, regular_positions, regular_sample_count};
@@ -44,6 +47,9 @@ pub struct InCoreOutcome<R> {
     /// Key operations this node performed (radix kernel passes and
     /// key-cached merge selects; zero on the comparison kernel).
     pub key_ops: u64,
+    /// Per-stage virtual timing of the grouped splitter selection
+    /// (`None` on the flat path).
+    pub split: Option<SplitTiming>,
 }
 
 /// Runs in-core PSRS across the cluster; every node calls this with its
@@ -78,8 +84,26 @@ pub async fn psrs_incore_with<R: Record>(
 pub async fn psrs_incore_kernel<R: Record>(
     ctx: &mut NodeCtx,
     perf: &PerfVector,
+    local: Vec<R>,
+    strategy: PivotStrategy,
+    kernel: SortKernel,
+) -> InCoreOutcome<R> {
+    psrs_incore_split(ctx, perf, local, strategy, SplitterStrategy::Flat, kernel).await
+}
+
+/// [`psrs_incore_kernel`] with an explicit splitter strategy. With
+/// [`SplitterStrategy::Grouped`] the pivot phase runs the two-level
+/// √p-group selection of [`crate::multilevel`] and the redistribution
+/// uses the two-level routing — no node sorts a Θ(p²) sample or receives
+/// `p` simultaneous first messages. The concatenated sorted output is the
+/// same multiset either way; per-node shares differ only in how duplicate
+/// keys split across boundaries.
+pub async fn psrs_incore_split<R: Record>(
+    ctx: &mut NodeCtx,
+    perf: &PerfVector,
     mut local: Vec<R>,
     strategy: PivotStrategy,
+    splitter: SplitterStrategy,
     kernel: SortKernel,
 ) -> InCoreOutcome<R> {
     assert_eq!(perf.p(), ctx.p, "perf vector must cover every node");
@@ -114,46 +138,61 @@ pub async fn psrs_incore_kernel<R: Record>(
         }
     };
     let sample: Vec<R> = positions.into_iter().map(|q| local[q as usize]).collect();
-    let gathered = ctx.gather(0, record::encode_all(&sample)).await;
-    let pivots: Vec<R> = if rank == 0 {
-        let mut all: Vec<R> = gathered
-            .expect("root gathers")
-            .iter()
-            .flat_map(|bytes| record::decode_all::<R>(bytes))
-            .collect();
-        let t0 = Instant::now();
-        let kw = sort_chunk(&mut all, kernel);
-        ctx.charger.charge_section(
-            Work {
-                comparisons: kw.comparisons,
-                key_ops: kw.key_ops,
-                moves: all.len() as u64,
-            },
-            t0.elapsed(),
-        );
-        let pivots = match strategy {
-            PivotStrategy::RegularSampling => select_pivots(&all, perf),
-            PivotStrategy::Quantiles => select_pivots_quantile(&all, perf),
-        };
-        ctx.broadcast(0, record::encode_all(&pivots)).await;
-        pivots
+    let (pivots, take_equal, split) = if let SplitterStrategy::Grouped { levels } = splitter {
+        assert_eq!(levels, 2, "only two-level grouped selection is implemented");
+        let (pivots, origins, timing) = grouped_select_pivots(ctx, perf, sample, kernel).await;
+        let take = take_equal_flags(rank, &origins);
+        (pivots, take, Some(timing))
     } else {
-        record::decode_all(&ctx.broadcast(0, Vec::new()).await)
+        let gathered = ctx.gather(0, record::encode_all(&sample)).await;
+        let pivots: Vec<R> = if rank == 0 {
+            let mut all: Vec<R> = gathered
+                .expect("root gathers")
+                .iter()
+                .flat_map(|bytes| record::decode_all::<R>(bytes))
+                .collect();
+            let t0 = Instant::now();
+            let kw = sort_chunk(&mut all, kernel);
+            ctx.charger.charge_section(
+                Work {
+                    comparisons: kw.comparisons,
+                    key_ops: kw.key_ops,
+                    moves: all.len() as u64,
+                },
+                t0.elapsed(),
+            );
+            let pivots = match strategy {
+                PivotStrategy::RegularSampling => select_pivots(&all, perf),
+                PivotStrategy::Quantiles => select_pivots_quantile(&all, perf),
+            };
+            ctx.broadcast(0, record::encode_all(&pivots)).await;
+            pivots
+        } else {
+            record::decode_all(&ctx.broadcast(0, Vec::new()).await)
+        };
+        let take = vec![true; pivots.len()];
+        (pivots, take, None)
     };
     ctx.mark_phase("pivots");
 
-    // Phase 3: partition the sorted block at the pivots.
+    // Phase 3: partition the sorted block at the pivots (duplicates
+    // tie-broken by the pivots' origin ranks on the grouped path).
     let cuts = ctx.charger.compute(
         Work::comparisons(partition_comparisons(n_local, pivots.len())),
-        || partition_ranges(&local, &pivots),
+        || partition_ranges_tiebreak(&local, &pivots, &take_equal),
     );
 
-    // Phase 4: all-to-all redistribution.
+    // Phase 4: redistribution — flat all-to-all, or the two-level
+    // grouped routing (intra-group to relays, then inter-group).
     let outgoing: Vec<Vec<u8>> = (0..p)
         .map(|j| record::encode_all(&local[cuts[j]..cuts[j + 1]]))
         .collect();
     ctx.charger.charge_work(Work::moves(n_local));
-    let incoming = ctx.all_to_all(outgoing).await;
+    let incoming = if splitter.is_grouped() {
+        two_level_exchange(ctx, outgoing, R::SIZE).await
+    } else {
+        ctx.all_to_all(outgoing).await
+    };
     ctx.mark_phase("redistribute");
 
     // Phase 5: merge the received sorted partitions.
@@ -192,6 +231,7 @@ pub async fn psrs_incore_kernel<R: Record>(
         pivots,
         comparisons,
         key_ops,
+        split,
     }
 }
 
@@ -336,6 +376,59 @@ mod tests {
         assert_eq!(regular, 100 * 100);
         assert_eq!(quantile, 3 * 100);
         assert!(quantile < regular / 30);
+    }
+
+    #[test]
+    fn grouped_splitter_sorts_and_matches_flat_concatenation() {
+        // 9 nodes → 3 groups of 3: the grouped selection and two-level
+        // routing must still deliver a globally sorted permutation, and
+        // for u32 records the concatenation equals the flat one exactly.
+        let spec = ClusterSpec::homogeneous(9);
+        let perf = PerfVector::homogeneous(9);
+        let n = perf.padded_size(9_000);
+        let shares = perf.shares(n);
+        let layouts = Layout::cluster(&shares);
+        let run_split = |splitter: crate::multilevel::SplitterStrategy| {
+            let pv = perf.clone();
+            let layouts = layouts.clone();
+            run_cluster(&spec, async move |ctx| {
+                let local = generate_block(Benchmark::ZipfDuplicates, 12, layouts[ctx.rank]);
+                psrs_incore_split(
+                    ctx,
+                    &pv,
+                    local,
+                    PivotStrategy::RegularSampling,
+                    splitter,
+                    extsort::SortKernel::default(),
+                )
+                .await
+            })
+        };
+        let flat = run_split(crate::multilevel::SplitterStrategy::Flat);
+        let grouped = run_split(crate::multilevel::SplitterStrategy::grouped());
+        let cat = |report: &cluster::ClusterReport<InCoreOutcome<u32>>| -> Vec<u32> {
+            report
+                .nodes
+                .iter()
+                .flat_map(|nd| nd.value.sorted.iter().copied())
+                .collect()
+        };
+        let a = cat(&flat);
+        let b = cat(&grouped);
+        assert_eq!(a.len() as u64, n);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "global order broken");
+        assert_eq!(a, b, "grouped concatenation must match flat");
+        // Split timing present only on the grouped path.
+        assert!(grouped.nodes.iter().all(|nd| nd.value.split.is_some()));
+        assert!(flat.nodes.iter().all(|nd| nd.value.split.is_none()));
+        // Balance still within the paper's bound.
+        let sizes: Vec<u64> = grouped
+            .nodes
+            .iter()
+            .map(|nd| nd.value.sorted.len() as u64)
+            .collect();
+        let lb = crate::metrics::LoadBalance::new(sizes, &perf);
+        assert!(lb.expansion() < 2.0, "expansion {}", lb.expansion());
     }
 
     #[test]

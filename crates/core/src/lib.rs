@@ -34,6 +34,7 @@
 pub mod external;
 pub mod incore;
 pub mod metrics;
+pub mod multilevel;
 pub mod overpartition;
 pub mod partition;
 pub mod perf;
@@ -42,8 +43,15 @@ pub mod runner;
 pub mod sampling;
 
 pub use external::{psrs_external, ExternalPsrsConfig, ExternalPsrsOutcome};
-pub use incore::{psrs_incore, psrs_incore_kernel, psrs_incore_with, InCoreOutcome, PivotStrategy};
+pub use incore::{
+    psrs_incore, psrs_incore_kernel, psrs_incore_split, psrs_incore_with, InCoreOutcome,
+    PivotStrategy,
+};
 pub use metrics::LoadBalance;
+pub use multilevel::{
+    grouped_select_pivots, take_equal_flags, two_level_exchange, GroupLayout, SplitTiming,
+    SplitterStrategy,
+};
 pub use overpartition::{overpartition_external, overpartition_incore, OverpartitionConfig};
 pub use perf::PerfVector;
 pub use runner::{run_trial, SortAlgo, TrialConfig, TrialResult};

@@ -12,6 +12,20 @@ use pdm::{Disk, PdmResult, Record};
 /// Partition boundaries of a **sorted** slice: returns `p+1` cut indices
 /// (`cuts[0] = 0`, `cuts[p] = len`); partition `j` is `data[cuts[j]..cuts[j+1]]`.
 pub fn partition_ranges<R: Record>(sorted: &[R], pivots: &[R]) -> Vec<usize> {
+    partition_ranges_tiebreak(sorted, pivots, &vec![true; pivots.len()])
+}
+
+/// [`partition_ranges`] with per-pivot duplicate tie-breaking: a record
+/// equal to `pivots[j]` stays left of cut `j` iff `take_equal[j]` (the
+/// grouped splitter sets it from the pivot's origin rank; all-`true`
+/// reproduces the flat `x <= pivot` rule). Requires `(pivot, take)`
+/// boundaries nondecreasing — `take` may only turn on as equal pivots
+/// repeat, which the origin-sorted selection guarantees.
+pub fn partition_ranges_tiebreak<R: Record>(
+    sorted: &[R],
+    pivots: &[R],
+    take_equal: &[bool],
+) -> Vec<usize> {
     debug_assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "data must be sorted"
@@ -20,15 +34,23 @@ pub fn partition_ranges<R: Record>(sorted: &[R], pivots: &[R]) -> Vec<usize> {
         pivots.windows(2).all(|w| w[0] <= w[1]),
         "pivots must be sorted"
     );
+    debug_assert_eq!(pivots.len(), take_equal.len());
     let mut cuts = Vec::with_capacity(pivots.len() + 2);
     cuts.push(0);
-    for pv in pivots {
-        // Upper bound: first index with element > pivot.
-        let cut = sorted.partition_point(|x| x <= pv);
+    for (pv, &take) in pivots.iter().zip(take_equal) {
+        // Upper bound: first index whose element routes right.
+        let cut = sorted.partition_point(|x| x < pv || (x == pv && take));
         cuts.push(cut.max(*cuts.last().unwrap()));
     }
     cuts.push(sorted.len());
     cuts
+}
+
+/// Does `x` route past the boundary at `pivot`? The streaming-scan dual
+/// of the [`partition_ranges_tiebreak`] predicate: right iff `x > pivot`,
+/// or `x == pivot` and equal keys are not taken left.
+pub fn routes_right<R: Record>(x: &R, pivot: &R, take_equal: bool) -> bool {
+    x > pivot || (x == pivot && !take_equal)
 }
 
 /// Comparison estimate for [`partition_ranges`]: one binary search per
@@ -49,6 +71,19 @@ pub fn partition_file_streaming<R: Record>(
     prefix: &str,
     pivots: &[R],
 ) -> PdmResult<Vec<u64>> {
+    partition_file_streaming_tiebreak(disk, input, prefix, pivots, &vec![true; pivots.len()])
+}
+
+/// [`partition_file_streaming`] with per-pivot duplicate tie-breaking
+/// (see [`partition_ranges_tiebreak`] for the flag semantics).
+pub fn partition_file_streaming_tiebreak<R: Record>(
+    disk: &Disk,
+    input: &str,
+    prefix: &str,
+    pivots: &[R],
+    take_equal: &[bool],
+) -> PdmResult<Vec<u64>> {
+    debug_assert_eq!(pivots.len(), take_equal.len());
     let p = pivots.len() + 1;
     let mut reader = disk.open_reader::<R>(input)?;
     let mut sizes = vec![0u64; p];
@@ -63,7 +98,7 @@ pub fn partition_file_streaming<R: Record>(
         }
         prev = Some(x);
         // Advance to the first partition whose pivot admits x.
-        while j < pivots.len() && x > pivots[j] {
+        while j < pivots.len() && routes_right(&x, &pivots[j], take_equal[j]) {
             j += 1;
         }
         writers[j].push(x)?;
@@ -154,6 +189,46 @@ mod tests {
         assert_eq!(sizes, vec![0, 0]);
         assert!(disk.read_file::<u32>("e0").unwrap().is_empty());
         assert!(disk.read_file::<u32>("e1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn tiebreak_flags_split_duplicate_runs() {
+        let data = vec![1u32, 2, 2, 2, 3];
+        // take=false: the 2s route right of the cut.
+        assert_eq!(
+            partition_ranges_tiebreak(&data, &[2], &[false]),
+            vec![0, 1, 5]
+        );
+        // take=true reproduces the flat rule.
+        assert_eq!(
+            partition_ranges_tiebreak(&data, &[2], &[true]),
+            partition_ranges(&data, &[2])
+        );
+        // Equal pivots with (false, true): cut 0 excludes the 2s, cut 1
+        // takes them — the run lands wholly in the middle partition.
+        assert_eq!(
+            partition_ranges_tiebreak(&data, &[2, 2], &[false, true]),
+            vec![0, 1, 4, 5]
+        );
+    }
+
+    #[test]
+    fn streaming_tiebreak_matches_in_core() {
+        let disk = Disk::in_memory(16);
+        let data: Vec<u32> = vec![0, 5, 5, 5, 5, 9, 9, 12];
+        disk.write_file("in", &data).unwrap();
+        let pivots = vec![5u32, 9];
+        let take = vec![false, true];
+        let sizes = partition_file_streaming_tiebreak(&disk, "in", "t", &pivots, &take).unwrap();
+        let cuts = partition_ranges_tiebreak(&data, &pivots, &take);
+        for j in 0..3 {
+            assert_eq!(
+                disk.read_file::<u32>(&format!("t{j}")).unwrap(),
+                &data[cuts[j]..cuts[j + 1]],
+                "partition {j}"
+            );
+            assert_eq!(sizes[j] as usize, cuts[j + 1] - cuts[j]);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use workloads::{generate_to_disk, Benchmark, Layout};
 
 use crate::external::{psrs_external, ExternalPsrsConfig};
 use crate::metrics::LoadBalance;
+use crate::multilevel::SplitterStrategy;
 use crate::overpartition::{overpartition_external, OverpartitionConfig};
 use crate::perf::PerfVector;
 
@@ -81,6 +82,10 @@ pub struct TrialConfig {
     /// In-core sort kernel: radix fast path (default) or the
     /// comparison-based reference (the paper's calibrated sorter).
     pub kernel: SortKernel,
+    /// Splitter selection: flat root-gather (the paper's step 2) or the
+    /// two-level √p-grouped scheme that caps any node's sample sort at
+    /// O(√p) candidates per peer.
+    pub splitter: SplitterStrategy,
     /// Record phase spans and metrics during the trial (the `obs` crate).
     /// Off by default; a traced trial is observationally identical to an
     /// untraced one (same output, same I/O counters, same virtual times).
@@ -116,6 +121,7 @@ impl TrialConfig {
             streaming: false,
             pipeline: PipelineConfig::off(),
             kernel: SortKernel::default(),
+            splitter: SplitterStrategy::Flat,
             trace: false,
             runtime: RuntimeKind::default(),
         }
@@ -194,6 +200,7 @@ pub fn run_trial(cfg: &TrialConfig) -> PdmResult<TrialResult> {
         streaming_merge: cfg.streaming,
         pipeline: cfg.pipeline,
         kernel: cfg.kernel,
+        splitter: cfg.splitter,
     };
     let ocfg = OverpartitionConfig::new(cfg.declared.clone()).with_oversampling(cfg.oversampling);
     let trial = cfg.clone();

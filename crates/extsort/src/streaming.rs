@@ -56,6 +56,15 @@ pub struct StreamingLoserTree<R: Record> {
     closed: Vec<bool>,
     /// Before the first build: which slots have been fed or closed.
     known: Vec<bool>,
+    /// Monotone cursor over `known`: every slot below it has been fed or
+    /// closed. Keeps the pre-build `Need` scan O(k) *total* — the naive
+    /// "first unknown slot" search from the front is O(k) per step and
+    /// O(k²) over the init protocol, which dominates wide merges past
+    /// p ≈ 256.
+    next_unknown: usize,
+    /// `known[...]` probes performed by the pre-build scan — the witness
+    /// the init microbench asserts grows linearly, not quadratically.
+    init_probes: u64,
     /// After the build: the one slot whose head was consumed and not yet
     /// refilled (`None` when the tree is ready to select).
     pending: Option<usize>,
@@ -75,6 +84,8 @@ impl<R: Record> StreamingLoserTree<R> {
             tree: vec![usize::MAX; k],
             closed: vec![false; k],
             known: vec![false; k],
+            next_unknown: 0,
+            init_probes: 0,
             pending: None,
             k,
             built: false,
@@ -141,8 +152,15 @@ impl<R: Record> StreamingLoserTree<R> {
     /// has no head yet, returns [`MergeStep::Need`] and changes nothing.
     pub fn step(&mut self) -> MergeStep<R> {
         if !self.built {
-            if let Some(s) = (0..self.k).find(|&s| !self.known[s]) {
-                return MergeStep::Need(s);
+            // `feed` accepts any unknown slot pre-build, so the cursor
+            // skip-scans past slots filled out of order; it never moves
+            // backwards, so the whole init costs O(k) probes.
+            while self.next_unknown < self.k {
+                self.init_probes += 1;
+                if !self.known[self.next_unknown] {
+                    return MergeStep::Need(self.next_unknown);
+                }
+                self.next_unknown += 1;
             }
             self.build();
             self.built = true;
@@ -233,6 +251,12 @@ impl<R: Record> StreamingLoserTree<R> {
     /// Tournament selects performed so far.
     pub fn comparisons(&self) -> u64 {
         self.comparisons
+    }
+
+    /// Slot-state probes performed by the pre-build `Need` scan. Linear in
+    /// the fan-in under the driver protocol (one `step` per feed).
+    pub fn init_probes(&self) -> u64 {
+        self.init_probes
     }
 
     /// Records emitted so far.
@@ -437,6 +461,56 @@ mod tests {
             }
             assert_eq!(merge_queues(inputs), expect, "fan-in {k}");
         }
+    }
+
+    #[test]
+    fn init_scan_is_sub_quadratic() {
+        // Drive only the init protocol (step → Need → feed, one step per
+        // feed) and count slot probes. The cursor makes this ~2k; the old
+        // scan-from-zero was k(k+1)/2, i.e. a 256× jump from k=64 to
+        // k=1024 instead of 16×.
+        fn init_probes_for(k: usize) -> u64 {
+            let mut tree = StreamingLoserTree::<u32>::new(k);
+            let mut fed = 0usize;
+            while fed < k {
+                match tree.step() {
+                    MergeStep::Need(s) => {
+                        tree.feed(s, s as u32);
+                        fed += 1;
+                    }
+                    other => panic!("expected Need during init, got {other:?}"),
+                }
+            }
+            // The build fires on the step after the last feed.
+            assert!(matches!(tree.step(), MergeStep::Emit(_)));
+            assert_eq!(
+                tree.comparisons(),
+                k as u64 - 1,
+                "build is one select per internal node"
+            );
+            tree.init_probes()
+        }
+        let small = init_probes_for(64);
+        let large = init_probes_for(1024);
+        assert!(small >= 64, "every slot probed at least once, got {small}");
+        let ratio = large as f64 / small as f64;
+        assert!(
+            ratio < 64.0,
+            "init probes must grow sub-quadratically: {small} @64 vs {large} @1024 (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn init_cursor_skips_out_of_order_feeds() {
+        // Pre-build, feed() accepts any unknown slot; feeding in reverse
+        // forces the cursor to skip-scan the whole prefix in one step.
+        let k = 8;
+        let mut tree = StreamingLoserTree::<u32>::new(k);
+        for s in (0..k).rev() {
+            tree.feed(s, s as u32);
+        }
+        assert_eq!(tree.step(), MergeStep::Emit(0));
+        assert_eq!(tree.init_probes(), k as u64);
     }
 
     #[test]

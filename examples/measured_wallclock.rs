@@ -39,6 +39,7 @@ fn run(declared: PerfVector) -> f64 {
         streaming_merge: false,
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
+        splitter: hetsort::SplitterStrategy::Flat,
     };
     let report = cluster::run_cluster(&spec, async move |ctx| {
         generate_to_disk(

@@ -119,6 +119,7 @@ fn run(tracing: bool, v: Variant, runtime: RuntimeKind) -> ClusterReport<SortOut
         streaming_merge: v.streaming,
         pipeline,
         kernel: extsort::SortKernel::default(),
+        splitter: hetsort::SplitterStrategy::Flat,
     };
     cluster::run_cluster(&spec, async move |ctx| {
         generate_to_disk(

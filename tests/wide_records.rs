@@ -63,6 +63,7 @@ fn external_psrs_sorts_wide_records_heterogeneous() {
         streaming_merge: false,
         pipeline: extsort::PipelineConfig::off(),
         kernel: extsort::SortKernel::default(),
+        splitter: hetsort::SplitterStrategy::Flat,
     };
     let report = run_cluster(&spec, async move |ctx| {
         // Each node materializes its share of one deterministic stream.
